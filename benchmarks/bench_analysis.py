@@ -1,0 +1,79 @@
+"""FW-6a: static rule analysis cost vs. rule-set size.
+
+§6 proposes analysis "as rules are defined", i.e. interactively — so the
+triggering graph build, loop detection and conflict detection must stay
+cheap for realistic rule-set sizes (tens to hundreds of rules).
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import analyze
+from repro.core.rules import RuleCatalog
+from repro.sql.parser import parse_statement
+
+from .conftest import print_series
+
+RULE_SET_SIZES = (10, 40, 160)
+
+
+def build_catalog(size, seed_cycles=True):
+    """``size`` rules forming chains over a pool of tables, with a few
+    deliberate cycles and unordered conflicting pairs mixed in."""
+    catalog = RuleCatalog()
+    tables = max(4, size // 2)
+    for index in range(size):
+        src = index % tables
+        dst = (index + 1) % tables
+        catalog.create_rule_from_ast(
+            parse_statement(
+                f"create rule r{index} when inserted into t{src} "
+                f"then insert into t{dst} values (1)"
+            )
+        )
+    if seed_cycles and size >= 4:
+        catalog.create_rule_from_ast(
+            parse_statement(
+                f"create rule loopback when inserted into t1 "
+                f"then insert into t0 values (1)"
+            )
+        )
+    return catalog
+
+
+@pytest.mark.parametrize("size", RULE_SET_SIZES)
+def test_analysis_cost(benchmark, size):
+    catalog = build_catalog(size)
+    report = benchmark(analyze, catalog)
+    assert report.graph is not None
+
+
+def test_shape_interactive_latency(benchmark):
+    benchmark.pedantic(_shape_test_shape_interactive_latency, rounds=1, iterations=1)
+
+
+def _shape_test_shape_interactive_latency():
+    """Analysis of a 160-rule catalog should complete in well under a
+    second — usable at create-rule time, as §6 intends."""
+    rows = []
+    for size in RULE_SET_SIZES:
+        catalog = build_catalog(size)
+        start = time.perf_counter()
+        report = analyze(catalog)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            (
+                size,
+                len(report.graph.edges()),
+                len(report.loops),
+                len(report.conflicts),
+                f"{elapsed*1e3:.1f}ms",
+            )
+        )
+    print_series(
+        "FW-6a: static analysis cost",
+        ("rules", "edges", "loop warnings", "conflict warnings", "time"),
+        rows,
+    )
+    assert elapsed < 2.0

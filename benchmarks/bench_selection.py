@@ -1,0 +1,105 @@
+"""PERF-4: rule selection strategy overhead (§4.4).
+
+§4.4 surveys selection strategies without committing to one ("For a
+thorough comparison and evaluation of rule selection strategies we must
+consider a number of large-scale examples"). This bench provides the
+measurement harness: N simultaneously triggered rules (all but one with
+false conditions) processed under each strategy, so the per-round
+ordering cost and total consideration count are observable.
+"""
+
+import time
+
+import pytest
+
+from repro import (
+    ActiveDatabase,
+    CreationOrder,
+    LeastRecentlyConsidered,
+    PriorityOrder,
+    TotalOrder,
+)
+
+from .conftest import print_series
+
+RULE_COUNTS = (8, 32, 128)
+
+STRATEGIES = {
+    "creation": CreationOrder,
+    "priority": PriorityOrder,
+    "total": None,  # built per rule set
+    "lru": LeastRecentlyConsidered,
+}
+
+
+def build(rules, strategy_name):
+    names = [f"r{i}" for i in range(rules)]
+    if strategy_name == "total":
+        strategy = TotalOrder(list(reversed(names)))
+    else:
+        strategy = STRATEGIES[strategy_name]()
+    db = ActiveDatabase(strategy=strategy, record_seen=False)
+    db.execute("create table t (x integer)")
+    db.execute("create table log (x integer)")
+    for index, name in enumerate(names):
+        # every rule triggers on the insert; only the last one's
+        # condition holds, and it fires exactly once
+        condition = (
+            "if not exists (select * from log) "
+            if index == rules - 1
+            else "if false "
+        )
+        action = (
+            "then insert into log values (1)"
+            if index == rules - 1
+            else "then delete from t where false"
+        )
+        db.execute(
+            f"create rule {name} when inserted into t {condition}{action}"
+        )
+    if strategy_name == "priority":
+        # a chain of pairings: r0 before r1 before ... (worst case for
+        # the partial-order maximality computation)
+        for first, second in zip(names, names[1:]):
+            db.execute(f"create rule priority {first} before {second}")
+    return db
+
+
+@pytest.mark.parametrize("rules", RULE_COUNTS)
+@pytest.mark.parametrize("strategy_name", sorted(STRATEGIES))
+def test_strategy_cost(benchmark, rules, strategy_name):
+    def run():
+        db = build(rules, strategy_name)
+        result = db.execute("insert into t values (1)")
+        assert result.rule_firings == 1
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_shape_strategies(benchmark):
+    benchmark.pedantic(_shape_strategies, rounds=1, iterations=1)
+
+
+def _shape_strategies():
+    rows = []
+    times = {}
+    for strategy_name in sorted(STRATEGIES):
+        per_count = []
+        for rules in RULE_COUNTS:
+            db = build(rules, strategy_name)
+            start = time.perf_counter()
+            db.execute("insert into t values (1)")
+            per_count.append(time.perf_counter() - start)
+        times[strategy_name] = per_count
+        rows.append(
+            (strategy_name,)
+            + tuple(f"{value*1e3:.1f}ms" for value in per_count)
+        )
+    print_series(
+        "PERF-4: selection strategies, N triggered rules (1 fires)",
+        ("strategy",) + tuple(f"{n} rules" for n in RULE_COUNTS),
+        rows,
+    )
+    # all strategies quiesce; the priority chain (transitive-closure
+    # checks) is the costliest but must stay within interactive bounds
+    assert times["priority"][-1] < 5.0

@@ -1,0 +1,46 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Every benchmark module regenerates one row of EXPERIMENTS.md: it prints
+a small table (the "series" the paper-style evaluation would plot) in
+addition to the pytest-benchmark timings, so `pytest benchmarks/
+--benchmark-only -s` shows the shape results directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ActiveDatabase
+from repro.workloads import create_schema
+
+
+@pytest.fixture
+def empdept_db():
+    """A fresh ActiveDatabase with the paper's emp/dept schema."""
+    db = ActiveDatabase(record_seen=False)
+    create_schema(db)
+    return db
+
+
+def load_employees(db, count, departments=10, salary=50000.0):
+    """Bulk-load ``count`` employees spread over ``departments``."""
+    rows = ", ".join(
+        f"('e{i}', {i}, {salary + i}, {1 + i % departments})"
+        for i in range(1, count + 1)
+    )
+    db.execute(f"insert into emp values {rows}")
+
+
+def print_series(title, headers, rows):
+    """Print a small aligned table (the bench's paper-shape series)."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(headers))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print()
+    print(f"--- {title} ---")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""The Section 5 extensions in one scenario: an audited account system.
+
+Demonstrates:
+
+* §5.1 — rules triggered by data retrieval (``selected`` predicates with
+  an S effect component): every read of account balances is logged;
+* §5.2 — external-procedure actions: a Python callable receives the
+  rule's transition tables and both queries and writes the database;
+* §5.3 — user-defined rule triggering points (``assert rules``) inside
+  an explicit multi-block transaction.
+
+Run:  python examples/audit_trail.py
+"""
+
+from repro import ActiveDatabase
+
+
+def banner(title):
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main():
+    db = ActiveDatabase(track_selects=True)
+    db.execute(
+        "create table accounts (acct integer, owner varchar, balance float)"
+    )
+    db.execute(
+        "create table access_log (acct integer, kind varchar)"
+    )
+    db.execute("create table alerts (message varchar)")
+    db.execute("""
+        insert into accounts values
+            (1, 'alice', 1000.0), (2, 'bob', 50.0), (3, 'carol', 7500.0)
+    """)
+
+    banner("1. §5.1 — triggering on retrieval (authorization auditing)")
+    db.execute("""
+        create rule audit_balance_reads
+        when selected accounts.balance
+        then insert into access_log
+             (select acct, 'read' from selected accounts.balance)
+    """)
+    print("rule audit_balance_reads logs every tuple whose balance is read")
+    db.execute("select balance from accounts where owner = 'alice'")
+    db.execute("select owner, balance from accounts where balance > 1000")
+    print("access log:", db.rows("select acct, kind from access_log"))
+    print("(reading only owners does not trigger it:)")
+    before = db.query("select count(*) from access_log").scalar()
+    db.execute("select owner from accounts")
+    after = db.query("select count(*) from access_log").scalar()
+    print(f"  log size {before} -> {after}")
+
+    banner("2. §5.2 — an external (Python) action")
+
+    def fraud_detector(context):
+        """Flags large balance swings; writes alerts via captured DML."""
+        swings = context.query("""
+            select n.acct
+            from new updated accounts.balance n, old updated accounts.balance o
+            where n.acct = o.acct
+              and (n.balance - o.balance > 5000
+                   or o.balance - n.balance > 5000)
+        """)
+        for (acct,) in swings.rows:
+            context.execute(
+                f"insert into alerts values ('large swing on acct {acct}')"
+            )
+
+    db.define_external_rule(
+        "fraud_watch",
+        "updated accounts.balance",
+        fraud_detector,
+        description="python fraud detector",
+    )
+    db.execute("update accounts set balance = balance + 9000 where acct = 2")
+    db.execute("update accounts set balance = balance + 10 where acct = 1")
+    print("alerts after a +9000 and a +10 update:")
+    for (message,) in db.rows("select message from alerts"):
+        print("  ", message)
+
+    banner("3. §5.3 — rule triggering points in a long transaction")
+    db.execute("""
+        create rule negative_balance_guard
+        when updated accounts.balance or inserted into accounts
+        if exists (select * from accounts where balance < 0)
+        then rollback
+    """)
+    db.begin()
+    db.execute("update accounts set balance = balance - 40 where acct = 2")
+    print("mid-transaction: asserting rules now (a triggering point)...")
+    db.execute("assert rules")
+    print("  guard evaluated against the first transition: balance still ok")
+    db.execute("update accounts set balance = balance - 10 where acct = 1")
+    result = db.commit()
+    print("committed:", result.committed,
+          "| total rule firings:", result.rule_firings)
+
+    banner("4. The guard vetoing at a triggering point")
+    from repro.errors import RollbackRequested
+
+    db.begin()
+    db.execute("update accounts set balance = -1.0 where acct = 2")
+    try:
+        db.assert_rules()
+    except RollbackRequested as veto:
+        print("assert rules ->", veto)
+    print("balances untouched:",
+          db.rows("select acct, balance from accounts order by acct"))
+
+
+if __name__ == "__main__":
+    main()

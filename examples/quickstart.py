@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Quickstart: set-oriented production rules in five minutes.
+
+Walks through the paper's core ideas on its running emp/dept schema:
+
+1. defining tables and rules with the SQL-based syntax (Section 3);
+2. set-oriented triggering — one rule firing handles a whole set of
+   changed tuples (the paper's central design point);
+3. transition tables (``inserted``/``deleted``/``old updated``/``new
+   updated``) inside conditions and actions;
+4. rollback rules, self-triggering cascades, and rule priorities.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ActiveDatabase
+
+
+def banner(title):
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main():
+    db = ActiveDatabase()
+
+    banner("1. Schema — the paper's running example")
+    db.execute(
+        "create table emp (name varchar, emp_no integer, salary float, "
+        "dept_no integer)"
+    )
+    db.execute("create table dept (dept_no integer, mgr_no integer)")
+    print("created emp(name, emp_no, salary, dept_no)")
+    print("created dept(dept_no, mgr_no)")
+
+    banner("2. A rule: cascaded delete (paper Example 3.1)")
+    rule = db.execute("""
+        create rule cascade_delete
+        when deleted from dept
+        then delete from emp
+             where dept_no in (select dept_no from deleted dept)
+    """)
+    print(rule.to_sql())
+
+    db.execute("insert into dept values (1, 100), (2, 200), (3, 300)")
+    db.execute("""
+        insert into emp values
+            ('Jane', 100, 90000, 1), ('Mary', 101, 70000, 1),
+            ('Bill', 200, 40000, 2),
+            ('Sam',  300, 50000, 3), ('Sue', 301, 55000, 3)
+    """)
+    print("\nloaded", db.query("select count(*) from emp").scalar(),
+          "employees in",
+          db.query("select count(*) from dept").scalar(), "departments")
+
+    banner("3. Set-oriented execution: one firing, many tuples")
+    result = db.execute("delete from dept where dept_no in (1, 3)")
+    print("deleted departments 1 and 3 in one operation block")
+    print("transition trace:")
+    print(result.describe())
+    print("\nthe rule fired", result.rule_firings,
+          "time(s) and removed every employee of BOTH departments:")
+    for name, dept in db.rows("select name, dept_no from emp"):
+        print(f"  remaining: {name} (dept {dept})")
+
+    banner("4. Conditions over old/new transition tables (Example 3.2 style)")
+    db.execute("""
+        create rule raise_watchdog
+        when updated emp.salary
+        if (select sum(salary) from new updated emp.salary) >
+           1.5 * (select sum(salary) from old updated emp.salary)
+        then update emp set salary = 1.5 * (select salary
+                                            from old updated emp.salary
+                                            where emp_no = emp.emp_no)
+             where emp_no in (select emp_no from new updated emp.salary)
+    """)
+    print("rule raise_watchdog caps any batch raise at +50%")
+    db.execute("update emp set salary = salary * 2 where dept_no = 2")
+    for name, salary in db.rows("select name, salary from emp where dept_no = 2"):
+        print(f"  {name}: salary after capped raise = {salary:.0f}")
+
+    banner("5. Rollback rules: vetoing a whole transaction")
+    db.execute("""
+        create rule no_negative_salary
+        when inserted into emp or updated emp.salary
+        if exists (select * from emp where salary < 0)
+        then rollback
+    """)
+    result = db.execute("insert into emp values ('Evil', 999, -1, 2)")
+    print("insert of a negative salary ->",
+          "ROLLED BACK by" if result.rolled_back else "committed",
+          result.rolled_back_by or "")
+    print("employee count unchanged:",
+          db.query("select count(*) from emp").scalar())
+
+    banner("6. Rule priorities (Section 4.4)")
+    db.execute("""
+        create rule audit_new_hires
+        when inserted into emp
+        then update emp set salary = salary  -- no-op, audit placeholder
+             where emp_no in (select emp_no from inserted emp)
+    """)
+    db.execute("create rule priority no_negative_salary before audit_new_hires")
+    print("declared: no_negative_salary runs before audit_new_hires")
+    print("rules defined:", ", ".join(db.rule_names()))
+
+    banner("Done")
+    print("Next: examples/referential_integrity.py — the constraint facility")
+    print("      examples/salary_policies.py       — the paper's examples 4.x")
+    print("      examples/derived_data.py          — materialized aggregates")
+    print("      examples/audit_trail.py           — §5 extensions in action")
+
+
+if __name__ == "__main__":
+    main()

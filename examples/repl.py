@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""An interactive shell for the active database.
+
+A small REPL over :class:`repro.ActiveDatabase` — type SQL statements
+(tables, rules, priorities, operation blocks, queries) and see results,
+transition traces, and rule-analysis warnings as you go. Useful for
+exploring the paper's semantics by hand.
+
+Meta commands:
+
+    \\rules            list defined rules (with their SQL)
+    \\analyze          run static analysis (§6 loop/conflict warnings)
+    \\trace on|off     toggle printing of transition traces
+    \\tables           list tables with row counts
+    \\demo             load the paper's emp/dept schema and Example 3.1
+    \\help             this text
+    \\quit             exit
+
+Run:  python examples/repl.py            (interactive)
+      python examples/repl.py --script   (runs the built-in demo script)
+"""
+
+import sys
+
+from repro import ActiveDatabase, ReproError
+from repro.analysis import analyze
+from repro.core.trace import TransactionResult
+from repro.relational.select import SelectResult
+
+
+DEMO_STATEMENTS = [
+    "create table emp (name varchar, emp_no integer, salary float, "
+    "dept_no integer)",
+    "create table dept (dept_no integer, mgr_no integer)",
+    "insert into dept values (1, 100), (2, 200)",
+    "insert into emp values ('Jane', 100, 90000, 1), "
+    "('Bill', 101, 40000, 1), ('Mary', 200, 70000, 2)",
+    "create rule cascade_delete when deleted from dept "
+    "then delete from emp "
+    "where dept_no in (select dept_no from deleted dept)",
+]
+
+
+class Repl:
+    """One interactive session."""
+
+    def __init__(self, out=sys.stdout):
+        self.db = ActiveDatabase()
+        self.show_trace = True
+        self.out = out
+
+    def println(self, text=""):
+        print(text, file=self.out)
+
+    # ------------------------------------------------------------------
+
+    def handle(self, line):
+        """Process one input line; returns False when the session ends."""
+        line = line.strip()
+        if not line:
+            return True
+        if line.startswith("\\"):
+            return self._meta(line)
+        try:
+            self._statement(line)
+        except ReproError as error:
+            self.println(f"error: {error}")
+        except Exception as error:  # surface, keep the session alive
+            self.println(f"unexpected error: {error!r}")
+        return True
+
+    def _statement(self, line):
+        stripped = line.lower().lstrip()
+        if stripped.startswith("select"):
+            result = self.db.query(line)
+            self._print_result(result)
+            return
+        outcome = self.db.execute(line)
+        if isinstance(outcome, TransactionResult):
+            if self.show_trace:
+                self.println(outcome.describe())
+            elif outcome.rolled_back:
+                self.println(f"rolled back by {outcome.rolled_back_by}")
+            else:
+                self.println("committed")
+        elif outcome is not None and hasattr(outcome, "to_sql"):
+            self.println(f"defined rule {outcome.name}")
+            warnings = analyze(self.db.catalog)
+            for warning in warnings.loops:
+                self.println("warning: " + warning.describe())
+        else:
+            self.println("ok")
+
+    def _print_result(self, result):
+        if not isinstance(result, SelectResult):
+            self.println(repr(result))
+            return
+        widths = [
+            max(
+                len(str(name)),
+                *(len(str(row[i])) for row in result.rows),
+            )
+            if result.rows
+            else len(str(name))
+            for i, name in enumerate(result.columns)
+        ]
+        header = " | ".join(
+            str(name).ljust(width)
+            for name, width in zip(result.columns, widths)
+        )
+        self.println(header)
+        self.println("-+-".join("-" * width for width in widths))
+        for row in result.rows:
+            self.println(
+                " | ".join(
+                    str(value).ljust(width)
+                    for value, width in zip(row, widths)
+                )
+            )
+        self.println(f"({len(result.rows)} row(s))")
+
+    # ------------------------------------------------------------------
+
+    def _meta(self, line):
+        command, _, argument = line.partition(" ")
+        command = command.lower()
+        if command in ("\\quit", "\\q", "\\exit"):
+            return False
+        if command == "\\help":
+            self.println(__doc__)
+        elif command == "\\rules":
+            if not self.db.rule_names():
+                self.println("(no rules)")
+            for name in self.db.rule_names():
+                self.println(self.db.catalog.rule(name).to_sql())
+                self.println()
+        elif command == "\\analyze":
+            self.println(analyze(self.db.catalog).describe())
+        elif command == "\\tables":
+            for name in self.db.database.table_names():
+                count = self.db.database.row_count(name)
+                self.println(f"{name}: {count} row(s)")
+        elif command == "\\trace":
+            self.show_trace = argument.strip().lower() != "off"
+            self.println(f"trace {'on' if self.show_trace else 'off'}")
+        elif command == "\\demo":
+            for statement in DEMO_STATEMENTS:
+                self.println(f">> {statement}")
+                self._statement(statement)
+            self.println("demo loaded; try: delete from dept where dept_no = 1")
+        else:
+            self.println(f"unknown command {command!r}; try \\help")
+        return True
+
+
+def main():
+    repl = Repl()
+    if "--script" in sys.argv:
+        script = DEMO_STATEMENTS + [
+            "delete from dept where dept_no = 1",
+            "select name, dept_no from emp",
+            "\\analyze",
+            "\\tables",
+        ]
+        for line in script:
+            print(f"repro> {line}")
+            repl.handle(line)
+        return
+    print("repro — set-oriented production rules shell (\\help for help)")
+    while True:
+        try:
+            line = input("repro> ")
+        except (EOFError, KeyboardInterrupt):
+            print()
+            break
+        if not repl.handle(line):
+            break
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The environment has no ``wheel`` package (offline), so PEP 517 editable
+installs cannot build; ``pip install -e . --no-build-isolation`` falls
+back to this classic ``setup.py develop`` path. All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

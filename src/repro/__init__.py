@@ -1,0 +1,94 @@
+"""repro — Set-Oriented Production Rules in Relational Database Systems.
+
+A complete, from-scratch reproduction of Widom & Finkelstein (SIGMOD
+1990): a relational database engine extended with set-oriented production
+rules — rules triggered by *sets* of changes (transition effects) that may
+perform *sets* of changes, with the paper's exact execution semantics.
+
+Quickstart::
+
+    from repro import ActiveDatabase
+
+    db = ActiveDatabase()
+    db.execute("create table dept (dept_no integer, mgr_no integer)")
+    db.execute("create table emp (name varchar, emp_no integer, "
+               "salary float, dept_no integer)")
+    db.execute('''
+        create rule cascade_delete
+        when deleted from dept
+        then delete from emp
+             where dept_no in (select dept_no from deleted dept)
+    ''')
+    db.execute("insert into dept values (1, 100)")
+    db.execute("insert into emp values ('Jane', 100, 50000, 1)")
+    db.execute("delete from dept where dept_no = 1")
+    assert db.rows("select * from emp") == []   # cascaded
+"""
+
+from .core.engine import RuleEngine
+from .core.effects import TransitionEffect
+from .core.rules import Rule, RuleCatalog
+from .core.selection import (
+    CreationOrder,
+    LeastRecentlyConsidered,
+    MostRecentlyConsidered,
+    PriorityOrder,
+    TotalOrder,
+)
+from .core.trace import TransactionResult
+from .core.transition_log import TransInfo
+from .errors import (
+    CatalogError,
+    ConstraintError,
+    DuplicateRuleError,
+    ExecutionError,
+    InvalidRuleError,
+    LexError,
+    ParseError,
+    PriorityCycleError,
+    ReproError,
+    RuleError,
+    RuleLoopError,
+    SqlError,
+    TransactionError,
+    UnknownRuleError,
+)
+from .persistence import PersistenceError, dump, load
+from .relational.database import Database
+from .system import ActiveDatabase
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActiveDatabase",
+    "CatalogError",
+    "ConstraintError",
+    "CreationOrder",
+    "Database",
+    "DuplicateRuleError",
+    "ExecutionError",
+    "InvalidRuleError",
+    "LeastRecentlyConsidered",
+    "LexError",
+    "MostRecentlyConsidered",
+    "ParseError",
+    "PersistenceError",
+    "PriorityCycleError",
+    "PriorityOrder",
+    "ReproError",
+    "Rule",
+    "RuleCatalog",
+    "RuleEngine",
+    "RuleError",
+    "RuleLoopError",
+    "SqlError",
+    "TotalOrder",
+    "TransInfo",
+    "TransactionError",
+    "TransactionResult",
+    "TransitionEffect",
+    "UnknownRuleError",
+    "__version__",
+    "dump",
+    "load",
+]

@@ -1,0 +1,131 @@
+"""Ordering-conflict (confluence) warnings (paper §6).
+
+"...knowing that ordering between certain rules may affect the final
+database state."
+
+Two rules *conflict* when (1) a single transition can trigger both —
+their transition predicates overlap; (2) no priority pairing orders them
+— the selection strategy's tie-break, not the programmer, decides who
+goes first; and (3) their actions interfere — one writes data the other
+reads or writes, so firing order can change the final state.
+
+Like the loop check, this is conservative and syntactic: it may warn
+about rule pairs that happen to commute at run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sql import ast
+from .graph import action_provides
+
+
+@dataclass(frozen=True)
+class ConflictWarning:
+    """Rules ``first``/``second`` are mutually triggerable, unordered, and
+    interfere on ``tables`` — execution order may affect the final state."""
+
+    first: str
+    second: str
+    tables: tuple
+
+    def describe(self):
+        tables = ", ".join(self.tables)
+        return (
+            f"rules {self.first!r} and {self.second!r} may trigger on the "
+            f"same transition, are not ordered by any priority, and both "
+            f"touch {{{tables}}}; their relative order may affect the final "
+            "database state (consider 'create rule priority ... before ...')"
+        )
+
+
+def predicates_overlap(first, second):
+    """Can one transition trigger both rules?
+
+    True when some basic predicate of each watches the same table with a
+    compatible kind (updated t overlaps updated t.c; inserted/deleted/
+    updated are all satisfiable by one transition on one table, but they
+    need the *same* operation kind to come from a single basic change —
+    however a block may mix operations, so any same-table pair overlaps).
+    """
+    tables_first = {predicate.table for predicate in first.predicates}
+    tables_second = {predicate.table for predicate in second.predicates}
+    return bool(tables_first & tables_second)
+
+
+def rule_reads(rule):
+    """Tables the rule's condition and action read: base tables of every
+    nested select, transition-table base tables, and the target tables of
+    delete/update operations (which scan their target to find qualifying
+    tuples)."""
+    read = set()
+    nodes = []
+    if rule.condition is not None:
+        nodes.append(rule.condition)
+    if isinstance(rule.action, ast.OperationBlock):
+        nodes.append(rule.action)
+        for operation in rule.action.operations:
+            if isinstance(operation, (ast.Delete, ast.Update)):
+                read.add(operation.table)
+    for node in nodes:
+        for select in ast.iter_selects(node):
+            for table_ref in select.tables:
+                if isinstance(table_ref, ast.BaseTableRef):
+                    read.add(table_ref.table)
+                elif isinstance(table_ref, ast.TransitionTableRef):
+                    read.add(table_ref.table)
+    return read
+
+
+def rule_writes(rule):
+    """Tables the rule's action writes (None = opaque external action)."""
+    provided = action_provides(rule)
+    if provided is None:
+        return None
+    return {
+        effect.table
+        for effect in provided
+        if effect.kind in ("inserted", "deleted", "updated")
+    }
+
+
+def actions_interfere(first, second, all_tables=None):
+    """Do the two rules' actions interfere (write/read or write/write)?
+
+    Returns the set of tables they interfere on (possibly empty). Opaque
+    external actions interfere on every table (``all_tables`` or a
+    ``{'<any>'}`` marker).
+    """
+    writes_first = rule_writes(first)
+    writes_second = rule_writes(second)
+    reads_first = rule_reads(first)
+    reads_second = rule_reads(second)
+    if writes_first is None or writes_second is None:
+        return set(all_tables) if all_tables else {"<any>"}
+    interference = set()
+    interference |= writes_first & (reads_second | writes_second)
+    interference |= writes_second & (reads_first | writes_first)
+    return interference
+
+
+def find_ordering_conflicts(catalog):
+    """All unordered, mutually-triggerable, interfering rule pairs."""
+    warnings = []
+    rules = catalog.rules()
+    for i, first in enumerate(rules):
+        for second in rules[i + 1:]:
+            if not predicates_overlap(first, second):
+                continue
+            if catalog.precedes(first.name, second.name) or catalog.precedes(
+                second.name, first.name
+            ):
+                continue
+            tables = actions_interfere(first, second)
+            if tables:
+                warnings.append(
+                    ConflictWarning(
+                        first.name, second.name, tuple(sorted(tables))
+                    )
+                )
+    return warnings

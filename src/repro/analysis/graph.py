@@ -1,0 +1,165 @@
+"""Triggering graph construction for static rule analysis (paper §6).
+
+"The programmer might benefit from knowing that a set of rules may create
+an infinite loop, or from knowing that ordering between certain rules may
+affect the final database state. We plan to explore static rule analysis
+techniques..."
+
+The triggering graph has one node per rule and an edge R1 → R2 whenever
+execution of R1's action *may* produce a transition effect satisfying one
+of R2's basic transition predicates. The analysis is conservative
+(syntactic): an update's WHERE clause might select nothing at run time,
+but the edge is drawn anyway. Rules with external (Python) actions are
+opaque: they may perform any operation, so they get edges to every rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sql import ast
+
+
+@dataclass(frozen=True)
+class ProvidedEffect:
+    """One kind of change a rule action can make: ('inserted'|'deleted'|
+    'updated'|'selected', table, column-or-None)."""
+
+    kind: str
+    table: str
+    column: str = None
+
+
+def action_provides(rule):
+    """The set of :class:`ProvidedEffect` a rule's action can produce.
+
+    Returns ``None`` for opaque (external) actions, meaning "anything".
+    Rollback actions provide nothing (the transaction ends).
+    """
+    action = rule.action
+    if isinstance(action, ast.RollbackAction):
+        return frozenset()
+    if not isinstance(action, ast.OperationBlock):
+        return None  # external action: opaque
+    provided = set()
+    for operation in action.operations:
+        if isinstance(operation, (ast.InsertValues, ast.InsertSelect)):
+            provided.add(ProvidedEffect("inserted", operation.table))
+        elif isinstance(operation, ast.Delete):
+            provided.add(ProvidedEffect("deleted", operation.table))
+        elif isinstance(operation, ast.Update):
+            for assignment in operation.assignments:
+                provided.add(
+                    ProvidedEffect("updated", operation.table, assignment.column)
+                )
+        elif isinstance(operation, ast.SelectOperation):
+            for table_ref in operation.select.tables:
+                if isinstance(table_ref, ast.BaseTableRef):
+                    provided.add(ProvidedEffect("selected", table_ref.table))
+    return frozenset(provided)
+
+
+def effect_matches_predicate(effect, predicate):
+    """Can a provided effect satisfy a basic transition predicate?"""
+    kind = predicate.kind
+    if kind is ast.TransitionPredicateKind.INSERTED:
+        return effect.kind == "inserted" and effect.table == predicate.table
+    if kind is ast.TransitionPredicateKind.DELETED:
+        return effect.kind == "deleted" and effect.table == predicate.table
+    if kind is ast.TransitionPredicateKind.UPDATED:
+        if effect.kind != "updated" or effect.table != predicate.table:
+            return False
+        return predicate.column is None or predicate.column == effect.column
+    if kind is ast.TransitionPredicateKind.SELECTED:
+        if effect.kind != "selected" or effect.table != predicate.table:
+            return False
+        return predicate.column is None or effect.column in (None, predicate.column)
+    return False
+
+
+def may_trigger(provider, consumer):
+    """May execution of ``provider``'s action trigger ``consumer``?"""
+    provided = action_provides(provider)
+    if provided is None:
+        return True  # opaque external action
+    return any(
+        effect_matches_predicate(effect, predicate)
+        for effect in provided
+        for predicate in consumer.predicates
+    )
+
+
+class TriggeringGraph:
+    """The rule triggering graph: ``successors[r]`` = rules r may trigger."""
+
+    def __init__(self, rules):
+        self.rules = list(rules)
+        self.successors = {}
+        for provider in self.rules:
+            self.successors[provider.name] = [
+                consumer.name
+                for consumer in self.rules
+                if may_trigger(provider, consumer)
+            ]
+
+    @classmethod
+    def from_catalog(cls, catalog):
+        return cls(catalog.rules())
+
+    def edges(self):
+        """All (provider, consumer) edges."""
+        return [
+            (provider, consumer)
+            for provider, consumers in self.successors.items()
+            for consumer in consumers
+        ]
+
+    def has_edge(self, provider, consumer):
+        return consumer in self.successors.get(provider, ())
+
+    def strongly_connected_components(self):
+        """Tarjan's algorithm; returns a list of components (name lists),
+        in reverse topological order."""
+        index_counter = [0]
+        stack = []
+        lowlink = {}
+        index = {}
+        on_stack = set()
+        components = []
+
+        def strongconnect(node):
+            index[node] = index_counter[0]
+            lowlink[node] = index_counter[0]
+            index_counter[0] += 1
+            stack.append(node)
+            on_stack.add(node)
+            for successor in self.successors.get(node, ()):
+                if successor not in index:
+                    strongconnect(successor)
+                    lowlink[node] = min(lowlink[node], lowlink[successor])
+                elif successor in on_stack:
+                    lowlink[node] = min(lowlink[node], index[successor])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    successor = stack.pop()
+                    on_stack.discard(successor)
+                    component.append(successor)
+                    if successor == node:
+                        break
+                components.append(component)
+
+        for rule in self.rules:
+            if rule.name not in index:
+                strongconnect(rule.name)
+        return components
+
+    def to_dot(self):
+        """Graphviz rendering of the triggering graph (for documentation)."""
+        lines = ["digraph triggering {"]
+        for rule in self.rules:
+            lines.append(f'  "{rule.name}";')
+        for provider, consumer in self.edges():
+            lines.append(f'  "{provider}" -> "{consumer}";')
+        lines.append("}")
+        return "\n".join(lines)

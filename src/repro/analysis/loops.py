@@ -1,0 +1,63 @@
+"""Potential-infinite-loop detection (paper §6 / footnote 7).
+
+A set of rules *may* loop forever when the triggering graph contains a
+cycle: R1 triggers R2 triggers ... triggers R1 (a self-loop being the
+1-cycle case the paper's §4.1 discusses). The check is conservative —
+cycles that converge at run time (like Example 4.1's recursive delete,
+which shrinks the database every round) are still reported, as the paper
+intends: "a facility that issues warnings of potential loops".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .graph import TriggeringGraph
+
+
+@dataclass(frozen=True)
+class LoopWarning:
+    """A potential infinite loop among ``rules`` (a triggering cycle)."""
+
+    rules: tuple
+
+    @property
+    def is_self_loop(self):
+        return len(self.rules) == 1
+
+    def describe(self):
+        if self.is_self_loop:
+            return (
+                f"rule {self.rules[0]!r} may trigger itself indefinitely "
+                "(see paper §4.1 / footnote 7)"
+            )
+        chain = " -> ".join(self.rules) + f" -> {self.rules[0]}"
+        return f"rules may trigger each other indefinitely: {chain}"
+
+
+def find_potential_loops(catalog):
+    """All potential triggering loops among the catalog's rules.
+
+    Returns a list of :class:`LoopWarning`, one per strongly connected
+    component that contains a cycle (multi-rule SCCs, plus single rules
+    with a self-edge).
+    """
+    graph = TriggeringGraph.from_catalog(catalog)
+    warnings = []
+    for component in graph.strongly_connected_components():
+        if len(component) > 1:
+            ordered = tuple(sorted(component))
+            warnings.append(LoopWarning(ordered))
+        else:
+            name = component[0]
+            if graph.has_edge(name, name):
+                warnings.append(LoopWarning((name,)))
+    return warnings
+
+
+def may_loop(catalog, rule_name):
+    """Does ``rule_name`` participate in any potential triggering loop?"""
+    return any(
+        rule_name in warning.rules
+        for warning in find_potential_loops(catalog)
+    )

@@ -1,0 +1,22 @@
+"""Comparison baselines for the paper's architectural claims.
+
+* :class:`InstanceOrientedEngine` — per-tuple rule execution (the prior
+  art the paper positions against in §1);
+* :class:`SnapshotEffectTracker` — whole-state snapshot/diff transition
+  tracking (the approach §4.3's incremental algorithm avoids).
+"""
+
+from .instance_rules import InstanceOrientedEngine, split_singletons
+from .snapshot_diff import (
+    SnapshotEffectTracker,
+    diff_snapshots,
+    take_snapshot,
+)
+
+__all__ = [
+    "InstanceOrientedEngine",
+    "SnapshotEffectTracker",
+    "diff_snapshots",
+    "split_singletons",
+    "take_snapshot",
+]

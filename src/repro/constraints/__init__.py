@@ -1,0 +1,43 @@
+"""High-level integrity constraints compiled to production rules.
+
+The paper's §6 (and its companion paper, Ceri & Widom VLDB 1990)
+describes a facility that translates declarative constraints into
+constraint-maintaining production rules; this package implements it over
+the core rule engine.
+
+Usage::
+
+    from repro import ActiveDatabase
+    from repro.constraints import (
+        ConstraintManager, NotNull, Unique, Check, ReferentialIntegrity,
+        AggregateBound,
+    )
+
+    db = ActiveDatabase()
+    ...
+    manager = ConstraintManager(db)
+    manager.install(Check("emp", "salary >= 0"))
+"""
+
+from .compiler import GeneratedRule, compile_constraint
+from .language import (
+    AggregateBound,
+    Assertion,
+    Check,
+    NotNull,
+    ReferentialIntegrity,
+    Unique,
+)
+from .manager import ConstraintManager
+
+__all__ = [
+    "AggregateBound",
+    "Assertion",
+    "Check",
+    "ConstraintManager",
+    "GeneratedRule",
+    "NotNull",
+    "ReferentialIntegrity",
+    "Unique",
+    "compile_constraint",
+]

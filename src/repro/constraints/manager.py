@@ -1,0 +1,81 @@
+"""Installation and lifecycle of compiled constraints.
+
+The manager keeps track of which generated rules belong to which
+constraint so constraints can be dropped as a unit.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConstraintError
+from .compiler import compile_constraint
+
+
+class ConstraintManager:
+    """Installs high-level constraints onto an :class:`ActiveDatabase`.
+
+    Usage::
+
+        manager = ConstraintManager(db)
+        manager.install(NotNull("emp", "name"))
+        manager.install(ReferentialIntegrity(
+            "emp", "dept_no", "dept", "dept_no",
+            on_parent_delete="cascade",
+        ))
+    """
+
+    def __init__(self, db):
+        self.db = db
+        self._installed = {}  # constraint name -> (constraint, [rule names])
+
+    def install(self, constraint):
+        """Compile and define the constraint's rules; returns their names.
+
+        Raises:
+            ConstraintError: if a constraint with the same name is already
+                installed (or compilation fails).
+        """
+        if constraint.name in self._installed:
+            raise ConstraintError(
+                f"constraint {constraint.name!r} is already installed"
+            )
+        generated = compile_constraint(constraint)
+        defined = []
+        try:
+            for rule in generated:
+                self.db.execute(rule.sql)
+                defined.append(rule.name)
+        except Exception:
+            # leave no partial constraint behind
+            for name in defined:
+                self.db.execute(f"drop rule {name}")
+            raise
+        self._installed[constraint.name] = (constraint, defined)
+        return list(defined)
+
+    def drop(self, constraint_or_name):
+        """Remove a constraint and all its generated rules."""
+        name = getattr(constraint_or_name, "name", constraint_or_name)
+        entry = self._installed.pop(name, None)
+        if entry is None:
+            raise ConstraintError(f"constraint {name!r} is not installed")
+        _, rule_names = entry
+        for rule_name in rule_names:
+            if self.db.catalog.has_rule(rule_name):
+                self.db.execute(f"drop rule {rule_name}")
+
+    def installed(self):
+        """Names of installed constraints."""
+        return list(self._installed)
+
+    def rules_of(self, constraint_or_name):
+        """The generated rule names of one installed constraint."""
+        name = getattr(constraint_or_name, "name", constraint_or_name)
+        entry = self._installed.get(name)
+        if entry is None:
+            raise ConstraintError(f"constraint {name!r} is not installed")
+        return list(entry[1])
+
+    def generated_sql(self, constraint):
+        """The ``create rule`` text a constraint would compile to (for
+        inspection — the "semi-automatic" review step)."""
+        return [rule.sql for rule in compile_constraint(constraint)]

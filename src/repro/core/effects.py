@@ -1,0 +1,174 @@
+"""Transition effects and their composition (paper Section 2.2).
+
+The *effect* of a transition is a triple ``[I, D, U]``:
+
+* ``I`` — handles of tuples inserted by the transition (and not
+  subsequently deleted within it);
+* ``D`` — handles of tuples deleted by the transition that existed before
+  it began;
+* ``U`` — (handle, column) pairs for tuples updated by the transition
+  that existed before it and were not subsequently deleted.
+
+Because the triple represents the *net* effect, a handle appears in at
+most one of the three sets. Definition 2.1 gives the composition
+operator ``⊕`` for treating two consecutive transitions as one:
+
+* ``I = (I1 ∪ I2) − D2``
+* ``D = (D1 ∪ D2) − I1``
+* ``U = (U1 ∪ U2) − (D2 ∪ I1)`` — with the set difference applied
+  handle-wise to the (handle, column) pairs.
+
+With the Section 5.1 extension enabled, effects also carry an ``S``
+component of (handle, column) pairs for retrieved data. The paper leaves
+``S``'s composition open; we adopt ``S = (S1 ∪ S2) − D2`` (a read of a
+tuple later deleted within the same composite is dropped, reads of
+freshly inserted tuples are kept) and record the choice in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..relational.dml import (
+    DeleteEffect,
+    InsertEffect,
+    SelectEffect,
+    UpdateEffect,
+)
+
+_EMPTY = frozenset()
+
+
+@dataclass(frozen=True)
+class TransitionEffect:
+    """The net effect of a transition: the paper's ``[I, D, U]`` triple
+    (plus the optional §5.1 ``S`` component).
+
+    ``inserted``/``deleted`` are frozensets of handles;
+    ``updated``/``selected`` are frozensets of (handle, column) pairs.
+    """
+
+    inserted: frozenset = _EMPTY
+    deleted: frozenset = _EMPTY
+    updated: frozenset = _EMPTY
+    selected: frozenset = _EMPTY
+
+    def __post_init__(self):
+        object.__setattr__(self, "inserted", frozenset(self.inserted))
+        object.__setattr__(self, "deleted", frozenset(self.deleted))
+        object.__setattr__(self, "updated", frozenset(self.updated))
+        object.__setattr__(self, "selected", frozenset(self.selected))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def updated_handles(self):
+        """The distinct handles appearing in ``U``."""
+        return frozenset(handle for handle, _ in self.updated)
+
+    def is_empty(self):
+        """True when all components are empty (no rule can be triggered —
+        §4.2: "If all three sets in E1 are empty, then no rules can be
+        triggered and step 2 is trivial")."""
+        return not (self.inserted or self.deleted or self.updated or self.selected)
+
+    def is_well_formed(self):
+        """Check the net-effect invariant: a handle appears in at most one
+        of I, D, U (the paper's observation after Definition 2.1)."""
+        updated_handles = self.updated_handles
+        return (
+            self.inserted.isdisjoint(self.deleted)
+            and self.inserted.isdisjoint(updated_handles)
+            and self.deleted.isdisjoint(updated_handles)
+        )
+
+    # ------------------------------------------------------------------
+
+    def compose(self, other):
+        """Definition 2.1: the effect of this transition followed by
+        ``other``, treated as a single indivisible transition."""
+        inserted = (self.inserted | other.inserted) - other.deleted
+        deleted = (self.deleted | other.deleted) - self.inserted
+        dead_or_new = other.deleted | self.inserted
+        updated = frozenset(
+            pair
+            for pair in (self.updated | other.updated)
+            if pair[0] not in dead_or_new
+        )
+        selected = frozenset(
+            pair
+            for pair in (self.selected | other.selected)
+            if pair[0] not in other.deleted
+        )
+        return TransitionEffect(inserted, deleted, updated, selected)
+
+    def __or__(self, other):
+        """``e1 | e2`` is shorthand for ``e1.compose(e2)``."""
+        return self.compose(other)
+
+    # ------------------------------------------------------------------
+    # construction from executed operations
+
+    @classmethod
+    def empty(cls):
+        return _EMPTY_EFFECT
+
+    @classmethod
+    def from_op_effect(cls, op_effect):
+        """The base-case effect of a single operation (paper §2.2):
+
+        * insert op → ``[A(op), ∅, ∅]``
+        * delete op → ``[∅, A(op), ∅]``
+        * update op → ``[∅, ∅, A(op)]``
+        """
+        if isinstance(op_effect, InsertEffect):
+            return cls(inserted=frozenset(op_effect.handles))
+        if isinstance(op_effect, DeleteEffect):
+            return cls(
+                deleted=frozenset(handle for handle, _ in op_effect.entries)
+            )
+        if isinstance(op_effect, UpdateEffect):
+            pairs = frozenset(
+                (handle, column)
+                for handle, _ in op_effect.entries
+                for column in op_effect.columns
+            )
+            return cls(updated=pairs)
+        if isinstance(op_effect, SelectEffect):
+            pairs = frozenset(
+                (handle, column)
+                for _, handle, columns in op_effect.entries
+                for column in columns
+            )
+            return cls(selected=pairs)
+        raise TypeError(f"unknown operation effect {type(op_effect).__name__}")
+
+    @classmethod
+    def from_op_effects(cls, op_effects):
+        """``E(B) = E(op1) ⊕ E(op2) ⊕ ... ⊕ E(opn)`` for a whole block."""
+        effect = _EMPTY_EFFECT
+        for op_effect in op_effects:
+            effect = effect.compose(cls.from_op_effect(op_effect))
+        return effect
+
+    # ------------------------------------------------------------------
+
+    def summary(self):
+        """Compact human-readable description, for traces and logs."""
+        return (
+            f"[I:{len(self.inserted)} D:{len(self.deleted)} "
+            f"U:{len(self.updated)}"
+            + (f" S:{len(self.selected)}" if self.selected else "")
+            + "]"
+        )
+
+
+_EMPTY_EFFECT = TransitionEffect()
+
+
+def compose_all(effects):
+    """Fold ``⊕`` over a sequence of effects (associative, Definition 2.1)."""
+    result = _EMPTY_EFFECT
+    for effect in effects:
+        result = result.compose(effect)
+    return result

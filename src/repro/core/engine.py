@@ -1,0 +1,478 @@
+"""The rule execution engine (paper Section 4 and Figure 1).
+
+The engine realizes the paper's model of system execution:
+
+1. An externally-generated operation block executes, creating a
+   transition (one block per transaction in the default, §4 model).
+2. Rules are repeatedly considered and executed — each execution creating
+   a further transition — until no triggered rule has a true condition,
+   or a ``rollback`` action aborts the transaction.
+3. The transaction commits.
+
+Per Figure 1, each rule carries composite transition information
+(:class:`~repro.core.transition_log.TransInfo`) starting from the state
+in which its action last executed (or the transaction start): after a
+rule R fires, R's trans-info is re-initialized from R's own transition
+while every other rule's trans-info composes the new transition in
+(``modify-trans-info``). Rule triggering, condition evaluation and
+action execution all read that per-rule information, which is exactly
+how the §4.2 semantics ("composite effects") becomes implementable
+without storing full past states.
+
+The §5.3 extension (user-defined rule triggering points) is available
+through the manual transaction API: :meth:`begin` /
+:meth:`execute_block` / :meth:`assert_rules` / :meth:`commit`.
+"""
+
+from __future__ import annotations
+
+from ..errors import (
+    ExecutionError,
+    RollbackRequested,
+    RuleLoopError,
+    TransactionError,
+)
+from ..relational.database import Database
+from ..relational.dml import DmlExecutor
+from ..relational.expressions import Evaluator, Scope
+from ..relational.select import BaseTableResolver, evaluate_select
+from ..sql import ast, parse_statement
+from ..sql.parser import parse_select, parse_transition_predicates
+from .effects import TransitionEffect
+from .external import ExternalAction, ExternalActionContext
+from .predicates import transition_predicate_satisfied
+from .rules import RuleCatalog
+from .selection import default_strategy
+from .trace import ConsiderationRecord, TransactionResult, TransitionRecord
+from .transition_log import TransInfo
+from .transition_tables import TransitionTableResolver
+
+
+class RuleEngine:
+    """Executes operation blocks with set-oriented production rules.
+
+    Args:
+        database: the :class:`~repro.relational.database.Database` to run
+            against (a fresh one is created when omitted).
+        catalog: a :class:`~repro.core.rules.RuleCatalog` (fresh if omitted).
+        strategy: a rule :class:`~repro.core.selection.SelectionStrategy`;
+            defaults to the paper's priority partial order.
+        max_rule_transitions: per-transaction budget of rule-generated
+            transitions; exceeding it rolls the transaction back and
+            raises :class:`~repro.errors.RuleLoopError` (the deterministic
+            equivalent of footnote 7's timeout suggestion).
+        track_selects: enable the §5.1 extension (``selected`` transition
+            predicates and the S effect component).
+        record_seen: capture, per rule firing, what the rule's transition
+            tables contained (needed to assert the paper's example
+            narratives; small overhead — disable for benchmarks).
+    """
+
+    def __init__(self, database=None, catalog=None, strategy=None,
+                 max_rule_transitions=10000, track_selects=False,
+                 record_seen=True):
+        self.database = database if database is not None else Database()
+        self.catalog = catalog if catalog is not None else RuleCatalog()
+        self.strategy = strategy if strategy is not None else default_strategy()
+        self.max_rule_transitions = max_rule_transitions
+        self.track_selects = track_selects
+        self.record_seen = record_seen
+
+        self._info = {}            # rule name -> TransInfo (during a txn)
+        self._considered_at = {}   # rule name -> logical consideration time
+        self._clock = 0
+        self._transition_index = 0
+        self._result = None        # TransactionResult of the open txn
+        self._base_resolver = BaseTableResolver(self.database)
+
+    # ------------------------------------------------------------------
+    # rule definition
+
+    def define_rule(self, definition, reset_policy="execution"):
+        """Define a rule from a ``create rule`` statement (text or AST).
+
+        ``reset_policy`` selects the footnote-8 re-triggering baseline:
+        ``"execution"`` (the paper's primary semantics, default),
+        ``"consideration"``, or ``"triggering"`` ([WF89b]).
+        """
+        if isinstance(definition, str):
+            definition = parse_statement(definition)
+        if not isinstance(definition, ast.CreateRule):
+            raise ExecutionError(
+                "define_rule expects a 'create rule' statement, got "
+                f"{type(definition).__name__}"
+            )
+        rule = self.catalog.create_rule_from_ast(definition, reset_policy)
+        self._register_rule(rule)
+        return rule
+
+    def define_external_rule(self, name, when, procedure, condition=None,
+                             description=None, reset_policy="execution"):
+        """Define a rule whose action is a Python procedure (§5.2).
+
+        Args:
+            name: rule name.
+            when: transition-predicate text, e.g.
+                ``"inserted into emp or updated emp.salary"``.
+            procedure: ``callable(context)`` — see
+                :class:`~repro.core.external.ExternalActionContext`.
+            condition: optional SQL condition text (may reference the
+                rule's transition tables).
+            description: human-readable label for the procedure.
+        """
+        predicates = parse_transition_predicates(when)
+        condition_ast = None
+        if condition is not None:
+            from ..sql.parser import parse_expression
+
+            condition_ast = parse_expression(condition)
+        action = ExternalAction(procedure, description)
+        rule = self.catalog.create_rule(
+            name, predicates, condition_ast, action, reset_policy
+        )
+        self._register_rule(rule)
+        return rule
+
+    def drop_rule(self, name):
+        self.catalog.drop_rule(name)
+        self._info.pop(name, None)
+        self._considered_at.pop(name, None)
+
+    def add_priority(self, higher, lower):
+        """``create rule priority higher before lower`` (§4.4)."""
+        self.catalog.add_priority(higher, lower)
+
+    def _register_rule(self, rule):
+        # A rule defined mid-transaction starts with an empty baseline: it
+        # observes only transitions that occur after its definition.
+        if self.in_transaction:
+            self._info[rule.name] = TransInfo.empty()
+
+    # ------------------------------------------------------------------
+    # transactions
+
+    @property
+    def in_transaction(self):
+        return self.database.transactions.active
+
+    def begin(self):
+        """Start a transaction (manual mode, for §5.3 triggering points)."""
+        self.database.transactions.begin()
+        self._info = {rule.name: TransInfo.empty() for rule in self.catalog}
+        self._transition_index = 0
+        self._result = TransactionResult()
+
+    def commit(self):
+        """Process rules, then commit; returns the transaction's result."""
+        self._require_transaction()
+        result = self._result
+        try:
+            self._quiesce()
+        except RollbackRequested as request:
+            self._abort()
+            result.committed = False
+            result.rolled_back_by = request.rule_name
+            return result
+        except Exception:
+            self._abort()
+            raise
+        self.database.transactions.commit()
+        self._info = {}
+        self._result = None
+        result.committed = True
+        return result
+
+    def rollback(self):
+        """Explicitly roll back the open transaction."""
+        self._require_transaction()
+        result = self._result
+        self._abort()
+        result.committed = False
+        return result
+
+    def assert_rules(self):
+        """§5.3 rule triggering point: "the externally-generated transition
+        is considered complete, rules are processed, and a new transition
+        begins". Raises on rollback-by-rule like :meth:`commit`, but the
+        transaction stays open on quiescence."""
+        self._require_transaction()
+        try:
+            self._quiesce()
+        except RollbackRequested:
+            self._abort()
+            raise
+        except Exception:
+            self._abort()
+            raise
+
+    def execute_block(self, block):
+        """Execute an externally-generated operation block inside the open
+        transaction (no rule processing yet — that happens at the next
+        triggering point or at commit)."""
+        self._require_transaction()
+        if isinstance(block, str):
+            block = parse_statement(block)
+        if not isinstance(block, ast.OperationBlock):
+            raise ExecutionError(
+                f"expected an operation block, got {type(block).__name__}"
+            )
+        executor = DmlExecutor(
+            self.database, self._base_resolver, self.track_selects
+        )
+        savepoint = self.database.transactions.savepoint()
+        try:
+            effects = []
+            for operation in block.operations:
+                effect = executor.execute_operation(operation)
+                if isinstance(operation, ast.SelectOperation):
+                    self._result.select_results.append(
+                        executor.last_select_result
+                    )
+                if effect is not None:
+                    effects.append(effect)
+        except Exception:
+            # Operation blocks are indivisible (§2.1): a failing block
+            # leaves no partial effects behind.
+            self.database.transactions.rollback_to_savepoint(savepoint)
+            raise
+        self._transition_index += 1
+        self._result.transitions.append(
+            TransitionRecord(
+                self._transition_index,
+                "external",
+                TransitionEffect.from_op_effects(effects),
+            )
+        )
+        self._fold_transition_into_rules(effects)
+        return effects
+
+    def run_block(self, block):
+        """One whole §4 transaction: execute the external block, process
+        rules to quiescence, commit. Returns the
+        :class:`~repro.core.trace.TransactionResult`.
+        """
+        if self.in_transaction:
+            raise TransactionError(
+                "run_block cannot be used inside an explicit transaction; "
+                "use execute_block/assert_rules/commit"
+            )
+        self.begin()
+        try:
+            self.execute_block(block)
+        except Exception:
+            self._abort()
+            raise
+        return self.commit()
+
+    def _require_transaction(self):
+        if not self.in_transaction or self._result is None:
+            raise TransactionError("no transaction is active; call begin()")
+
+    def _abort(self):
+        if self.database.transactions.active:
+            self.database.transactions.rollback()
+        self._info = {}
+        self._result = None
+
+    # ------------------------------------------------------------------
+    # queries (read-only, outside rule processing)
+
+    def query(self, select):
+        """Evaluate a read-only select against the current state."""
+        if isinstance(select, str):
+            select = parse_select(select)
+        return evaluate_select(self.database, select, self._base_resolver)
+
+    # ------------------------------------------------------------------
+    # the rule processing loop (Figure 1)
+
+    def _quiesce(self):
+        """Repeatedly select and execute eligible rules until none remain.
+
+        One iteration = one consideration round over the currently
+        triggered rules in strategy order; the first rule whose condition
+        holds fires (Figure 1's ``select-eligible-rule``), its action
+        creates a transition, and triggering is re-derived from the
+        updated per-rule transition information.
+        """
+        result = self._result
+        rule_transitions = 0
+        while True:
+            triggered = [
+                rule
+                for rule in self.catalog
+                if rule.active
+                and transition_predicate_satisfied(
+                    rule.predicates, self._info[rule.name]
+                )
+            ]
+            ordered = self.strategy.order(
+                triggered, self.catalog, self._considered_at
+            )
+            fired = None
+            for rule in ordered:
+                self._clock += 1
+                self._considered_at[rule.name] = self._clock
+                condition_value = self._check_condition(rule)
+                if condition_value is True:
+                    fired = rule
+                    break
+                result.considered.append(
+                    ConsiderationRecord(
+                        self._transition_index, rule.name, condition_value
+                    )
+                )
+                if rule.reset_policy == "consideration":
+                    # footnote 8 alternative: the baseline moves to "the
+                    # most recent point at which it was chosen for
+                    # consideration" — a non-firing consideration consumes
+                    # the rule's accumulated transition information.
+                    self._info[rule.name] = TransInfo.empty()
+            if fired is None:
+                return
+
+            if fired.is_rollback:
+                raise RollbackRequested(fired.name)
+
+            rule_transitions += 1
+            if rule_transitions > self.max_rule_transitions:
+                raise RuleLoopError(self.max_rule_transitions, trace=result)
+
+            seen = self._snapshot_seen(fired) if self.record_seen else {}
+            effects = self._execute_rule_action(fired)
+            self._transition_index += 1
+            result.transitions.append(
+                TransitionRecord(
+                    self._transition_index,
+                    fired.name,
+                    TransitionEffect.from_op_effects(effects),
+                    seen=seen,
+                    condition_result=(
+                        True if fired.condition is not None else None
+                    ),
+                )
+            )
+
+            # Figure 1: the fired rule's trans-info restarts from its own
+            # transition; every other rule composes the transition in
+            # (subject to its footnote-8 reset policy).
+            new_info = TransInfo.from_op_effects(effects)
+            self._fold_transition_into_rules(effects, exclude=fired.name)
+            self._info[fired.name] = new_info
+
+    def _snapshot_seen(self, rule):
+        """Capture the contents of the rule's transition tables at firing
+        time (before the action runs), keyed by the table's SQL spelling —
+        e.g. ``"deleted emp"`` or ``"new updated emp.salary"``. Used by the
+        trace to reproduce the paper's example narratives."""
+        resolver = TransitionTableResolver(self.database, self._info[rule.name])
+        seen = {}
+
+        def capture(kind, table, column=None):
+            reference = ast.TransitionTableRef(kind, table, column)
+            _, rows = resolver.resolve(reference)
+            key = f"{kind.value} {table}"
+            if column:
+                key += f".{column}"
+            seen[key] = rows
+
+        for predicate in rule.predicates:
+            if predicate.kind is ast.TransitionPredicateKind.INSERTED:
+                capture(ast.TransitionKind.INSERTED, predicate.table)
+            elif predicate.kind is ast.TransitionPredicateKind.DELETED:
+                capture(ast.TransitionKind.DELETED, predicate.table)
+            elif predicate.kind is ast.TransitionPredicateKind.UPDATED:
+                capture(
+                    ast.TransitionKind.OLD_UPDATED,
+                    predicate.table,
+                    predicate.column,
+                )
+                capture(
+                    ast.TransitionKind.NEW_UPDATED,
+                    predicate.table,
+                    predicate.column,
+                )
+            elif predicate.kind is ast.TransitionPredicateKind.SELECTED:
+                capture(
+                    ast.TransitionKind.SELECTED,
+                    predicate.table,
+                    predicate.column,
+                )
+        return seen
+
+    def _fold_transition_into_rules(self, effects, exclude=None):
+        """Fold a transition's operation effects into every rule's
+        trans-info (Figure 1's modify-trans-info loop), honouring each
+        rule's footnote-8 reset policy: a "triggering"-policy rule that is
+        currently untriggered restarts its baseline at this transition —
+        the [WF89b] semantics of "the state preceding the most recent
+        triggering of the rule"."""
+        for name, info in self._info.items():
+            if name == exclude:
+                continue
+            rule = self.catalog.rule(name)
+            if rule.reset_policy == "triggering" and not (
+                transition_predicate_satisfied(rule.predicates, info)
+            ):
+                info = TransInfo.empty()
+                self._info[name] = info
+            info.apply_all(effects)
+
+    def _check_condition(self, rule):
+        """Evaluate the rule's condition against the current state and its
+        transition tables (None condition means ``if true``)."""
+        if rule.condition is None:
+            return True
+        resolver = TransitionTableResolver(
+            self.database, self._info[rule.name]
+        )
+        evaluator = Evaluator(self.database, resolver)
+        return evaluator.evaluate_predicate(rule.condition, Scope())
+
+    def _execute_rule_action(self, rule):
+        """Execute the rule's action; returns the operation effects.
+
+        A failure inside a rule action aborts the whole transaction (the
+        caller's exception handling does the rollback) — the paper's §5.2
+        notes error semantics would need extending; we pick the safe
+        interpretation.
+        """
+        resolver = TransitionTableResolver(self.database, self._info[rule.name])
+        executor = DmlExecutor(self.database, resolver, self.track_selects)
+        if rule.is_external:
+            context = ExternalActionContext(self, rule, executor)
+            rule.action.procedure(context)
+            return list(context.collected_effects)
+        effects = []
+        for operation in rule.action.operations:
+            effect = executor.execute_operation(operation)
+            if isinstance(operation, ast.SelectOperation):
+                # §5.1: "we might want the action part of a rule to include
+                # data retrieval; for example ... a rule that automatically
+                # delivers a summary of employee data whenever salaries are
+                # updated" — deliver the result via the transaction trace.
+                self._result.select_results.append(
+                    executor.last_select_result
+                )
+            if effect is not None:
+                effects.append(effect)
+        return effects
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    def transition_info(self, rule_name):
+        """The rule's current composite transition info (open txn only)."""
+        self._require_transaction()
+        return self._info[rule_name]
+
+    def triggered_rules(self):
+        """Names of rules currently triggered (open txn only)."""
+        self._require_transaction()
+        return [
+            rule.name
+            for rule in self.catalog
+            if transition_predicate_satisfied(
+                rule.predicates, self._info[rule.name]
+            )
+        ]

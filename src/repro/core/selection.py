@@ -1,0 +1,102 @@
+"""Rule selection strategies (paper Section 4.4).
+
+When several rules are triggered simultaneously, one must be chosen for
+consideration. The paper surveys the options; all are implemented here:
+
+* arbitrary (made deterministic: creation order);
+* total ordering (an explicit rule-name list);
+* **partial ordering via priority pairings** — the paper's preferred
+  compromise and our default: "a rule is chosen such that no other
+  triggered rule is strictly higher in the ordering";
+* recency-based: prefer rules considered least (or most) recently.
+
+A strategy orders the currently-triggered rule set for one consideration
+round; the engine walks that order evaluating conditions and fires the
+first rule whose condition holds (Figure 1's ``select-eligible-rule``).
+"""
+
+from __future__ import annotations
+
+from ..errors import RuleError
+
+
+class SelectionStrategy:
+    """Base class. Subclasses implement :meth:`order`."""
+
+    def order(self, triggered_rules, catalog, considered_at):
+        """Return the triggered rules in consideration order.
+
+        Args:
+            triggered_rules: list of currently triggered :class:`Rule`.
+            catalog: the :class:`~repro.core.rules.RuleCatalog` (for
+                priority pairings).
+            considered_at: ``{rule_name: logical_time}`` of each rule's
+                most recent consideration (missing = never considered).
+        """
+        raise NotImplementedError
+
+
+class CreationOrder(SelectionStrategy):
+    """Deterministic stand-in for "rules could be chosen arbitrarily"."""
+
+    def order(self, triggered_rules, catalog, considered_at):
+        return sorted(triggered_rules, key=lambda rule: rule.sequence)
+
+
+class PriorityOrder(SelectionStrategy):
+    """The paper's partial-order compromise (the default strategy).
+
+    Rules are ordered by repeatedly taking a priority-maximal element;
+    ties (incomparable rules) break by creation order, making execution
+    deterministic and reproducible.
+    """
+
+    def order(self, triggered_rules, catalog, considered_at):
+        return catalog.maximal_first_order(triggered_rules)
+
+
+class TotalOrder(SelectionStrategy):
+    """An explicit total ordering of rule names; highest first.
+
+    Rules not named in the ordering come last, in creation order.
+    """
+
+    def __init__(self, rule_names):
+        self._rank = {name: index for index, name in enumerate(rule_names)}
+        if len(self._rank) != len(rule_names):
+            raise RuleError("total order contains duplicate rule names")
+
+    def order(self, triggered_rules, catalog, considered_at):
+        default = len(self._rank)
+        return sorted(
+            triggered_rules,
+            key=lambda rule: (
+                self._rank.get(rule.name, default),
+                rule.sequence,
+            ),
+        )
+
+
+class LeastRecentlyConsidered(SelectionStrategy):
+    """Prefer rules considered least recently (never-considered first)."""
+
+    def order(self, triggered_rules, catalog, considered_at):
+        return sorted(
+            triggered_rules,
+            key=lambda rule: (considered_at.get(rule.name, -1), rule.sequence),
+        )
+
+
+class MostRecentlyConsidered(SelectionStrategy):
+    """Prefer rules considered most recently (never-considered last)."""
+
+    def order(self, triggered_rules, catalog, considered_at):
+        return sorted(
+            triggered_rules,
+            key=lambda rule: (-considered_at.get(rule.name, -1), rule.sequence),
+        )
+
+
+def default_strategy():
+    """The engine's default: the paper's priority partial order."""
+    return PriorityOrder()

@@ -1,0 +1,158 @@
+"""Save and restore an :class:`ActiveDatabase` as JSON.
+
+The paper abstracts persistence away ("failures are transparent", §2);
+this module is library engineering: it lets examples and applications
+checkpoint a database — schema, data, indexes, rules, priorities — and
+reload it later.
+
+Format (version 1)::
+
+    {
+      "format": "repro-active-database",
+      "version": 1,
+      "tables":    [{"name": ..., "columns": [[name, type], ...],
+                     "rows": [[...], ...]}, ...],
+      "indexes":   [{"name": ..., "table": ..., "column": ...}, ...],
+      "rules":     [{"sql": "create rule ...", "reset_policy": ...}, ...],
+      "priorities":[[higher, lower], ...]
+    }
+
+Tuple handles are *not* persisted: they are "non-reusable values"
+identifying tuples within one system lifetime; a reloaded database
+assigns fresh handles (and starts with empty transition state, exactly
+like a freshly started DBMS). Rules with external (Python) actions
+cannot be serialized — :func:`dump` raises unless ``skip_external=True``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .errors import ExecutionError, ReproError
+from .system import ActiveDatabase
+
+FORMAT_NAME = "repro-active-database"
+FORMAT_VERSION = 1
+
+
+class PersistenceError(ReproError):
+    """Raised for unserializable content or malformed dump files."""
+
+
+def to_document(db, skip_external=False):
+    """Serialize an :class:`ActiveDatabase` to a JSON-compatible dict.
+
+    Raises:
+        PersistenceError: if a transaction is open, or an external-action
+            rule is present and ``skip_external`` is false.
+    """
+    if db.engine.in_transaction:
+        raise PersistenceError("cannot serialize with an open transaction")
+
+    tables = []
+    for name in db.database.table_names():
+        schema = db.database.schema(name)
+        storage = db.database.table(name)
+        tables.append(
+            {
+                "name": name,
+                "columns": [
+                    [column.name, column.sql_type.value]
+                    for column in schema.columns
+                ],
+                "rows": [list(row) for row in storage.rows()],
+            }
+        )
+
+    indexes = []
+    for index_name in db.database.indexes.names():
+        index = db.database.indexes.get(index_name)
+        indexes.append(
+            {
+                "name": index.name,
+                "table": index.table_name,
+                "column": index.column,
+            }
+        )
+
+    rules = []
+    for rule in db.catalog:
+        if rule.is_external:
+            if skip_external:
+                continue
+            raise PersistenceError(
+                f"rule {rule.name!r} has a Python action and cannot be "
+                "serialized (pass skip_external=True to drop such rules)"
+            )
+        rules.append(
+            {"sql": rule.to_sql(), "reset_policy": rule.reset_policy}
+        )
+
+    priorities = sorted(db.catalog.pairings())
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "tables": tables,
+        "indexes": indexes,
+        "rules": rules,
+        "priorities": [list(pair) for pair in priorities],
+    }
+
+
+def from_document(document, **db_kwargs):
+    """Rebuild an :class:`ActiveDatabase` from :func:`to_document` output.
+
+    ``db_kwargs`` are forwarded to the :class:`ActiveDatabase`
+    constructor (strategy, max_rule_transitions, ...). Data is loaded
+    *before* rules are defined, so loading never fires rules.
+
+    Raises:
+        PersistenceError: on format mismatches.
+    """
+    if not isinstance(document, dict):
+        raise PersistenceError("dump document must be a JSON object")
+    if document.get("format") != FORMAT_NAME:
+        raise PersistenceError(
+            f"not a {FORMAT_NAME} document: {document.get('format')!r}"
+        )
+    if document.get("version") != FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported dump version {document.get('version')!r}"
+        )
+
+    db = ActiveDatabase(**db_kwargs)
+    for table in document.get("tables", ()):
+        db.database.create_table(
+            table["name"],
+            [(name, type_name) for name, type_name in table["columns"]],
+        )
+        for row in table["rows"]:
+            db.database.insert_row(table["name"], row)
+    for index in document.get("indexes", ()):
+        db.database.create_index(
+            index["name"], index["table"], index["column"]
+        )
+    for rule in document.get("rules", ()):
+        defined = db.engine.define_rule(
+            rule["sql"], reset_policy=rule.get("reset_policy", "execution")
+        )
+    for higher, lower in document.get("priorities", ()):
+        db.engine.add_priority(higher, lower)
+    return db
+
+
+def dump(db, path, skip_external=False):
+    """Write a database to a JSON file."""
+    document = to_document(db, skip_external=skip_external)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1)
+
+
+def load(path, **db_kwargs):
+    """Read a database from a JSON file written by :func:`dump`."""
+    with open(path, encoding="utf-8") as handle:
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise PersistenceError(f"malformed dump file: {error}") from None
+    return from_document(document, **db_kwargs)

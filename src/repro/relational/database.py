@@ -1,0 +1,162 @@
+"""The database: catalog, table storage, handles, and mutation primitives.
+
+This is the "typical relational database structure" of Section 2: named
+tables with fixed typed columns, tuples identified by system tuple
+handles. All physical mutation goes through :class:`Database` so that
+undo logging and handle bookkeeping cannot be bypassed.
+"""
+
+from __future__ import annotations
+
+from ..errors import CatalogError
+from .handles import HandleAllocator
+from .schema import Catalog, Column, TableSchema
+from .table import Table
+from .transactions import TransactionManager
+from .types import SqlType
+
+
+class Database:
+    """In-memory relational database with tuple handles and undo logging."""
+
+    def __init__(self):
+        self.catalog = Catalog()
+        self.handles = HandleAllocator()
+        self.transactions = TransactionManager(self)
+        self._tables = {}
+        #: monotone state-version counter, bumped by every physical
+        #: mutation; evaluators use it to invalidate uncorrelated-subquery
+        #: caches (see repro.relational.expressions)
+        self.version = 0
+        #: ablation toggle for the uncorrelated-subquery cache
+        self.enable_subquery_cache = True
+        from .index import IndexRegistry
+
+        #: hash indexes by name (see repro.relational.index)
+        self.indexes = IndexRegistry()
+
+    # ------------------------------------------------------------------
+    # schema management
+
+    def create_table(self, name, columns):
+        """Create a table.
+
+        ``columns`` is a sequence of (name, type) pairs where type is a
+        :class:`SqlType` or a type-name string (``"integer"`` etc.).
+        """
+        resolved = []
+        for column_name, column_type in columns:
+            if not isinstance(column_type, SqlType):
+                column_type = SqlType.from_name(column_type)
+            resolved.append(Column(column_name, column_type))
+        schema = TableSchema(name, resolved)
+        self.catalog.create_table(schema)
+        self._tables[name] = Table(schema)
+        self.version += 1
+        return schema
+
+    def drop_table(self, name):
+        self.catalog.drop_table(name)
+        del self._tables[name]
+        self.indexes.drop_for_table(name)
+        self.version += 1
+
+    def create_index(self, name, table_name, column):
+        """Create (and build) a hash index on ``table_name.column``."""
+        from .index import HashIndex
+
+        table = self.table(table_name)
+        position = table.schema.column_position(column)
+        index = HashIndex(name, table_name, column, position)
+        self.indexes.add(index)
+        table.attach_index(index)
+        return index
+
+    def drop_index(self, name):
+        index = self.indexes.drop(name)
+        self.table(index.table_name).detach_index(index)
+
+    def table(self, name):
+        """The :class:`Table` storage for ``name``.
+
+        Raises:
+            CatalogError: if the table does not exist.
+        """
+        table = self._tables.get(name)
+        if table is None:
+            raise CatalogError(f"table {name!r} does not exist")
+        return table
+
+    def schema(self, name):
+        return self.catalog.schema(name)
+
+    def table_names(self):
+        return self.catalog.table_names()
+
+    # ------------------------------------------------------------------
+    # physical mutation primitives (undo-logged)
+
+    def insert_row(self, table_name, values):
+        """Insert one coerced row; returns the new tuple handle."""
+        table = self.table(table_name)
+        row = table.schema.coerce_row(values)
+        handle = self.handles.allocate(table_name)
+        table.insert(handle, row)
+        self.transactions.log_insert(table_name, handle)
+        self.version += 1
+        return handle
+
+    def delete_row(self, table_name, handle):
+        """Delete the tuple under ``handle``; returns its final row value."""
+        table = self.table(table_name)
+        row = table.delete(handle)
+        self.transactions.log_delete(table_name, handle, row)
+        self.version += 1
+        return row
+
+    def update_row(self, table_name, handle, new_values_by_column):
+        """Assign new values to some columns of a live tuple.
+
+        Returns ``(old_row, new_row)``. Values are type-checked against
+        the schema. Note that assigning a column its current value is a
+        legitimate update — the paper's U component records the tuple and
+        column "regardless of whether a value is actually changed".
+        """
+        table = self.table(table_name)
+        schema = table.schema
+        old_row = table.get(handle)
+        new_row = list(old_row)
+        for column_name, value in new_values_by_column.items():
+            position = schema.column_position(column_name)
+            new_row[position] = schema.columns[position].coerce(
+                value, schema.name
+            )
+        new_row = tuple(new_row)
+        table.replace(handle, new_row)
+        self.transactions.log_update(table_name, handle, old_row)
+        self.version += 1
+        return old_row, new_row
+
+    # ------------------------------------------------------------------
+    # convenience readers
+
+    def row(self, table_name, handle):
+        """Current row value of a live handle."""
+        return self.table(table_name).get(handle)
+
+    def row_count(self, table_name):
+        return len(self.table(table_name))
+
+    def table_of_handle(self, handle):
+        """Which table a handle belongs(/belonged) to."""
+        return self.handles.table_of(handle)
+
+    def snapshot(self):
+        """Deep-enough copy of all table contents: ``{table: {handle: row}}``.
+
+        Rows are immutable tuples so a per-table dict copy suffices. Used
+        by the snapshot-diff baseline and by tests that compare states.
+        """
+        return {
+            name: table.snapshot() for name, table in self._tables.items()
+        }

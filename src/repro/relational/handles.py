@@ -1,0 +1,53 @@
+"""System tuple handles (paper Section 2).
+
+"We assume that associated with each tuple is a system tuple handle — a
+distinct, non-reusable value identifying the tuple and its containing
+table." Handles identify tuples across states: some name live tuples,
+others name tuples that existed in a previous state and have since been
+deleted. Transition effects ([I, D, U] triples) are sets of handles, so
+handle identity is the backbone of the whole rule semantics.
+"""
+
+from __future__ import annotations
+
+
+class HandleAllocator:
+    """Allocates distinct, non-reusable tuple handles.
+
+    Each handle is a monotonically increasing integer; the allocator also
+    records, permanently, which table each handle belongs to (handles of
+    deleted tuples keep their table association — transition predicates
+    such as ``deleted from t`` need it after the tuple is gone).
+
+    Handle allocation is *not* undone on transaction rollback: the paper
+    requires handles never be reused, and rolling back the counter could
+    hand out an already-seen value.
+    """
+
+    def __init__(self):
+        self._next = 1
+        self._tables = {}
+
+    def allocate(self, table_name):
+        """Return a fresh handle associated with ``table_name``."""
+        handle = self._next
+        self._next += 1
+        self._tables[handle] = table_name
+        return handle
+
+    def table_of(self, handle):
+        """The table a handle belongs(/belonged) to.
+
+        Raises:
+            KeyError: for a handle this allocator never issued.
+        """
+        return self._tables[handle]
+
+    def knows(self, handle):
+        """True if this allocator issued ``handle``."""
+        return handle in self._tables
+
+    @property
+    def issued_count(self):
+        """How many handles have been issued so far."""
+        return self._next - 1

@@ -1,0 +1,117 @@
+"""Hash indexes over single columns.
+
+The paper's semantics never mention physical design — indexes are pure
+substrate engineering, here to make the reproduction usable at realistic
+scale (and to demonstrate, per §1, that ordinary relational optimization
+"is directly applicable to the rules themselves": rule conditions and
+actions go through the same access paths as user queries).
+
+An index maps a column value to the set of live handles holding it.
+NULLs are not indexed (SQL equality never matches NULL). Maintenance is
+wired into :class:`repro.relational.table.Table`'s three mutators, so
+transaction undo (which replays through the same mutators) keeps indexes
+consistent automatically.
+"""
+
+from __future__ import annotations
+
+from ..errors import CatalogError
+
+
+class HashIndex:
+    """An equality index on one column of one table."""
+
+    def __init__(self, name, table_name, column, position):
+        self.name = name
+        self.table_name = table_name
+        self.column = column
+        self.position = position
+        self._entries = {}
+
+    # -- maintenance (called by Table) -----------------------------------
+
+    def on_insert(self, handle, row):
+        value = row[self.position]
+        if value is None:
+            return
+        self._entries.setdefault(value, set()).add(handle)
+
+    def on_delete(self, handle, row):
+        value = row[self.position]
+        if value is None:
+            return
+        bucket = self._entries.get(value)
+        if bucket is not None:
+            bucket.discard(handle)
+            if not bucket:
+                del self._entries[value]
+
+    def on_replace(self, handle, old_row, new_row):
+        old_value = old_row[self.position]
+        new_value = new_row[self.position]
+        if old_value == new_value:
+            return
+        self.on_delete(handle, old_row)
+        self.on_insert(handle, new_row)
+
+    # -- lookup -----------------------------------------------------------
+
+    def lookup(self, value):
+        """Live handles whose indexed column equals ``value`` (a copy)."""
+        if value is None:
+            return set()
+        return set(self._entries.get(value, ()))
+
+    def build(self, items):
+        """(Re)build from an iterable of (handle, row) pairs."""
+        self._entries = {}
+        for handle, row in items:
+            self.on_insert(handle, row)
+
+    @property
+    def key_count(self):
+        return len(self._entries)
+
+    def __repr__(self):
+        return (
+            f"HashIndex({self.name}: {self.table_name}.{self.column}, "
+            f"{self.key_count} keys)"
+        )
+
+
+class IndexRegistry:
+    """All indexes of one database, by name and by (table, column)."""
+
+    def __init__(self):
+        self._by_name = {}
+
+    def add(self, index):
+        if index.name in self._by_name:
+            raise CatalogError(f"index {index.name!r} already exists")
+        self._by_name[index.name] = index
+
+    def drop(self, name):
+        index = self._by_name.pop(name, None)
+        if index is None:
+            raise CatalogError(f"index {name!r} does not exist")
+        return index
+
+    def get(self, name):
+        index = self._by_name.get(name)
+        if index is None:
+            raise CatalogError(f"index {name!r} does not exist")
+        return index
+
+    def names(self):
+        return list(self._by_name)
+
+    def drop_for_table(self, table_name):
+        """Remove all indexes of a dropped table; returns their names."""
+        doomed = [
+            name
+            for name, index in self._by_name.items()
+            if index.table_name == table_name
+        ]
+        for name in doomed:
+            del self._by_name[name]
+        return doomed

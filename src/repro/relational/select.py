@@ -1,0 +1,420 @@
+"""Select evaluation: FROM products, WHERE, aggregation, projection.
+
+The evaluator is deliberately a straightforward iterate-and-filter
+implementation — the paper's semantics are defined over *results*, not
+plans, and a simple evaluator keeps the reproduction auditable. The
+set-oriented benchmarks compare architectural strategies (set- vs.
+instance-oriented rule execution) on top of this one substrate, so both
+sides pay the same per-operation costs.
+
+Table resolution is pluggable: :class:`BaseTableResolver` serves ordinary
+tables; the rule engine supplies a resolver that additionally serves the
+paper's logical *transition tables* (``inserted t``, ``deleted t``,
+``old/new updated t[.c]``) out of per-rule transition information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ExecutionError
+from ..sql import ast
+from .expressions import (
+    EmptyGroupScope,
+    Evaluator,
+    GroupScope,
+    Scope,
+    contains_aggregate,
+)
+from .types import sort_key
+
+
+@dataclass
+class SelectResult:
+    """The outcome of evaluating a select: output column names and rows.
+
+    ``touched`` is populated only when handle tracking was requested (the
+    §5.1 ``selected`` extension): a list of ``(table_name, handle)`` pairs
+    for base-table tuples that participated in some surviving FROM-product
+    combination of the top-level select.
+    """
+
+    columns: list
+    rows: list
+    touched: list = None
+
+    def as_dicts(self):
+        """Rows as dictionaries keyed by output column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def scalar(self):
+        """The single value of a 1x1 result.
+
+        Raises:
+            ExecutionError: if the result is not exactly one row/column.
+        """
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise ExecutionError(
+                f"expected a 1x1 result, got {len(self.rows)} rows x "
+                f"{len(self.columns)} columns"
+            )
+        return self.rows[0][0]
+
+    def column(self, name=None):
+        """All values of one output column (the only one by default)."""
+        if name is None:
+            if len(self.columns) != 1:
+                raise ExecutionError(
+                    "column() without a name requires a single-column result"
+                )
+            index = 0
+        else:
+            try:
+                index = self.columns.index(name)
+            except ValueError:
+                raise ExecutionError(f"no output column named {name!r}") from None
+        return [row[index] for row in self.rows]
+
+
+class BaseTableResolver:
+    """Serves FROM-clause references against database tables only.
+
+    Returns ``(columns, rows)`` — the column-name tuple and a list of row
+    value tuples. Transition-table references are rejected; the rule
+    engine swaps in :class:`repro.core.transition_tables.TransitionTableResolver`
+    when evaluating rule conditions and actions.
+    """
+
+    def __init__(self, database):
+        self.database = database
+
+    def resolve(self, table_ref):
+        if isinstance(table_ref, ast.BaseTableRef):
+            table = self.database.table(table_ref.table)
+            return table.schema.column_names, table.rows()
+        if isinstance(table_ref, ast.TransitionTableRef):
+            raise ExecutionError(
+                f"transition table '{table_ref.kind.value} {table_ref.table}' "
+                "is only available inside a production rule"
+            )
+        raise ExecutionError(
+            f"unsupported table reference {type(table_ref).__name__}"
+        )
+
+
+def evaluate_select(database, select, resolver=None, outer=None,
+                    collect_handles=False):
+    """Evaluate a :class:`repro.sql.ast.Select`; returns :class:`SelectResult`.
+
+    ``outer`` is the enclosing scope for correlated subqueries (None for a
+    top-level query). With ``collect_handles=True``, the result's
+    ``touched`` lists the (table, handle) pairs of base-table tuples that
+    survived the top-level WHERE — used by the §5.1 ``selected``
+    transition-effect extension.
+    """
+    if resolver is None:
+        resolver = BaseTableResolver(database)
+    executor = _SelectExecutor(database, resolver, collect_handles)
+    result = executor.run(select, outer)
+    if collect_handles:
+        result.touched = executor.touched
+    return result
+
+
+class _SelectExecutor:
+    """One select evaluation (shared by top-level queries and subqueries)."""
+
+    def __init__(self, database, resolver, collect_handles=False):
+        self.database = database
+        self.resolver = resolver
+        self.evaluator = Evaluator(database, resolver)
+        self.collect_handles = collect_handles
+        self.touched = []
+
+    def run(self, select, outer):
+        result = self._run_single(select, outer)
+        if select.union is not None:
+            other = self.run(select.union, outer)
+            if len(other.columns) != len(result.columns):
+                raise ExecutionError(
+                    f"UNION arms have different arities: {len(result.columns)} "
+                    f"vs {len(other.columns)}"
+                )
+            rows = result.rows + other.rows
+            if not select.union_all:
+                rows = list(dict.fromkeys(rows))
+            return SelectResult(result.columns, rows)
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _run_single(self, select, outer):
+        bindings = self._resolve_tables(select)
+        scopes = self._product_scopes(bindings, outer)
+        if select.where is not None:
+            scopes = [
+                scope
+                for scope in scopes
+                if self.evaluator.evaluate_predicate(select.where, scope) is True
+            ]
+        if self.collect_handles:
+            seen = set(self.touched)
+            for scope in scopes:
+                for pair in getattr(scope, "touched_pairs", ()):
+                    if pair not in seen:
+                        seen.add(pair)
+                        self.touched.append(pair)
+
+        grouped = bool(select.group_by) or self._has_aggregates(select)
+        if grouped:
+            columns, projected = self._project_grouped(select, scopes, bindings, outer)
+        else:
+            columns, projected = self._project_plain(select, scopes, bindings)
+
+        if select.distinct:
+            seen = {}
+            for row, keys in projected:
+                if row not in seen:
+                    seen[row] = keys
+            projected = list(seen.items())
+
+        if select.order_by:
+            projected.sort(key=lambda pair: pair[1])
+
+        rows = [row for row, _ in projected]
+        if select.limit is not None:
+            rows = rows[: select.limit]
+        return SelectResult(columns, rows)
+
+    # ------------------------------------------------------------------
+    # FROM handling
+
+    def _resolve_tables(self, select):
+        """Resolve FROM items to (binding_name, columns, rows, pairs) tuples.
+
+        ``pairs`` is a per-row list of ``(table, handle)`` when handle
+        tracking is on and the reference is a base table, else ``None``.
+        """
+        bindings = []
+        seen = set()
+        single_table = len(select.tables) == 1
+        for table_ref in select.tables:
+            name = table_ref.binding_name
+            if name in seen:
+                raise ExecutionError(
+                    f"duplicate table name or alias {name!r} in FROM clause; "
+                    "use aliases to distinguish"
+                )
+            seen.add(name)
+            restricted = None
+            if (
+                single_table
+                and select.where is not None
+                and isinstance(table_ref, ast.BaseTableRef)
+            ):
+                # indexed-equality pushdown for single-table scans; the
+                # full WHERE still filters the candidates afterwards
+                from .planner import index_candidates
+
+                table = self.database.table(table_ref.table)
+                restricted = index_candidates(
+                    select.where, table, {name, table_ref.table}
+                )
+            if restricted is not None:
+                table = self.database.table(table_ref.table)
+                columns = table.schema.column_names
+                handles = sorted(restricted)
+                rows = [table.get(handle) for handle in handles]
+                pairs = None
+                if self.collect_handles:
+                    pairs = [(table_ref.table, handle) for handle in handles]
+            else:
+                columns, rows = self.resolver.resolve(table_ref)
+                pairs = None
+                if self.collect_handles and isinstance(
+                    table_ref, ast.BaseTableRef
+                ):
+                    table = self.database.table(table_ref.table)
+                    pairs = [
+                        (table_ref.table, handle)
+                        for handle in table.handles()
+                    ]
+            bindings.append((name, columns, rows, pairs))
+        return bindings
+
+    @staticmethod
+    def _product_scopes(bindings, outer):
+        """One :class:`Scope` per combination of the FROM tables' rows."""
+        if not bindings:
+            scope = Scope(parent=outer)
+            return [scope]
+        scopes = []
+        combination = [None] * len(bindings)
+        touched = [None] * len(bindings)
+
+        def recurse(depth):
+            if depth == len(bindings):
+                scope = Scope(parent=outer)
+                for (name, columns, _, _), row in zip(bindings, combination):
+                    scope.bind(name, columns, row)
+                pairs = [pair for pair in touched if pair is not None]
+                if pairs:
+                    scope.touched_pairs = pairs
+                scopes.append(scope)
+                return
+            _, _, rows, row_pairs = bindings[depth]
+            for index, row in enumerate(rows):
+                combination[depth] = row
+                touched[depth] = row_pairs[index] if row_pairs else None
+                recurse(depth + 1)
+
+        recurse(0)
+        return scopes
+
+    # ------------------------------------------------------------------
+    # projection
+
+    @staticmethod
+    def _has_aggregates(select):
+        for item in select.items:
+            if isinstance(item, ast.SelectItem) and contains_aggregate(
+                item.expression
+            ):
+                return True
+        if select.having is not None and contains_aggregate(select.having):
+            return True
+        return False
+
+    def _expand_items(self, select, bindings):
+        """Expand ``*``/``t.*`` into explicit column references."""
+        items = []
+        for item in select.items:
+            if isinstance(item, ast.Star):
+                targets = bindings
+                if item.qualifier is not None:
+                    targets = [
+                        binding for binding in bindings if binding[0] == item.qualifier
+                    ]
+                    if not targets:
+                        raise ExecutionError(
+                            f"unknown table or alias {item.qualifier!r} in "
+                            f"{item.qualifier}.*"
+                        )
+                for name, columns, _, _ in targets:
+                    for column in columns:
+                        items.append(
+                            ast.SelectItem(ast.ColumnRef(column, qualifier=name))
+                        )
+            else:
+                items.append(item)
+        if not items:
+            raise ExecutionError("select list is empty")
+        return items
+
+    @staticmethod
+    def _output_name(item, position):
+        if item.alias:
+            return item.alias
+        if isinstance(item.expression, ast.ColumnRef):
+            return item.expression.column
+        return f"col{position + 1}"
+
+    def _project_plain(self, select, scopes, bindings):
+        items = self._expand_items(select, bindings)
+        columns = [self._output_name(item, i) for i, item in enumerate(items)]
+        projected = []
+        for scope in scopes:
+            row = tuple(
+                self.evaluator.evaluate(item.expression, scope) for item in items
+            )
+            keys = self._order_keys(select, scope)
+            projected.append((row, keys))
+        return columns, projected
+
+    def _project_grouped(self, select, scopes, bindings, outer):
+        items = self._expand_items(select, bindings)
+        self._validate_grouped_items(select, items)
+        columns = [self._output_name(item, i) for i, item in enumerate(items)]
+
+        if select.group_by:
+            groups = {}
+            for scope in scopes:
+                key = tuple(
+                    self.evaluator.evaluate(expr, scope) for expr in select.group_by
+                )
+                groups.setdefault(key, []).append(scope)
+            group_scopes = [
+                GroupScope(members, parent=outer) for members in groups.values()
+            ]
+        elif scopes:
+            group_scopes = [GroupScope(scopes, parent=outer)]
+        else:
+            names = [name for name, _, _, _ in bindings]
+            group_scopes = [EmptyGroupScope(names, parent=outer)]
+
+        if select.having is not None:
+            group_scopes = [
+                scope
+                for scope in group_scopes
+                if self.evaluator.evaluate_predicate(select.having, scope) is True
+            ]
+
+        projected = []
+        for scope in group_scopes:
+            row = tuple(
+                self.evaluator.evaluate(item.expression, scope) for item in items
+            )
+            keys = self._order_keys(select, scope)
+            projected.append((row, keys))
+        return columns, projected
+
+    def _validate_grouped_items(self, select, items):
+        """Non-aggregate select items in a grouped query must be grouping
+        expressions (standard SQL restriction, enforced to catch mistakes
+        early rather than silently using a representative row)."""
+        group_exprs = set(select.group_by)
+        for item in items:
+            expression = item.expression
+            if contains_aggregate(expression):
+                continue
+            if expression in group_exprs:
+                continue
+            if isinstance(expression, ast.ColumnRef) and any(
+                isinstance(group, ast.ColumnRef)
+                and group.column == expression.column
+                for group in group_exprs
+            ):
+                continue
+            if isinstance(expression, ast.Literal):
+                continue
+            raise ExecutionError(
+                "non-aggregate select item must appear in GROUP BY: "
+                f"{expression!r}"
+            )
+
+    def _order_keys(self, select, scope):
+        if not select.order_by:
+            return ()
+        keys = []
+        for order in select.order_by:
+            value = self.evaluator.evaluate(order.expression, scope)
+            key = sort_key(value)
+            if order.descending:
+                key = _Reversed(key)
+            keys.append(key)
+        return tuple(keys)
+
+
+class _Reversed:
+    """Wraps a sort key to invert its ordering (for ORDER BY ... DESC)."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key):
+        self.key = key
+
+    def __lt__(self, other):
+        return other.key < self.key
+
+    def __eq__(self, other):
+        return self.key == other.key

@@ -1,0 +1,120 @@
+"""Multiset tuple storage keyed by tuple handle.
+
+"In a given state of the database, each table contains zero or more
+tuples ... Duplicate tuples may appear in a table" (Section 2). Storage
+is a dict from handle to an immutable value tuple; duplicates are fine
+because handles, not values, are the identity.
+
+Insertion order is preserved (Python dicts are ordered), which makes
+unordered query results deterministic for tests without implying any
+semantic ordering.
+"""
+
+from __future__ import annotations
+
+from ..errors import ExecutionError
+
+
+class Table:
+    """One table's tuples: ``handle -> row`` where row is a value tuple.
+
+    Hash indexes attached via :meth:`attach_index` are maintained by the
+    three mutators — including during transaction undo, which replays
+    through the same mutators.
+    """
+
+    def __init__(self, schema):
+        self.schema = schema
+        self._rows = {}
+        self.indexes = []
+
+    def __len__(self):
+        return len(self._rows)
+
+    def __contains__(self, handle):
+        return handle in self._rows
+
+    def handles(self):
+        """All live handles, in insertion order."""
+        return list(self._rows)
+
+    def rows(self):
+        """All live rows (value tuples), in insertion order."""
+        return list(self._rows.values())
+
+    def items(self):
+        """(handle, row) pairs, in insertion order."""
+        return list(self._rows.items())
+
+    def get(self, handle):
+        """The row for a live handle.
+
+        Raises:
+            ExecutionError: if the handle is not live in this table.
+        """
+        try:
+            return self._rows[handle]
+        except KeyError:
+            raise ExecutionError(
+                f"handle {handle} is not live in table {self.schema.name!r}"
+            ) from None
+
+    def insert(self, handle, row):
+        """Store ``row`` under ``handle``.
+
+        ``row`` must already be schema-coerced; callers go through
+        :meth:`repro.relational.database.Database` for validation.
+        """
+        if handle in self._rows:
+            raise ExecutionError(
+                f"handle {handle} already live in table {self.schema.name!r}"
+            )
+        self._rows[handle] = row
+        for index in self.indexes:
+            index.on_insert(handle, row)
+
+    def delete(self, handle):
+        """Remove and return the row stored under ``handle``."""
+        try:
+            row = self._rows.pop(handle)
+        except KeyError:
+            raise ExecutionError(
+                f"cannot delete handle {handle}: not live in table "
+                f"{self.schema.name!r}"
+            ) from None
+        for index in self.indexes:
+            index.on_delete(handle, row)
+        return row
+
+    def replace(self, handle, row):
+        """Overwrite the row under a live ``handle``; returns the old row."""
+        if handle not in self._rows:
+            raise ExecutionError(
+                f"cannot update handle {handle}: not live in table "
+                f"{self.schema.name!r}"
+            )
+        old = self._rows[handle]
+        self._rows[handle] = row
+        for index in self.indexes:
+            index.on_replace(handle, old, row)
+        return old
+
+    def snapshot(self):
+        """A shallow copy of the handle→row mapping (rows are immutable)."""
+        return dict(self._rows)
+
+    def attach_index(self, index):
+        """Attach a hash index; builds it from the current contents."""
+        index.build(self._rows.items())
+        self.indexes.append(index)
+
+    def detach_index(self, index):
+        """Detach a previously attached index."""
+        self.indexes = [i for i in self.indexes if i is not index]
+
+    def index_on(self, column):
+        """The attached index covering ``column``, or None."""
+        for index in self.indexes:
+            if index.column == column:
+                return index
+        return None

@@ -1,0 +1,119 @@
+"""Undo-log based transactions with savepoints.
+
+The paper's model treats operation blocks as indivisible and lets a rule
+action request ``rollback`` of the whole transaction (back to state S0,
+the state preceding the initial externally-generated transition). We
+implement this with a classic undo log: every physical mutation appends
+an undo record; rollback replays the log in reverse. Savepoints are just
+log positions, used for statement-level atomicity (a failing operation
+block undoes only its own work).
+
+Tuple handles are *not* reclaimed on rollback — the paper requires
+handles to be non-reusable, and a rolled-back insert's handle must never
+reappear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TransactionError
+
+
+@dataclass(frozen=True)
+class _UndoInsert:
+    table: str
+    handle: int
+
+
+@dataclass(frozen=True)
+class _UndoDelete:
+    table: str
+    handle: int
+    row: tuple
+
+
+@dataclass(frozen=True)
+class _UndoUpdate:
+    table: str
+    handle: int
+    old_row: tuple
+
+
+class TransactionManager:
+    """Tracks one (non-nested) active transaction over a database.
+
+    The database routes every physical mutation through
+    :meth:`log_insert` / :meth:`log_delete` / :meth:`log_update` while a
+    transaction is active. Outside a transaction, mutations auto-commit
+    (nothing is logged).
+    """
+
+    def __init__(self, database):
+        self._database = database
+        self._log = None  # None = no active transaction
+
+    @property
+    def active(self):
+        return self._log is not None
+
+    def begin(self):
+        if self._log is not None:
+            raise TransactionError("a transaction is already active")
+        self._log = []
+
+    def commit(self):
+        if self._log is None:
+            raise TransactionError("commit with no active transaction")
+        self._log = None
+
+    def rollback(self):
+        """Undo every logged mutation and end the transaction."""
+        if self._log is None:
+            raise TransactionError("rollback with no active transaction")
+        self._undo_to(0)
+        self._log = None
+
+    def savepoint(self):
+        """Return an opaque savepoint token (current log position)."""
+        if self._log is None:
+            raise TransactionError("savepoint with no active transaction")
+        return len(self._log)
+
+    def rollback_to_savepoint(self, savepoint):
+        """Undo mutations performed after ``savepoint``; txn stays active."""
+        if self._log is None:
+            raise TransactionError(
+                "rollback to savepoint with no active transaction"
+            )
+        if savepoint > len(self._log):
+            raise TransactionError("savepoint is ahead of the current log")
+        self._undo_to(savepoint)
+
+    # ------------------------------------------------------------------
+    # logging (called by Database mutators)
+
+    def log_insert(self, table, handle):
+        if self._log is not None:
+            self._log.append(_UndoInsert(table, handle))
+
+    def log_delete(self, table, handle, row):
+        if self._log is not None:
+            self._log.append(_UndoDelete(table, handle, row))
+
+    def log_update(self, table, handle, old_row):
+        if self._log is not None:
+            self._log.append(_UndoUpdate(table, handle, old_row))
+
+    # ------------------------------------------------------------------
+
+    def _undo_to(self, position):
+        while len(self._log) > position:
+            record = self._log.pop()
+            table = self._database.table(record.table)
+            if isinstance(record, _UndoInsert):
+                table.delete(record.handle)
+            elif isinstance(record, _UndoDelete):
+                table.insert(record.handle, record.row)
+            else:
+                table.replace(record.handle, record.old_row)

@@ -1,0 +1,32 @@
+"""SQL substrate: lexer, AST, parser and formatter for the paper's dialect.
+
+The dialect implements the grammar of Section 2.1 (operation blocks),
+Section 3 (rule definition), Section 4.4 (priority pairings) and the
+Section 5 extensions, plus the ``create table`` DDL needed to stand up
+the database the paper assumes already exists.
+"""
+
+from . import ast
+from .formatter import format_node
+from .lexer import Lexer, tokenize
+from .parser import (
+    Parser,
+    parse_block,
+    parse_expression,
+    parse_script,
+    parse_select,
+    parse_statement,
+)
+
+__all__ = [
+    "Lexer",
+    "Parser",
+    "ast",
+    "format_node",
+    "parse_block",
+    "parse_expression",
+    "parse_script",
+    "parse_select",
+    "parse_statement",
+    "tokenize",
+]

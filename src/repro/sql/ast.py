@@ -1,0 +1,617 @@
+"""Abstract syntax tree for the paper's SQL dialect and rule language.
+
+The node hierarchy mirrors the grammar given in the paper:
+
+* Section 2.1: ``op-block ::= sql-op ; ... ; sql-op`` with
+  insert/delete/update (select is an expression-level construct used in
+  predicates and ``insert into ... (select ...)``);
+* Section 3: ``create rule name when trans-pred [if condition] then
+  action`` plus the four kinds of basic transition predicate and the
+  transition-table references usable inside conditions and actions;
+* Section 4.4: ``create rule priority r1 before r2``;
+* Section 5 extensions: ``selected`` transition predicates, standalone
+  select operations in blocks, and the ``assert rules`` triggering point.
+
+Nodes are frozen dataclasses so they can be shared, hashed and compared in
+tests. Every node renders back to SQL via :mod:`repro.sql.formatter`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+
+
+class Expression:
+    """Marker base class for expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant: integer, float, string, boolean or NULL (``value=None``)."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """A possibly-qualified column reference, e.g. ``e1.salary``.
+
+    ``qualifier`` is the table name or alias (lower-cased) or ``None``
+    for a bare column name resolved by scope rules.
+    """
+
+    column: str
+    qualifier: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Star(Expression):
+    """``*`` or ``t.*`` in a select list or ``count(*)``."""
+
+    qualifier: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    """Unary operator application: ``NOT x`` or ``-x``."""
+
+    op: str  # 'not' | '-' | '+'
+    operand: Expression
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """Binary operator application.
+
+    ``op`` is one of: ``+ - * / % || = <> < <= > >= and or``.
+    """
+
+    op: str
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expression
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between(Expression):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    operand: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Like(Expression):
+    """``expr [NOT] LIKE pattern`` with ``%``/``_`` wildcards."""
+
+    operand: Expression
+    pattern: Expression
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    """``expr [NOT] IN (e1, e2, ...)`` with an explicit value list."""
+
+    operand: Expression
+    items: tuple
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InSelect(Expression):
+    """``expr [NOT] IN (select ...)``."""
+
+    operand: Expression
+    select: "Select"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Exists(Expression):
+    """``[NOT] EXISTS (select ...)``."""
+
+    select: "Select"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class QuantifiedComparison(Expression):
+    """``expr op ANY|ALL (select ...)`` (ANY/SOME are synonyms)."""
+
+    operand: Expression
+    op: str            # comparison operator
+    quantifier: str    # 'any' | 'all'
+    select: "Select"
+
+
+@dataclass(frozen=True)
+class ScalarSelect(Expression):
+    """A parenthesized select used as a scalar value.
+
+    Must produce at most one row and exactly one column at run time;
+    an empty result evaluates to NULL (standard SQL behaviour).
+    """
+
+    select: "Select"
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """A function application, aggregate or scalar.
+
+    Aggregates: ``count``, ``sum``, ``avg``, ``min``, ``max`` (with
+    optional ``DISTINCT``). Scalar functions: ``abs``, ``round``,
+    ``upper``, ``lower``, ``length``, ``coalesce``, ``nullif``, ``mod``.
+    """
+
+    name: str
+    args: tuple
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class CaseExpression(Expression):
+    """``CASE WHEN cond THEN value ... [ELSE value] END`` (searched form)."""
+
+    branches: tuple  # of (condition, value) pairs
+    default: Optional[Expression] = None
+
+
+# ---------------------------------------------------------------------------
+# Table references
+
+
+class TableReference:
+    """Marker base class for items in a FROM clause."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class BaseTableRef(TableReference):
+    """A database table with an optional alias (range variable)."""
+
+    table: str
+    alias: Optional[str] = None
+
+    @property
+    def binding_name(self):
+        """The name this reference is known by inside the query scope."""
+        return self.alias or self.table
+
+
+class TransitionKind(Enum):
+    """The four (plus one §5.1 extension) transition-table flavours."""
+
+    INSERTED = "inserted"
+    DELETED = "deleted"
+    OLD_UPDATED = "old updated"
+    NEW_UPDATED = "new updated"
+    SELECTED = "selected"  # §5.1 extension
+
+
+@dataclass(frozen=True)
+class TransitionTableRef(TableReference):
+    """A logical transition table (paper §3), e.g. ``inserted emp`` or
+    ``new updated emp.salary``.
+
+    ``column`` narrows updated-transition tables to tuples where that
+    specific column was updated; it is ``None`` for whole-table forms.
+    """
+
+    kind: TransitionKind
+    table: str
+    column: Optional[str] = None
+    alias: Optional[str] = None
+
+    @property
+    def binding_name(self):
+        if self.alias:
+            return self.alias
+        return self.table
+
+
+# ---------------------------------------------------------------------------
+# Select
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One output column: an expression with an optional alias."""
+
+    expression: Expression
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key."""
+
+    expression: Expression
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Select:
+    """A select operation (paper §2.1 ``select-op``), with the common SQL
+    conveniences (DISTINCT, GROUP BY/HAVING, ORDER BY, LIMIT, UNION [ALL])
+    needed by realistic rules and examples.
+    """
+
+    items: tuple                      # of SelectItem | Star
+    tables: tuple = ()                # of TableReference
+    where: Optional[Expression] = None
+    group_by: tuple = ()              # of Expression
+    having: Optional[Expression] = None
+    order_by: tuple = ()              # of OrderItem
+    limit: Optional[int] = None
+    distinct: bool = False
+    union: Optional["Select"] = None  # UNION [ALL] chained select
+    union_all: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Data manipulation operations (paper §2.1 sql-op)
+
+
+class Operation:
+    """Marker base class for operations inside an operation block."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class InsertValues(Operation):
+    """``insert into t values (v1, ..., vn) [, (...) ...]``.
+
+    The paper's form has a single row; multi-row VALUES is a convenience
+    that desugars to consecutive single-row inserts with one affected set.
+    ``columns`` optionally names a column subset (unnamed columns get NULL).
+    """
+
+    table: str
+    rows: tuple              # of tuple of Expression
+    columns: tuple = ()      # optional column-name list
+
+
+@dataclass(frozen=True)
+class InsertSelect(Operation):
+    """``insert into t (select ...)``."""
+
+    table: str
+    select: Select
+    columns: tuple = ()
+
+
+@dataclass(frozen=True)
+class Delete(Operation):
+    """``delete from t [where p]`` — omitted predicate means ``where true``."""
+
+    table: str
+    where: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One ``column = expression`` item in an UPDATE's SET clause."""
+
+    column: str
+    expression: Expression
+
+
+@dataclass(frozen=True)
+class Update(Operation):
+    """``update t set c1 = e1, ... [where p]``."""
+
+    table: str
+    assignments: tuple       # of Assignment
+    where: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class SelectOperation(Operation):
+    """A standalone select inside an operation block (§5.1 extension).
+
+    Retrieval does not change state but, with select-triggering enabled,
+    contributes to the ``S`` component of the transition effect.
+    """
+
+    select: Select
+
+
+@dataclass(frozen=True)
+class OperationBlock:
+    """A non-empty sequence of operations executed indivisibly (§2.1)."""
+
+    operations: tuple
+
+    def __post_init__(self):
+        if not self.operations:
+            raise ValueError("operation block must contain at least one operation")
+
+
+# ---------------------------------------------------------------------------
+# Rule definition (paper §3)
+
+
+class TransitionPredicateKind(Enum):
+    """Kinds of basic transition predicates."""
+
+    INSERTED = "inserted into"
+    DELETED = "deleted from"
+    UPDATED = "updated"
+    SELECTED = "selected"  # §5.1 extension
+
+
+@dataclass(frozen=True)
+class BasicTransitionPredicate:
+    """One basic transition predicate: an operation kind, a table, and for
+    ``updated``/``selected`` an optional column narrowing.
+    """
+
+    kind: TransitionPredicateKind
+    table: str
+    column: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class RollbackAction:
+    """The ``rollback`` rule action (§3): abort the whole transaction."""
+
+
+@dataclass(frozen=True)
+class CreateRule:
+    """``create rule name when trans-pred [if condition] then action``.
+
+    ``predicates`` is the disjunctive list of basic transition predicates;
+    ``action`` is an :class:`OperationBlock` or :class:`RollbackAction`.
+    """
+
+    name: str
+    predicates: tuple        # of BasicTransitionPredicate
+    condition: Optional[Expression]
+    action: object           # OperationBlock | RollbackAction
+
+
+@dataclass(frozen=True)
+class DropRule:
+    """``drop rule name``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class CreateRulePriority:
+    """``create rule priority r1 before r2`` (§4.4)."""
+
+    higher: str
+    lower: str
+
+
+# ---------------------------------------------------------------------------
+# Schema DDL (needed to stand up the substrate; the paper assumes a fixed
+# schema exists, so table DDL is part of the substrate, not the contribution)
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """One column in a CREATE TABLE: name and declared type name."""
+
+    name: str
+    type_name: str
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    """``create table t (c1 type1, ..., cn typen)``."""
+
+    name: str
+    columns: tuple
+
+
+@dataclass(frozen=True)
+class DropTable:
+    """``drop table t``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class CreateIndex:
+    """``create index name on table (column)`` — a hash index (substrate
+    engineering; see :mod:`repro.relational.index`)."""
+
+    name: str
+    table: str
+    column: str
+
+
+@dataclass(frozen=True)
+class DropIndex:
+    """``drop index name``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class AssertRules:
+    """``assert rules`` — a user-defined rule triggering point (§5.3).
+
+    When executed inside a transaction, the externally-generated transition
+    so far is considered complete: rules are processed immediately, and a
+    new transition begins afterwards.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Walking utilities
+
+
+def iter_expressions(node):
+    """Yield ``node`` and all expression nodes nested inside it.
+
+    Descends into subqueries (their WHERE/HAVING/items) so callers can find
+    every :class:`TransitionTableRef` or :class:`ColumnRef` reachable from
+    an expression. Used by rule validation and static analysis.
+    """
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if current is None:
+            continue
+        if isinstance(current, Expression):
+            yield current
+        if isinstance(current, (Literal, ColumnRef, Star)):
+            continue
+        if isinstance(current, UnaryOp):
+            stack.append(current.operand)
+        elif isinstance(current, BinaryOp):
+            stack.extend((current.left, current.right))
+        elif isinstance(current, IsNull):
+            stack.append(current.operand)
+        elif isinstance(current, Between):
+            stack.extend((current.operand, current.low, current.high))
+        elif isinstance(current, Like):
+            stack.extend((current.operand, current.pattern))
+        elif isinstance(current, InList):
+            stack.append(current.operand)
+            stack.extend(current.items)
+        elif isinstance(current, InSelect):
+            stack.append(current.operand)
+            stack.append(current.select)
+        elif isinstance(current, Exists):
+            stack.append(current.select)
+        elif isinstance(current, QuantifiedComparison):
+            stack.append(current.operand)
+            stack.append(current.select)
+        elif isinstance(current, ScalarSelect):
+            stack.append(current.select)
+        elif isinstance(current, FunctionCall):
+            stack.extend(current.args)
+        elif isinstance(current, CaseExpression):
+            for condition, value in current.branches:
+                stack.extend((condition, value))
+            if current.default is not None:
+                stack.append(current.default)
+        elif isinstance(current, Select):
+            for item in current.items:
+                if isinstance(item, SelectItem):
+                    stack.append(item.expression)
+            stack.append(current.where)
+            stack.extend(current.group_by)
+            stack.append(current.having)
+            for order in current.order_by:
+                stack.append(order.expression)
+            if current.union is not None:
+                stack.append(current.union)
+
+
+def iter_selects(node):
+    """Yield every :class:`Select` nested under an expression/operation."""
+    if isinstance(node, Select):
+        yield node
+        for item in node.items:
+            if isinstance(item, SelectItem):
+                yield from iter_selects(item.expression)
+        if node.where is not None:
+            yield from iter_selects(node.where)
+        for expr in node.group_by:
+            yield from iter_selects(expr)
+        if node.having is not None:
+            yield from iter_selects(node.having)
+        for order in node.order_by:
+            yield from iter_selects(order.expression)
+        if node.union is not None:
+            yield from iter_selects(node.union)
+    elif isinstance(node, Expression):
+        for select in _direct_subqueries(node):
+            yield from iter_selects(select)
+    elif isinstance(node, InsertValues):
+        for row in node.rows:
+            for expr in row:
+                yield from iter_selects(expr)
+    elif isinstance(node, InsertSelect):
+        yield from iter_selects(node.select)
+    elif isinstance(node, Delete):
+        if node.where is not None:
+            yield from iter_selects(node.where)
+    elif isinstance(node, Update):
+        for assignment in node.assignments:
+            yield from iter_selects(assignment.expression)
+        if node.where is not None:
+            yield from iter_selects(node.where)
+    elif isinstance(node, SelectOperation):
+        yield from iter_selects(node.select)
+    elif isinstance(node, OperationBlock):
+        for operation in node.operations:
+            yield from iter_selects(operation)
+
+
+def _direct_subqueries(expression):
+    """Yield the selects *directly* embedded in an expression, without
+    descending into them (their own nesting is handled by the caller's
+    recursion — this avoids double-visiting deep subqueries)."""
+    stack = [expression]
+    while stack:
+        current = stack.pop()
+        if current is None:
+            continue
+        if isinstance(current, (InSelect, Exists, QuantifiedComparison,
+                                ScalarSelect)):
+            yield current.select
+            if isinstance(current, (InSelect, QuantifiedComparison)):
+                stack.append(current.operand)
+            continue
+        if isinstance(current, (Literal, ColumnRef, Star)):
+            continue
+        if isinstance(current, UnaryOp):
+            stack.append(current.operand)
+        elif isinstance(current, BinaryOp):
+            stack.extend((current.left, current.right))
+        elif isinstance(current, IsNull):
+            stack.append(current.operand)
+        elif isinstance(current, Between):
+            stack.extend((current.operand, current.low, current.high))
+        elif isinstance(current, Like):
+            stack.extend((current.operand, current.pattern))
+        elif isinstance(current, InList):
+            stack.append(current.operand)
+            stack.extend(current.items)
+        elif isinstance(current, FunctionCall):
+            stack.extend(current.args)
+        elif isinstance(current, CaseExpression):
+            for condition, value in current.branches:
+                stack.extend((condition, value))
+            if current.default is not None:
+                stack.append(current.default)
+
+
+def transition_table_refs(node):
+    """Yield every :class:`TransitionTableRef` reachable from ``node``.
+
+    Covers FROM clauses of all nested selects. Used to validate that a
+    rule only references transition tables matching its own basic
+    transition predicates (paper §3) and by static analysis.
+    """
+    for select in iter_selects(node):
+        for table in select.tables:
+            if isinstance(table, TransitionTableRef):
+                yield table

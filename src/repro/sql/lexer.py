@@ -1,0 +1,209 @@
+"""Hand-written tokenizer for the paper's SQL dialect.
+
+Supports:
+
+* identifiers (``[A-Za-z_][A-Za-z0-9_]*``), case-insensitive keywords;
+* integer and floating-point literals (``42``, ``0.95``, ``1e6``, ``.5``);
+* single-quoted string literals with ``''`` escaping;
+* SQL comments: ``-- line`` and ``/* block */``;
+* the operators and punctuation listed in :mod:`repro.sql.tokens`.
+
+The lexer is a straightforward single-pass scanner; it tracks line and
+column for error reporting.
+"""
+
+from __future__ import annotations
+
+from ..errors import LexError
+from .tokens import KEYWORDS, Token, TokenKind
+
+_SINGLE_CHAR = {
+    ",": TokenKind.COMMA,
+    ";": TokenKind.SEMICOLON,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    ".": TokenKind.DOT,
+    "*": TokenKind.STAR,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "=": TokenKind.EQ,
+}
+
+
+class Lexer:
+    """Tokenizes SQL text into a list of :class:`Token`.
+
+    Usage::
+
+        tokens = Lexer("select * from emp").tokenize()
+    """
+
+    def __init__(self, source):
+        self._source = source
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokenize(self):
+        """Return the full token list, ending with an EOF token."""
+        tokens = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.kind is TokenKind.EOF:
+                return tokens
+
+    # ------------------------------------------------------------------
+    # scanning machinery
+
+    def _peek(self, offset=0):
+        index = self._pos + offset
+        if index < len(self._source):
+            return self._source[index]
+        return ""
+
+    def _advance(self, count=1):
+        for _ in range(count):
+            if self._pos < len(self._source):
+                if self._source[self._pos] == "\n":
+                    self._line += 1
+                    self._column = 1
+                else:
+                    self._column += 1
+                self._pos += 1
+
+    def _skip_whitespace_and_comments(self):
+        while self._pos < len(self._source):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "-" and self._peek(1) == "-":
+                while self._pos < len(self._source) and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self._pos < len(self._source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise LexError(
+                        "unterminated block comment",
+                        self._pos, self._line, self._column,
+                    )
+            else:
+                return
+
+    def _make(self, kind, value, text, position, line, column):
+        return Token(kind, value, text, position, line, column)
+
+    def _next_token(self):
+        self._skip_whitespace_and_comments()
+        position, line, column = self._pos, self._line, self._column
+        if self._pos >= len(self._source):
+            return self._make(TokenKind.EOF, None, "", position, line, column)
+
+        char = self._peek()
+
+        if char.isalpha() or char == "_":
+            return self._lex_word(position, line, column)
+        if char.isdigit() or (char == "." and self._peek(1).isdigit()):
+            return self._lex_number(position, line, column)
+        if char == "'":
+            return self._lex_string(position, line, column)
+
+        # multi-character operators
+        two = char + self._peek(1)
+        if two == "<>" or two == "!=":
+            self._advance(2)
+            return self._make(TokenKind.NEQ, "<>", two, position, line, column)
+        if two == "<=":
+            self._advance(2)
+            return self._make(TokenKind.LTE, "<=", two, position, line, column)
+        if two == ">=":
+            self._advance(2)
+            return self._make(TokenKind.GTE, ">=", two, position, line, column)
+        if two == "||":
+            self._advance(2)
+            return self._make(TokenKind.CONCAT, "||", two, position, line, column)
+        if char == "<":
+            self._advance()
+            return self._make(TokenKind.LT, "<", char, position, line, column)
+        if char == ">":
+            self._advance()
+            return self._make(TokenKind.GT, ">", char, position, line, column)
+
+        kind = _SINGLE_CHAR.get(char)
+        if kind is not None:
+            self._advance()
+            return self._make(kind, char, char, position, line, column)
+
+        raise LexError(f"unexpected character {char!r}", position, line, column)
+
+    def _lex_word(self, position, line, column):
+        start = self._pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self._source[start:self._pos]
+        upper = text.upper()
+        if upper in KEYWORDS:
+            return self._make(TokenKind.KEYWORD, upper, text, position, line, column)
+        return self._make(
+            TokenKind.IDENTIFIER, text.lower(), text, position, line, column
+        )
+
+    def _lex_number(self, position, line, column):
+        start = self._pos
+        is_float = False
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1) != ".":
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in "eE" and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self._source[start:self._pos]
+        if is_float:
+            return self._make(
+                TokenKind.FLOAT, float(text), text, position, line, column
+            )
+        return self._make(TokenKind.INTEGER, int(text), text, position, line, column)
+
+    def _lex_string(self, position, line, column):
+        self._advance()  # opening quote
+        pieces = []
+        while True:
+            if self._pos >= len(self._source):
+                raise LexError("unterminated string literal", position, line, column)
+            char = self._peek()
+            if char == "'":
+                if self._peek(1) == "'":  # escaped quote
+                    pieces.append("'")
+                    self._advance(2)
+                else:
+                    self._advance()
+                    break
+            else:
+                pieces.append(char)
+                self._advance()
+        value = "".join(pieces)
+        text = self._source[position:self._pos]
+        return self._make(TokenKind.STRING, value, text, position, line, column)
+
+
+def tokenize(source):
+    """Convenience wrapper: tokenize ``source`` and return the token list."""
+    return Lexer(source).tokenize()

@@ -1,0 +1,781 @@
+"""Recursive-descent parser for the paper's SQL dialect and rule language.
+
+The grammar follows Sections 2.1 (operation blocks), 3 (rule definition),
+4.4 (priority pairings) and 5 (extensions) of the paper, plus the schema
+DDL (``create table``) needed to stand up the substrate.
+
+Entry points:
+
+* :func:`parse_statement` — one statement: DDL, rule DDL, or a single
+  operation block (``op ; op ; ...``).
+* :func:`parse_block` — an operation block only.
+* :func:`parse_expression` — an expression (used by the constraint
+  facility and tests).
+* :func:`parse_script` — a ``;``-separated sequence of statements. Note
+  that because rule actions are themselves ``;``-separated operation
+  blocks, a ``create rule`` statement greedily consumes subsequent DML
+  operations; scripts should place rule definitions last or submit them
+  as separate statements.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from . import ast
+from .lexer import tokenize
+from .tokens import Token, TokenKind
+
+_TYPE_KEYWORDS = {"INTEGER", "INT", "FLOAT", "REAL", "VARCHAR", "CHAR", "BOOLEAN"}
+
+_COMPARISON_TOKENS = {
+    TokenKind.EQ: "=",
+    TokenKind.NEQ: "<>",
+    TokenKind.LT: "<",
+    TokenKind.LTE: "<=",
+    TokenKind.GT: ">",
+    TokenKind.GTE: ">=",
+}
+
+_AGGREGATE_NAMES = frozenset({"count", "sum", "avg", "min", "max"})
+
+_SCALAR_FUNCTIONS = frozenset({
+    "abs", "round", "upper", "lower", "length", "coalesce", "nullif", "mod",
+    "substr", "trim", "replace",
+})
+
+
+class Parser:
+    """Token-stream parser. One instance parses one source string."""
+
+    def __init__(self, source):
+        self._source = source
+        self._tokens = tokenize(source)
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    # token helpers
+
+    def _peek(self, offset=0):
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self):
+        token = self._tokens[self._index]
+        if token.kind is not TokenKind.EOF:
+            self._index += 1
+        return token
+
+    def _check(self, kind):
+        return self._peek().kind is kind
+
+    def _check_keyword(self, *names):
+        return self._peek().is_keyword(*names)
+
+    def _match(self, kind):
+        if self._check(kind):
+            return self._advance()
+        return None
+
+    def _match_keyword(self, *names):
+        if self._check_keyword(*names):
+            return self._advance()
+        return None
+
+    def _expect(self, kind, what):
+        token = self._peek()
+        if token.kind is not kind:
+            raise ParseError(f"expected {what}, found {token.text or 'end of input'}",
+                             token)
+        return self._advance()
+
+    def _expect_keyword(self, name):
+        token = self._peek()
+        if not token.is_keyword(name):
+            raise ParseError(
+                f"expected {name}, found {token.text or 'end of input'}", token
+            )
+        return self._advance()
+
+    def _expect_identifier(self, what="identifier"):
+        token = self._peek()
+        if token.kind is TokenKind.IDENTIFIER:
+            return self._advance().value
+        # Permit non-reserved-sounding keywords as identifiers where safe?
+        # We keep it strict: keywords are reserved.
+        raise ParseError(f"expected {what}, found {token.text or 'end of input'}",
+                         token)
+
+    def _at_end(self):
+        return self._peek().kind is TokenKind.EOF
+
+    # ------------------------------------------------------------------
+    # statements
+
+    def parse_statement(self):
+        """Parse a single statement and require end of input after it."""
+        statement = self._parse_statement_inner()
+        if not self._at_end():
+            raise ParseError(
+                f"unexpected trailing input starting at {self._peek().text!r}",
+                self._peek(),
+            )
+        return statement
+
+    def parse_script(self):
+        """Parse a ``;``-separated statement sequence until end of input."""
+        statements = []
+        while not self._at_end():
+            statements.append(self._parse_statement_inner())
+            while self._match(TokenKind.SEMICOLON):
+                pass
+        return statements
+
+    def _parse_statement_inner(self):
+        if self._check_keyword("CREATE"):
+            return self._parse_create()
+        if self._check_keyword("DROP"):
+            return self._parse_drop()
+        if self._check_keyword("ASSERT"):
+            self._advance()
+            self._expect_keyword("RULES")
+            return ast.AssertRules()
+        return self._parse_operation_block()
+
+    def _parse_create(self):
+        self._expect_keyword("CREATE")
+        if self._match_keyword("TABLE"):
+            return self._parse_create_table()
+        if self._match_keyword("INDEX"):
+            return self._parse_create_index()
+        if self._check_keyword("RULE"):
+            self._advance()
+            if self._check_keyword("PRIORITY"):
+                self._advance()
+                return self._parse_rule_priority()
+            return self._parse_create_rule()
+        raise ParseError(
+            "expected TABLE, INDEX or RULE after CREATE", self._peek()
+        )
+
+    def _parse_drop(self):
+        self._expect_keyword("DROP")
+        if self._match_keyword("TABLE"):
+            return ast.DropTable(self._expect_identifier("table name"))
+        if self._match_keyword("RULE"):
+            return ast.DropRule(self._expect_identifier("rule name"))
+        if self._match_keyword("INDEX"):
+            return ast.DropIndex(self._expect_identifier("index name"))
+        raise ParseError(
+            "expected TABLE, INDEX or RULE after DROP", self._peek()
+        )
+
+    # ------------------------------------------------------------------
+    # schema DDL
+
+    def _parse_create_index(self):
+        name = self._expect_identifier("index name")
+        self._expect_keyword("ON")
+        table = self._expect_identifier("table name")
+        self._expect(TokenKind.LPAREN, "'('")
+        column = self._expect_identifier("column name")
+        self._expect(TokenKind.RPAREN, "')'")
+        return ast.CreateIndex(name, table, column)
+
+    def _parse_create_table(self):
+        name = self._expect_identifier("table name")
+        self._expect(TokenKind.LPAREN, "'('")
+        columns = []
+        while True:
+            column_name = self._expect_identifier("column name")
+            type_token = self._peek()
+            if type_token.kind is TokenKind.KEYWORD and type_token.value in _TYPE_KEYWORDS:
+                self._advance()
+                type_name = type_token.value.lower()
+                # allow e.g. varchar(40): the length is accepted and ignored
+                if self._match(TokenKind.LPAREN):
+                    self._expect(TokenKind.INTEGER, "type length")
+                    self._expect(TokenKind.RPAREN, "')'")
+            else:
+                raise ParseError(
+                    f"expected column type, found {type_token.text!r}", type_token
+                )
+            columns.append(ast.ColumnDef(column_name, type_name))
+            if not self._match(TokenKind.COMMA):
+                break
+        self._expect(TokenKind.RPAREN, "')'")
+        return ast.CreateTable(name, tuple(columns))
+
+    # ------------------------------------------------------------------
+    # rule DDL (paper §3, §4.4)
+
+    def _parse_rule_priority(self):
+        higher = self._expect_identifier("rule name")
+        self._expect_keyword("BEFORE")
+        lower = self._expect_identifier("rule name")
+        return ast.CreateRulePriority(higher, lower)
+
+    def _parse_create_rule(self):
+        name = self._expect_identifier("rule name")
+        self._expect_keyword("WHEN")
+        predicates = [self._parse_basic_transition_predicate()]
+        while self._match_keyword("OR"):
+            predicates.append(self._parse_basic_transition_predicate())
+        condition = None
+        if self._match_keyword("IF"):
+            condition = self.parse_expression_inner()
+        self._expect_keyword("THEN")
+        if self._match_keyword("ROLLBACK"):
+            action = ast.RollbackAction()
+        else:
+            action = self._parse_operation_block()
+        return ast.CreateRule(name, tuple(predicates), condition, action)
+
+    def _parse_basic_transition_predicate(self):
+        token = self._peek()
+        if self._match_keyword("INSERTED"):
+            self._expect_keyword("INTO")
+            table = self._expect_identifier("table name")
+            return ast.BasicTransitionPredicate(
+                ast.TransitionPredicateKind.INSERTED, table
+            )
+        if self._match_keyword("DELETED"):
+            self._expect_keyword("FROM")
+            table = self._expect_identifier("table name")
+            return ast.BasicTransitionPredicate(
+                ast.TransitionPredicateKind.DELETED, table
+            )
+        if self._match_keyword("UPDATED"):
+            table = self._expect_identifier("table name")
+            column = None
+            if self._match(TokenKind.DOT):
+                column = self._expect_identifier("column name")
+            return ast.BasicTransitionPredicate(
+                ast.TransitionPredicateKind.UPDATED, table, column
+            )
+        if self._match_keyword("SELECTED"):
+            table = self._expect_identifier("table name")
+            column = None
+            if self._match(TokenKind.DOT):
+                column = self._expect_identifier("column name")
+            return ast.BasicTransitionPredicate(
+                ast.TransitionPredicateKind.SELECTED, table, column
+            )
+        raise ParseError(
+            "expected transition predicate (inserted into / deleted from / "
+            f"updated / selected), found {token.text!r}",
+            token,
+        )
+
+    # ------------------------------------------------------------------
+    # operation blocks (paper §2.1)
+
+    def _parse_operation_block(self):
+        operations = [self._parse_operation()]
+        while self._check(TokenKind.SEMICOLON):
+            # Greedy: continue only if another operation follows.
+            next_token = self._peek(1)
+            if next_token.is_keyword("INSERT", "DELETE", "UPDATE", "SELECT"):
+                self._advance()  # consume ';'
+                operations.append(self._parse_operation())
+            else:
+                break
+        return ast.OperationBlock(tuple(operations))
+
+    def _parse_operation(self):
+        token = self._peek()
+        if self._check_keyword("INSERT"):
+            return self._parse_insert()
+        if self._check_keyword("DELETE"):
+            return self._parse_delete()
+        if self._check_keyword("UPDATE"):
+            return self._parse_update()
+        if self._check_keyword("SELECT"):
+            return ast.SelectOperation(self._parse_select())
+        raise ParseError(
+            f"expected insert, delete, update or select, found {token.text!r}",
+            token,
+        )
+
+    def _parse_insert(self):
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._expect_identifier("table name")
+        columns = ()
+        if self._check(TokenKind.LPAREN) and not self._lparen_starts_select():
+            # optional column list: insert into t (c1, c2) ...
+            self._advance()
+            names = [self._expect_identifier("column name")]
+            while self._match(TokenKind.COMMA):
+                names.append(self._expect_identifier("column name"))
+            self._expect(TokenKind.RPAREN, "')'")
+            columns = tuple(names)
+        if self._match_keyword("VALUES"):
+            rows = [self._parse_value_row()]
+            while self._match(TokenKind.COMMA):
+                rows.append(self._parse_value_row())
+            return ast.InsertValues(table, tuple(rows), columns)
+        if self._check(TokenKind.LPAREN):
+            self._advance()
+            select = self._parse_select()
+            self._expect(TokenKind.RPAREN, "')'")
+            return ast.InsertSelect(table, select, columns)
+        if self._check_keyword("SELECT"):
+            # also accept the unparenthesized form
+            return ast.InsertSelect(table, self._parse_select(), columns)
+        raise ParseError("expected VALUES or (select ...) in insert", self._peek())
+
+    def _lparen_starts_select(self):
+        return self._check(TokenKind.LPAREN) and self._peek(1).is_keyword("SELECT")
+
+    def _parse_value_row(self):
+        self._expect(TokenKind.LPAREN, "'('")
+        values = [self.parse_expression_inner()]
+        while self._match(TokenKind.COMMA):
+            values.append(self.parse_expression_inner())
+        self._expect(TokenKind.RPAREN, "')'")
+        return tuple(values)
+
+    def _parse_delete(self):
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._expect_identifier("table name")
+        where = None
+        if self._match_keyword("WHERE"):
+            where = self.parse_expression_inner()
+        return ast.Delete(table, where)
+
+    def _parse_update(self):
+        self._expect_keyword("UPDATE")
+        table = self._expect_identifier("table name")
+        self._expect_keyword("SET")
+        assignments = [self._parse_assignment()]
+        while self._match(TokenKind.COMMA):
+            assignments.append(self._parse_assignment())
+        where = None
+        if self._match_keyword("WHERE"):
+            where = self.parse_expression_inner()
+        return ast.Update(table, tuple(assignments), where)
+
+    def _parse_assignment(self):
+        column = self._expect_identifier("column name")
+        self._expect(TokenKind.EQ, "'='")
+        value = self.parse_expression_inner()
+        return ast.Assignment(column, value)
+
+    # ------------------------------------------------------------------
+    # select
+
+    def _parse_select(self):
+        self._expect_keyword("SELECT")
+        distinct = False
+        if self._match_keyword("DISTINCT"):
+            distinct = True
+        elif self._match_keyword("ALL"):
+            pass
+        items = [self._parse_select_item()]
+        while self._match(TokenKind.COMMA):
+            items.append(self._parse_select_item())
+        tables = ()
+        if self._match_keyword("FROM"):
+            refs = [self._parse_table_reference()]
+            while self._match(TokenKind.COMMA):
+                refs.append(self._parse_table_reference())
+            tables = tuple(refs)
+        where = None
+        if self._match_keyword("WHERE"):
+            where = self.parse_expression_inner()
+        group_by = ()
+        having = None
+        if self._check_keyword("GROUP"):
+            self._advance()
+            self._expect_keyword("BY")
+            exprs = [self.parse_expression_inner()]
+            while self._match(TokenKind.COMMA):
+                exprs.append(self.parse_expression_inner())
+            group_by = tuple(exprs)
+        if self._match_keyword("HAVING"):
+            # HAVING without GROUP BY treats the whole input as one group
+            having = self.parse_expression_inner()
+        order_by = ()
+        if self._check_keyword("ORDER"):
+            self._advance()
+            self._expect_keyword("BY")
+            orders = [self._parse_order_item()]
+            while self._match(TokenKind.COMMA):
+                orders.append(self._parse_order_item())
+            order_by = tuple(orders)
+        limit = None
+        if self._match_keyword("LIMIT"):
+            token = self._expect(TokenKind.INTEGER, "integer limit")
+            limit = token.value
+        union = None
+        union_all = False
+        if self._match_keyword("UNION"):
+            union_all = bool(self._match_keyword("ALL"))
+            union = self._parse_select()
+        return ast.Select(
+            items=tuple(items),
+            tables=tables,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+            union=union,
+            union_all=union_all,
+        )
+
+    def _parse_select_item(self):
+        if self._check(TokenKind.STAR):
+            self._advance()
+            return ast.Star()
+        # qualified star: t.*
+        if (
+            self._check(TokenKind.IDENTIFIER)
+            and self._peek(1).kind is TokenKind.DOT
+            and self._peek(2).kind is TokenKind.STAR
+        ):
+            qualifier = self._advance().value
+            self._advance()  # '.'
+            self._advance()  # '*'
+            return ast.Star(qualifier)
+        expression = self.parse_expression_inner()
+        alias = None
+        if self._match_keyword("AS"):
+            alias = self._expect_identifier("column alias")
+        elif self._check(TokenKind.IDENTIFIER):
+            alias = self._advance().value
+        return ast.SelectItem(expression, alias)
+
+    def _parse_order_item(self):
+        expression = self.parse_expression_inner()
+        descending = False
+        if self._match_keyword("DESC"):
+            descending = True
+        elif self._match_keyword("ASC"):
+            pass
+        return ast.OrderItem(expression, descending)
+
+    def _parse_table_reference(self):
+        # Transition tables (paper §3): inserted t, deleted t,
+        # old updated t[.c], new updated t[.c]; §5.1: selected t[.c]
+        if self._match_keyword("INSERTED"):
+            return self._finish_transition_ref(ast.TransitionKind.INSERTED,
+                                               allow_column=False)
+        if self._match_keyword("DELETED"):
+            return self._finish_transition_ref(ast.TransitionKind.DELETED,
+                                               allow_column=False)
+        if self._match_keyword("OLD"):
+            self._expect_keyword("UPDATED")
+            return self._finish_transition_ref(ast.TransitionKind.OLD_UPDATED,
+                                               allow_column=True)
+        if self._match_keyword("NEW"):
+            self._expect_keyword("UPDATED")
+            return self._finish_transition_ref(ast.TransitionKind.NEW_UPDATED,
+                                               allow_column=True)
+        if self._match_keyword("SELECTED"):
+            return self._finish_transition_ref(ast.TransitionKind.SELECTED,
+                                               allow_column=True)
+        table = self._expect_identifier("table name")
+        alias = None
+        if self._match_keyword("AS"):
+            alias = self._expect_identifier("table alias")
+        elif self._check(TokenKind.IDENTIFIER):
+            alias = self._advance().value
+        return ast.BaseTableRef(table, alias)
+
+    def _finish_transition_ref(self, kind, allow_column):
+        table = self._expect_identifier("table name")
+        column = None
+        if allow_column and self._match(TokenKind.DOT):
+            column = self._expect_identifier("column name")
+        alias = None
+        if self._match_keyword("AS"):
+            alias = self._expect_identifier("table alias")
+        elif self._check(TokenKind.IDENTIFIER):
+            alias = self._advance().value
+        return ast.TransitionTableRef(kind, table, column, alias)
+
+    # ------------------------------------------------------------------
+    # expressions (precedence climbing)
+
+    def parse_expression_inner(self):
+        return self._parse_or()
+
+    def _parse_or(self):
+        left = self._parse_and()
+        while self._match_keyword("OR"):
+            right = self._parse_and()
+            left = ast.BinaryOp("or", left, right)
+        return left
+
+    def _parse_and(self):
+        left = self._parse_not()
+        while self._match_keyword("AND"):
+            right = self._parse_not()
+            left = ast.BinaryOp("and", left, right)
+        return left
+
+    def _parse_not(self):
+        if self._match_keyword("NOT"):
+            return ast.UnaryOp("not", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self):
+        left = self._parse_additive()
+        while True:
+            token = self._peek()
+            negated = False
+            if token.is_keyword("NOT") and self._peek(1).is_keyword(
+                "IN", "BETWEEN", "LIKE"
+            ):
+                self._advance()
+                negated = True
+                token = self._peek()
+            if token.is_keyword("IS"):
+                self._advance()
+                is_negated = bool(self._match_keyword("NOT"))
+                self._expect_keyword("NULL")
+                left = ast.IsNull(left, is_negated)
+                continue
+            if token.is_keyword("IN"):
+                self._advance()
+                left = self._parse_in_rhs(left, negated)
+                continue
+            if token.is_keyword("BETWEEN"):
+                self._advance()
+                low = self._parse_additive()
+                self._expect_keyword("AND")
+                high = self._parse_additive()
+                left = ast.Between(left, low, high, negated)
+                continue
+            if token.is_keyword("LIKE"):
+                self._advance()
+                pattern = self._parse_additive()
+                left = ast.Like(left, pattern, negated)
+                continue
+            if negated:
+                raise ParseError("expected IN, BETWEEN or LIKE after NOT", token)
+            if token.kind in _COMPARISON_TOKENS:
+                op = _COMPARISON_TOKENS[token.kind]
+                self._advance()
+                if self._check_keyword("ANY", "SOME", "ALL", "EVERY"):
+                    quantifier_token = self._advance()
+                    quantifier = (
+                        "any" if quantifier_token.value in ("ANY", "SOME") else "all"
+                    )
+                    self._expect(TokenKind.LPAREN, "'('")
+                    select = self._parse_select()
+                    self._expect(TokenKind.RPAREN, "')'")
+                    left = ast.QuantifiedComparison(left, op, quantifier, select)
+                else:
+                    right = self._parse_additive()
+                    left = ast.BinaryOp(op, left, right)
+                continue
+            return left
+
+    def _parse_in_rhs(self, operand, negated):
+        self._expect(TokenKind.LPAREN, "'('")
+        if self._check_keyword("SELECT"):
+            select = self._parse_select()
+            self._expect(TokenKind.RPAREN, "')'")
+            return ast.InSelect(operand, select, negated)
+        items = [self.parse_expression_inner()]
+        while self._match(TokenKind.COMMA):
+            items.append(self.parse_expression_inner())
+        self._expect(TokenKind.RPAREN, "')'")
+        return ast.InList(operand, tuple(items), negated)
+
+    def _parse_additive(self):
+        left = self._parse_multiplicative()
+        while True:
+            if self._match(TokenKind.PLUS):
+                left = ast.BinaryOp("+", left, self._parse_multiplicative())
+            elif self._match(TokenKind.MINUS):
+                left = ast.BinaryOp("-", left, self._parse_multiplicative())
+            elif self._match(TokenKind.CONCAT):
+                left = ast.BinaryOp("||", left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self):
+        left = self._parse_unary()
+        while True:
+            if self._match(TokenKind.STAR):
+                left = ast.BinaryOp("*", left, self._parse_unary())
+            elif self._match(TokenKind.SLASH):
+                left = ast.BinaryOp("/", left, self._parse_unary())
+            elif self._match(TokenKind.PERCENT):
+                left = ast.BinaryOp("%", left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self):
+        if self._match(TokenKind.MINUS):
+            return ast.UnaryOp("-", self._parse_unary())
+        if self._match(TokenKind.PLUS):
+            return ast.UnaryOp("+", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self):
+        token = self._peek()
+
+        if token.kind is TokenKind.INTEGER or token.kind is TokenKind.FLOAT:
+            self._advance()
+            return ast.Literal(token.value)
+        if token.kind is TokenKind.STRING:
+            self._advance()
+            return ast.Literal(token.value)
+        if token.is_keyword("NULL"):
+            self._advance()
+            return ast.Literal(None)
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return ast.Literal(True)
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return ast.Literal(False)
+
+        if token.is_keyword("EXISTS"):
+            self._advance()
+            self._expect(TokenKind.LPAREN, "'('")
+            select = self._parse_select()
+            self._expect(TokenKind.RPAREN, "')'")
+            return ast.Exists(select)
+
+        if token.is_keyword("CASE"):
+            return self._parse_case()
+
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            if self._check_keyword("SELECT"):
+                select = self._parse_select()
+                self._expect(TokenKind.RPAREN, "')'")
+                return ast.ScalarSelect(select)
+            expression = self.parse_expression_inner()
+            self._expect(TokenKind.RPAREN, "')'")
+            return expression
+
+        if token.kind is TokenKind.IDENTIFIER:
+            return self._parse_identifier_expression()
+
+        raise ParseError(
+            f"expected expression, found {token.text or 'end of input'}", token
+        )
+
+    def _parse_case(self):
+        self._expect_keyword("CASE")
+        branches = []
+        while self._match_keyword("WHEN"):
+            condition = self.parse_expression_inner()
+            self._expect_keyword("THEN")
+            value = self.parse_expression_inner()
+            branches.append((condition, value))
+        if not branches:
+            raise ParseError("CASE requires at least one WHEN branch", self._peek())
+        default = None
+        if self._match_keyword("ELSE"):
+            default = self.parse_expression_inner()
+        self._expect_keyword("END")
+        return ast.CaseExpression(tuple(branches), default)
+
+    def _parse_identifier_expression(self):
+        name = self._advance().value
+
+        if self._check(TokenKind.LPAREN):
+            return self._parse_function_call(name)
+
+        if self._check(TokenKind.DOT):
+            # qualified column: t.c  (t.* is handled at select-item level)
+            self._advance()
+            column = self._expect_identifier("column name")
+            return ast.ColumnRef(column, qualifier=name)
+
+        return ast.ColumnRef(name)
+
+    def _parse_function_call(self, name):
+        self._expect(TokenKind.LPAREN, "'('")
+        distinct = False
+        args = []
+        if self._check(TokenKind.STAR):
+            self._advance()
+            args.append(ast.Star())
+        elif not self._check(TokenKind.RPAREN):
+            if self._match_keyword("DISTINCT"):
+                distinct = True
+            args.append(self.parse_expression_inner())
+            while self._match(TokenKind.COMMA):
+                args.append(self.parse_expression_inner())
+        self._expect(TokenKind.RPAREN, "')'")
+        if name not in _AGGREGATE_NAMES and name not in _SCALAR_FUNCTIONS:
+            raise ParseError(f"unknown function {name!r}", self._peek())
+        if distinct and name not in _AGGREGATE_NAMES:
+            raise ParseError(f"DISTINCT is only valid in aggregates, not {name!r}",
+                             self._peek())
+        return ast.FunctionCall(name, tuple(args), distinct)
+
+
+# ---------------------------------------------------------------------------
+# module-level entry points
+
+
+def parse_statement(source):
+    """Parse exactly one statement (DDL, rule DDL, or an operation block)."""
+    return Parser(source).parse_statement()
+
+
+def parse_script(source):
+    """Parse a ``;``-separated script into a statement list."""
+    return Parser(source).parse_script()
+
+
+def parse_block(source):
+    """Parse an operation block; raise if the source is any other statement."""
+    statement = parse_statement(source)
+    if not isinstance(statement, ast.OperationBlock):
+        raise ParseError(f"expected an operation block, got {type(statement).__name__}")
+    return statement
+
+
+def parse_expression(source):
+    """Parse a standalone expression (used by constraints and tests)."""
+    parser = Parser(source)
+    expression = parser.parse_expression_inner()
+    if not parser._at_end():
+        raise ParseError(
+            f"unexpected trailing input starting at {parser._peek().text!r}",
+            parser._peek(),
+        )
+    return expression
+
+
+def parse_select(source):
+    """Parse a standalone select statement."""
+    parser = Parser(source)
+    select = parser._parse_select()
+    if not parser._at_end():
+        raise ParseError(
+            f"unexpected trailing input starting at {parser._peek().text!r}",
+            parser._peek(),
+        )
+    return select
+
+
+def parse_transition_predicates(source):
+    """Parse a bare transition-predicate list, e.g.
+    ``"inserted into emp or updated emp.salary"``.
+
+    Used when defining rules with external (Python) actions, where only
+    the ``when`` part is SQL text.
+    """
+    parser = Parser(source)
+    predicates = [parser._parse_basic_transition_predicate()]
+    while parser._match_keyword("OR"):
+        predicates.append(parser._parse_basic_transition_predicate())
+    if not parser._at_end():
+        raise ParseError(
+            f"unexpected trailing input starting at {parser._peek().text!r}",
+            parser._peek(),
+        )
+    return tuple(predicates)

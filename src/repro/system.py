@@ -1,0 +1,202 @@
+"""The public facade: an active relational database with production rules.
+
+:class:`ActiveDatabase` ties together the SQL dialect, the relational
+engine and the rule engine behind a two-method surface:
+
+* :meth:`~ActiveDatabase.execute` — run any statement: schema DDL, rule
+  DDL, priority pairings, or an operation block (which runs as one
+  transaction with full rule processing, per the paper's §4 model);
+* :meth:`~ActiveDatabase.query` — evaluate a read-only select.
+
+plus explicit transactions for the §5.3 triggering-point extension::
+
+    db = ActiveDatabase()
+    db.execute("create table emp (name varchar, salary float)")
+    db.execute('''
+        create rule no_negative_salaries
+        when inserted into emp or updated emp.salary
+        if exists (select * from emp where salary < 0)
+        then rollback
+    ''')
+    result = db.execute("insert into emp values ('Jane', -10)")
+    assert result.rolled_back
+"""
+
+from __future__ import annotations
+
+from .core.engine import RuleEngine
+from .core.rules import RuleCatalog
+from .errors import ExecutionError, TransactionError
+from .relational.database import Database
+from .sql import ast, parse_statement
+from .sql.parser import parse_select
+
+
+class ActiveDatabase:
+    """A relational database with the paper's production rules facility.
+
+    Args:
+        strategy: rule selection strategy (defaults to the §4.4 priority
+            partial order).
+        max_rule_transitions: per-transaction rule transition budget.
+        track_selects: enable the §5.1 ``selected`` extension.
+        record_seen: record transition-table snapshots in traces.
+    """
+
+    def __init__(self, strategy=None, max_rule_transitions=10000,
+                 track_selects=False, record_seen=True):
+        self.database = Database()
+        self.catalog = RuleCatalog()
+        self.engine = RuleEngine(
+            self.database,
+            self.catalog,
+            strategy=strategy,
+            max_rule_transitions=max_rule_transitions,
+            track_selects=track_selects,
+            record_seen=record_seen,
+        )
+
+    # ------------------------------------------------------------------
+    # statements
+
+    def execute(self, statement):
+        """Execute one statement (SQL text or a parsed AST node).
+
+        Returns:
+            * schema/rule DDL — ``None``;
+            * an operation block — the transaction's
+              :class:`~repro.core.trace.TransactionResult` (auto-commit
+              mode) or the block's operation effects (inside an explicit
+              transaction);
+            * ``assert rules`` — ``None`` (requires an open transaction).
+        """
+        if isinstance(statement, str):
+            statement = parse_statement(statement)
+
+        if isinstance(statement, ast.CreateTable):
+            self._require_no_transaction("create table")
+            self.database.create_table(
+                statement.name,
+                [(column.name, column.type_name) for column in statement.columns],
+            )
+            return None
+        if isinstance(statement, ast.DropTable):
+            self._require_no_transaction("drop table")
+            self.database.drop_table(statement.name)
+            return None
+        if isinstance(statement, ast.CreateIndex):
+            self._require_no_transaction("create index")
+            self.database.create_index(
+                statement.name, statement.table, statement.column
+            )
+            return None
+        if isinstance(statement, ast.DropIndex):
+            self._require_no_transaction("drop index")
+            self.database.drop_index(statement.name)
+            return None
+        if isinstance(statement, ast.CreateRule):
+            return self.engine.define_rule(statement)
+        if isinstance(statement, ast.DropRule):
+            self.engine.drop_rule(statement.name)
+            return None
+        if isinstance(statement, ast.CreateRulePriority):
+            self.engine.add_priority(statement.higher, statement.lower)
+            return None
+        if isinstance(statement, ast.AssertRules):
+            self.engine.assert_rules()
+            return None
+        if isinstance(statement, ast.OperationBlock):
+            if self.engine.in_transaction:
+                return self.engine.execute_block(statement)
+            return self.engine.run_block(statement)
+        raise ExecutionError(
+            f"unsupported statement {type(statement).__name__}"
+        )
+
+    def execute_script(self, script):
+        """Execute a ``;``-separated statement script; returns the last
+        statement's result. Note rule actions also use ``;`` — place
+        ``create rule`` statements last, or call :meth:`execute` per
+        statement."""
+        from .sql.parser import parse_script
+
+        result = None
+        for statement in parse_script(script):
+            result = self.execute(statement)
+        return result
+
+    def query(self, select):
+        """Evaluate a read-only select; returns a
+        :class:`~repro.relational.select.SelectResult`."""
+        if isinstance(select, str):
+            select = parse_select(select)
+        return self.engine.query(select)
+
+    def rows(self, select):
+        """Shorthand: the result rows of :meth:`query`."""
+        return self.query(select).rows
+
+    # ------------------------------------------------------------------
+    # explicit transactions (§5.3 triggering points)
+
+    def begin(self):
+        """Open an explicit transaction."""
+        self.engine.begin()
+
+    def commit(self):
+        """Process rules and commit the open transaction."""
+        return self.engine.commit()
+
+    def rollback(self):
+        """Abort the open transaction."""
+        return self.engine.rollback()
+
+    def assert_rules(self):
+        """Process rules now (a §5.3 user-defined triggering point)."""
+        self.engine.assert_rules()
+
+    # ------------------------------------------------------------------
+    # rules convenience
+
+    def define_external_rule(self, name, when, procedure, condition=None,
+                             description=None):
+        """Define a rule with a Python-procedure action (§5.2)."""
+        return self.engine.define_external_rule(
+            name, when, procedure, condition, description
+        )
+
+    def rule_names(self):
+        return self.catalog.rule_names()
+
+    def deactivate_rule(self, name):
+        """Pause a rule: it keeps its definition and keeps accumulating
+        transition information, but is never considered until reactivated."""
+        self.catalog.rule(name).active = False
+
+    def activate_rule(self, name):
+        """Resume a previously deactivated rule."""
+        self.catalog.rule(name).active = True
+
+    def set_rule_reset_policy(self, name, policy):
+        """Select a rule's footnote-8 re-triggering baseline:
+        ``"execution"`` (default), ``"consideration"`` or
+        ``"triggering"``. The paper suggests permitting "a choice of
+        interpretations ... as part of rule definition"; since it defines
+        no syntax for it, the choice is made through this API."""
+        from .core.rules import RESET_POLICIES
+        from .errors import InvalidRuleError
+
+        if policy not in RESET_POLICIES:
+            raise InvalidRuleError(
+                f"reset policy must be one of {RESET_POLICIES}, "
+                f"got {policy!r}"
+            )
+        self.catalog.rule(name).reset_policy = policy
+
+    # ------------------------------------------------------------------
+
+    def _require_no_transaction(self, what):
+        if self.engine.in_transaction:
+            raise TransactionError(
+                f"{what} is not allowed inside a transaction"
+            )

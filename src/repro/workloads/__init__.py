@@ -1,0 +1,29 @@
+"""Synthetic workload generators for tests, examples and benchmarks.
+
+Stand-ins for the production data/operation streams of the original
+Starburst deployment (unavailable); see DESIGN.md's substitution table.
+"""
+
+from .generator import WorkloadConfig, WorkloadGenerator, run_workload
+from .orgchart import (
+    DEPT_SCHEMA,
+    EMP_SCHEMA,
+    OrgChart,
+    build_orgchart,
+    create_schema,
+    load_orgchart,
+    populate,
+)
+
+__all__ = [
+    "DEPT_SCHEMA",
+    "EMP_SCHEMA",
+    "OrgChart",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "build_orgchart",
+    "create_schema",
+    "load_orgchart",
+    "populate",
+    "run_workload",
+]

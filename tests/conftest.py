@@ -1,0 +1,72 @@
+"""Shared fixtures: the paper's emp/dept schema in various configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ActiveDatabase
+from repro.relational import Database
+
+
+@pytest.fixture
+def db():
+    """An empty :class:`ActiveDatabase`."""
+    return ActiveDatabase()
+
+
+@pytest.fixture
+def empdept(db):
+    """An :class:`ActiveDatabase` with the paper's emp/dept schema."""
+    db.execute(
+        "create table emp (name varchar, emp_no integer, salary float, "
+        "dept_no integer)"
+    )
+    db.execute("create table dept (dept_no integer, mgr_no integer)")
+    return db
+
+
+@pytest.fixture
+def staffed(empdept):
+    """emp/dept with a small, fixed population.
+
+    Departments: 1 (mgr 10), 2 (mgr 20).
+    Employees: Jane(10, 90k, d0) Mary(20, 70k, d1) Bill(30, 40k, d1)
+               Sam(40, 50k, d2) Sue(50, 55k, d2).
+    """
+    empdept.execute("insert into dept values (1, 10), (2, 20)")
+    empdept.execute(
+        "insert into emp values "
+        "('Jane', 10, 90000, 0), "
+        "('Mary', 20, 70000, 1), "
+        "('Bill', 30, 40000, 1), "
+        "('Sam', 40, 50000, 2), "
+        "('Sue', 50, 55000, 2)"
+    )
+    return empdept
+
+
+@pytest.fixture
+def raw_db():
+    """A bare :class:`repro.relational.Database` with the emp table."""
+    database = Database()
+    database.create_table(
+        "emp",
+        [
+            ("name", "varchar"),
+            ("emp_no", "integer"),
+            ("salary", "float"),
+            ("dept_no", "integer"),
+        ],
+    )
+    database.create_table(
+        "dept", [("dept_no", "integer"), ("mgr_no", "integer")]
+    )
+    return database
+
+
+def names(db, where=""):
+    """Helper: sorted employee names, optionally filtered."""
+    clause = f" where {where}" if where else ""
+    return sorted(
+        row[0] for row in db.rows(f"select name from emp{clause}")
+    )

@@ -1,0 +1,172 @@
+"""Integration tests for the :class:`ActiveDatabase` facade."""
+
+import pytest
+
+from repro import ActiveDatabase
+from repro.errors import (
+    CatalogError,
+    DuplicateRuleError,
+    ExecutionError,
+    TransactionError,
+    UnknownRuleError,
+)
+
+
+@pytest.fixture
+def db():
+    db = ActiveDatabase()
+    db.execute("create table t (x integer)")
+    return db
+
+
+class TestStatementDispatch:
+    def test_create_and_drop_table(self, db):
+        db.execute("create table u (y varchar)")
+        db.execute("insert into u values ('a')")
+        db.execute("drop table u")
+        with pytest.raises(CatalogError):
+            db.query("select * from u")
+
+    def test_create_and_drop_rule(self, db):
+        db.execute("create rule r when inserted into t then delete from t")
+        assert "r" in db.rule_names()
+        db.execute("drop rule r")
+        assert db.rule_names() == []
+
+    def test_duplicate_rule_raises(self, db):
+        db.execute("create rule r when inserted into t then delete from t")
+        with pytest.raises(DuplicateRuleError):
+            db.execute("create rule r when inserted into t then delete from t")
+
+    def test_drop_unknown_rule_raises(self, db):
+        with pytest.raises(UnknownRuleError):
+            db.execute("drop rule ghost")
+
+    def test_priority_statement(self, db):
+        db.execute("create rule a when inserted into t then delete from t where false")
+        db.execute("create rule b when inserted into t then delete from t where false")
+        db.execute("create rule priority b before a")
+        assert db.catalog.precedes("b", "a")
+
+    def test_operation_block_returns_result(self, db):
+        result = db.execute("insert into t values (1)")
+        assert result.committed
+
+    def test_query_returns_rows(self, db):
+        db.execute("insert into t values (1), (2)")
+        assert db.rows("select x from t order by x") == [(1,), (2,)]
+
+    def test_query_rejects_writes(self, db):
+        with pytest.raises(Exception):
+            db.query("insert into t values (1)")
+
+    def test_ddl_inside_transaction_rejected(self, db):
+        db.begin()
+        with pytest.raises(TransactionError):
+            db.execute("create table u (y integer)")
+        db.rollback()
+
+    def test_execute_parsed_ast(self, db):
+        from repro.sql.parser import parse_statement
+
+        statement = parse_statement("insert into t values (9)")
+        db.execute(statement)
+        assert db.rows("select x from t") == [(9,)]
+
+    def test_unsupported_statement_type_raises(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute(object())
+
+
+class TestExecuteScript:
+    def test_script_runs_statements_in_order(self):
+        db = ActiveDatabase()
+        db.execute_script(
+            "create table t (x integer); "
+            "insert into t values (1); "
+            "insert into t values (2)"
+        )
+        assert db.rows("select count(*) from t") == [(2,)]
+
+    def test_script_returns_last_result(self):
+        db = ActiveDatabase()
+        result = db.execute_script(
+            "create table t (x integer); insert into t values (1)"
+        )
+        assert result.committed
+
+
+class TestEndToEndScenario:
+    def test_audit_pipeline(self):
+        """A realistic multi-rule pipeline: normalization, audit and a
+        guard cooperating through priorities."""
+        db = ActiveDatabase()
+        db.execute("create table orders (id integer, amount float, status varchar)")
+        db.execute("create table audit (id integer, note varchar)")
+
+        # normalize: new orders with null status become 'new'
+        db.execute("""
+            create rule normalize
+            when inserted into orders
+            if exists (select * from inserted orders where status is null)
+            then update orders set status = 'new' where status is null
+        """)
+        # audit every inserted order
+        db.execute("""
+            create rule audit_insert
+            when inserted into orders
+            then insert into audit (select id, 'created' from inserted orders)
+        """)
+        # guard: reject non-positive amounts
+        db.execute("""
+            create rule guard
+            when inserted into orders or updated orders.amount
+            if exists (select * from orders where amount <= 0)
+            then rollback
+        """)
+        db.execute("create rule priority guard before normalize")
+        db.execute("create rule priority normalize before audit_insert")
+
+        ok = db.execute("insert into orders values (1, 10.0, null)")
+        assert ok.committed
+        assert db.rows("select status from orders") == [("new",)]
+        assert db.rows("select note from audit") == [("created",)]
+
+        bad = db.execute("insert into orders values (2, -1.0, 'new')")
+        assert bad.rolled_back_by == "guard"
+        assert db.query("select count(*) from orders").scalar() == 1
+        assert db.query("select count(*) from audit").scalar() == 1
+
+    def test_derived_data_maintenance(self):
+        """§1 motivation: "maintenance of derived data" — keep a per-dept
+        headcount table consistent under inserts and deletes."""
+        db = ActiveDatabase()
+        db.execute("create table emp (emp_no integer, dept_no integer)")
+        db.execute("create table headcount (dept_no integer, n integer)")
+        db.execute("insert into headcount values (1, 0), (2, 0)")
+        db.execute("""
+            create rule count_in
+            when inserted into emp
+            then update headcount
+                 set n = n + (select count(*) from inserted emp e
+                              where e.dept_no = headcount.dept_no)
+                 where dept_no in (select dept_no from inserted emp)
+        """)
+        db.execute("""
+            create rule count_out
+            when deleted from emp
+            then update headcount
+                 set n = n - (select count(*) from deleted emp e
+                              where e.dept_no = headcount.dept_no)
+                 where dept_no in (select dept_no from deleted emp)
+        """)
+        db.execute(
+            "insert into emp values (1, 1), (2, 1), (3, 2), (4, 2), (5, 2)"
+        )
+        assert db.rows("select n from headcount order by dept_no") == [
+            (2,), (3,),
+        ]
+        db.execute("delete from emp where dept_no = 2 and emp_no > 3")
+        assert db.rows("select n from headcount order by dept_no") == [
+            (2,), (1,),
+        ]

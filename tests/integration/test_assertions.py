@@ -1,0 +1,147 @@
+"""Integration tests for the Assertion constraint (SQL ASSERTION analog).
+
+The CW90 companion paper's case study centres on inter-table constraints
+like "no employee earns more than their manager"; :class:`Assertion`
+compiles exactly such declarations into aborting rules.
+"""
+
+import pytest
+
+from repro import ActiveDatabase
+from repro.constraints import Assertion, ConstraintManager
+from repro.errors import ConstraintError
+
+
+SALARY_HIERARCHY = Assertion(
+    "salary_hierarchy",
+    tables=("emp", "dept"),
+    violation=(
+        "select * from emp e, dept d, emp m "
+        "where e.dept_no = d.dept_no and m.emp_no = d.mgr_no "
+        "and e.salary > m.salary"
+    ),
+)
+
+
+@pytest.fixture
+def db():
+    db = ActiveDatabase()
+    db.execute(
+        "create table emp (name varchar, emp_no integer, salary float, "
+        "dept_no integer)"
+    )
+    db.execute("create table dept (dept_no integer, mgr_no integer)")
+    manager = ConstraintManager(db)
+    manager.install(SALARY_HIERARCHY)
+    db.execute("insert into dept values (1, 100)")
+    db.execute("insert into emp values ('Boss', 100, 90000, 0)")
+    db.execute("insert into emp values ('Worker', 101, 50000, 1)")
+    return db
+
+
+class TestSalaryHierarchyAssertion:
+    def test_valid_state_installs_and_accepts(self, db):
+        assert db.query("select count(*) from emp").scalar() == 2
+
+    def test_overpaid_hire_rejected(self, db):
+        result = db.execute(
+            "insert into emp values ('Upstart', 102, 95000, 1)"
+        )
+        assert result.rolled_back_by == "assert_salary_hierarchy"
+        assert db.query("select count(*) from emp").scalar() == 2
+
+    def test_raise_beyond_manager_rejected(self, db):
+        result = db.execute(
+            "update emp set salary = 95000 where name = 'Worker'"
+        )
+        assert result.rolled_back
+        assert db.query(
+            "select salary from emp where name = 'Worker'"
+        ).scalar() == 50000
+
+    def test_manager_pay_cut_rejected(self, db):
+        result = db.execute(
+            "update emp set salary = 40000 where name = 'Boss'"
+        )
+        assert result.rolled_back
+
+    def test_department_reassignment_checked(self, db):
+        """Moving the manager pointer can violate too (dept update)."""
+        db.execute("insert into emp values ('Junior', 102, 10000, 0)")
+        result = db.execute("update dept set mgr_no = 102")
+        # Worker (50000) would now out-earn manager Junior (10000)
+        assert result.rolled_back
+
+    def test_compound_transaction_judged_as_a_whole(self, db):
+        """Raising the worker AND the boss together keeps the invariant:
+        the assertion checks the post-transition state, so the transaction
+        commits even though an intermediate ordering might look bad."""
+        result = db.execute(
+            "update emp set salary = 95000 where name = 'Worker'; "
+            "update emp set salary = 120000 where name = 'Boss'"
+        )
+        assert result.committed
+
+    def test_delete_checking_can_be_disabled(self):
+        db = ActiveDatabase()
+        db.execute("create table a (x integer)")
+        db.execute("create table b (x integer)")
+        manager = ConstraintManager(db)
+        manager.install(
+            Assertion(
+                "coverage",
+                tables=("b",),
+                violation=(
+                    "select * from a where x not in (select x from b)"
+                ),
+                check_on_delete=False,
+            )
+        )
+        db.execute("insert into b values (1)")
+        db.execute("insert into a values (1)")
+        # deleting from b creates a violation, but delete checking is off
+        result = db.execute("delete from b")
+        assert result.committed
+
+    def test_must_name_at_least_one_table(self):
+        with pytest.raises(ConstraintError):
+            Assertion("empty", tables=(), violation="select 1")
+
+    def test_generated_sql_is_inspectable(self, db):
+        from repro.constraints import compile_constraint
+
+        [rule] = compile_constraint(SALARY_HIERARCHY)
+        assert rule.name == "assert_salary_hierarchy"
+        assert "inserted into emp" in rule.sql
+        assert "updated dept" in rule.sql
+        assert "deleted from emp" in rule.sql
+        assert "then rollback" in rule.sql
+
+
+class TestScalarStringFunctions:
+    """Coverage for the substr/trim/replace additions."""
+
+    def test_substr(self, db):
+        assert db.rows("select substr('hello', 2, 3)") == [("ell",)]
+        assert db.rows("select substr('hello', 3)") == [("llo",)]
+        assert db.rows("select substr('hi', 10)") == [("",)]
+
+    def test_substr_null_propagates(self, db):
+        assert db.rows("select substr(null, 1)") == [(None,)]
+
+    def test_trim_and_replace(self, db):
+        assert db.rows("select trim('  x  ')") == [("x",)]
+        assert db.rows("select replace('a-b-c', '-', '+')") == [("a+b+c",)]
+        assert db.rows("select replace('abc', '', 'x')") == [("abc",)]
+
+    def test_usable_in_rules(self, db):
+        db2 = ActiveDatabase()
+        db2.execute("create table t (name varchar)")
+        db2.execute("create table clean (name varchar)")
+        db2.execute(
+            "create rule normalize when inserted into t "
+            "then insert into clean "
+            "(select trim(upper(name)) from inserted t)"
+        )
+        db2.execute("insert into t values ('  jane  ')")
+        assert db2.rows("select name from clean") == [("JANE",)]

@@ -1,0 +1,268 @@
+"""A full case study: warehouse order processing with a rule network.
+
+The paper's §3.1 notes that "additional examples pertaining to a fairly
+large case study appear in [CW90]". In that spirit, this module builds a
+complete small application — inventory, orders, automatic fulfilment,
+reorder points, supplier receipts, auditing, and guards — entirely from
+cooperating set-oriented rules, and verifies global invariants across
+workloads. It exercises, together: cascading across 4+ rules, priorities,
+aggregate conditions over transition tables, external actions, rollback
+guards, and quiescence of a cyclic (but converging) rule network.
+"""
+
+import pytest
+
+from repro import ActiveDatabase
+from repro.analysis import analyze
+
+
+def build_warehouse(track_supplier_calls=None):
+    db = ActiveDatabase()
+    db.execute(
+        "create table products (sku varchar, price float, stock integer, "
+        "reorder_level integer)"
+    )
+    db.execute(
+        "create table orders (order_id integer, sku varchar, qty integer, "
+        "status varchar)"
+    )
+    db.execute("create table reorders (sku varchar, qty integer)")
+    db.execute("create table audit (event varchar, detail varchar)")
+    db.execute("create index idx_products_sku on products (sku)")
+    db.execute("create index idx_orders_status on orders (status)")
+
+    # G1 — hard guard: stock must never go negative; any transaction that
+    # would breach it is vetoed wholesale.
+    db.execute("""
+        create rule guard_stock
+        when updated products.stock or inserted into products
+        if exists (select * from products where stock < 0)
+        then rollback
+    """)
+
+    # R1 — fulfilment: new orders decrement stock (set-at-a-time across
+    # all inserted orders) and get marked fulfilled.
+    db.execute("""
+        create rule fulfill
+        when inserted into orders
+        then update products
+             set stock = stock - (select sum(qty) from inserted orders o
+                                  where o.sku = products.sku
+                                    and o.status = 'new')
+             where sku in (select sku from inserted orders
+                           where status = 'new');
+             update orders set status = 'fulfilled'
+             where order_id in (select order_id from inserted orders)
+               and status = 'new'
+    """)
+
+    # R2 — reorder point: stock dropping below the level files a reorder
+    # (only if one is not already pending).
+    db.execute("""
+        create rule reorder
+        when updated products.stock
+        if exists (select * from products
+                   where stock < reorder_level
+                     and sku not in (select sku from reorders))
+        then insert into reorders
+             (select sku, reorder_level * 2 from products
+              where stock < reorder_level
+                and sku not in (select sku from reorders))
+    """)
+
+    # R3 — supplier receipt (external action): a filed reorder is
+    # "delivered" immediately by a host-language procedure.
+    def supplier(context):
+        if track_supplier_calls is not None:
+            track_supplier_calls.append(context.rule_name)
+        context.execute("""
+            update products
+            set stock = stock + (select sum(qty) from reorders r
+                                 where r.sku = products.sku)
+            where sku in (select sku from reorders)
+        """)
+        context.execute("delete from reorders")
+
+    db.define_external_rule(
+        "supplier_receipt", "inserted into reorders", supplier,
+        description="simulated supplier delivery",
+    )
+
+    # A1 — audit: every fulfilled order leaves a trace. Note the
+    # predicate: orders are inserted AND status-updated within one
+    # transaction, and insert⊕update nets to an *insertion* (§2.2) — so
+    # the audit must watch insertions; the ``inserted orders`` transition
+    # table shows the rows' CURRENT (post-fulfilment) status.
+    db.execute("""
+        create rule audit_fulfilled
+        when inserted into orders
+        then insert into audit
+             (select 'fulfilled', sku from inserted orders
+              where status = 'fulfilled')
+    """)
+
+    # ordering: the guard always gets first consideration
+    for lower in ("fulfill", "reorder", "audit_fulfilled"):
+        db.execute(f"create rule priority guard_stock before {lower}")
+    return db
+
+
+def stock_of(db, sku):
+    return db.query(
+        f"select stock from products where sku = '{sku}'"
+    ).scalar()
+
+
+@pytest.fixture
+def warehouse():
+    db = build_warehouse()
+    db.execute(
+        "insert into products values "
+        "('widget', 9.99, 100, 20), "
+        "('gadget', 24.99, 50, 10), "
+        "('gizmo', 3.49, 30, 25)"
+    )
+    return db
+
+
+class TestFulfilment:
+    def test_single_order_flow(self, warehouse):
+        result = warehouse.execute(
+            "insert into orders values (1, 'widget', 5, 'new')"
+        )
+        assert result.committed
+        assert stock_of(warehouse, "widget") == 95
+        assert warehouse.rows(
+            "select status from orders where order_id = 1"
+        ) == [("fulfilled",)]
+        assert warehouse.rows(
+            "select detail from audit where event = 'fulfilled'"
+        ) == [("widget",)]
+
+    def test_batch_orders_fulfilled_set_at_a_time(self, warehouse):
+        result = warehouse.execute(
+            "insert into orders values "
+            "(1, 'widget', 5, 'new'), (2, 'widget', 10, 'new'), "
+            "(3, 'gadget', 8, 'new')"
+        )
+        # one fulfilment firing covers all three orders
+        assert len(result.firings_of("fulfill")) == 1
+        assert stock_of(warehouse, "widget") == 85
+        assert stock_of(warehouse, "gadget") == 42
+        statuses = warehouse.rows("select distinct status from orders")
+        assert statuses == [("fulfilled",)]
+
+    def test_pre_fulfilled_orders_untouched(self, warehouse):
+        warehouse.execute(
+            "insert into orders values (1, 'widget', 5, 'shipped')"
+        )
+        assert stock_of(warehouse, "widget") == 100
+
+
+class TestReorderLoop:
+    def test_reorder_files_and_supplier_delivers(self, warehouse):
+        calls = []
+        db = build_warehouse(track_supplier_calls=calls)
+        db.execute(
+            "insert into products values ('widget', 9.99, 25, 20)"
+        )
+        db.execute("insert into orders values (1, 'widget', 10, 'new')")
+        # stock 25 -> 15 < 20: reorder 40 units; supplier delivers -> 55
+        assert stock_of(db, "widget") == 55
+        assert db.rows("select * from reorders") == []
+        assert calls == ["supplier_receipt"]
+
+    def test_converging_cycle_quiesces(self, warehouse):
+        """reorder -> supplier_receipt -> (stock update) -> reorder is a
+        triggering cycle; it converges because delivery raises stock
+        above the level. Static analysis must warn about it anyway."""
+        report = analyze(warehouse.catalog)
+        loop_rules = {
+            name for warning in report.loops for name in warning.rules
+        }
+        assert "reorder" in loop_rules or "supplier_receipt" in loop_rules
+
+        result = warehouse.execute(
+            "insert into orders values (1, 'gizmo', 10, 'new')"
+        )
+        assert result.committed  # quiesced
+        assert stock_of(warehouse, "gizmo") == 70  # 30-10=20<25; +50
+        assert warehouse.rows("select * from reorders") == []
+
+    def test_no_duplicate_reorders(self, warehouse):
+        warehouse.execute("insert into orders values (1, 'gizmo', 1, 'new')")
+        warehouse.execute("insert into orders values (2, 'gizmo', 1, 'new')")
+        # each transaction quiesces with the reorders queue drained
+        assert warehouse.rows("select * from reorders") == []
+
+
+class TestGuard:
+    def test_overdraw_rolls_back_everything(self, warehouse):
+        result = warehouse.execute(
+            "insert into orders values (1, 'widget', 95, 'new'), "
+            "(2, 'widget', 95, 'new')"
+        )
+        # fulfilling both would take stock to -90: the guard vetoes; the
+        # orders, the stock update and any audit rows are all undone
+        assert result.rolled_back_by == "guard_stock"
+        assert stock_of(warehouse, "widget") == 100
+        assert warehouse.rows("select * from orders") == []
+        assert warehouse.rows("select * from audit") == []
+
+    def test_guard_runs_before_audit(self, warehouse):
+        result = warehouse.execute(
+            "insert into orders values (1, 'widget', 200, 'new')"
+        )
+        assert result.rolled_back
+        assert warehouse.rows("select * from audit") == []
+
+
+class TestGlobalInvariants:
+    def test_conservation_across_random_workload(self, warehouse):
+        """Units are conserved: initial stock + supplier deliveries =
+        final stock + fulfilled units (guards permitting)."""
+        import random
+
+        rng = random.Random(7)
+        initial = {
+            sku: stock
+            for sku, stock in warehouse.rows("select sku, stock from products")
+        }
+        order_id = 0
+        for _ in range(30):
+            sku = rng.choice(["widget", "gadget", "gizmo"])
+            qty = rng.randint(1, 15)
+            order_id += 1
+            warehouse.execute(
+                f"insert into orders values ({order_id}, '{sku}', {qty}, 'new')"
+            )
+        for sku, start in initial.items():
+            fulfilled = warehouse.query(
+                f"select sum(qty) from orders "
+                f"where sku = '{sku}' and status = 'fulfilled'"
+            ).scalar() or 0
+            final = stock_of(warehouse, sku)
+            level = warehouse.query(
+                f"select reorder_level from products where sku = '{sku}'"
+            ).scalar()
+            delivered = final + fulfilled - start
+            # deliveries are whole reorder batches (2x reorder level)
+            assert delivered % (2 * level) == 0
+            assert final >= 0  # the guard held
+
+    def test_quiescent_state_is_fixpoint(self, warehouse):
+        warehouse.execute("insert into orders values (1, 'widget', 5, 'new')")
+        warehouse.begin()
+        warehouse.assert_rules()
+        result = warehouse.commit()
+        assert result.rule_firings == 0
+
+    def test_analysis_reports_ordering_conflicts(self, warehouse):
+        report = analyze(warehouse.catalog)
+        # fulfill writes orders, which audit_fulfilled reads; both trigger
+        # on the same insertions and are unordered relative to each other
+        pairs = {
+            frozenset((warning.first, warning.second))
+            for warning in report.conflicts
+        }
+        assert frozenset(("fulfill", "audit_fulfilled")) in pairs

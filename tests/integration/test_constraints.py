@@ -1,0 +1,279 @@
+"""Integration tests: the constraint facility end-to-end (§6/[CW90])."""
+
+import pytest
+
+from repro import ActiveDatabase
+from repro.constraints import (
+    AggregateBound,
+    Check,
+    ConstraintManager,
+    NotNull,
+    ReferentialIntegrity,
+    Unique,
+)
+from repro.errors import ConstraintError
+
+
+@pytest.fixture
+def db():
+    db = ActiveDatabase()
+    db.execute(
+        "create table emp (name varchar, emp_no integer, salary float, "
+        "dept_no integer)"
+    )
+    db.execute("create table dept (dept_no integer, mgr_no integer)")
+    return db
+
+
+@pytest.fixture
+def manager(db):
+    return ConstraintManager(db)
+
+
+class TestNotNull:
+    def test_rollback_on_null_insert(self, db, manager):
+        manager.install(NotNull("emp", "name"))
+        result = db.execute("insert into emp values (null, 1, 10.0, 1)")
+        assert result.rolled_back
+        assert db.rows("select * from emp") == []
+
+    def test_rollback_on_null_update(self, db, manager):
+        manager.install(NotNull("emp", "name"))
+        db.execute("insert into emp values ('A', 1, 10.0, 1)")
+        result = db.execute("update emp set name = null")
+        assert result.rolled_back
+        assert db.rows("select name from emp") == [("A",)]
+
+    def test_valid_operations_pass(self, db, manager):
+        manager.install(NotNull("emp", "name"))
+        result = db.execute("insert into emp values ('A', 1, 10.0, 1)")
+        assert result.committed
+
+    def test_delete_repair_removes_offenders(self, db, manager):
+        manager.install(NotNull("emp", "name", repair="delete"))
+        result = db.execute(
+            "insert into emp values ('A', 1, 10.0, 1), (null, 2, 20.0, 2)"
+        )
+        assert result.committed
+        assert db.rows("select name from emp") == [("A",)]
+
+    def test_other_columns_may_be_null(self, db, manager):
+        manager.install(NotNull("emp", "name"))
+        result = db.execute("insert into emp values ('A', 1, null, null)")
+        assert result.committed
+
+
+class TestUnique:
+    def test_duplicate_insert_rolls_back(self, db, manager):
+        manager.install(Unique("emp", "emp_no"))
+        db.execute("insert into emp values ('A', 1, 10.0, 1)")
+        result = db.execute("insert into emp values ('B', 1, 20.0, 2)")
+        assert result.rolled_back
+        assert db.query("select count(*) from emp").scalar() == 1
+
+    def test_duplicate_via_update_rolls_back(self, db, manager):
+        manager.install(Unique("emp", "emp_no"))
+        db.execute("insert into emp values ('A', 1, 10.0, 1), ('B', 2, 20.0, 2)")
+        result = db.execute("update emp set emp_no = 1 where name = 'B'")
+        assert result.rolled_back
+
+    def test_nulls_do_not_conflict(self, db, manager):
+        manager.install(Unique("emp", "emp_no"))
+        result = db.execute(
+            "insert into emp values ('A', null, 10.0, 1), "
+            "('B', null, 20.0, 2)"
+        )
+        assert result.committed
+
+
+class TestCheck:
+    def test_violating_insert_rolls_back(self, db, manager):
+        manager.install(Check("emp", "salary >= 0", label="nonneg"))
+        result = db.execute("insert into emp values ('A', 1, -5.0, 1)")
+        assert result.rolled_back
+
+    def test_violating_update_rolls_back(self, db, manager):
+        manager.install(Check("emp", "salary >= 0", label="nonneg"))
+        db.execute("insert into emp values ('A', 1, 10.0, 1)")
+        result = db.execute("update emp set salary = -1.0")
+        assert result.rolled_back
+        assert db.query("select salary from emp").scalar() == 10.0
+
+    def test_delete_repair(self, db, manager):
+        manager.install(
+            Check("emp", "salary >= 0", label="nonneg", repair="delete")
+        )
+        result = db.execute(
+            "insert into emp values ('A', 1, 10.0, 1), ('B', 2, -1.0, 2)"
+        )
+        assert result.committed
+        assert db.rows("select name from emp") == [("A",)]
+
+    def test_multi_column_check(self, db, manager):
+        manager.install(
+            Check("emp", "salary < 1000000 or dept_no = 1", label="cap")
+        )
+        assert db.execute(
+            "insert into emp values ('CEO', 1, 2000000.0, 1)"
+        ).committed
+        assert db.execute(
+            "insert into emp values ('Eng', 2, 2000000.0, 7)"
+        ).rolled_back
+
+
+class TestReferentialIntegrity:
+    def test_orphan_insert_rolls_back(self, db, manager):
+        manager.install(
+            ReferentialIntegrity("emp", "dept_no", "dept", "dept_no")
+        )
+        result = db.execute("insert into emp values ('A', 1, 10.0, 99)")
+        assert result.rolled_back
+
+    def test_valid_insert_passes(self, db, manager):
+        manager.install(
+            ReferentialIntegrity("emp", "dept_no", "dept", "dept_no")
+        )
+        db.execute("insert into dept values (1, 100)")
+        assert db.execute("insert into emp values ('A', 1, 10.0, 1)").committed
+
+    def test_null_fk_is_exempt(self, db, manager):
+        manager.install(
+            ReferentialIntegrity("emp", "dept_no", "dept", "dept_no")
+        )
+        assert db.execute("insert into emp values ('A', 1, 10.0, null)").committed
+
+    def test_cascade_delete(self, db, manager):
+        manager.install(
+            ReferentialIntegrity(
+                "emp", "dept_no", "dept", "dept_no",
+                on_parent_delete="cascade",
+            )
+        )
+        db.execute("insert into dept values (1, 100), (2, 200)")
+        db.execute(
+            "insert into emp values ('A', 1, 10.0, 1), ('B', 2, 20.0, 2)"
+        )
+        result = db.execute("delete from dept where dept_no = 1")
+        assert result.committed
+        assert db.rows("select name from emp") == [("B",)]
+
+    def test_set_null(self, db, manager):
+        manager.install(
+            ReferentialIntegrity(
+                "emp", "dept_no", "dept", "dept_no",
+                on_parent_delete="set_null",
+            )
+        )
+        db.execute("insert into dept values (1, 100)")
+        db.execute("insert into emp values ('A', 1, 10.0, 1)")
+        db.execute("delete from dept")
+        assert db.rows("select dept_no from emp") == [(None,)]
+
+    def test_restrict(self, db, manager):
+        manager.install(
+            ReferentialIntegrity(
+                "emp", "dept_no", "dept", "dept_no",
+                on_parent_delete="rollback",
+            )
+        )
+        db.execute("insert into dept values (1, 100)")
+        db.execute("insert into emp values ('A', 1, 10.0, 1)")
+        result = db.execute("delete from dept")
+        assert result.rolled_back
+        assert db.query("select count(*) from dept").scalar() == 1
+
+    def test_parent_key_update_restricted(self, db, manager):
+        manager.install(
+            ReferentialIntegrity("emp", "dept_no", "dept", "dept_no")
+        )
+        db.execute("insert into dept values (1, 100)")
+        db.execute("insert into emp values ('A', 1, 10.0, 1)")
+        result = db.execute("update dept set dept_no = 2")
+        assert result.rolled_back
+
+    def test_orphan_delete_repair(self, db, manager):
+        manager.install(
+            ReferentialIntegrity(
+                "emp", "dept_no", "dept", "dept_no", on_violation="delete"
+            )
+        )
+        db.execute("insert into dept values (1, 100)")
+        result = db.execute(
+            "insert into emp values ('A', 1, 10.0, 1), ('B', 2, 20.0, 99)"
+        )
+        assert result.committed
+        assert db.rows("select name from emp") == [("A",)]
+
+
+class TestAggregateBound:
+    def test_bound_enforced(self, db, manager):
+        manager.install(
+            AggregateBound(
+                "emp", "sum(salary)", "<=", 100.0,
+                where="dept_no = 5", label="cap5",
+            )
+        )
+        db.execute("insert into emp values ('A', 1, 60.0, 5)")
+        result = db.execute("insert into emp values ('B', 2, 60.0, 5)")
+        assert result.rolled_back
+        assert db.query("select count(*) from emp").scalar() == 1
+
+    def test_other_departments_unbounded(self, db, manager):
+        manager.install(
+            AggregateBound(
+                "emp", "sum(salary)", "<=", 100.0,
+                where="dept_no = 5", label="cap5",
+            )
+        )
+        result = db.execute("insert into emp values ('C', 3, 1000.0, 6)")
+        assert result.committed
+
+    def test_update_can_violate(self, db, manager):
+        manager.install(
+            AggregateBound("emp", "avg(salary)", "<", 100.0, label="avgcap")
+        )
+        db.execute("insert into emp values ('A', 1, 50.0, 1)")
+        result = db.execute("update emp set salary = 200.0")
+        assert result.rolled_back
+
+
+class TestManagerLifecycle:
+    def test_install_returns_rule_names(self, db, manager):
+        names = manager.install(NotNull("emp", "name"))
+        assert names == ["nn_emp_name"]
+        assert "nn_emp_name" in db.rule_names()
+
+    def test_double_install_rejected(self, db, manager):
+        manager.install(NotNull("emp", "name"))
+        with pytest.raises(ConstraintError):
+            manager.install(NotNull("emp", "name"))
+
+    def test_drop_removes_all_rules(self, db, manager):
+        constraint = ReferentialIntegrity("emp", "dept_no", "dept", "dept_no")
+        manager.install(constraint)
+        assert len(manager.rules_of(constraint)) == 3
+        manager.drop(constraint)
+        assert manager.installed() == []
+        for name in db.rule_names():
+            assert not name.startswith("fk_")
+        # dropped constraint no longer enforced
+        assert db.execute("insert into emp values ('A', 1, 10.0, 99)").committed
+
+    def test_drop_unknown_raises(self, manager):
+        with pytest.raises(ConstraintError):
+            manager.drop("ghost")
+
+    def test_generated_sql_inspection(self, manager):
+        sql = manager.generated_sql(NotNull("emp", "name"))
+        assert len(sql) == 1
+        assert sql[0].startswith("create rule nn_emp_name")
+
+    def test_combined_constraints(self, db, manager):
+        """Several constraints coexist; each violation names its rule."""
+        manager.install(NotNull("emp", "name"))
+        manager.install(Check("emp", "salary >= 0", label="nonneg"))
+        manager.install(Unique("emp", "emp_no"))
+        r1 = db.execute("insert into emp values (null, 1, 10.0, 1)")
+        r2 = db.execute("insert into emp values ('A', 1, -10.0, 1)")
+        assert r1.rolled_back_by == "nn_emp_name"
+        assert r2.rolled_back_by == "ck_emp_nonneg"

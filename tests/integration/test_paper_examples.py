@@ -1,0 +1,405 @@
+"""Integration tests reproducing the paper's worked examples exactly.
+
+Each test class corresponds to one example (3.1–3.3, 4.1–4.3) and asserts
+the outcome the paper states — including, for Example 4.3, the exact
+step-by-step transition-table contents the paper narrates.
+"""
+
+import pytest
+
+from repro import ActiveDatabase
+
+EMP = (
+    "create table emp (name varchar, emp_no integer, salary float, "
+    "dept_no integer)"
+)
+DEPT = "create table dept (dept_no integer, mgr_no integer)"
+
+
+@pytest.fixture
+def db():
+    db = ActiveDatabase()
+    db.execute(EMP)
+    db.execute(DEPT)
+    return db
+
+
+def emp_names(db):
+    return sorted(row[0] for row in db.rows("select name from emp"))
+
+
+RULE_31 = """
+create rule cascade_delete
+when deleted from dept
+then delete from emp
+     where dept_no in (select dept_no from deleted dept)
+"""
+
+RULE_32 = """
+create rule salary_watch
+when updated emp.salary
+if (select sum(salary) from new updated emp.salary) >
+   (select sum(salary) from old updated emp.salary)
+then update emp set salary = 0.95 * salary where dept_no = 2;
+     update emp set salary = 0.85 * salary where dept_no = 3
+"""
+
+RULE_33 = """
+create rule overpaid
+when inserted into emp
+  or deleted from emp
+  or updated emp.salary
+  or updated emp.dept_no
+if exists (select * from emp e1
+           where salary > 2 * (select avg(salary) from emp e2
+                               where e2.dept_no = e1.dept_no))
+then delete from emp
+     where emp_no = (select mgr_no from dept where dept_no = 5)
+"""
+
+RULE_41 = """
+create rule manager_cascade
+when deleted from emp
+then delete from emp
+     where dept_no in (select dept_no from dept
+                       where mgr_no in (select emp_no from deleted emp));
+     delete from dept
+     where mgr_no in (select emp_no from deleted emp)
+"""
+
+RULE_42 = """
+create rule salary_control
+when updated emp.salary
+if (select avg(salary) from new updated emp.salary) > 50000
+then delete from emp
+     where emp_no in (select emp_no from new updated emp.salary)
+       and salary > 80000
+"""
+
+
+class TestExample31:
+    """Cascaded delete for referential integrity: "Whenever departments
+    are deleted, delete all employees in the deleted departments"."""
+
+    def test_single_department(self, db):
+        db.execute(RULE_31)
+        db.execute("insert into dept values (1, 100), (2, 200)")
+        db.execute(
+            "insert into emp values ('A', 1, 10.0, 1), ('B', 2, 10.0, 1), "
+            "('C', 3, 10.0, 2)"
+        )
+        result = db.execute("delete from dept where dept_no = 1")
+        assert result.committed
+        assert result.rule_firings == 1
+        assert emp_names(db) == ["C"]
+
+    def test_set_oriented_delete_of_several_departments(self, db):
+        """One firing handles ALL deleted departments (set-orientation)."""
+        db.execute(RULE_31)
+        db.execute("insert into dept values (1, 100), (2, 200), (3, 300)")
+        db.execute(
+            "insert into emp values ('A', 1, 10.0, 1), ('B', 2, 10.0, 2), "
+            "('C', 3, 10.0, 3)"
+        )
+        result = db.execute("delete from dept where dept_no in (1, 2)")
+        assert result.rule_firings == 1
+        assert emp_names(db) == ["C"]
+
+    def test_no_if_clause_fires_whenever_triggered(self, db):
+        """"No if clause is needed in this rule — we want it to execute
+        whenever one or more departments are deleted"."""
+        db.execute(RULE_31)
+        db.execute("insert into dept values (1, 100)")
+        result = db.execute("delete from dept")
+        assert result.rule_firings == 1  # fires even with no employees
+
+
+class TestExample32:
+    """Salary-total watchdog with old/new updated transition tables."""
+
+    def populate(self, db):
+        db.execute(
+            "insert into emp values "
+            "('W', 1, 100.0, 1), ('X', 2, 100.0, 2), ('Y', 3, 100.0, 3), "
+            "('Z', 4, 100.0, 4)"
+        )
+
+    def test_total_increase_cuts_departments_2_and_3(self, db):
+        db.execute(RULE_32)
+        self.populate(db)
+        db.execute("update emp set salary = 200.0 where name = 'W'")
+        rows = dict(
+            (name, salary)
+            for name, salary in db.rows("select name, salary from emp")
+        )
+        assert rows["W"] == 200.0          # the raise stands
+        assert rows["X"] == pytest.approx(95.0)   # dept 2: 5% cut
+        assert rows["Y"] == pytest.approx(85.0)   # dept 3: 15% cut
+        assert rows["Z"] == 100.0          # dept 4 untouched
+
+    def test_total_decrease_does_not_fire(self, db):
+        db.execute(RULE_32)
+        self.populate(db)
+        result = db.execute("update emp set salary = 50.0 where name = 'W'")
+        assert result.rule_firings == 0
+        assert db.query(
+            "select salary from emp where name = 'X'"
+        ).scalar() == 100.0
+
+    def test_rule_does_not_refire_on_its_own_cuts(self, db):
+        """The rule's action updates salaries, re-triggering it — but its
+        own cuts lower the total, so the condition fails the second time
+        (the paper's self-triggering semantics, §4.1)."""
+        db.execute(RULE_32)
+        self.populate(db)
+        result = db.execute("update emp set salary = 200.0 where name = 'W'")
+        assert result.rule_firings == 1
+
+    def test_identity_update_triggers_but_condition_false(self, db):
+        """§2.1: an update affects its tuples even when values do not
+        change; here the rule triggers but new sum == old sum."""
+        db.execute(RULE_32)
+        self.populate(db)
+        result = db.execute("update emp set salary = salary")
+        assert result.rule_firings == 0
+        assert len(result.considered) == 1  # triggered, condition false
+
+
+class TestExample33:
+    """Composite transition predicate with a correlated condition."""
+
+    def populate(self, db):
+        """Dept 1 has three 100.0 earners; an earner exceeds twice the
+        department average only if paid above 400 (x > 2(x+200)/3)."""
+        db.execute("insert into dept values (5, 50)")
+        db.execute(
+            "insert into emp values "
+            "('Mgr5', 50, 100.0, 9), "
+            "('P', 1, 100.0, 1), ('Q', 2, 100.0, 1), ('R', 3, 100.0, 1)"
+        )
+
+    def test_insert_triggering(self, db):
+        db.execute(RULE_33)
+        self.populate(db)
+        # dept 1 avg becomes (300+1000)/4 = 325; 1000 > 650 -> overpaid
+        db.execute("insert into emp values ('Rich', 4, 1000.0, 1)")
+        assert "Mgr5" not in emp_names(db)
+
+    def test_salary_update_triggering(self, db):
+        db.execute(RULE_33)
+        self.populate(db)
+        # avg becomes (500+200)/3 = 233.3; 500 > 466.7 -> overpaid
+        db.execute("update emp set salary = 500.0 where name = 'P'")
+        assert "Mgr5" not in emp_names(db)
+
+    def test_dept_update_triggering(self, db):
+        db.execute(RULE_33)
+        self.populate(db)
+        db.execute("insert into emp values ('Solo', 4, 500.0, 2)")
+        assert "Mgr5" in emp_names(db)  # 500 in its own dept: not overpaid
+        # moving Solo into dept 1: avg (300+500)/4 = 200; 500 > 400
+        db.execute("update emp set dept_no = 1 where name = 'Solo'")
+        assert "Mgr5" not in emp_names(db)
+
+    def test_delete_triggering(self, db):
+        db.execute(RULE_33)
+        self.populate(db)
+        db.execute(
+            "insert into emp values ('Low', 4, 10.0, 1), ('Low2', 5, 10.0, 1)"
+        )
+        assert "Mgr5" in emp_names(db)  # avg (320)/5 = 64; 100 < 128
+        # delete P and R: dept 1 keeps Q=100, lows 10,10 -> avg 40; 100 > 80
+        db.execute("delete from emp where name in ('P', 'R')")
+        assert "Mgr5" not in emp_names(db)
+
+    def test_condition_false_no_firing(self, db):
+        db.execute(RULE_33)
+        self.populate(db)
+        result = db.execute("insert into emp values ('Avg', 4, 100.0, 1)")
+        assert result.rule_firings == 0
+        assert "Mgr5" in emp_names(db)
+
+
+def build_example_43_org(db):
+    """The Example 4.3 management structure:
+
+    Jane manages Mary and Jim (dept 1); Mary manages Bill (dept 2);
+    Jim manages Sam and Sue (dept 3).
+    """
+    db.execute("insert into dept values (1, 1), (2, 2), (3, 3)")
+    db.execute(
+        "insert into emp values "
+        "('Jane', 1, 60000, 0), "
+        "('Mary', 2, 70000, 1), "
+        "('Jim', 3, 55000, 1), "
+        "('Bill', 4, 25000, 2), "
+        "('Sam', 5, 30000, 3), "
+        "('Sue', 6, 30000, 3)"
+    )
+
+
+class TestExample41:
+    """Recursive manager cascade: "This behavior continues until ...
+    execution of the rule's action deletes no further employees"."""
+
+    def test_full_cascade_from_root(self, db):
+        db.execute(RULE_41)
+        build_example_43_org(db)
+        result = db.execute("delete from emp where name = 'Jane'")
+        assert emp_names(db) == []
+        assert db.rows("select * from dept") == []
+        # level-by-level: {Mary, Jim}+dept1, {Bill, Sam, Sue}+depts, {}
+        assert result.rule_firings == 3
+
+    def test_cascade_from_middle_manager(self, db):
+        db.execute(RULE_41)
+        build_example_43_org(db)
+        db.execute("delete from emp where name = 'Jim'")
+        assert emp_names(db) == ["Bill", "Jane", "Mary"]
+        assert db.rows("select dept_no from dept order by dept_no") == [
+            (1,), (2,),
+        ]
+
+    def test_leaf_delete_single_firing(self, db):
+        db.execute(RULE_41)
+        build_example_43_org(db)
+        result = db.execute("delete from emp where name = 'Bill'")
+        assert result.rule_firings == 1  # fires once, deletes nothing more
+        assert len(emp_names(db)) == 5
+
+    def test_level_by_level_transition_tables(self, db):
+        """Each firing's 'deleted emp' table holds exactly the previous
+        level (the paper's step-by-step narration)."""
+        db.execute(RULE_41)
+        build_example_43_org(db)
+        result = db.execute("delete from emp where name = 'Jane'")
+        firings = result.firings_of("manager_cascade")
+        seen_names = [
+            sorted(row[0] for row in firing.seen["deleted emp"])
+            for firing in firings
+        ]
+        assert seen_names == [
+            ["Jane"],
+            ["Jim", "Mary"],
+            ["Bill", "Sam", "Sue"],
+        ]
+
+
+class TestExample42:
+    """The paper's Bill/Mary salary-control walkthrough."""
+
+    def test_paper_walkthrough(self, db):
+        db.execute(RULE_42)
+        db.execute(
+            "insert into emp values ('Bill', 1, 25000, 1), "
+            "('Mary', 2, 70000, 2)"
+        )
+        result = db.execute(
+            "update emp set salary = 30000 where name = 'Bill'; "
+            "update emp set salary = 85000 where name = 'Mary'"
+        )
+        # avg(30000, 85000) = 57500 > 50000; Mary's 85000 > 80000 -> deleted
+        assert emp_names(db) == ["Bill"]
+        assert result.rule_firings == 1
+
+    def test_low_average_no_action(self, db):
+        db.execute(RULE_42)
+        db.execute(
+            "insert into emp values ('Bill', 1, 25000, 1), "
+            "('Mary', 2, 90000, 2)"
+        )
+        # only Bill's salary updated: avg(26000) < 50K -> no firing,
+        # even though Mary is above 80K
+        result = db.execute(
+            "update emp set salary = 26000 where name = 'Bill'"
+        )
+        assert result.rule_firings == 0
+        assert sorted(emp_names(db)) == ["Bill", "Mary"]
+
+    def test_high_average_but_nobody_above_80k(self, db):
+        db.execute(RULE_42)
+        db.execute("insert into emp values ('Ann', 1, 60000, 1)")
+        result = db.execute("update emp set salary = 75000 where name = 'Ann'")
+        # condition holds (avg 75K > 50K) but the delete matches nothing
+        assert result.rule_firings == 1
+        assert emp_names(db) == ["Ann"]
+
+
+class TestExample43:
+    """Both rules defined together, R2 (salary_control) before R1
+    (manager_cascade) — the paper's full multi-rule walkthrough."""
+
+    def setup_rules(self, db):
+        db.execute(RULE_41)  # R1
+        db.execute(RULE_42)  # R2
+        db.execute("create rule priority salary_control before manager_cascade")
+
+    def run_scenario(self, db):
+        """Delete Jane; update salaries so the updated average exceeds 50K
+        and Mary's updated salary exceeds 80K — all in one block."""
+        return db.execute(
+            "delete from emp where name = 'Jane'; "
+            "update emp set salary = 30000 where name = 'Bill'; "
+            "update emp set salary = 85000 where name = 'Mary'"
+        )
+
+    def test_final_state_everyone_deleted(self, db):
+        self.setup_rules(db)
+        build_example_43_org(db)
+        self.run_scenario(db)
+        assert emp_names(db) == []
+        assert db.rows("select * from dept") == []
+
+    def test_firing_order_and_counts(self, db):
+        self.setup_rules(db)
+        build_example_43_org(db)
+        result = self.run_scenario(db)
+        sources = [t.source for t in result.transitions]
+        assert sources == [
+            "external",
+            "salary_control",   # R2 first (priority)
+            "manager_cascade",  # R1: {Jane, Mary}
+            "manager_cascade",  # R1: {Bill, Jim}
+            "manager_cascade",  # R1: {Sam, Sue}
+        ]
+
+    def test_r2_deletes_mary_and_is_not_retriggered(self, db):
+        self.setup_rules(db)
+        build_example_43_org(db)
+        result = self.run_scenario(db)
+        assert len(result.firings_of("salary_control")) == 1
+        [firing] = result.firings_of("salary_control")
+        new_updated = sorted(
+            row[0] for row in firing.seen["new updated emp.salary"]
+        )
+        assert new_updated == ["Bill", "Mary"]
+
+    def test_r1_composite_then_per_execution_baselines(self, db):
+        """The narrated per-firing deleted sets: {Jane, Mary} (composite
+        since the initial state), then {Bill, Jim} (only R1's own most
+        recent transition), then {Sam, Sue}."""
+        self.setup_rules(db)
+        build_example_43_org(db)
+        result = self.run_scenario(db)
+        firings = result.firings_of("manager_cascade")
+        seen_names = [
+            sorted(row[0] for row in firing.seen["deleted emp"])
+            for firing in firings
+        ]
+        assert seen_names == [
+            ["Jane", "Mary"],
+            ["Bill", "Jim"],
+            ["Sam", "Sue"],
+        ]
+
+    def test_without_priority_r1_runs_first(self, db):
+        """Counterfactual: without the pairing, creation order puts R1
+        first; Mary is cascaded away before salary_control can delete her,
+        showing why §4.4 gives the programmer ordering control."""
+        db.execute(RULE_41)
+        db.execute(RULE_42)
+        build_example_43_org(db)
+        result = self.run_scenario(db)
+        sources = [t.source for t in result.transitions]
+        assert sources[1] == "manager_cascade"
+        assert emp_names(db) == []  # same fixpoint here, different route

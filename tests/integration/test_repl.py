@@ -1,0 +1,142 @@
+"""Integration tests for the interactive shell (examples/repl.py)."""
+
+import importlib.util
+import io
+import pathlib
+
+import pytest
+
+_REPL_PATH = (
+    pathlib.Path(__file__).resolve().parents[2] / "examples" / "repl.py"
+)
+_spec = importlib.util.spec_from_file_location("repro_repl", _REPL_PATH)
+repl_module = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(repl_module)
+
+
+@pytest.fixture
+def shell():
+    out = io.StringIO()
+    return repl_module.Repl(out=out), out
+
+
+def output_of(shell_pair, *lines):
+    shell, out = shell_pair
+    for line in lines:
+        assert shell.handle(line) is not False
+    return out.getvalue()
+
+
+class TestStatements:
+    def test_ddl_and_dml_flow(self, shell):
+        text = output_of(
+            shell,
+            "create table t (x integer)",
+            "insert into t values (1), (2)",
+            "select x from t",
+        )
+        assert "ok" in text
+        assert "T1 [I:2 D:0 U:0]" in text
+        assert "(2 row(s))" in text
+
+    def test_rule_definition_reports_name(self, shell):
+        text = output_of(
+            shell,
+            "create table t (x integer)",
+            "create rule r when inserted into t then delete from t",
+        )
+        assert "defined rule r" in text
+
+    def test_self_trigger_warning_on_definition(self, shell):
+        text = output_of(
+            shell,
+            "create table t (x integer)",
+            "create rule loopy when updated t.x then update t set x = 1",
+        )
+        assert "warning" in text
+        assert "loopy" in text
+
+    def test_error_is_reported_not_raised(self, shell):
+        text = output_of(shell, "select * from missing")
+        assert "error:" in text
+
+    def test_parse_error_reported(self, shell):
+        text = output_of(shell, "selec x from t")
+        assert "error:" in text
+
+    def test_blank_line_ignored(self, shell):
+        assert output_of(shell, "   ") == ""
+
+    def test_rollback_reported(self, shell):
+        text = output_of(
+            shell,
+            "create table t (x integer)",
+            "create rule veto when inserted into t then rollback",
+            "insert into t values (1)",
+        )
+        assert "rolled back" in text or "veto" in text
+
+
+class TestMetaCommands:
+    def test_tables(self, shell):
+        text = output_of(
+            shell,
+            "create table t (x integer)",
+            "insert into t values (1)",
+            "\\tables",
+        )
+        assert "t: 1 row(s)" in text
+
+    def test_rules_listing(self, shell):
+        text = output_of(
+            shell,
+            "create table t (x integer)",
+            "create rule r when inserted into t then delete from t",
+            "\\rules",
+        )
+        assert "create rule r" in text
+
+    def test_rules_empty(self, shell):
+        assert "(no rules)" in output_of(shell, "\\rules")
+
+    def test_analyze(self, shell):
+        text = output_of(shell, "\\analyze")
+        assert "no warnings" in text
+
+    def test_trace_toggle(self, shell):
+        text = output_of(
+            shell,
+            "create table t (x integer)",
+            "\\trace off",
+            "insert into t values (1)",
+        )
+        assert "trace off" in text
+        assert "T1" not in text
+        assert "committed" in text
+
+    def test_demo_loads(self, shell):
+        text = output_of(shell, "\\demo")
+        assert "cascade_delete" in text
+
+    def test_unknown_meta(self, shell):
+        assert "unknown command" in output_of(shell, "\\bogus")
+
+    def test_quit_ends_session(self, shell):
+        repl, _ = shell
+        assert repl.handle("\\quit") is False
+
+    def test_help(self, shell):
+        assert "\\rules" in output_of(shell, "\\help")
+
+
+class TestDemoScenario:
+    def test_full_demo_cascade(self, shell):
+        repl, out = shell
+        for line in repl_module.DEMO_STATEMENTS:
+            repl.handle(line)
+        repl.handle("delete from dept where dept_no = 1")
+        repl.handle("select name from emp")
+        text = out.getvalue()
+        assert "[cascade_delete]" in text
+        assert "Mary" in text
+        assert "Jane" not in text.split("select name from emp")[-1]

@@ -1,0 +1,233 @@
+"""Fine-grained §2/§4 semantics corner cases, end to end.
+
+These pin down the subtle corners of the paper's model that the headline
+examples don't reach: net-effect handling of delete-then-insert,
+duplicate tuples, multi-predicate rules, visibility of composite effects
+across several pending rules, and transaction-boundary behaviour.
+"""
+
+import pytest
+
+from repro import ActiveDatabase
+
+
+@pytest.fixture
+def db():
+    db = ActiveDatabase()
+    db.execute("create table t (x integer)")
+    db.execute("create table log (x integer)")
+    return db
+
+
+class TestNetEffectCorners:
+    def test_delete_then_insert_is_not_update(self, db):
+        """§2.2: "we never consider deletion of a tuple followed by
+        insertion of a new tuple as an update to the original tuple" —
+        an update-watching rule stays quiet; delete- and insert-watching
+        rules both fire."""
+        db.execute("insert into t values (1)")
+        db.execute(
+            "create rule on_upd when updated t.x "
+            "then insert into log values (1)"
+        )
+        db.execute(
+            "create rule on_del when deleted from t "
+            "then insert into log values (2)"
+        )
+        db.execute(
+            "create rule on_ins when inserted into t "
+            "then insert into log values (3)"
+        )
+        result = db.execute(
+            "delete from t where x = 1; insert into t values (1)"
+        )
+        assert sorted(db.rows("select x from log")) == [(2,), (3,)]
+
+    def test_update_to_original_value_within_block_still_update(self, db):
+        """Two updates returning a tuple to its original value are still
+        a net update (U records affected tuples, not changed values)."""
+        db.execute("insert into t values (5)")
+        db.execute(
+            "create rule on_upd when updated t.x "
+            "then insert into log (select x from new updated t.x)"
+        )
+        result = db.execute(
+            "update t set x = 9; update t set x = 5"
+        )
+        assert result.rule_firings == 1
+        assert db.rows("select x from log") == [(5,)]
+
+    def test_old_updated_shows_pre_transaction_value(self, db):
+        """After several updates, ``old updated`` serves the value from
+        the rule's baseline state, not the penultimate value."""
+        db.execute("insert into t values (1)")
+        db.execute(
+            "create rule snap when updated t.x "
+            "then insert into log (select x from old updated t.x)"
+        )
+        db.execute("update t set x = 2; update t set x = 3; update t set x = 4")
+        assert db.rows("select x from log") == [(1,)]
+
+    def test_duplicate_tuples_have_independent_identity(self, db):
+        """§2: "Duplicate tuples may appear in a table" — handles keep
+        them distinct through rule processing."""
+        db.execute(
+            "create rule on_del when deleted from t "
+            "then insert into log (select x from deleted t)"
+        )
+        db.execute("insert into t values (7), (7), (7)")
+        db.execute("delete from t where x = 7")
+        assert db.rows("select count(*) from log") == [(3,)]
+
+
+class TestMultiPredicateRules:
+    def test_one_rule_covers_mixed_transition(self, db):
+        """A disjunctive rule triggered by a block doing all three kinds
+        of change fires once and can see all its transition tables."""
+        db.execute("insert into t values (1), (2)")
+        db.execute(
+            "create rule watch when inserted into t or deleted from t "
+            "or updated t.x "
+            "then insert into log (select x from inserted t); "
+            "insert into log (select x + 100 from deleted t); "
+            "insert into log (select x + 200 from new updated t.x)"
+        )
+        result = db.execute(
+            "insert into t values (3); "
+            "delete from t where x = 1; "
+            "update t set x = 22 where x = 2"
+        )
+        assert result.rule_firings == 1
+        assert sorted(db.rows("select x from log")) == [
+            (3,), (101,), (222,),
+        ]
+
+    def test_empty_transition_tables_for_unmatched_predicates(self, db):
+        """Triggered via one predicate, the other predicates' transition
+        tables are simply empty."""
+        db.execute(
+            "create rule watch when inserted into t or deleted from t "
+            "then insert into log (select x from inserted t); "
+            "insert into log (select x + 100 from deleted t)"
+        )
+        db.execute("insert into t values (5)")
+        assert db.rows("select x from log") == [(5,)]
+
+
+class TestCompositeVisibilityAcrossRules:
+    def test_pending_rules_see_all_prior_transitions(self, db):
+        """Three rules in priority order: each later rule's transition
+        tables include everything earlier rules did (composed with the
+        external transition)."""
+        db.execute("create table trace (who varchar, n integer)")
+        for name in ("first", "second", "third"):
+            db.execute(
+                f"create rule {name} when inserted into t "
+                f"then insert into trace "
+                f"(select '{name}', count(*) from inserted t); "
+                f"insert into t values (0)"
+            )
+        db.execute("create rule priority first before second")
+        db.execute("create rule priority second before third")
+        # guard against infinite self-triggering: each rule inserts into
+        # t, re-triggering everything; bound the cascade
+        db.engine.max_rule_transitions = 50
+        from repro.errors import RuleLoopError
+
+        with pytest.raises(RuleLoopError):
+            db.execute("insert into t values (1)")
+
+    def test_pending_rule_counts_composite(self, db):
+        db.execute("create table trace (who varchar, n integer)")
+        db.execute(
+            "create rule adder when inserted into t "
+            "if (select count(*) from t) = 1 "
+            "then insert into t values (0)"
+        )
+        db.execute(
+            "create rule counter when inserted into t "
+            "then insert into trace (select 'counter', count(*) "
+            "from inserted t)"
+        )
+        db.execute("create rule priority adder before counter")
+        db.execute("insert into t values (1)")
+        # counter runs after adder: its composite inserted-set holds BOTH
+        # the external tuple and adder's tuple
+        assert db.rows("select n from trace") == [(2,)]
+
+
+class TestTransactionBoundaries:
+    def test_rules_do_not_leak_across_transactions(self, db):
+        """Each transaction starts with empty trans-info: changes from a
+        previous committed transaction never re-trigger rules."""
+        db.execute("insert into t values (1)")  # before the rule exists
+        db.execute(
+            "create rule on_ins when inserted into t "
+            "then insert into log (select x from inserted t)"
+        )
+        db.execute("insert into t values (2)")
+        db.execute("update t set x = x")  # triggers nothing for on_ins
+        assert db.rows("select x from log") == [(2,)]
+
+    def test_rollback_then_new_transaction_is_clean(self, db):
+        db.execute(
+            "create rule guard when inserted into t "
+            "if exists (select * from t where x < 0) then rollback"
+        )
+        db.execute("insert into t values (-1)")  # rolled back
+        result = db.execute("insert into t values (1)")
+        assert result.committed
+        assert result.rule_firings == 0  # guard triggered, condition false
+        assert db.rows("select x from t") == [(1,)]
+
+    def test_manual_transaction_interleaves_queries(self, db):
+        db.execute(
+            "create rule on_ins when inserted into t "
+            "then insert into log (select x from inserted t)"
+        )
+        db.begin()
+        db.execute("insert into t values (1)")
+        # log still empty: rules run at triggering points/commit only
+        assert db.rows("select * from log") == []
+        db.execute("insert into t values (2)")
+        db.commit()
+        assert sorted(db.rows("select x from log")) == [(1,), (2,)]
+
+    def test_handles_distinct_across_rollback_boundary(self, db):
+        db.execute("insert into t values (1)")
+        before = db.database.handles.issued_count
+        db.begin()
+        db.execute("insert into t values (2)")
+        db.rollback()
+        db.execute("insert into t values (3)")
+        handles = db.database.table("t").handles()
+        assert len(set(handles)) == 2
+        assert max(handles) > before + 1  # the rolled-back handle burned
+
+
+class TestConditionEvaluationEnvironment:
+    def test_condition_sees_current_state_not_baseline(self, db):
+        """§4.1: the condition refers to the *current* state S1 plus
+        transition tables — a condition over the base table observes
+        other rules' later changes."""
+        db.execute(
+            "create rule cleaner when inserted into t "
+            "then delete from t where x < 0"
+        )
+        db.execute(
+            "create rule counter when inserted into t "
+            "if (select count(*) from t) = 1 "
+            "then insert into log values (1)"
+        )
+        db.execute("create rule priority cleaner before counter")
+        db.execute("insert into t values (-5), (7)")
+        # cleaner removed -5 first; counter's condition sees count 1
+        assert db.rows("select x from log") == [(1,)]
+
+    def test_action_reads_current_state(self, db):
+        db.execute(
+            "create rule snapshotter when inserted into t "
+            "then insert into log (select sum(x) from t)"
+        )
+        db.execute("insert into t values (1), (2), (3)")
+        assert db.rows("select x from log") == [(6,)]

@@ -1,0 +1,70 @@
+"""Determinism: identical inputs produce identical final states.
+
+The paper's semantics leaves "arbitrary" choices to the implementation
+(selection tie-breaks, iteration orders); this library resolves them all
+deterministically, so two runs of any workload must agree bit-for-bit on
+the canonical final state — the property that makes the reproduction's
+tests and benches trustworthy.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import ActiveDatabase, CreationOrder, LeastRecentlyConsidered
+from repro.analysis import canonical_state
+from repro.workloads import WorkloadConfig, WorkloadGenerator, create_schema
+
+configs = st.builds(
+    WorkloadConfig,
+    blocks=st.integers(min_value=1, max_value=4),
+    ops_per_block=st.integers(min_value=1, max_value=3),
+    batch_rows=st.integers(min_value=1, max_value=3),
+    dept_range=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+
+RULES = [
+    "create rule archive when deleted from emp "
+    "then insert into removed (select emp_no from deleted emp)",
+    "create rule cap when inserted into emp or updated emp.salary "
+    "if exists (select * from emp where salary > 110000) "
+    "then update emp set salary = 110000 where salary > 110000",
+    "create rule floor_guard when updated emp.salary "
+    "if exists (select * from emp where salary < 0) then rollback",
+]
+
+
+def run(config, strategy=None):
+    db = ActiveDatabase(strategy=strategy, record_seen=False)
+    create_schema(db)
+    db.execute("create table removed (emp_no integer)")
+    for rule in RULES:
+        db.execute(rule)
+    outcomes = []
+    for block in WorkloadGenerator(config).blocks():
+        outcomes.append(db.execute(block).committed)
+    return canonical_state(db), outcomes
+
+
+class TestDeterminism:
+    @given(configs)
+    @settings(max_examples=20, deadline=None)
+    def test_same_workload_same_state(self, config):
+        first = run(config)
+        second = run(config)
+        assert first == second
+
+    @given(configs)
+    @settings(max_examples=10, deadline=None)
+    def test_strategies_are_internally_deterministic(self, config):
+        for strategy_cls in (CreationOrder, LeastRecentlyConsidered):
+            first = run(config, strategy_cls())
+            second = run(config, strategy_cls())
+            assert first == second
+
+    @given(configs)
+    @settings(max_examples=10, deadline=None)
+    def test_cap_and_guard_invariants(self, config):
+        state, outcomes = run(config)
+        for row in state["emp"]:
+            salary = row[2]
+            assert salary is None or 0 <= salary <= 110000

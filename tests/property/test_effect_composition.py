@@ -1,0 +1,186 @@
+"""Property-based tests for Definition 2.1 and the Figure 1 algorithm.
+
+Strategy: generate random *well-formed* operation sequences by simulating
+tuple lifecycles (insert fresh handles, update/delete live ones), then
+check the paper's algebraic claims on the resulting effects:
+
+* ``⊕`` is associative (the paper asserts this after Definition 2.1);
+* the empty effect is a two-sided identity;
+* composition preserves the net-effect invariant (a handle appears in at
+  most one of I, D, U);
+* the incremental Figure 1 ``trans-info`` maintenance agrees exactly with
+  whole-sequence effect composition;
+* net semantics: I/D/U membership can be predicted from each handle's
+  operation history.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.effects import TransitionEffect, compose_all
+from repro.core.transition_log import TransInfo
+from repro.relational.dml import DeleteEffect, InsertEffect, UpdateEffect
+
+COLUMNS = ("a", "b", "c")
+
+
+@st.composite
+def op_sequences(draw, max_ops=30, initial_handles=5):
+    """A well-formed operation sequence over simulated tuple lifecycles.
+
+    Returns ``(initial, ops)`` where ``initial`` is the set of handles
+    live before the sequence and ``ops`` is a list of per-operation
+    effect records (one handle each, so groupings can be arbitrary).
+    """
+    next_handle = initial_handles + 1
+    live = set(range(1, initial_handles + 1))
+    initial = frozenset(live)
+    ops = []
+    count = draw(st.integers(min_value=0, max_value=max_ops))
+    for _ in range(count):
+        choices = ["insert"]
+        if live:
+            choices += ["delete", "update"]
+        kind = draw(st.sampled_from(choices))
+        if kind == "insert":
+            handle = next_handle
+            next_handle += 1
+            live.add(handle)
+            ops.append(InsertEffect("t", (handle,)))
+        elif kind == "delete":
+            handle = draw(st.sampled_from(sorted(live)))
+            live.discard(handle)
+            # the row value just before the delete (content irrelevant to
+            # the algebra; tagged for the TransInfo agreement check)
+            ops.append(DeleteEffect("t", ((handle, ("row", handle)),)))
+        else:
+            handle = draw(st.sampled_from(sorted(live)))
+            column = draw(st.sampled_from(COLUMNS))
+            ops.append(
+                UpdateEffect("t", (column,), ((handle, ("row", handle)),))
+            )
+    return initial, ops
+
+
+def split_points(sequence, a, b):
+    """Split a sequence at two cut points into three chunks."""
+    a, b = sorted((a % (len(sequence) + 1), b % (len(sequence) + 1)))
+    return sequence[:a], sequence[a:b], sequence[b:]
+
+
+class TestCompositionAlgebra:
+    @given(op_sequences(), st.integers(), st.integers())
+    @settings(max_examples=200)
+    def test_associativity(self, seq, cut_a, cut_b):
+        _, ops = seq
+        first, second, third = split_points(ops, cut_a, cut_b)
+        e1 = TransitionEffect.from_op_effects(first)
+        e2 = TransitionEffect.from_op_effects(second)
+        e3 = TransitionEffect.from_op_effects(third)
+        assert (e1 | e2) | e3 == e1 | (e2 | e3)
+
+    @given(op_sequences())
+    @settings(max_examples=100)
+    def test_identity(self, seq):
+        _, ops = seq
+        effect = TransitionEffect.from_op_effects(ops)
+        empty = TransitionEffect.empty()
+        assert empty | effect == effect
+        assert effect | empty == effect
+
+    @given(op_sequences())
+    @settings(max_examples=200)
+    def test_net_effect_invariant(self, seq):
+        _, ops = seq
+        assert TransitionEffect.from_op_effects(ops).is_well_formed()
+
+    @given(op_sequences(), st.integers(), st.integers())
+    @settings(max_examples=200)
+    def test_any_grouping_equals_full_fold(self, seq, cut_a, cut_b):
+        _, ops = seq
+        chunks = split_points(ops, cut_a, cut_b)
+        grouped = compose_all(
+            TransitionEffect.from_op_effects(chunk) for chunk in chunks
+        )
+        assert grouped == TransitionEffect.from_op_effects(ops)
+
+
+class TestNetSemantics:
+    @given(op_sequences())
+    @settings(max_examples=200)
+    def test_membership_predicted_by_history(self, seq):
+        initial, ops = seq
+        effect = TransitionEffect.from_op_effects(ops)
+
+        # replay the history per handle
+        inserted_during = set()
+        deleted_during = set()
+        updated_cols = {}
+        for op in ops:
+            if isinstance(op, InsertEffect):
+                inserted_during.update(op.handles)
+            elif isinstance(op, DeleteEffect):
+                deleted_during.update(h for h, _ in op.entries)
+            else:
+                for handle, _ in op.entries:
+                    updated_cols.setdefault(handle, set()).update(op.columns)
+
+        for handle in inserted_during:
+            if handle in deleted_during:
+                # insert-then-delete: vanishes entirely
+                assert handle not in effect.inserted
+                assert handle not in effect.deleted
+            else:
+                assert handle in effect.inserted
+            assert handle not in effect.updated_handles
+
+        for handle in deleted_during:
+            if handle in inserted_during:
+                assert handle not in effect.deleted
+            else:
+                assert handle in effect.deleted
+            assert handle not in effect.updated_handles
+
+        for handle, columns in updated_cols.items():
+            survived = (
+                handle not in deleted_during and handle not in inserted_during
+            )
+            if survived:
+                for column in columns:
+                    assert (handle, column) in effect.updated
+
+
+class TestFigure1Agreement:
+    @given(op_sequences())
+    @settings(max_examples=200)
+    def test_trans_info_equals_composition(self, seq):
+        """Figure 1's incremental modify-trans-info computes exactly the
+        composed effect of Definition 2.1."""
+        _, ops = seq
+        info = TransInfo.from_op_effects(ops)
+        assert info.to_effect() == TransitionEffect.from_op_effects(ops)
+
+    @given(op_sequences(), st.integers())
+    @settings(max_examples=100)
+    def test_incremental_application_order_insensitive_to_chunking(
+        self, seq, cut
+    ):
+        _, ops = seq
+        position = cut % (len(ops) + 1)
+        info = TransInfo.from_op_effects(ops[:position])
+        info.apply_all(ops[position:])
+        assert info.to_effect() == TransitionEffect.from_op_effects(ops)
+
+    @given(op_sequences())
+    @settings(max_examples=100)
+    def test_deleted_values_are_baseline_pre_images(self, seq):
+        """A handle updated then deleted must record its value as of the
+        first update (the baseline pre-image), per get-old-value."""
+        _, ops = seq
+        info = TransInfo.from_op_effects(ops)
+        first_seen_row = {}
+        for op in ops:
+            if isinstance(op, (DeleteEffect, UpdateEffect)):
+                for handle, row in op.entries:
+                    first_seen_row.setdefault(handle, row)
+        for handle, row in info.deleted.items():
+            assert row == first_seen_row[handle]

@@ -1,0 +1,177 @@
+"""Property-based engine invariants under randomized workloads.
+
+These drive the whole stack (parser → DML → rules → transactions) with
+seeded random operation blocks and check the paper's global guarantees:
+
+* tuple handles are never reused, even across rollbacks;
+* a rolled-back transaction leaves the database state bit-identical;
+* rule processing always quiesces for non-cyclic rule sets, and the
+  final state equals the fixpoint (re-running the rules fires nothing);
+* the set-oriented engine and the instance-oriented baseline reach the
+  same final state for per-tuple rules.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import ActiveDatabase
+from repro.baselines import InstanceOrientedEngine
+from repro.core.engine import RuleEngine
+from repro.workloads import WorkloadConfig, WorkloadGenerator, create_schema
+
+configs = st.builds(
+    WorkloadConfig,
+    blocks=st.integers(min_value=1, max_value=5),
+    ops_per_block=st.integers(min_value=1, max_value=4),
+    batch_rows=st.integers(min_value=1, max_value=4),
+    dept_range=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+
+
+def build_db(with_rules=True):
+    db = ActiveDatabase()
+    create_schema(db)
+    db.execute("create table removed (emp_no integer)")
+    if with_rules:
+        # archive deletions; cap salaries (self-limiting rule set)
+        db.execute(
+            "create rule archive when deleted from emp "
+            "then insert into removed (select emp_no from deleted emp)"
+        )
+        db.execute(
+            "create rule cap when inserted into emp or updated emp.salary "
+            "if exists (select * from emp where salary > 130000) "
+            "then update emp set salary = 130000 where salary > 130000"
+        )
+    return db
+
+
+class TestHandleUniqueness:
+    @given(configs)
+    @settings(max_examples=25, deadline=None)
+    def test_handles_never_reused(self, config):
+        db = build_db()
+        generator = WorkloadGenerator(config)
+        seen = set()
+        for block in generator.blocks():
+            before = db.database.handles.issued_count
+            db.execute(block)
+            after = db.database.handles.issued_count
+            fresh = set(range(before + 1, after + 1))
+            assert fresh.isdisjoint(seen)
+            seen |= fresh
+
+
+class TestRollbackRestoresState:
+    @given(configs)
+    @settings(max_examples=25, deadline=None)
+    def test_explicit_rollback_is_exact(self, config):
+        db = build_db()
+        warmup = WorkloadGenerator(config)
+        for block in warmup.blocks():
+            db.execute(block)
+        snapshot = db.database.snapshot()
+        db.begin()
+        followup = WorkloadGenerator(
+            WorkloadConfig(seed=config.seed + 1, blocks=2)
+        )
+        for block in followup.blocks():
+            db.execute(block)
+        db.rollback()
+        assert db.database.snapshot() == snapshot
+
+    @given(configs)
+    @settings(max_examples=15, deadline=None)
+    def test_rollback_rule_is_exact(self, config):
+        db = build_db(with_rules=False)
+        for block in WorkloadGenerator(config).blocks():
+            db.execute(block)
+        snapshot = db.database.snapshot()
+        db.execute(
+            "create rule veto when inserted into emp or deleted from emp "
+            "or updated emp then rollback"
+        )
+        result = db.execute(
+            "insert into emp values ('doomed', 0, 1.0, 1); "
+            "update emp set salary = salary + 1"
+        )
+        assert result.rolled_back_by == "veto"
+        assert db.database.snapshot() == snapshot
+
+
+class TestQuiescence:
+    @given(configs)
+    @settings(max_examples=20, deadline=None)
+    def test_fixpoint_reached(self, config):
+        """After a transaction commits, re-asserting rules in a fresh
+        transaction with no changes fires nothing."""
+        db = build_db()
+        for block in WorkloadGenerator(config).blocks():
+            result = db.execute(block)
+            assert result.committed
+        db.begin()
+        db.assert_rules()
+        result = db.commit()
+        assert result.rule_firings == 0
+
+    @given(configs)
+    @settings(max_examples=20, deadline=None)
+    def test_cap_rule_invariant_holds_after_commit(self, config):
+        db = build_db()
+        for block in WorkloadGenerator(config).blocks():
+            db.execute(block)
+        over_cap = db.query(
+            "select count(*) from emp where salary > 130000"
+        ).scalar()
+        assert over_cap == 0
+
+    @given(configs)
+    @settings(max_examples=20, deadline=None)
+    def test_archive_rule_complete(self, config):
+        """Every employee ever inserted is either live or archived."""
+        db = build_db()
+        inserted = 0
+        for block in WorkloadGenerator(config).blocks():
+            result = db.execute(block)
+            for record in result.transitions:
+                if record.is_external:
+                    inserted += len(record.effect.inserted)
+        live = db.query("select count(*) from emp").scalar()
+        archived = db.query("select count(*) from removed").scalar()
+        assert live + archived == inserted
+
+
+class TestArchitecturalAgreement:
+    @given(configs)
+    @settings(max_examples=15, deadline=None)
+    def test_set_and_instance_engines_agree_on_per_tuple_rule(self, config):
+        engines = []
+        for cls in (RuleEngine, InstanceOrientedEngine):
+            engine = cls()
+            engine.database.create_table(
+                "emp",
+                [
+                    ("name", "varchar"),
+                    ("emp_no", "integer"),
+                    ("salary", "float"),
+                    ("dept_no", "integer"),
+                ],
+            )
+            engine.database.create_table(
+                "dept", [("dept_no", "integer"), ("mgr_no", "integer")]
+            )
+            engine.database.create_table("removed", [("emp_no", "integer")])
+            engine.define_rule(
+                "create rule archive when deleted from emp "
+                "then insert into removed (select emp_no from deleted emp)"
+            )
+            generator = WorkloadGenerator(config)
+            for block in generator.blocks():
+                engine.run_block(block)
+            engines.append(engine)
+        set_state = sorted(engines[0].query("select * from removed").rows)
+        inst_state = sorted(engines[1].query("select * from removed").rows)
+        assert set_state == inst_state
+        set_emps = sorted(engines[0].query("select * from emp").rows)
+        inst_emps = sorted(engines[1].query("select * from emp").rows)
+        assert set_emps == inst_emps

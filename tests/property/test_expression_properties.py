@@ -1,0 +1,119 @@
+"""Property-based tests for three-valued logic and value comparison."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.relational.expressions import (
+    compare,
+    logic_and,
+    logic_not,
+    logic_or,
+)
+from repro.relational.types import compare_values, sort_key
+
+truth = st.sampled_from([True, False, None])
+numbers = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False,
+              min_value=-1e6, max_value=1e6),
+)
+maybe_numbers = st.one_of(st.none(), numbers)
+
+
+class TestKleeneLaws:
+    @given(truth, truth)
+    def test_and_commutative(self, a, b):
+        assert logic_and(a, b) == logic_and(b, a)
+
+    @given(truth, truth)
+    def test_or_commutative(self, a, b):
+        assert logic_or(a, b) == logic_or(b, a)
+
+    @given(truth, truth, truth)
+    def test_and_associative(self, a, b, c):
+        assert logic_and(logic_and(a, b), c) == logic_and(a, logic_and(b, c))
+
+    @given(truth, truth, truth)
+    def test_or_associative(self, a, b, c):
+        assert logic_or(logic_or(a, b), c) == logic_or(a, logic_or(b, c))
+
+    @given(truth, truth)
+    def test_de_morgan(self, a, b):
+        assert logic_not(logic_and(a, b)) == logic_or(
+            logic_not(a), logic_not(b)
+        )
+        assert logic_not(logic_or(a, b)) == logic_and(
+            logic_not(a), logic_not(b)
+        )
+
+    @given(truth)
+    def test_double_negation(self, a):
+        assert logic_not(logic_not(a)) == a
+
+    @given(truth)
+    def test_identity_and_domination(self, a):
+        assert logic_and(a, True) == a
+        assert logic_or(a, False) == a
+        assert logic_and(a, False) is False
+        assert logic_or(a, True) is True
+
+    @given(truth, truth, truth)
+    def test_distribution(self, a, b, c):
+        assert logic_and(a, logic_or(b, c)) == logic_or(
+            logic_and(a, b), logic_and(a, c)
+        )
+
+
+class TestComparisonLaws:
+    @given(maybe_numbers, maybe_numbers)
+    def test_null_always_unknown(self, a, b):
+        if a is None or b is None:
+            for op in ("=", "<>", "<", "<=", ">", ">="):
+                assert compare(op, a, b) is None
+
+    @given(numbers, numbers)
+    def test_trichotomy(self, a, b):
+        results = [
+            compare("<", a, b),
+            compare("=", a, b),
+            compare(">", a, b),
+        ]
+        assert results.count(True) == 1
+
+    @given(numbers, numbers)
+    def test_negation_pairs(self, a, b):
+        assert compare("=", a, b) == (not compare("<>", a, b))
+        assert compare("<", a, b) == (not compare(">=", a, b))
+        assert compare(">", a, b) == (not compare("<=", a, b))
+
+    @given(numbers, numbers)
+    def test_antisymmetry(self, a, b):
+        assert compare("<", a, b) == compare(">", b, a)
+
+    @given(numbers, numbers, numbers)
+    def test_transitivity(self, a, b, c):
+        if compare("<", a, b) and compare("<", b, c):
+            assert compare("<", a, c)
+
+    @given(numbers)
+    def test_reflexivity(self, a):
+        assert compare("=", a, a) is True
+        assert compare("<=", a, a) is True
+
+    @given(numbers, numbers)
+    def test_compare_values_consistent_with_python(self, a, b):
+        sign = compare_values(a, b)
+        assert sign == (a > b) - (a < b)
+
+
+class TestSortKey:
+    @given(st.lists(maybe_numbers, max_size=30))
+    def test_sort_is_total_and_nulls_first(self, values):
+        ordered = sorted(values, key=sort_key)
+        nulls = [v for v in ordered if v is None]
+        rest = [v for v in ordered if v is not None]
+        assert ordered == nulls + rest
+        assert rest == sorted(rest)
+
+    @given(st.lists(st.text(max_size=8), max_size=30))
+    def test_string_sort_matches_python(self, values):
+        assert sorted(values, key=sort_key) == sorted(values)

@@ -1,0 +1,74 @@
+"""Unit tests for rule activation/deactivation."""
+
+import pytest
+
+from repro import ActiveDatabase
+from repro.errors import UnknownRuleError
+
+
+@pytest.fixture
+def db():
+    db = ActiveDatabase()
+    db.execute("create table t (x integer)")
+    db.execute("create table log (x integer)")
+    db.execute(
+        "create rule logger when inserted into t "
+        "then insert into log (select x from inserted t)"
+    )
+    return db
+
+
+class TestActivation:
+    def test_rules_start_active(self, db):
+        assert db.catalog.rule("logger").active
+
+    def test_deactivated_rule_does_not_fire(self, db):
+        db.deactivate_rule("logger")
+        result = db.execute("insert into t values (1)")
+        assert result.rule_firings == 0
+        assert db.rows("select * from log") == []
+
+    def test_reactivated_rule_fires_again(self, db):
+        db.deactivate_rule("logger")
+        db.execute("insert into t values (1)")
+        db.activate_rule("logger")
+        db.execute("insert into t values (2)")
+        assert db.rows("select x from log") == [(2,)]
+
+    def test_changes_during_deactivation_do_not_leak(self, db):
+        """Transactions committed while the rule was inactive never
+        retroactively fire it (transition state is per-transaction)."""
+        db.deactivate_rule("logger")
+        db.execute("insert into t values (1)")
+        db.activate_rule("logger")
+        db.execute("update t set x = x")  # no insert: logger quiet
+        assert db.rows("select * from log") == []
+
+    def test_reactivation_within_transaction_sees_accumulated_info(self, db):
+        """Within one transaction, a deactivated rule keeps accumulating
+        composite transition information; reactivating it mid-transaction
+        lets it fire on everything since its baseline."""
+        db.begin()
+        db.deactivate_rule("logger")
+        db.execute("insert into t values (1)")
+        db.assert_rules()
+        assert db.rows("select * from log") == []
+        db.activate_rule("logger")
+        db.execute("insert into t values (2)")
+        db.commit()
+        assert sorted(db.rows("select x from log")) == [(1,), (2,)]
+
+    def test_unknown_rule_raises(self, db):
+        with pytest.raises(UnknownRuleError):
+            db.deactivate_rule("ghost")
+        with pytest.raises(UnknownRuleError):
+            db.activate_rule("ghost")
+
+    def test_deactivated_rollback_guard_lets_changes_through(self, db):
+        db.execute(
+            "create rule guard when inserted into t "
+            "if exists (select * from t where x < 0) then rollback"
+        )
+        assert db.execute("insert into t values (-1)").rolled_back
+        db.deactivate_rule("guard")
+        assert db.execute("insert into t values (-2)").committed

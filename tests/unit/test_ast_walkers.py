@@ -1,0 +1,175 @@
+"""Unit tests for the AST walking utilities and the error hierarchy.
+
+The walkers (`iter_expressions`, `iter_selects`,
+`transition_table_refs`) underpin rule validation and static analysis;
+they must reach every nested corner of a statement.
+"""
+
+import pytest
+
+from repro import errors
+from repro.sql import ast
+from repro.sql.parser import parse_expression, parse_statement
+
+
+class TestIterExpressions:
+    def walk(self, source):
+        return list(ast.iter_expressions(parse_expression(source)))
+
+    def test_flat_expression(self):
+        nodes = self.walk("a + b")
+        assert sum(isinstance(n, ast.ColumnRef) for n in nodes) == 2
+
+    def test_reaches_into_case(self):
+        nodes = self.walk("case when a > 0 then b else c end")
+        columns = {n.column for n in nodes if isinstance(n, ast.ColumnRef)}
+        assert columns == {"a", "b", "c"}
+
+    def test_reaches_into_between_and_in(self):
+        nodes = self.walk("a between b and c or d in (e, f)")
+        columns = {n.column for n in nodes if isinstance(n, ast.ColumnRef)}
+        assert columns == {"a", "b", "c", "d", "e", "f"}
+
+    def test_descends_into_subqueries(self):
+        nodes = self.walk(
+            "exists (select x from t where y > (select max(z) from u))"
+        )
+        columns = {n.column for n in nodes if isinstance(n, ast.ColumnRef)}
+        assert {"x", "y", "z"} <= columns
+
+    def test_function_args(self):
+        nodes = self.walk("coalesce(a, abs(b))")
+        columns = {n.column for n in nodes if isinstance(n, ast.ColumnRef)}
+        assert columns == {"a", "b"}
+
+    def test_none_is_empty(self):
+        assert list(ast.iter_expressions(None)) == []
+
+
+class TestIterSelects:
+    def test_operation_block_coverage(self):
+        block = parse_statement(
+            "insert into a (select x from s1); "
+            "delete from b where y in (select x from s2); "
+            "update c set z = (select max(x) from s3) "
+            "where exists (select * from s4)"
+        )
+        tables = {
+            ref.table
+            for select in ast.iter_selects(block)
+            for ref in select.tables
+            if isinstance(ref, ast.BaseTableRef)
+        }
+        assert tables == {"s1", "s2", "s3", "s4"}
+
+    def test_union_arms_visited(self):
+        from repro.sql.parser import parse_select
+
+        select = parse_select("select x from a union select x from b")
+        tables = {
+            ref.table
+            for nested in ast.iter_selects(select)
+            for ref in nested.tables
+        }
+        assert tables == {"a", "b"}
+
+    def test_nested_depth(self):
+        from repro.sql.parser import parse_select
+
+        select = parse_select(
+            "select x from a where y in "
+            "(select y from b where z in (select z from c))"
+        )
+        assert len(list(ast.iter_selects(select))) == 3
+
+
+class TestTransitionTableRefs:
+    def test_finds_refs_in_action(self):
+        statement = parse_statement(
+            "create rule r when deleted from dept or updated emp.salary "
+            "then delete from emp where dept_no in "
+            "(select dept_no from deleted dept) "
+            "and salary in (select salary from old updated emp.salary)"
+        )
+        refs = list(ast.transition_table_refs(statement.action))
+        kinds = {(ref.kind, ref.table, ref.column) for ref in refs}
+        assert kinds == {
+            (ast.TransitionKind.DELETED, "dept", None),
+            (ast.TransitionKind.OLD_UPDATED, "emp", "salary"),
+        }
+
+    def test_no_refs_in_plain_block(self):
+        block = parse_statement("delete from emp where salary > 10")
+        assert list(ast.transition_table_refs(block)) == []
+
+
+class TestOperationBlockInvariant:
+    def test_empty_block_rejected(self):
+        with pytest.raises(ValueError):
+            ast.OperationBlock(())
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "subclass",
+        [
+            errors.SqlError,
+            errors.CatalogError,
+            errors.TypeError_,
+            errors.ExecutionError,
+            errors.TransactionError,
+            errors.RuleError,
+            errors.ConstraintError,
+            errors.AnalysisError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, subclass):
+        assert issubclass(subclass, errors.ReproError)
+
+    def test_lex_and_parse_are_sql_errors(self):
+        assert issubclass(errors.LexError, errors.SqlError)
+        assert issubclass(errors.ParseError, errors.SqlError)
+
+    @pytest.mark.parametrize(
+        "subclass",
+        [
+            errors.DuplicateRuleError,
+            errors.UnknownRuleError,
+            errors.InvalidRuleError,
+            errors.PriorityCycleError,
+            errors.RuleLoopError,
+        ],
+    )
+    def test_rule_errors(self, subclass):
+        assert issubclass(subclass, errors.RuleError)
+
+    def test_lex_error_carries_position(self):
+        error = errors.LexError("bad", position=7, line=2, column=3)
+        assert error.position == 7
+        assert "line 2" in str(error)
+
+    def test_rule_loop_error_carries_limit(self):
+        error = errors.RuleLoopError(42)
+        assert error.limit == 42
+        assert "42" in str(error)
+
+    def test_rollback_requested_names_rule(self):
+        error = errors.RollbackRequested("guard")
+        assert error.rule_name == "guard"
+
+    def test_one_catch_all(self):
+        """Library users can catch every library failure with one class."""
+        from repro import ActiveDatabase, ReproError
+
+        db = ActiveDatabase()
+        failures = 0
+        for statement in (
+            "select * from nope",              # catalog
+            "create table t (x blob)",         # parse
+            "insert into",                     # parse
+        ):
+            try:
+                db.execute(statement)
+            except ReproError:
+                failures += 1
+        assert failures == 3

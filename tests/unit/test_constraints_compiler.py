@@ -1,0 +1,125 @@
+"""Unit tests for the constraint declaration language and compiler."""
+
+import pytest
+
+from repro.constraints import (
+    AggregateBound,
+    Check,
+    NotNull,
+    ReferentialIntegrity,
+    Unique,
+    compile_constraint,
+)
+from repro.errors import ConstraintError
+from repro.sql.parser import parse_statement
+
+
+def compiled_sql(constraint):
+    rules = compile_constraint(constraint)
+    # every generated rule must be valid SQL in the rule language
+    for rule in rules:
+        parse_statement(rule.sql)
+    return rules
+
+
+class TestDeclarations:
+    def test_not_null_name(self):
+        assert NotNull("emp", "name").name == "nn_emp_name"
+
+    def test_invalid_repair_rejected(self):
+        with pytest.raises(ConstraintError):
+            NotNull("emp", "name", repair="cascade")
+
+    def test_unique_only_rollback(self):
+        with pytest.raises(ConstraintError):
+            Unique("emp", "emp_no", repair="delete")
+
+    def test_check_label_in_name(self):
+        assert Check("emp", "salary >= 0", label="pos").name == "ck_emp_pos"
+
+    def test_referential_validations(self):
+        with pytest.raises(ConstraintError):
+            ReferentialIntegrity("a", "x", "b", "y", on_violation="cascade")
+        with pytest.raises(ConstraintError):
+            ReferentialIntegrity("a", "x", "b", "y", on_parent_delete="zap")
+
+    def test_aggregate_comparison_validated(self):
+        with pytest.raises(ConstraintError):
+            AggregateBound("emp", "sum(salary)", "!!", 10)
+
+
+class TestCompilation:
+    def test_not_null_rollback(self):
+        [rule] = compiled_sql(NotNull("emp", "name"))
+        assert "inserted into emp" in rule.sql
+        assert "updated emp.name" in rule.sql
+        assert "then rollback" in rule.sql
+
+    def test_not_null_delete_repair(self):
+        [rule] = compiled_sql(NotNull("emp", "name", repair="delete"))
+        assert "then delete from emp where name is null" in rule.sql
+
+    def test_unique(self):
+        [rule] = compiled_sql(Unique("dept", "dept_no"))
+        assert "group by dept_no having count(*) > 1" in rule.sql
+
+    def test_check(self):
+        [rule] = compiled_sql(Check("emp", "salary >= 0"))
+        assert "not (salary >= 0)" in rule.sql
+
+    def test_check_delete_repair(self):
+        [rule] = compiled_sql(Check("emp", "salary >= 0", repair="delete"))
+        assert "then delete from emp" in rule.sql
+
+    def test_referential_produces_three_rules(self):
+        rules = compiled_sql(
+            ReferentialIntegrity("emp", "dept_no", "dept", "dept_no")
+        )
+        names = [rule.name for rule in rules]
+        assert len(rules) == 3
+        assert any(name.endswith("__child") for name in names)
+        assert any(name.endswith("__parent") for name in names)
+        assert any(name.endswith("__parent_update") for name in names)
+
+    def test_referential_cascade_uses_deleted_table(self):
+        rules = compiled_sql(
+            ReferentialIntegrity(
+                "emp", "dept_no", "dept", "dept_no",
+                on_parent_delete="cascade",
+            )
+        )
+        parent = next(r for r in rules if r.name.endswith("__parent"))
+        assert "deleted dept" in parent.sql
+        assert "delete from emp" in parent.sql
+
+    def test_referential_set_null(self):
+        rules = compiled_sql(
+            ReferentialIntegrity(
+                "emp", "dept_no", "dept", "dept_no",
+                on_parent_delete="set_null",
+            )
+        )
+        parent = next(r for r in rules if r.name.endswith("__parent"))
+        assert "set dept_no = null" in parent.sql
+
+    def test_referential_restrict(self):
+        rules = compiled_sql(
+            ReferentialIntegrity(
+                "emp", "dept_no", "dept", "dept_no",
+                on_parent_delete="rollback",
+            )
+        )
+        parent = next(r for r in rules if r.name.endswith("__parent"))
+        assert "then rollback" in parent.sql
+
+    def test_aggregate_bound_negates_comparison(self):
+        [rule] = compiled_sql(
+            AggregateBound("emp", "sum(salary)", "<=", 1000000,
+                           where="dept_no = 5", label="cap")
+        )
+        assert "> 1000000" in rule.sql  # <= negated to >
+        assert "where dept_no = 5" in rule.sql
+
+    def test_unknown_constraint_type_raises(self):
+        with pytest.raises(ConstraintError):
+            compile_constraint(object())

@@ -1,0 +1,140 @@
+"""Unit tests for external-procedure rule actions (paper §5.2)."""
+
+import pytest
+
+from repro import ActiveDatabase
+from repro.errors import ExecutionError
+
+
+@pytest.fixture
+def db():
+    db = ActiveDatabase()
+    db.execute("create table t (x integer)")
+    db.execute("create table log (x integer)")
+    return db
+
+
+class TestExternalActions:
+    def test_procedure_runs_on_trigger(self, db):
+        calls = []
+
+        def procedure(context):
+            calls.append(context.rule_name)
+
+        db.define_external_rule("notify", "inserted into t", procedure)
+        db.execute("insert into t values (1)")
+        assert calls == ["notify"]
+
+    def test_procedure_dml_is_part_of_the_transition(self, db):
+        def procedure(context):
+            context.execute("insert into log values (42)")
+
+        db.define_external_rule("writer", "inserted into t", procedure)
+        result = db.execute("insert into t values (1)")
+        assert db.rows("select x from log") == [(42,)]
+        [firing] = result.firings_of("writer")
+        assert len(firing.effect.inserted) == 1
+
+    def test_procedure_dml_triggers_other_rules(self, db):
+        """§5.2: "the effect on the database of executing an external
+        procedure still corresponds to a sequence of data manipulation
+        operations" — so it cascades like any transition."""
+        def procedure(context):
+            context.execute("insert into log values (1)")
+
+        db.define_external_rule("writer", "inserted into t", procedure)
+        db.execute(
+            "create rule follow when inserted into log "
+            "if (select count(*) from log) < 2 "
+            "then insert into log values (2)"
+        )
+        result = db.execute("insert into t values (1)")
+        assert result.rule_firings == 2
+        assert sorted(db.rows("select x from log")) == [(1,), (2,)]
+
+    def test_procedure_sees_transition_tables(self, db):
+        observed = []
+
+        def procedure(context):
+            result = context.query("select x from inserted t")
+            observed.extend(result.column("x"))
+
+        db.define_external_rule("observer", "inserted into t", procedure)
+        db.execute("insert into t values (5), (6)")
+        assert sorted(observed) == [5, 6]
+
+    def test_procedure_condition_gates(self, db):
+        calls = []
+        db.define_external_rule(
+            "guarded",
+            "inserted into t",
+            lambda context: calls.append(1),
+            condition="exists (select * from t where x > 10)",
+        )
+        db.execute("insert into t values (1)")
+        assert calls == []
+        db.execute("insert into t values (11)")
+        assert calls == [1]
+
+    def test_procedure_can_request_rollback(self, db):
+        def procedure(context):
+            context.rollback()
+
+        db.define_external_rule("veto", "inserted into t", procedure)
+        result = db.execute("insert into t values (1)")
+        assert result.rolled_back
+        assert result.rolled_back_by == "veto"
+        assert db.rows("select * from t") == []
+
+    def test_procedure_rollback_undoes_its_own_dml(self, db):
+        def procedure(context):
+            context.execute("insert into log values (1)")
+            context.rollback()
+
+        db.define_external_rule("veto", "inserted into t", procedure)
+        db.execute("insert into t values (1)")
+        assert db.rows("select * from log") == []
+
+    def test_procedure_exception_aborts_transaction(self, db):
+        def procedure(context):
+            raise ValueError("boom")
+
+        db.define_external_rule("bad", "inserted into t", procedure)
+        with pytest.raises(ValueError):
+            db.execute("insert into t values (1)")
+        assert db.rows("select * from t") == []
+
+    def test_procedure_cannot_execute_ddl(self, db):
+        def procedure(context):
+            context.execute("create table oops (x integer)")
+
+        db.define_external_rule("bad", "inserted into t", procedure)
+        with pytest.raises(Exception):
+            db.execute("insert into t values (1)")
+
+    def test_non_callable_rejected(self, db):
+        with pytest.raises(ExecutionError):
+            db.define_external_rule("bad", "inserted into t", "not-callable")
+
+    def test_description_in_rule_sql(self, db):
+        rule = db.define_external_rule(
+            "described", "inserted into t", lambda c: None,
+            description="send an email",
+        )
+        assert "send an email" in rule.to_sql()
+
+    def test_self_retriggering_external_rule(self, db):
+        """An external rule whose DML re-satisfies its own predicate
+        re-fires with its own transition as baseline, like SQL rules."""
+        def procedure(context):
+            remaining = context.query(
+                "select count(*) from t where x > 0"
+            ).scalar()
+            if remaining:
+                context.execute("update t set x = x - 1 where x > 0")
+
+        db.define_external_rule(
+            "drain", "inserted into t or updated t.x", procedure
+        )
+        db.execute("insert into t values (2)")
+        assert db.rows("select x from t") == [(0,)]

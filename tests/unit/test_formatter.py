@@ -1,0 +1,137 @@
+"""Unit tests for the SQL formatter (AST → text)."""
+
+import pytest
+
+from repro.sql import ast, format_node
+from repro.sql.parser import (
+    parse_expression,
+    parse_select,
+    parse_statement,
+)
+
+
+def roundtrip_expression(source):
+    """format(parse(source)) reparses to the same AST."""
+    node = parse_expression(source)
+    return parse_expression(format_node(node)) == node
+
+
+def roundtrip_statement(source):
+    node = parse_statement(source)
+    return parse_statement(format_node(node)) == node
+
+
+class TestExpressionFormatting:
+    def test_literals(self):
+        assert format_node(ast.Literal(42)) == "42"
+        assert format_node(ast.Literal(None)) == "null"
+        assert format_node(ast.Literal(True)) == "true"
+        assert format_node(ast.Literal(False)) == "false"
+        assert format_node(ast.Literal("hi")) == "'hi'"
+
+    def test_string_escaping(self):
+        assert format_node(ast.Literal("it's")) == "'it''s'"
+
+    def test_column_refs(self):
+        assert format_node(ast.ColumnRef("x")) == "x"
+        assert format_node(ast.ColumnRef("x", "t")) == "t.x"
+
+    def test_binary_precedence_parentheses(self):
+        node = parse_expression("(1 + 2) * 3")
+        assert format_node(node) == "(1 + 2) * 3"
+
+    def test_no_spurious_parentheses(self):
+        node = parse_expression("1 + 2 * 3")
+        assert format_node(node) == "1 + 2 * 3"
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "salary > 50000 and dept_no = 2",
+            "x is not null",
+            "x between 1 and 10",
+            "x not between 1 and 10",
+            "name like 'J%'",
+            "x in (1, 2, 3)",
+            "x not in (select y from t)",
+            "exists (select * from t)",
+            "x > any (select y from t)",
+            "x <= all (select y from t)",
+            "sum(salary)",
+            "count(*)",
+            "count(distinct dept_no)",
+            "coalesce(a, b, 0)",
+            "case when x > 0 then 1 else 2 end",
+            "a || b",
+            "-x + 3",
+            "not (a = 1 or b = 2)",
+        ],
+    )
+    def test_roundtrip(self, source):
+        assert roundtrip_expression(source)
+
+
+class TestSelectFormatting:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "select * from emp",
+            "select e.* from emp e",
+            "select distinct dept_no from emp",
+            "select name, salary as pay from emp where salary > 10",
+            "select dept_no, count(*) from emp group by dept_no having count(*) > 1",
+            "select * from emp order by salary desc, name limit 3",
+            "select * from emp e1, emp e2 where e1.emp_no = e2.emp_no",
+            "select x from a union select x from b",
+            "select x from a union all select x from b",
+            "select * from inserted emp",
+            "select * from deleted dept d",
+            "select * from old updated emp.salary",
+            "select * from new updated emp",
+        ],
+    )
+    def test_roundtrip(self, source):
+        node = parse_select(source)
+        assert parse_select(format_node(node)) == node
+
+
+class TestStatementFormatting:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "create table emp (name varchar, salary float)",
+            "drop table emp",
+            "insert into t values (1, 'a')",
+            "insert into t (a, b) values (1, 2), (3, 4)",
+            "insert into t (select x from s)",
+            "delete from emp where salary > 10",
+            "update emp set salary = salary * 1.1 where dept_no = 2",
+            "insert into t values (1); delete from t where x = 0",
+            "drop rule r",
+            "create rule priority a before b",
+            "assert rules",
+            "create index idx on emp (dept_no)",
+            "drop index idx",
+        ],
+    )
+    def test_roundtrip(self, source):
+        assert roundtrip_statement(source)
+
+    def test_create_rule_roundtrip(self):
+        source = (
+            "create rule r when inserted into emp or updated emp.salary "
+            "if exists (select * from inserted emp) "
+            "then delete from emp where salary < 0; "
+            "update emp set salary = 0 where salary is null"
+        )
+        assert roundtrip_statement(source)
+
+    def test_rollback_action(self):
+        node = parse_statement(
+            "create rule r when inserted into t then rollback"
+        )
+        assert "then rollback" in format_node(node)
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(TypeError):
+            format_node(object())

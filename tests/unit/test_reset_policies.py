@@ -1,0 +1,157 @@
+"""Unit tests for the footnote-8 re-triggering baseline policies.
+
+§4.2 footnote 8: "Other semantics are possible here. For example, a rule
+could be evaluated with respect to the transition since the most recent
+point at which it was chosen for consideration, regardless of whether
+its action was executed. Or ... since the state preceding the most
+recent triggering of the rule, as specified in our initial proposal
+[WF89b]. ... As an extension, we might permit a choice of
+interpretations to be specified as part of rule definition."
+
+We implement all three; these tests pin down scenarios where the
+policies observably diverge.
+"""
+
+import pytest
+
+from repro import ActiveDatabase
+from repro.errors import InvalidRuleError
+
+
+def make_db():
+    db = ActiveDatabase()
+    db.execute("create table t (x integer)")
+    db.execute("create table log (x integer)")
+    return db
+
+
+class TestPolicyValidation:
+    def test_invalid_policy_rejected_at_definition(self):
+        db = make_db()
+        with pytest.raises(InvalidRuleError):
+            db.engine.define_rule(
+                "create rule r when inserted into t then delete from t",
+                reset_policy="sometimes",
+            )
+
+    def test_invalid_policy_rejected_at_update(self):
+        db = make_db()
+        db.execute("create rule r when inserted into t then delete from t")
+        with pytest.raises(InvalidRuleError):
+            db.set_rule_reset_policy("r", "never")
+
+    def test_default_policy_is_execution(self):
+        db = make_db()
+        rule = db.execute(
+            "create rule r when inserted into t then delete from t"
+        )
+        assert rule.reset_policy == "execution"
+
+
+class TestConsiderationPolicy:
+    """Baseline moves at every consideration: a condition-false
+    consideration consumes the rule's accumulated changes."""
+
+    def scenario(self, policy):
+        db = make_db()
+        # 'waiting' logs inserted t rows once the log has a marker
+        db.engine.define_rule(
+            "create rule waiting when inserted into t "
+            "if exists (select * from log) "
+            "then insert into log (select x from inserted t)",
+            reset_policy=policy,
+        )
+        # 'feeder' runs after waiting's first (false) consideration and
+        # plants the marker plus one more t-row
+        db.execute(
+            "create rule feeder when inserted into t "
+            "if not exists (select * from log) "
+            "then insert into log values (0); insert into t values (99)"
+        )
+        db.execute("create rule priority waiting before feeder")
+        db.execute("insert into t values (1), (2)")
+        return sorted(db.rows("select x from log"))
+
+    def test_default_reconsiders_with_full_composite(self):
+        # waiting re-fires seeing {1, 2, 99}
+        assert self.scenario("execution") == [(0,), (1,), (2,), (99,)]
+
+    def test_consideration_policy_loses_pre_consideration_changes(self):
+        # waiting's first (false) consideration consumed {1, 2}; it is
+        # re-triggered only by feeder's transition and sees just {99}
+        assert self.scenario("consideration") == [(0,), (99,)]
+
+
+class TestTriggeringPolicy:
+    """[WF89b]: baseline is the state preceding the rule's most recent
+    transition from untriggered to triggered."""
+
+    def scenario(self, policy):
+        db = make_db()
+        # watcher triggers on *updates* of t.x only
+        db.engine.define_rule(
+            "create rule watcher when updated t.x "
+            "then insert into log (select x from new updated t.x)",
+            reset_policy=policy,
+        )
+        # toucher updates the freshly inserted tuple
+        db.execute(
+            "create rule toucher when inserted into t "
+            "then update t set x = x + 10 "
+            "where x in (select x from inserted t)"
+        )
+        db.execute("insert into t values (1)")
+        return sorted(db.rows("select x from log"))
+
+    def test_default_composition_absorbs_update_into_insert(self):
+        """Under the paper's primary semantics, watcher's composite is
+        T1 ⊕ T2: insert-then-update nets to an insertion (§2.2), its U
+        component is empty, and watcher NEVER fires."""
+        assert self.scenario("execution") == []
+
+    def test_triggering_policy_sees_the_update_alone(self):
+        """Under [WF89b], watcher was untriggered at T1, so its baseline
+        restarts at T2: the update stands alone and watcher fires."""
+        assert self.scenario("triggering") == [(11,)]
+
+    def test_triggered_rule_keeps_composing(self):
+        """Once triggered, a 'triggering'-policy rule accumulates like the
+        default until it fires or is untriggered again."""
+        db = make_db()
+        db.engine.define_rule(
+            "create rule collector when inserted into t "
+            "if (select count(*) from inserted t) >= 3 "
+            "then insert into log (select x from inserted t)",
+            reset_policy="triggering",
+        )
+        db.execute(
+            "create rule feeder when inserted into t "
+            "if (select count(*) from t) < 3 "
+            "then insert into t values (99)"
+        )
+        db.execute("create rule priority collector before feeder")
+        db.execute("insert into t values (1)")
+        # collector triggered at T1 (1 tuple, condition false); feeder
+        # adds tuples one at a time; collector's baseline does NOT reset
+        # between those transitions (it stays triggered), so it
+        # eventually sees all three inserts.
+        assert db.query("select count(*) from log").scalar() == 3
+
+
+class TestPolicyChangeAtRuntime:
+    def test_policy_switch_affects_next_transaction(self):
+        db = make_db()
+        db.engine.define_rule(
+            "create rule watcher when updated t.x "
+            "then insert into log (select x from new updated t.x)",
+        )
+        db.execute(
+            "create rule toucher when inserted into t "
+            "then update t set x = x + 10 "
+            "where x in (select x from inserted t)"
+        )
+        db.execute("insert into t values (1)")
+        assert db.rows("select * from log") == []  # execution policy
+        db.set_rule_reset_policy("watcher", "triggering")
+        db.execute("insert into t values (2)")
+        assert db.rows("select x from log") == [(12,)]

@@ -1,0 +1,182 @@
+"""Unit tests for the rule catalog and priority partial order (§4.4)."""
+
+import pytest
+
+from repro.core.external import ExternalAction
+from repro.core.rules import RuleCatalog
+from repro.errors import (
+    DuplicateRuleError,
+    InvalidRuleError,
+    PriorityCycleError,
+    UnknownRuleError,
+)
+from repro.sql import ast
+from repro.sql.parser import parse_statement
+
+
+def make_rule_ast(name, when="inserted into t", action="delete from t"):
+    return parse_statement(f"create rule {name} when {when} then {action}")
+
+
+@pytest.fixture
+def catalog():
+    return RuleCatalog()
+
+
+def define(catalog, name, **kwargs):
+    return catalog.create_rule_from_ast(make_rule_ast(name, **kwargs))
+
+
+class TestDefinition:
+    def test_create_and_lookup(self, catalog):
+        rule = define(catalog, "r1")
+        assert catalog.rule("r1") is rule
+        assert catalog.has_rule("r1")
+        assert len(catalog) == 1
+
+    def test_duplicate_name_raises(self, catalog):
+        define(catalog, "r1")
+        with pytest.raises(DuplicateRuleError):
+            define(catalog, "r1")
+
+    def test_unknown_rule_raises(self, catalog):
+        with pytest.raises(UnknownRuleError):
+            catalog.rule("nope")
+
+    def test_drop(self, catalog):
+        define(catalog, "r1")
+        catalog.drop_rule("r1")
+        assert not catalog.has_rule("r1")
+
+    def test_drop_unknown_raises(self, catalog):
+        with pytest.raises(UnknownRuleError):
+            catalog.drop_rule("nope")
+
+    def test_creation_order_preserved(self, catalog):
+        for name in ("c", "a", "b"):
+            define(catalog, name)
+        assert catalog.rule_names() == ["c", "a", "b"]
+        sequences = [rule.sequence for rule in catalog.rules()]
+        assert sequences == sorted(sequences)
+
+    def test_rollback_action_flag(self, catalog):
+        rule = define(catalog, "r1", action="rollback")
+        assert rule.is_rollback
+        assert not rule.is_external
+
+    def test_external_action_flag(self, catalog):
+        rule = catalog.create_rule(
+            "ext",
+            parse_statement(
+                "create rule x when inserted into t then rollback"
+            ).predicates,
+            None,
+            ExternalAction(lambda context: None, "noop"),
+        )
+        assert rule.is_external
+        assert "noop" in rule.to_sql()
+
+    def test_invalid_transition_reference_rejected(self, catalog):
+        node = parse_statement(
+            "create rule bad when inserted into t "
+            "then delete from t where x in (select x from deleted t)"
+        )
+        with pytest.raises(InvalidRuleError):
+            catalog.create_rule_from_ast(node)
+
+    def test_to_sql_roundtrips(self, catalog):
+        rule = define(
+            catalog,
+            "r1",
+            when="deleted from t or updated t.x",
+            action="delete from t where x in (select x from deleted t)",
+        )
+        reparsed = parse_statement(rule.to_sql())
+        assert reparsed.name == "r1"
+        assert len(reparsed.predicates) == 2
+
+
+class TestPriorities:
+    def test_add_and_query(self, catalog):
+        define(catalog, "a")
+        define(catalog, "b")
+        catalog.add_priority("a", "b")
+        assert catalog.precedes("a", "b")
+        assert not catalog.precedes("b", "a")
+
+    def test_transitive_closure(self, catalog):
+        for name in ("a", "b", "c"):
+            define(catalog, name)
+        catalog.add_priority("a", "b")
+        catalog.add_priority("b", "c")
+        assert catalog.precedes("a", "c")
+
+    def test_cycle_rejected(self, catalog):
+        define(catalog, "a")
+        define(catalog, "b")
+        catalog.add_priority("a", "b")
+        with pytest.raises(PriorityCycleError):
+            catalog.add_priority("b", "a")
+
+    def test_transitive_cycle_rejected(self, catalog):
+        for name in ("a", "b", "c"):
+            define(catalog, name)
+        catalog.add_priority("a", "b")
+        catalog.add_priority("b", "c")
+        with pytest.raises(PriorityCycleError):
+            catalog.add_priority("c", "a")
+
+    def test_self_priority_rejected(self, catalog):
+        define(catalog, "a")
+        with pytest.raises(PriorityCycleError):
+            catalog.add_priority("a", "a")
+
+    def test_unknown_rule_in_priority_raises(self, catalog):
+        define(catalog, "a")
+        with pytest.raises(UnknownRuleError):
+            catalog.add_priority("a", "ghost")
+
+    def test_drop_rule_removes_its_pairings(self, catalog):
+        define(catalog, "a")
+        define(catalog, "b")
+        catalog.add_priority("a", "b")
+        catalog.drop_rule("a")
+        define(catalog, "a")
+        # no stale pairing: b before a is now allowed
+        catalog.add_priority("b", "a")
+        assert catalog.precedes("b", "a")
+
+    def test_remove_priority(self, catalog):
+        define(catalog, "a")
+        define(catalog, "b")
+        catalog.add_priority("a", "b")
+        catalog.remove_priority("a", "b")
+        assert not catalog.precedes("a", "b")
+
+
+class TestMaximalFirstOrder:
+    def test_respects_partial_order(self, catalog):
+        for name in ("low", "high", "mid"):
+            define(catalog, name)
+        catalog.add_priority("high", "mid")
+        catalog.add_priority("mid", "low")
+        ordered = catalog.maximal_first_order(catalog.rules())
+        assert [rule.name for rule in ordered] == ["high", "mid", "low"]
+
+    def test_incomparable_rules_by_creation_order(self, catalog):
+        define(catalog, "z_first")
+        define(catalog, "a_second")
+        ordered = catalog.maximal_first_order(catalog.rules())
+        assert [rule.name for rule in ordered] == ["z_first", "a_second"]
+
+    def test_mixed(self, catalog):
+        for name in ("r1", "r2", "r3"):
+            define(catalog, name)
+        catalog.add_priority("r2", "r1")  # Example 4.3: R2 before R1
+        ordered = catalog.maximal_first_order(
+            [catalog.rule("r1"), catalog.rule("r2")]
+        )
+        assert [rule.name for rule in ordered] == ["r2", "r1"]
+
+    def test_empty_set(self, catalog):
+        assert catalog.maximal_first_order([]) == []

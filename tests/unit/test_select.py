@@ -1,0 +1,375 @@
+"""Unit tests for select evaluation."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.relational.database import Database
+from repro.relational.select import evaluate_select
+from repro.sql.parser import parse_select
+
+
+@pytest.fixture
+def database():
+    db = Database()
+    db.create_table(
+        "emp",
+        [
+            ("name", "varchar"),
+            ("emp_no", "integer"),
+            ("salary", "float"),
+            ("dept_no", "integer"),
+        ],
+    )
+    db.create_table("dept", [("dept_no", "integer"), ("mgr_no", "integer")])
+    for row in [
+        ("Jane", 1, 90000.0, 1),
+        ("Mary", 2, 70000.0, 1),
+        ("Bill", 3, 40000.0, 2),
+        ("Sam", 4, 50000.0, 2),
+        ("Sue", 5, None, 3),
+    ]:
+        db.insert_row("emp", row)
+    db.insert_row("dept", (1, 1))
+    db.insert_row("dept", (2, 2))
+    return db
+
+
+def run(database, sql):
+    return evaluate_select(database, parse_select(sql))
+
+
+class TestProjection:
+    def test_star(self, database):
+        result = run(database, "select * from dept")
+        assert result.columns == ["dept_no", "mgr_no"]
+        assert result.rows == [(1, 1), (2, 2)]
+
+    def test_named_columns(self, database):
+        result = run(database, "select name from emp where emp_no = 1")
+        assert result.rows == [("Jane",)]
+
+    def test_alias_naming(self, database):
+        result = run(database, "select salary as pay from emp where emp_no = 1")
+        assert result.columns == ["pay"]
+
+    def test_computed_column_default_name(self, database):
+        result = run(database, "select salary * 2 from emp where emp_no = 1")
+        assert result.columns == ["col1"]
+        assert result.rows == [(180000.0,)]
+
+    def test_qualified_star(self, database):
+        result = run(
+            database,
+            "select d.* from emp e, dept d "
+            "where e.dept_no = d.dept_no and e.emp_no = 1",
+        )
+        assert result.columns == ["dept_no", "mgr_no"]
+        assert result.rows == [(1, 1)]
+
+    def test_unknown_qualified_star_raises(self, database):
+        with pytest.raises(ExecutionError):
+            run(database, "select q.* from emp e")
+
+    def test_select_without_from(self, database):
+        result = run(database, "select 1 + 1")
+        assert result.rows == [(2,)]
+
+
+class TestWhere:
+    def test_filters_true_only(self, database):
+        # Sue's salary is NULL: the predicate is UNKNOWN -> excluded
+        result = run(database, "select name from emp where salary > 0")
+        assert len(result.rows) == 4
+
+    def test_is_null_filter(self, database):
+        result = run(database, "select name from emp where salary is null")
+        assert result.rows == [("Sue",)]
+
+    def test_compound_predicate(self, database):
+        result = run(
+            database,
+            "select name from emp where dept_no = 2 and salary >= 50000",
+        )
+        assert result.rows == [("Sam",)]
+
+
+class TestJoins:
+    def test_cross_product(self, database):
+        result = run(database, "select * from emp, dept")
+        assert len(result.rows) == 10
+
+    def test_equi_join(self, database):
+        result = run(
+            database,
+            "select e.name, d.mgr_no from emp e, dept d "
+            "where e.dept_no = d.dept_no order by e.name",
+        )
+        assert result.rows == [
+            ("Bill", 2), ("Jane", 1), ("Mary", 1), ("Sam", 2),
+        ]
+
+    def test_self_join(self, database):
+        result = run(
+            database,
+            "select e1.name from emp e1, emp e2 "
+            "where e1.salary > e2.salary and e2.name = 'Mary'",
+        )
+        assert result.rows == [("Jane",)]
+
+    def test_duplicate_binding_raises(self, database):
+        with pytest.raises(ExecutionError):
+            run(database, "select * from emp, emp")
+
+
+class TestAggregates:
+    def test_count_star(self, database):
+        assert run(database, "select count(*) from emp").scalar() == 5
+
+    def test_count_column_skips_nulls(self, database):
+        assert run(database, "select count(salary) from emp").scalar() == 4
+
+    def test_sum_avg(self, database):
+        assert run(database, "select sum(salary) from emp").scalar() == 250000.0
+        assert run(database, "select avg(salary) from emp").scalar() == 62500.0
+
+    def test_min_max(self, database):
+        result = run(database, "select min(salary), max(salary) from emp")
+        assert result.rows == [(40000.0, 90000.0)]
+
+    def test_aggregate_over_empty_input(self, database):
+        result = run(
+            database,
+            "select count(*), sum(salary), avg(salary) from emp "
+            "where dept_no = 99",
+        )
+        assert result.rows == [(0, None, None)]
+
+    def test_count_distinct(self, database):
+        assert (
+            run(database, "select count(distinct dept_no) from emp").scalar()
+            == 3
+        )
+
+    def test_group_by(self, database):
+        result = run(
+            database,
+            "select dept_no, count(*) from emp group by dept_no "
+            "order by dept_no",
+        )
+        assert result.rows == [(1, 2), (2, 2), (3, 1)]
+
+    def test_group_by_having(self, database):
+        result = run(
+            database,
+            "select dept_no from emp group by dept_no "
+            "having count(*) > 1 order by dept_no",
+        )
+        assert result.rows == [(1,), (2,)]
+
+    def test_group_by_with_aggregate_expression(self, database):
+        result = run(
+            database,
+            "select dept_no, sum(salary) from emp "
+            "where salary is not null group by dept_no order by dept_no",
+        )
+        assert result.rows == [(1, 160000.0), (2, 90000.0)]
+
+    def test_nongrouped_column_in_grouped_query_raises(self, database):
+        with pytest.raises(ExecutionError):
+            run(database, "select name, count(*) from emp group by dept_no")
+
+    def test_plain_column_with_aggregate_no_groupby_raises(self, database):
+        with pytest.raises(ExecutionError):
+            run(database, "select name, count(*) from emp")
+
+    def test_nulls_group_together(self, database):
+        database.insert_row("emp", ("X", 6, None, None))
+        database.insert_row("emp", ("Y", 7, None, None))
+        result = run(
+            database,
+            "select dept_no, count(*) from emp group by dept_no",
+        )
+        null_groups = [row for row in result.rows if row[0] is None]
+        assert null_groups == [(None, 2)]
+
+
+class TestOrderingAndLimits:
+    def test_order_by_asc(self, database):
+        result = run(
+            database,
+            "select name from emp where salary is not null order by salary",
+        )
+        assert result.rows == [("Bill",), ("Sam",), ("Mary",), ("Jane",)]
+
+    def test_order_by_desc(self, database):
+        result = run(
+            database,
+            "select name from emp where salary is not null "
+            "order by salary desc",
+        )
+        assert result.rows[0] == ("Jane",)
+
+    def test_order_by_multiple_keys(self, database):
+        result = run(
+            database, "select name from emp order by dept_no desc, name"
+        )
+        assert result.rows[0] == ("Sue",)
+
+    def test_nulls_sort_first(self, database):
+        result = run(database, "select name from emp order by salary")
+        assert result.rows[0] == ("Sue",)
+
+    def test_order_by_expression_not_in_output(self, database):
+        result = run(
+            database,
+            "select name from emp where salary is not null "
+            "order by salary * -1",
+        )
+        assert result.rows[0] == ("Jane",)
+
+    def test_limit(self, database):
+        result = run(database, "select name from emp order by emp_no limit 2")
+        assert result.rows == [("Jane",), ("Mary",)]
+
+    def test_distinct(self, database):
+        result = run(database, "select distinct dept_no from emp order by dept_no")
+        assert result.rows == [(1,), (2,), (3,)]
+
+
+class TestUnion:
+    def test_union_dedupes(self, database):
+        result = run(
+            database,
+            "select dept_no from emp union select dept_no from dept",
+        )
+        assert sorted(result.rows) == [(1,), (2,), (3,)]
+
+    def test_union_all_keeps_duplicates(self, database):
+        result = run(
+            database,
+            "select dept_no from dept union all select dept_no from dept",
+        )
+        assert len(result.rows) == 4
+
+    def test_union_arity_mismatch_raises(self, database):
+        with pytest.raises(ExecutionError):
+            run(database, "select dept_no from dept union select * from dept")
+
+
+class TestSubqueriesInSelect:
+    def test_scalar_subquery_in_items(self, database):
+        result = run(
+            database,
+            "select name, (select max(salary) from emp) from emp "
+            "where emp_no = 3",
+        )
+        assert result.rows == [("Bill", 90000.0)]
+
+    def test_correlated_subquery(self, database):
+        result = run(
+            database,
+            "select name from emp e1 where salary > "
+            "(select avg(salary) from emp e2 "
+            "where e2.dept_no = e1.dept_no) order by name",
+        )
+        assert result.rows == [("Jane",), ("Sam",)]
+
+
+class TestResultHelpers:
+    def test_as_dicts(self, database):
+        result = run(database, "select dept_no, mgr_no from dept")
+        assert result.as_dicts()[0] == {"dept_no": 1, "mgr_no": 1}
+
+    def test_scalar_shape_errors(self, database):
+        with pytest.raises(ExecutionError):
+            run(database, "select * from dept").scalar()
+
+    def test_column_by_name(self, database):
+        result = run(database, "select dept_no, mgr_no from dept")
+        assert result.column("mgr_no") == [1, 2]
+
+    def test_column_unknown_raises(self, database):
+        with pytest.raises(ExecutionError):
+            run(database, "select dept_no from dept").column("zzz")
+
+
+class TestGroupingEdgeCases:
+    def test_having_without_group_by(self, database):
+        result = run(
+            database,
+            "select count(*) from emp having count(*) > 3",
+        )
+        assert result.rows == [(5,)]
+
+    def test_having_filters_out_single_group(self, database):
+        result = run(
+            database,
+            "select count(*) from emp having count(*) > 99",
+        )
+        assert result.rows == []
+
+    def test_order_by_aggregate_in_grouped_query(self, database):
+        result = run(
+            database,
+            "select dept_no, count(*) from emp group by dept_no "
+            "order by count(*) desc, dept_no",
+        )
+        assert result.rows[0][1] == 2
+        assert result.rows[-1] == (3, 1)
+
+    def test_group_by_expression(self, database):
+        result = run(
+            database,
+            "select dept_no * 10, count(*) from emp "
+            "group by dept_no * 10 order by dept_no * 10",
+        )
+        assert result.rows == [(10, 2), (20, 2), (30, 1)]
+
+    def test_aggregate_of_expression(self, database):
+        result = run(
+            database,
+            "select sum(salary * 2) from emp where salary is not null",
+        )
+        assert result.rows == [(500000.0,)]
+
+    def test_min_max_on_strings(self, database):
+        result = run(database, "select min(name), max(name) from emp")
+        assert result.rows == [("Bill", "Sue")]
+
+    def test_group_by_multiple_keys(self, database):
+        database.insert_row("emp", ("Jane2", 6, 90000.0, 1))
+        result = run(
+            database,
+            "select dept_no, salary, count(*) from emp "
+            "where salary is not null "
+            "group by dept_no, salary order by dept_no, salary",
+        )
+        assert (1, 90000.0, 2) in result.rows
+
+
+class TestLimitsAndDistinctEdges:
+    def test_limit_zero(self, database):
+        assert run(database, "select * from emp limit 0").rows == []
+
+    def test_limit_beyond_size(self, database):
+        assert len(run(database, "select * from emp limit 999").rows) == 5
+
+    def test_distinct_on_computed_column(self, database):
+        result = run(
+            database,
+            "select distinct dept_no * 0 from emp",
+        )
+        assert result.rows == [(0,)]
+
+    def test_distinct_with_order_by(self, database):
+        result = run(
+            database,
+            "select distinct dept_no from emp order by dept_no desc",
+        )
+        assert result.rows == [(3,), (2,), (1,)]
+
+    def test_distinct_preserves_nulls_as_one(self, database):
+        database.insert_row("emp", ("X", 7, None, None))
+        result = run(database, "select distinct salary from emp "
+                               "where dept_no is null or salary is null")
+        assert result.rows == [(None,)]

@@ -1,0 +1,92 @@
+"""Unit tests for the §5.1 extension: rules triggered by data retrieval."""
+
+import pytest
+
+from repro import ActiveDatabase
+
+
+@pytest.fixture
+def db():
+    db = ActiveDatabase(track_selects=True)
+    db.execute("create table emp (name varchar, salary float)")
+    db.execute("create table audit (name varchar)")
+    db.execute("insert into emp values ('Jane', 90000), ('Bill', 40000)")
+    return db
+
+
+class TestSelectTriggering:
+    def test_selected_table_predicate(self, db):
+        db.execute(
+            "create rule watch when selected emp "
+            "then insert into audit values ('read')"
+        )
+        result = db.execute("select * from emp")
+        assert result.rule_firings == 1
+        assert db.rows("select * from audit") == [("read",)]
+
+    def test_selected_column_predicate(self, db):
+        db.execute(
+            "create rule watch_salary when selected emp.salary "
+            "then insert into audit values ('salary-read')"
+        )
+        # reading only names does not trigger the salary watcher
+        result = db.execute("select name from emp")
+        assert result.rule_firings == 0
+        result = db.execute("select salary from emp")
+        assert result.rule_firings == 1
+
+    def test_where_restricts_selected_set(self, db):
+        db.execute(
+            "create rule watch when selected emp "
+            "then insert into audit (select name from selected emp)"
+        )
+        db.execute("select name from emp where salary > 50000")
+        assert db.rows("select name from audit") == [("Jane",)]
+
+    def test_selected_transition_table_serves_current_rows(self, db):
+        db.execute(
+            "create rule watch when selected emp.salary "
+            "then insert into audit (select name from selected emp.salary)"
+        )
+        db.execute("select salary from emp")
+        assert sorted(db.rows("select name from audit")) == [
+            ("Bill",), ("Jane",),
+        ]
+
+    def test_tracking_disabled_by_default(self):
+        db = ActiveDatabase()  # track_selects=False
+        db.execute("create table emp (name varchar)")
+        db.execute("create table audit (name varchar)")
+        db.execute("insert into emp values ('Jane')")
+        db.execute(
+            "create rule watch when selected emp "
+            "then insert into audit values ('read')"
+        )
+        result = db.execute("select * from emp")
+        assert result.rule_firings == 0
+
+    def test_select_result_still_returned(self, db):
+        result = db.execute("select name from emp where salary > 50000")
+        assert result.last_select.rows == [("Jane",)]
+
+    def test_authorization_audit_scenario(self, db):
+        """The paper's motivating use: authorization/audit on retrieval."""
+        db.execute(
+            "create rule audit_reads when selected emp.salary "
+            "then insert into audit (select name from selected emp.salary)"
+        )
+        db.execute("select salary from emp where name = 'Jane'")
+        db.execute("select salary from emp where name = 'Bill'")
+        assert sorted(db.rows("select name from audit")) == [
+            ("Bill",), ("Jane",),
+        ]
+
+    def test_mixed_block_select_and_dml(self, db):
+        db.execute(
+            "create rule watch when selected emp "
+            "then insert into audit values ('read')"
+        )
+        result = db.execute(
+            "select * from emp; insert into emp values ('New', 1.0)"
+        )
+        assert result.rule_firings == 1

@@ -1,0 +1,124 @@
+"""Unit tests for rule selection strategies (paper §4.4)."""
+
+import pytest
+
+from repro.core.rules import RuleCatalog
+from repro.core.selection import (
+    CreationOrder,
+    LeastRecentlyConsidered,
+    MostRecentlyConsidered,
+    PriorityOrder,
+    TotalOrder,
+    default_strategy,
+)
+from repro.errors import RuleError
+from repro.sql.parser import parse_statement
+
+
+@pytest.fixture
+def catalog():
+    catalog = RuleCatalog()
+    for name in ("alpha", "beta", "gamma"):
+        catalog.create_rule_from_ast(
+            parse_statement(
+                f"create rule {name} when inserted into t then delete from t"
+            )
+        )
+    return catalog
+
+
+def order_names(strategy, catalog, considered=None):
+    return [
+        rule.name
+        for rule in strategy.order(catalog.rules(), catalog, considered or {})
+    ]
+
+
+class TestCreationOrder:
+    def test_orders_by_sequence(self, catalog):
+        assert order_names(CreationOrder(), catalog) == [
+            "alpha", "beta", "gamma",
+        ]
+
+
+class TestPriorityOrder:
+    def test_default_strategy_is_priority(self):
+        assert isinstance(default_strategy(), PriorityOrder)
+
+    def test_respects_pairings(self, catalog):
+        catalog.add_priority("gamma", "alpha")
+        names = order_names(PriorityOrder(), catalog)
+        assert names.index("gamma") < names.index("alpha")
+
+    def test_falls_back_to_creation_order(self, catalog):
+        assert order_names(PriorityOrder(), catalog) == [
+            "alpha", "beta", "gamma",
+        ]
+
+
+class TestTotalOrder:
+    def test_explicit_ranking(self, catalog):
+        strategy = TotalOrder(["gamma", "alpha", "beta"])
+        assert order_names(strategy, catalog) == ["gamma", "alpha", "beta"]
+
+    def test_unranked_rules_last(self, catalog):
+        strategy = TotalOrder(["gamma"])
+        assert order_names(strategy, catalog) == ["gamma", "alpha", "beta"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(RuleError):
+            TotalOrder(["a", "a"])
+
+
+class TestRecencyStrategies:
+    def test_least_recently_considered(self, catalog):
+        considered = {"alpha": 5, "beta": 2}
+        names = order_names(LeastRecentlyConsidered(), catalog, considered)
+        # gamma never considered -> first; then beta (2), then alpha (5)
+        assert names == ["gamma", "beta", "alpha"]
+
+    def test_most_recently_considered(self, catalog):
+        considered = {"alpha": 5, "beta": 2}
+        names = order_names(MostRecentlyConsidered(), catalog, considered)
+        assert names == ["alpha", "beta", "gamma"]
+
+
+class TestStrategyAffectsEngine:
+    """End-to-end: two rules both triggered; strategy decides who goes
+    first, which changes the outcome (the paper's motivation for giving
+    selection control to the programmer)."""
+
+    def make_db(self, strategy):
+        from repro import ActiveDatabase
+
+        db = ActiveDatabase(strategy=strategy)
+        db.execute("create table t (x integer)")
+        db.execute("create table winner (who varchar)")
+        # both rules record who ran first; each only fires when winner empty
+        db.execute(
+            "create rule first_rule when inserted into t "
+            "if not exists (select * from winner) "
+            "then insert into winner values ('first_rule')"
+        )
+        db.execute(
+            "create rule second_rule when inserted into t "
+            "if not exists (select * from winner) "
+            "then insert into winner values ('second_rule')"
+        )
+        return db
+
+    def test_creation_order_picks_first_defined(self):
+        db = self.make_db(CreationOrder())
+        db.execute("insert into t values (1)")
+        assert db.rows("select who from winner") == [("first_rule",)]
+
+    def test_total_order_overrides(self):
+        db = self.make_db(TotalOrder(["second_rule", "first_rule"]))
+        db.execute("insert into t values (1)")
+        assert db.rows("select who from winner") == [("second_rule",)]
+
+    def test_priority_pairing_overrides(self):
+        db = self.make_db(PriorityOrder())
+        db.execute("create rule priority second_rule before first_rule")
+        db.execute("insert into t values (1)")
+        assert db.rows("select who from winner") == [("second_rule",)]

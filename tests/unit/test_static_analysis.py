@@ -1,0 +1,245 @@
+"""Unit tests for static rule analysis (paper §6)."""
+
+import pytest
+
+from repro.analysis import (
+    TriggeringGraph,
+    action_provides,
+    analyze,
+    find_ordering_conflicts,
+    find_potential_loops,
+    may_loop,
+    may_trigger,
+    rule_reads,
+    rule_writes,
+)
+from repro.core.external import ExternalAction
+from repro.core.rules import RuleCatalog
+from repro.sql.parser import parse_statement
+
+
+@pytest.fixture
+def catalog():
+    return RuleCatalog()
+
+
+def define(catalog, sql):
+    return catalog.create_rule_from_ast(parse_statement(sql))
+
+
+class TestActionProvides:
+    def test_insert_provides_inserted(self, catalog):
+        rule = define(
+            catalog,
+            "create rule r when inserted into a then insert into b values (1)",
+        )
+        provided = action_provides(rule)
+        assert {(e.kind, e.table) for e in provided} == {("inserted", "b")}
+
+    def test_update_provides_columns(self, catalog):
+        rule = define(
+            catalog,
+            "create rule r when inserted into a "
+            "then update b set x = 1, y = 2",
+        )
+        provided = action_provides(rule)
+        assert {(e.kind, e.table, e.column) for e in provided} == {
+            ("updated", "b", "x"), ("updated", "b", "y"),
+        }
+
+    def test_rollback_provides_nothing(self, catalog):
+        rule = define(catalog, "create rule r when inserted into a then rollback")
+        assert action_provides(rule) == frozenset()
+
+    def test_external_action_is_opaque(self, catalog):
+        rule = catalog.create_rule(
+            "ext",
+            parse_statement(
+                "create rule x when inserted into a then rollback"
+            ).predicates,
+            None,
+            ExternalAction(lambda c: None),
+        )
+        assert action_provides(rule) is None
+
+    def test_multi_operation_action(self, catalog):
+        rule = define(
+            catalog,
+            "create rule r when inserted into a "
+            "then delete from b; insert into c values (1)",
+        )
+        kinds = {(e.kind, e.table) for e in action_provides(rule)}
+        assert kinds == {("deleted", "b"), ("inserted", "c")}
+
+
+class TestMayTrigger:
+    def test_matching_tables(self, catalog):
+        provider = define(
+            catalog,
+            "create rule p when inserted into a then delete from b",
+        )
+        consumer = define(
+            catalog,
+            "create rule c when deleted from b then rollback",
+        )
+        assert may_trigger(provider, consumer)
+        assert not may_trigger(consumer, provider)
+
+    def test_column_narrowing(self, catalog):
+        provider = define(
+            catalog,
+            "create rule p when inserted into a then update b set x = 1",
+        )
+        on_x = define(catalog, "create rule cx when updated b.x then rollback")
+        on_y = define(catalog, "create rule cy when updated b.y then rollback")
+        whole = define(catalog, "create rule cw when updated b then rollback")
+        assert may_trigger(provider, on_x)
+        assert not may_trigger(provider, on_y)
+        assert may_trigger(provider, whole)
+
+    def test_external_triggers_everything(self, catalog):
+        provider = catalog.create_rule(
+            "ext",
+            parse_statement(
+                "create rule x when inserted into a then rollback"
+            ).predicates,
+            None,
+            ExternalAction(lambda c: None),
+        )
+        consumer = define(
+            catalog, "create rule c when deleted from zzz then rollback"
+        )
+        assert may_trigger(provider, consumer)
+
+
+class TestLoops:
+    def test_self_loop_detected(self, catalog):
+        define(
+            catalog,
+            "create rule r when updated t.x then update t set x = 1",
+        )
+        warnings = find_potential_loops(catalog)
+        assert len(warnings) == 1
+        assert warnings[0].is_self_loop
+        assert warnings[0].rules == ("r",)
+        assert may_loop(catalog, "r")
+
+    def test_example_41_recursive_rule_warns(self, catalog):
+        """Example 4.1's rule is self-triggering (converges at run time,
+        but the static facility must still warn — paper footnote 7)."""
+        define(
+            catalog,
+            "create rule r when deleted from emp "
+            "then delete from emp where dept_no in "
+            "(select dept_no from dept where mgr_no in "
+            "(select emp_no from deleted emp)); "
+            "delete from dept where mgr_no in "
+            "(select emp_no from deleted emp)",
+        )
+        assert may_loop(catalog, "r")
+
+    def test_two_rule_cycle(self, catalog):
+        define(catalog, "create rule a when inserted into t then insert into u values (1)")
+        define(catalog, "create rule b when inserted into u then insert into t values (1)")
+        warnings = find_potential_loops(catalog)
+        assert len(warnings) == 1
+        assert set(warnings[0].rules) == {"a", "b"}
+        assert not warnings[0].is_self_loop
+
+    def test_acyclic_chain_no_warning(self, catalog):
+        define(catalog, "create rule a when inserted into t then insert into u values (1)")
+        define(catalog, "create rule b when inserted into u then insert into v values (1)")
+        assert find_potential_loops(catalog) == []
+
+    def test_describe(self, catalog):
+        define(
+            catalog, "create rule r when updated t then update t set x = 1"
+        )
+        [warning] = find_potential_loops(catalog)
+        assert "r" in warning.describe()
+
+
+class TestConflicts:
+    def test_unordered_interfering_pair_warns(self, catalog):
+        define(
+            catalog,
+            "create rule a when inserted into t then update u set x = 1",
+        )
+        define(
+            catalog,
+            "create rule b when inserted into t then delete from u",
+        )
+        warnings = find_ordering_conflicts(catalog)
+        assert len(warnings) == 1
+        assert {warnings[0].first, warnings[0].second} == {"a", "b"}
+        assert "u" in warnings[0].tables
+
+    def test_priority_silences_warning(self, catalog):
+        define(
+            catalog,
+            "create rule a when inserted into t then update u set x = 1",
+        )
+        define(
+            catalog,
+            "create rule b when inserted into t then delete from u",
+        )
+        catalog.add_priority("a", "b")
+        assert find_ordering_conflicts(catalog) == []
+
+    def test_disjoint_predicates_no_warning(self, catalog):
+        define(catalog, "create rule a when inserted into t then delete from u")
+        define(catalog, "create rule b when inserted into v then delete from u")
+        assert find_ordering_conflicts(catalog) == []
+
+    def test_non_interfering_actions_no_warning(self, catalog):
+        define(catalog, "create rule a when inserted into t then delete from u")
+        define(catalog, "create rule b when inserted into t then delete from v")
+        assert find_ordering_conflicts(catalog) == []
+
+    def test_write_read_interference(self, catalog):
+        define(catalog, "create rule a when inserted into t then delete from u")
+        define(
+            catalog,
+            "create rule b when inserted into t "
+            "if exists (select * from u) then delete from v",
+        )
+        warnings = find_ordering_conflicts(catalog)
+        assert len(warnings) == 1
+
+    def test_reads_and_writes_helpers(self, catalog):
+        rule = define(
+            catalog,
+            "create rule r when inserted into t "
+            "if exists (select * from a) "
+            "then delete from b where x in (select x from c)",
+        )
+        assert rule_reads(rule) == {"a", "b", "c"}
+        assert rule_writes(rule) == {"b"}
+
+
+class TestGraphAndReport:
+    def test_graph_edges(self, catalog):
+        define(catalog, "create rule a when inserted into t then insert into u values (1)")
+        define(catalog, "create rule b when inserted into u then rollback")
+        graph = TriggeringGraph.from_catalog(catalog)
+        assert graph.has_edge("a", "b")
+        assert not graph.has_edge("b", "a")
+        assert ("a", "b") in graph.edges()
+
+    def test_to_dot(self, catalog):
+        define(catalog, "create rule a when inserted into t then insert into u values (1)")
+        define(catalog, "create rule b when inserted into u then rollback")
+        dot = graph_text = TriggeringGraph.from_catalog(catalog).to_dot()
+        assert '"a" -> "b";' in dot
+
+    def test_analyze_report(self, catalog):
+        define(catalog, "create rule a when updated t then update t set x = 1")
+        report = analyze(catalog)
+        assert report.warning_count == 1
+        assert "LOOP" in report.describe()
+
+    def test_clean_catalog_reports_no_warnings(self, catalog):
+        define(catalog, "create rule a when inserted into t then delete from u")
+        report = analyze(catalog)
+        assert report.warning_count == 0
+        assert report.describe() == "no warnings"

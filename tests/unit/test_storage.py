@@ -1,0 +1,201 @@
+"""Unit tests for schema, handles, tables and the database mutators."""
+
+import pytest
+
+from repro.errors import CatalogError, ExecutionError, TypeError_
+from repro.relational.database import Database
+from repro.relational.handles import HandleAllocator
+from repro.relational.schema import Catalog, Column, TableSchema
+from repro.relational.types import SqlType
+
+
+class TestSchema:
+    def make(self):
+        return TableSchema(
+            "emp",
+            [
+                Column("name", SqlType.VARCHAR),
+                Column("salary", SqlType.FLOAT),
+            ],
+        )
+
+    def test_column_names(self):
+        assert self.make().column_names == ("name", "salary")
+
+    def test_arity(self):
+        assert self.make().arity == 2
+
+    def test_column_position(self):
+        schema = self.make()
+        assert schema.column_position("salary") == 1
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(CatalogError):
+            self.make().column_position("nope")
+
+    def test_has_column(self):
+        schema = self.make()
+        assert schema.has_column("name")
+        assert not schema.has_column("x")
+
+    def test_duplicate_column_raises(self):
+        with pytest.raises(CatalogError):
+            TableSchema(
+                "t",
+                [Column("x", SqlType.INTEGER), Column("x", SqlType.FLOAT)],
+            )
+
+    def test_empty_schema_raises(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", [])
+
+    def test_coerce_row(self):
+        schema = self.make()
+        assert schema.coerce_row(["a", 5]) == ("a", 5.0)
+
+    def test_coerce_row_arity_mismatch(self):
+        with pytest.raises(CatalogError):
+            self.make().coerce_row(["a"])
+
+    def test_coerce_row_type_error(self):
+        with pytest.raises(TypeError_):
+            self.make().coerce_row([1, 2.0])
+
+
+class TestCatalog:
+    def test_create_and_lookup(self):
+        catalog = Catalog()
+        schema = TableSchema("t", [Column("x", SqlType.INTEGER)])
+        catalog.create_table(schema)
+        assert catalog.schema("t") is schema
+        assert "t" in catalog
+        assert catalog.table_names() == ("t",)
+
+    def test_duplicate_table_raises(self):
+        catalog = Catalog()
+        schema = TableSchema("t", [Column("x", SqlType.INTEGER)])
+        catalog.create_table(schema)
+        with pytest.raises(CatalogError):
+            catalog.create_table(schema)
+
+    def test_drop(self):
+        catalog = Catalog()
+        catalog.create_table(TableSchema("t", [Column("x", SqlType.INTEGER)]))
+        catalog.drop_table("t")
+        assert "t" not in catalog
+
+    def test_drop_unknown_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().drop_table("nope")
+
+    def test_unknown_schema_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().schema("nope")
+
+
+class TestHandleAllocator:
+    def test_handles_are_distinct_and_monotone(self):
+        allocator = HandleAllocator()
+        handles = [allocator.allocate("t") for _ in range(100)]
+        assert len(set(handles)) == 100
+        assert handles == sorted(handles)
+
+    def test_table_association_is_permanent(self):
+        allocator = HandleAllocator()
+        handle = allocator.allocate("emp")
+        assert allocator.table_of(handle) == "emp"
+
+    def test_knows(self):
+        allocator = HandleAllocator()
+        handle = allocator.allocate("t")
+        assert allocator.knows(handle)
+        assert not allocator.knows(handle + 1)
+
+    def test_issued_count(self):
+        allocator = HandleAllocator()
+        allocator.allocate("a")
+        allocator.allocate("b")
+        assert allocator.issued_count == 2
+
+
+class TestDatabaseMutators:
+    def make(self):
+        database = Database()
+        database.create_table(
+            "t", [("x", "integer"), ("y", "varchar")]
+        )
+        return database
+
+    def test_insert_returns_handle(self):
+        database = self.make()
+        handle = database.insert_row("t", [1, "a"])
+        assert database.row("t", handle) == (1, "a")
+        assert database.table_of_handle(handle) == "t"
+
+    def test_insert_coerces(self):
+        database = self.make()
+        handle = database.insert_row("t", [2.0, "b"])
+        assert database.row("t", handle) == (2, "b")
+
+    def test_insert_bad_type_raises(self):
+        with pytest.raises(TypeError_):
+            self.make().insert_row("t", ["not-int", "a"])
+
+    def test_delete_returns_row(self):
+        database = self.make()
+        handle = database.insert_row("t", [1, "a"])
+        assert database.delete_row("t", handle) == (1, "a")
+        assert database.row_count("t") == 0
+
+    def test_delete_dead_handle_raises(self):
+        database = self.make()
+        handle = database.insert_row("t", [1, "a"])
+        database.delete_row("t", handle)
+        with pytest.raises(ExecutionError):
+            database.delete_row("t", handle)
+
+    def test_update_partial_columns(self):
+        database = self.make()
+        handle = database.insert_row("t", [1, "a"])
+        old, new = database.update_row("t", handle, {"x": 9})
+        assert old == (1, "a")
+        assert new == (9, "a")
+        assert database.row("t", handle) == (9, "a")
+
+    def test_update_to_same_value_is_allowed(self):
+        database = self.make()
+        handle = database.insert_row("t", [1, "a"])
+        old, new = database.update_row("t", handle, {"x": 1})
+        assert old == new == (1, "a")
+
+    def test_duplicate_rows_coexist(self):
+        database = self.make()
+        h1 = database.insert_row("t", [1, "a"])
+        h2 = database.insert_row("t", [1, "a"])
+        assert h1 != h2
+        assert database.row_count("t") == 2
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(CatalogError):
+            self.make().insert_row("nope", [1])
+
+    def test_drop_table(self):
+        database = self.make()
+        database.drop_table("t")
+        with pytest.raises(CatalogError):
+            database.table("t")
+
+    def test_snapshot_is_independent(self):
+        database = self.make()
+        handle = database.insert_row("t", [1, "a"])
+        snapshot = database.snapshot()
+        database.update_row("t", handle, {"x": 2})
+        assert snapshot["t"][handle] == (1, "a")
+
+    def test_create_table_with_sqltype_objects(self):
+        database = Database()
+        from repro.relational.types import SqlType
+
+        database.create_table("u", [("x", SqlType.BOOLEAN)])
+        handle = database.insert_row("u", [True])
+        assert database.row("u", handle) == (True,)

@@ -1,0 +1,117 @@
+"""Unit tests for transition records and transaction results."""
+
+import pytest
+
+from repro import ActiveDatabase
+from repro.core.effects import TransitionEffect
+from repro.core.trace import (
+    ConsiderationRecord,
+    TransactionResult,
+    TransitionRecord,
+)
+
+
+def effect(I=(), D=(), U=()):
+    return TransitionEffect(frozenset(I), frozenset(D), frozenset(U))
+
+
+class TestTransitionRecord:
+    def test_external_flag(self):
+        record = TransitionRecord(1, "external", effect(I=[1]))
+        assert record.is_external
+        assert not TransitionRecord(2, "r", effect()).is_external
+
+    def test_describe_labels(self):
+        assert TransitionRecord(1, "external", effect(I=[1])).describe() == (
+            "T1 [I:1 D:0 U:0]"
+        )
+        assert TransitionRecord(2, "r", effect(D=[1])).describe() == (
+            "T2 [r] [I:0 D:1 U:0]"
+        )
+
+
+class TestTransactionResult:
+    def make(self):
+        result = TransactionResult()
+        result.transitions = [
+            TransitionRecord(1, "external", effect(I=[1, 2])),
+            TransitionRecord(2, "a", effect(U=[(1, "x")])),
+            TransitionRecord(3, "b", effect(D=[2])),
+            TransitionRecord(4, "a", effect()),
+        ]
+        return result
+
+    def test_rule_firings_counts_non_external(self):
+        assert self.make().rule_firings == 3
+
+    def test_firings_of(self):
+        result = self.make()
+        assert [record.index for record in result.firings_of("a")] == [2, 4]
+        assert result.firings_of("ghost") == []
+
+    def test_describe_committed(self):
+        text = self.make().describe()
+        assert text.splitlines()[-1] == "committed"
+        assert "T3 [b]" in text
+
+    def test_describe_rolled_back(self):
+        result = self.make()
+        result.committed = False
+        result.rolled_back_by = "guard"
+        assert "rolled back by rule 'guard'" in result.describe()
+
+    def test_rolled_back_property(self):
+        result = TransactionResult()
+        assert not result.rolled_back
+        result.committed = False
+        assert result.rolled_back
+
+    def test_last_select_empty(self):
+        assert TransactionResult().last_select is None
+
+
+class TestConsiderationRecordsEndToEnd:
+    def test_non_firing_considerations_recorded(self):
+        db = ActiveDatabase()
+        db.execute("create table t (x integer)")
+        db.execute(
+            "create rule never when inserted into t "
+            "if false then delete from t"
+        )
+        result = db.execute("insert into t values (1)")
+        assert len(result.considered) == 1
+        record = result.considered[0]
+        assert isinstance(record, ConsiderationRecord)
+        assert record.rule == "never"
+        assert record.condition_result is False
+
+    def test_unknown_condition_recorded_as_none(self):
+        db = ActiveDatabase()
+        db.execute("create table t (x integer)")
+        db.execute("create table n (v integer)")
+        db.execute(
+            "create rule maybe when inserted into t "
+            "if (select max(v) from n) > 0 then delete from t"
+        )
+        result = db.execute("insert into t values (1)")
+        assert result.considered[0].condition_result is None
+
+    def test_considered_records_transition_index(self):
+        db = ActiveDatabase()
+        db.execute("create table t (x integer)")
+        # watcher is created first so it is considered (falsely) before
+        # feeder fires in each round
+        db.execute(
+            "create rule watcher when inserted into t "
+            "if false then delete from t"
+        )
+        db.execute(
+            "create rule feeder when inserted into t "
+            "if (select count(*) from t) < 2 then insert into t values (0)"
+        )
+        result = db.execute("insert into t values (1)")
+        # watcher considered after T1 and again after feeder's T2
+        watcher_considerations = [
+            record for record in result.considered if record.rule == "watcher"
+        ]
+        assert [r.after_transition for r in watcher_considerations] == [1, 2]

@@ -1,0 +1,133 @@
+"""Unit tests for the undo-log transaction manager."""
+
+import pytest
+
+from repro.errors import TransactionError
+from repro.relational.database import Database
+
+
+@pytest.fixture
+def database():
+    db = Database()
+    db.create_table("t", [("x", "integer")])
+    return db
+
+
+class TestBasicLifecycle:
+    def test_begin_commit(self, database):
+        database.transactions.begin()
+        handle = database.insert_row("t", [1])
+        database.transactions.commit()
+        assert database.row("t", handle) == (1,)
+
+    def test_rollback_undoes_insert(self, database):
+        database.transactions.begin()
+        database.insert_row("t", [1])
+        database.transactions.rollback()
+        assert database.row_count("t") == 0
+
+    def test_rollback_undoes_delete(self, database):
+        handle = database.insert_row("t", [1])
+        database.transactions.begin()
+        database.delete_row("t", handle)
+        database.transactions.rollback()
+        assert database.row("t", handle) == (1,)
+
+    def test_rollback_undoes_update(self, database):
+        handle = database.insert_row("t", [1])
+        database.transactions.begin()
+        database.update_row("t", handle, {"x": 2})
+        database.transactions.rollback()
+        assert database.row("t", handle) == (1,)
+
+    def test_rollback_restores_exact_sequence(self, database):
+        h1 = database.insert_row("t", [1])
+        database.transactions.begin()
+        database.update_row("t", h1, {"x": 5})
+        h2 = database.insert_row("t", [2])
+        database.delete_row("t", h1)
+        database.update_row("t", h2, {"x": 9})
+        database.transactions.rollback()
+        assert database.row("t", h1) == (1,)
+        assert database.row_count("t") == 1
+
+    def test_mutations_outside_transaction_autocommit(self, database):
+        handle = database.insert_row("t", [1])
+        assert database.row("t", handle) == (1,)
+        assert not database.transactions.active
+
+    def test_handle_not_reused_after_rollback(self, database):
+        database.transactions.begin()
+        h1 = database.insert_row("t", [1])
+        database.transactions.rollback()
+        h2 = database.insert_row("t", [2])
+        assert h2 > h1  # rolled-back insert's handle is never reissued
+
+
+class TestSavepoints:
+    def test_partial_rollback(self, database):
+        database.transactions.begin()
+        h1 = database.insert_row("t", [1])
+        savepoint = database.transactions.savepoint()
+        database.insert_row("t", [2])
+        database.transactions.rollback_to_savepoint(savepoint)
+        assert database.row_count("t") == 1
+        database.transactions.commit()
+        assert database.row("t", h1) == (1,)
+
+    def test_rollback_to_savepoint_keeps_transaction_open(self, database):
+        database.transactions.begin()
+        savepoint = database.transactions.savepoint()
+        database.insert_row("t", [1])
+        database.transactions.rollback_to_savepoint(savepoint)
+        assert database.transactions.active
+        database.insert_row("t", [2])
+        database.transactions.commit()
+        assert database.row_count("t") == 1
+
+    def test_nested_savepoints(self, database):
+        database.transactions.begin()
+        database.insert_row("t", [1])
+        sp1 = database.transactions.savepoint()
+        database.insert_row("t", [2])
+        sp2 = database.transactions.savepoint()
+        database.insert_row("t", [3])
+        database.transactions.rollback_to_savepoint(sp2)
+        assert database.row_count("t") == 2
+        database.transactions.rollback_to_savepoint(sp1)
+        assert database.row_count("t") == 1
+
+    def test_stale_savepoint_raises(self, database):
+        database.transactions.begin()
+        database.insert_row("t", [1])
+        savepoint = database.transactions.savepoint()
+        database.transactions.rollback_to_savepoint(0)
+        with pytest.raises(TransactionError):
+            database.transactions.rollback_to_savepoint(savepoint)
+
+
+class TestMisuse:
+    def test_nested_begin_raises(self, database):
+        database.transactions.begin()
+        with pytest.raises(TransactionError):
+            database.transactions.begin()
+
+    def test_commit_without_begin_raises(self, database):
+        with pytest.raises(TransactionError):
+            database.transactions.commit()
+
+    def test_rollback_without_begin_raises(self, database):
+        with pytest.raises(TransactionError):
+            database.transactions.rollback()
+
+    def test_savepoint_without_begin_raises(self, database):
+        with pytest.raises(TransactionError):
+            database.transactions.savepoint()
+
+    def test_transaction_reusable_after_commit(self, database):
+        database.transactions.begin()
+        database.transactions.commit()
+        database.transactions.begin()
+        database.insert_row("t", [1])
+        database.transactions.rollback()
+        assert database.row_count("t") == 0

@@ -1,0 +1,219 @@
+"""Unit tests for per-rule transition information (Figure 1 trans-info)."""
+
+import pytest
+
+from repro.core.effects import TransitionEffect
+from repro.core.transition_log import TransInfo
+from repro.relational.dml import (
+    DeleteEffect,
+    InsertEffect,
+    SelectEffect,
+    UpdateEffect,
+)
+
+
+ROW_V0 = ("a", 1, 10.0)
+ROW_V1 = ("a", 1, 20.0)
+ROW_V2 = ("a", 1, 30.0)
+
+
+class TestInitTransInfo:
+    def test_insert(self):
+        info = TransInfo.from_op_effects([InsertEffect("t", (1, 2))])
+        assert info.ins == {1, 2}
+        assert info.tables[1] == "t"
+        assert not info.deleted and not info.upd
+
+    def test_delete_records_values(self):
+        info = TransInfo.from_op_effects([DeleteEffect("t", ((1, ROW_V0),))])
+        assert info.deleted == {1: ROW_V0}
+
+    def test_update_records_pre_image_and_columns(self):
+        info = TransInfo.from_op_effects(
+            [UpdateEffect("t", ("salary",), ((1, ROW_V0),))]
+        )
+        assert info.upd == {1: (ROW_V0, {"salary"})}
+
+    def test_empty(self):
+        assert TransInfo.empty().is_empty()
+
+
+class TestModifyTransInfo:
+    """The Figure 1 modify-trans-info cases."""
+
+    def test_insert_then_delete_forgotten(self):
+        info = TransInfo.from_op_effects(
+            [InsertEffect("t", (1,)), DeleteEffect("t", ((1, ROW_V0),))]
+        )
+        assert info.is_empty()
+
+    def test_insert_then_update_stays_insert(self):
+        info = TransInfo.from_op_effects(
+            [
+                InsertEffect("t", (1,)),
+                UpdateEffect("t", ("salary",), ((1, ROW_V0),)),
+            ]
+        )
+        assert info.ins == {1}
+        assert not info.upd
+
+    def test_update_then_delete_keeps_original_pre_image(self):
+        """Figure 1's get-old-value: a tuple updated (v0 -> v1) then
+        deleted records its *baseline* value v0 in del, and its upd
+        entries are dropped."""
+        info = TransInfo.from_op_effects(
+            [
+                UpdateEffect("t", ("salary",), ((1, ROW_V0),)),
+                DeleteEffect("t", ((1, ROW_V1),)),
+            ]
+        )
+        assert info.deleted == {1: ROW_V0}
+        assert not info.upd
+
+    def test_repeated_update_keeps_first_pre_image(self):
+        info = TransInfo.from_op_effects(
+            [
+                UpdateEffect("t", ("salary",), ((1, ROW_V0),)),
+                UpdateEffect("t", ("salary",), ((1, ROW_V1),)),
+            ]
+        )
+        assert info.upd[1] == (ROW_V0, {"salary"})
+
+    def test_second_column_update_shares_baseline(self):
+        """All (h, c, v) entries for one handle share one pre-image v."""
+        info = TransInfo.from_op_effects(
+            [
+                UpdateEffect("t", ("salary",), ((1, ROW_V0),)),
+                UpdateEffect("t", ("name",), ((1, ROW_V1),)),
+            ]
+        )
+        row, columns = info.upd[1]
+        assert row == ROW_V0  # not ROW_V1
+        assert columns == {"salary", "name"}
+
+    def test_plain_delete(self):
+        info = TransInfo.from_op_effects([DeleteEffect("t", ((1, ROW_V0),))])
+        info.apply(InsertEffect("t", (2,)))
+        assert info.deleted == {1: ROW_V0}
+        assert info.ins == {2}
+
+    def test_incremental_equals_batch(self):
+        ops = [
+            InsertEffect("t", (1,)),
+            UpdateEffect("t", ("salary",), ((1, ROW_V0), (2, ROW_V0))),
+            DeleteEffect("t", ((2, ROW_V1),)),
+            InsertEffect("t", (3,)),
+        ]
+        batch = TransInfo.from_op_effects(ops)
+        incremental = TransInfo.empty()
+        for op in ops:
+            incremental.apply(op)
+        assert batch.ins == incremental.ins
+        assert batch.deleted == incremental.deleted
+        assert batch.upd == incremental.upd
+
+
+class TestToEffect:
+    def test_matches_pure_composition(self):
+        """TransInfo folding and TransitionEffect composition agree —
+        Figure 1 is a correct implementation of Definition 2.1."""
+        ops = [
+            InsertEffect("t", (1, 2)),
+            UpdateEffect("t", ("c",), ((1, ROW_V0), (3, ROW_V0))),
+            DeleteEffect("t", ((2, ROW_V0), (3, ROW_V1))),
+            InsertEffect("t", (4,)),
+            UpdateEffect("t", ("d",), ((4, ROW_V0),)),
+        ]
+        info_effect = TransInfo.from_op_effects(ops).to_effect()
+        pure_effect = TransitionEffect.from_op_effects(ops)
+        assert info_effect == pure_effect
+
+    def test_expands_columns(self):
+        info = TransInfo.from_op_effects(
+            [UpdateEffect("t", ("a", "b"), ((1, ROW_V0),))]
+        )
+        assert info.to_effect().updated == {(1, "a"), (1, "b")}
+
+
+class TestCopyIndependence:
+    def test_copies_do_not_alias(self):
+        original = TransInfo.from_op_effects(
+            [
+                InsertEffect("t", (1,)),
+                UpdateEffect("t", ("c",), ((2, ROW_V0),)),
+            ]
+        )
+        copy = original.copy()
+        copy.apply(DeleteEffect("t", ((2, ROW_V1),)))
+        copy.apply(UpdateEffect("t", ("d",), ((3, ROW_V0),)))
+        assert 2 in original.upd
+        assert 2 not in copy.upd
+        assert 3 not in original.upd
+        assert 2 in copy.deleted and 2 not in original.deleted
+
+    def test_column_sets_do_not_alias(self):
+        original = TransInfo.from_op_effects(
+            [UpdateEffect("t", ("a",), ((1, ROW_V0),))]
+        )
+        copy = original.copy()
+        copy.apply(UpdateEffect("t", ("b",), ((1, ROW_V1),)))
+        assert original.upd[1][1] == {"a"}
+        assert copy.upd[1][1] == {"a", "b"}
+
+
+class TestAccessors:
+    def make(self):
+        return TransInfo.from_op_effects(
+            [
+                InsertEffect("t", (1,)),
+                InsertEffect("u", (2,)),
+                DeleteEffect("t", ((3, ROW_V0),)),
+                UpdateEffect("t", ("salary",), ((4, ROW_V0),)),
+                UpdateEffect("t", ("name",), ((5, ROW_V1),)),
+            ]
+        )
+
+    def test_inserted_handles_filters_table(self):
+        info = self.make()
+        assert info.inserted_handles("t") == [1]
+        assert info.inserted_handles("u") == [2]
+
+    def test_deleted_rows(self):
+        assert self.make().deleted_rows("t") == [(3, ROW_V0)]
+        assert self.make().deleted_rows("u") == []
+
+    def test_updated_handles_whole_table(self):
+        handles = [h for h, _ in self.make().updated_handles("t")]
+        assert sorted(handles) == [4, 5]
+
+    def test_updated_handles_by_column(self):
+        info = self.make()
+        assert [h for h, _ in info.updated_handles("t", "salary")] == [4]
+        assert [h for h, _ in info.updated_handles("t", "name")] == [5]
+
+    def test_table_of(self):
+        assert self.make().table_of(2) == "u"
+
+
+class TestSelectTracking:
+    def test_select_entries(self):
+        info = TransInfo.from_op_effects(
+            [SelectEffect((("t", 1, ("a", "b")),))]
+        )
+        assert info.sel == {(1, "a"), (1, "b")}
+        assert info.selected_handles("t") == [1]
+        assert info.selected_handles("t", "a") == [1]
+        assert info.selected_handles("t", "zzz") == []
+
+    def test_select_then_delete_drops(self):
+        info = TransInfo.from_op_effects(
+            [
+                SelectEffect((("t", 1, ("a",)),)),
+                DeleteEffect("t", ((1, ROW_V0),)),
+            ]
+        )
+        assert info.sel == set()
+
+    def test_unknown_op_type_raises(self):
+        with pytest.raises(TypeError):
+            TransInfo.empty().apply(object())

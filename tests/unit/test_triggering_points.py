@@ -1,0 +1,100 @@
+"""Unit tests for §5.3: user-defined rule triggering points."""
+
+import pytest
+
+from repro import ActiveDatabase
+from repro.errors import RollbackRequested, TransactionError
+
+
+@pytest.fixture
+def db():
+    db = ActiveDatabase()
+    db.execute("create table t (x integer)")
+    db.execute("create table log (x integer)")
+    db.execute(
+        "create rule logger when inserted into t "
+        "then insert into log (select x from inserted t)"
+    )
+    return db
+
+
+class TestTriggeringPoints:
+    def test_assert_rules_processes_immediately(self, db):
+        db.begin()
+        db.execute("insert into t values (1)")
+        assert db.rows("select * from log") == []  # not yet processed
+        db.assert_rules()
+        assert db.rows("select x from log") == [(1,)]  # processed mid-txn
+        db.commit()
+
+    def test_new_transition_begins_after_triggering_point(self, db):
+        """§5.3: after a triggering point "a new transition begins" — a
+        rule already processed is not re-fired for the same changes at
+        commit."""
+        db.begin()
+        db.execute("insert into t values (1)")
+        db.assert_rules()
+        db.execute("insert into t values (2)")
+        result = db.commit()
+        # one firing at the triggering point (x=1), one at commit (x=2)
+        assert sorted(db.rows("select x from log")) == [(1,), (2,)]
+        assert result.rule_firings == 2
+
+    def test_assert_rules_statement_form(self, db):
+        db.begin()
+        db.execute("insert into t values (1)")
+        db.execute("assert rules")
+        assert db.rows("select x from log") == [(1,)]
+        db.commit()
+
+    def test_assert_rules_outside_transaction_raises(self, db):
+        with pytest.raises(TransactionError):
+            db.assert_rules()
+
+    def test_rollback_rule_at_triggering_point_aborts(self, db):
+        db.execute(
+            "create rule guard when inserted into t "
+            "if exists (select * from t where x < 0) then rollback"
+        )
+        db.begin()
+        db.execute("insert into t values (-1)")
+        with pytest.raises(RollbackRequested):
+            db.assert_rules()
+        # transaction is gone; all changes undone
+        assert not db.engine.in_transaction
+        assert db.rows("select * from t") == []
+
+    def test_rollback_at_commit_covers_pre_triggering_point_changes(self, db):
+        """A rollback after a mid-transaction triggering point still
+        restores the state at transaction start (the paper's S0)."""
+        db.execute(
+            "create rule guard when inserted into t "
+            "if exists (select * from t where x < 0) then rollback"
+        )
+        db.begin()
+        db.execute("insert into t values (1)")
+        db.assert_rules()  # processes logger for x=1
+        db.execute("insert into t values (-5)")
+        result = db.commit()
+        assert result.rolled_back
+        assert db.rows("select * from t") == []
+        assert db.rows("select * from log") == []
+
+    def test_multiple_triggering_points(self, db):
+        db.begin()
+        for value in (1, 2, 3):
+            db.execute(f"insert into t values ({value})")
+            db.assert_rules()
+        result = db.commit()
+        assert result.rule_firings == 3
+        assert sorted(db.rows("select x from log")) == [(1,), (2,), (3,)]
+
+    def test_set_orientation_without_triggering_points(self, db):
+        """Contrast: without triggering points, one commit-time firing
+        handles all three blocks' tuples set-at-a-time."""
+        db.begin()
+        for value in (1, 2, 3):
+            db.execute(f"insert into t values ({value})")
+        result = db.commit()
+        assert result.rule_firings == 1
+        assert sorted(db.rows("select x from log")) == [(1,), (2,), (3,)]

@@ -1,0 +1,127 @@
+"""Unit tests for SQL value types and coercion."""
+
+import pytest
+
+from repro.errors import TypeError_
+from repro.relational.types import (
+    SqlType,
+    coerce_value,
+    compare_values,
+    sort_key,
+    values_comparable,
+)
+
+
+class TestTypeNames:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("integer", SqlType.INTEGER),
+            ("int", SqlType.INTEGER),
+            ("INT", SqlType.INTEGER),
+            ("float", SqlType.FLOAT),
+            ("real", SqlType.FLOAT),
+            ("varchar", SqlType.VARCHAR),
+            ("char", SqlType.VARCHAR),
+            ("boolean", SqlType.BOOLEAN),
+        ],
+    )
+    def test_aliases(self, name, expected):
+        assert SqlType.from_name(name) is expected
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError_):
+            SqlType.from_name("blob")
+
+
+class TestCoercion:
+    def test_null_always_passes(self):
+        for sql_type in SqlType:
+            assert coerce_value(None, sql_type) is None
+
+    def test_integer_accepts_int(self):
+        assert coerce_value(5, SqlType.INTEGER) == 5
+
+    def test_integer_accepts_integral_float(self):
+        assert coerce_value(5.0, SqlType.INTEGER) == 5
+        assert isinstance(coerce_value(5.0, SqlType.INTEGER), int)
+
+    def test_integer_rejects_fractional_float(self):
+        with pytest.raises(TypeError_):
+            coerce_value(5.5, SqlType.INTEGER)
+
+    def test_integer_rejects_bool(self):
+        with pytest.raises(TypeError_):
+            coerce_value(True, SqlType.INTEGER)
+
+    def test_integer_rejects_string(self):
+        with pytest.raises(TypeError_):
+            coerce_value("5", SqlType.INTEGER)
+
+    def test_float_widens_int(self):
+        value = coerce_value(5, SqlType.FLOAT)
+        assert value == 5.0 and isinstance(value, float)
+
+    def test_float_rejects_bool(self):
+        with pytest.raises(TypeError_):
+            coerce_value(False, SqlType.FLOAT)
+
+    def test_varchar_accepts_string(self):
+        assert coerce_value("hi", SqlType.VARCHAR) == "hi"
+
+    def test_varchar_rejects_number(self):
+        with pytest.raises(TypeError_):
+            coerce_value(5, SqlType.VARCHAR)
+
+    def test_boolean_accepts_bool(self):
+        assert coerce_value(True, SqlType.BOOLEAN) is True
+
+    def test_boolean_rejects_int(self):
+        with pytest.raises(TypeError_):
+            coerce_value(1, SqlType.BOOLEAN)
+
+    def test_error_message_includes_context(self):
+        with pytest.raises(TypeError_) as excinfo:
+            coerce_value("x", SqlType.INTEGER, context="column emp.salary")
+        assert "emp.salary" in str(excinfo.value)
+
+
+class TestComparison:
+    def test_numbers_comparable(self):
+        assert values_comparable(1, 2.5)
+
+    def test_strings_comparable(self):
+        assert values_comparable("a", "b")
+
+    def test_cross_kind_not_comparable(self):
+        assert not values_comparable(1, "a")
+        assert not values_comparable(True, 1)
+
+    def test_booleans_comparable(self):
+        assert values_comparable(True, False)
+
+    def test_compare_orders(self):
+        assert compare_values(1, 2) == -1
+        assert compare_values(2, 1) == 1
+        assert compare_values(2, 2) == 0
+        assert compare_values("a", "b") == -1
+
+    def test_compare_int_float(self):
+        assert compare_values(1, 1.0) == 0
+
+    def test_compare_incomparable_raises(self):
+        with pytest.raises(TypeError_):
+            compare_values(1, "a")
+
+
+class TestSortKey:
+    def test_nulls_sort_first(self):
+        values = [3, None, 1, None, 2]
+        assert sorted(values, key=sort_key) == [None, None, 1, 2, 3]
+
+    def test_strings_sort(self):
+        values = ["b", None, "a"]
+        assert sorted(values, key=sort_key) == [None, "a", "b"]
+
+    def test_booleans_sort(self):
+        assert sorted([True, False, None], key=sort_key) == [None, False, True]

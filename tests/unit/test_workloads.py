@@ -1,0 +1,110 @@
+"""Unit tests for the synthetic workload generators."""
+
+import pytest
+
+from repro import ActiveDatabase
+from repro.workloads import (
+    WorkloadConfig,
+    WorkloadGenerator,
+    build_orgchart,
+    create_schema,
+    load_orgchart,
+    populate,
+    run_workload,
+)
+
+
+class TestOrgChart:
+    def test_size_formula(self):
+        chart = build_orgchart(depth=3, branching=2)
+        # 1 + 2 + 4 + 8
+        assert chart.size == 15
+        assert len(chart.levels) == 4
+        assert len(chart.departments) == 1 + 2 + 4  # one dept per manager
+
+    def test_deterministic_for_seed(self):
+        a = build_orgchart(depth=2, branching=3, seed=42)
+        b = build_orgchart(depth=2, branching=3, seed=42)
+        assert a.employees == b.employees
+        assert a.departments == b.departments
+
+    def test_different_seed_different_salaries(self):
+        a = build_orgchart(depth=2, branching=2, seed=1)
+        b = build_orgchart(depth=2, branching=2, seed=2)
+        assert a.employees != b.employees
+
+    def test_hierarchy_links(self):
+        chart = build_orgchart(depth=2, branching=2)
+        root = chart.levels[0][0]
+        subs = chart.subordinates_of(root)
+        assert len(subs) == 2
+        assert len(chart.descendants_of(root)) == 6  # 2 + 4
+
+    def test_manager_of_consistency(self):
+        chart = build_orgchart(depth=3, branching=2)
+        for child, manager in chart.manager_of.items():
+            assert manager in [e[1] for e in chart.employees]
+            assert child in [e[1] for e in chart.employees]
+
+    def test_load_into_database(self):
+        db = ActiveDatabase()
+        chart = populate(db, depth=2, branching=2)
+        assert db.query("select count(*) from emp").scalar() == chart.size
+        assert (
+            db.query("select count(*) from dept").scalar()
+            == len(chart.departments)
+        )
+
+    def test_salaries_decrease_with_depth(self):
+        chart = build_orgchart(depth=3, branching=2, seed=0,
+                               base_salary=40000, salary_step=10000)
+        by_emp_no = {e[1]: e[2] for e in chart.employees}
+        root_salary = by_emp_no[chart.levels[0][0]]
+        leaf_salary = by_emp_no[chart.levels[-1][0]]
+        assert root_salary > leaf_salary
+
+
+class TestWorkloadGenerator:
+    def test_deterministic(self):
+        a = WorkloadGenerator(WorkloadConfig(seed=7)).blocks()
+        b = WorkloadGenerator(WorkloadConfig(seed=7)).blocks()
+        assert a == b
+
+    def test_block_count_and_shape(self):
+        config = WorkloadConfig(blocks=4, ops_per_block=2)
+        blocks = WorkloadGenerator(config).blocks()
+        assert len(blocks) == 4
+        for block in blocks:
+            assert block.count(";") == 1  # 2 ops -> 1 separator
+
+    def test_generated_blocks_execute(self):
+        db = ActiveDatabase()
+        create_schema(db)
+        config = WorkloadConfig(blocks=5, ops_per_block=3, seed=3)
+        results = run_workload(db, config)
+        assert len(results) == 5
+        assert all(result.committed for result in results)
+
+    def test_insert_only_mix(self):
+        config = WorkloadConfig(
+            blocks=3, ops_per_block=2,
+            insert_weight=1, update_weight=0, delete_weight=0,
+        )
+        for block in WorkloadGenerator(config).blocks():
+            assert "insert into emp" in block
+            assert "update" not in block and "delete" not in block
+
+    def test_emp_numbers_unique_across_blocks(self):
+        config = WorkloadConfig(
+            blocks=4, ops_per_block=1,
+            insert_weight=1, update_weight=0, delete_weight=0,
+            batch_rows=3,
+        )
+        generator = WorkloadGenerator(config)
+        db = ActiveDatabase()
+        create_schema(db)
+        for block in generator.blocks():
+            db.execute(block)
+        total = db.query("select count(*) from emp").scalar()
+        distinct = db.query("select count(distinct emp_no) from emp").scalar()
+        assert total == distinct == 12
