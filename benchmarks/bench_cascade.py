@@ -14,7 +14,7 @@ import pytest
 from repro import ActiveDatabase
 from repro.workloads import build_orgchart, create_schema, load_orgchart
 
-from .conftest import print_series
+from .conftest import print_series, record_stats
 
 RULE_41 = """
 create rule manager_cascade
@@ -75,6 +75,7 @@ def _shape_test_shape_one_firing_per_level():
         assert result.rule_firings == depth + 1
         assert db.query("select count(*) from emp").scalar() == 0
         assert db.query("select count(*) from dept").scalar() == 0
+        record_stats(f"depth={depth} branching={branching}", db)
     print_series(
         "EX-4.1: recursive cascade, one firing per management level",
         ("depth/branch", "org size", "rule firings", "txn time"),

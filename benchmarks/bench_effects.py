@@ -87,6 +87,7 @@ def _shape_test_shape_linear_in_change_size():
         "DEF-2.1: trans-info fold (insert N, update N, delete N/2)",
         ("tuples", "fold time", "per tuple"),
         rows,
+        values={"seconds_per_fold": times},
     )
     per_small = times[SIZES[0]] / SIZES[0]
     per_large = times[SIZES[-1]] / SIZES[-1]

@@ -16,7 +16,7 @@ import pytest
 
 from repro import ActiveDatabase
 
-from .conftest import print_series
+from .conftest import print_series, record_stats
 
 SCALES = (2, 8, 32)
 EMPS_PER_DEPT = 10
@@ -120,6 +120,7 @@ def _shape_test_shape_single_firing_absorbs_any_set():
             )
         )
         assert result.rule_firings == 1
+        record_stats(f"departments={departments}", db)
     print_series(
         "EX-3.1: cascade with one set-oriented firing",
         ("depts deleted", "emps cascaded", "rule firings", "txn time"),

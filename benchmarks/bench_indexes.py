@@ -96,6 +96,7 @@ def _shape_index_flattens_point_cost():
         "ABL-2: 20 point deletes through the archive rule",
         ("emp rows", "indexed", "full scan", "scan/indexed"),
         rows,
+        values={"seconds_indexed_vs_scan": times},
     )
     small_idx, small_scan = times[SIZES[0]]
     large_idx, large_scan = times[SIZES[-1]]

@@ -20,7 +20,7 @@ from repro import (
     TotalOrder,
 )
 
-from .conftest import print_series
+from .conftest import print_series, record_stats
 
 RULE_COUNTS = (8, 32, 128)
 
@@ -91,6 +91,7 @@ def _shape_strategies():
             db.execute("insert into t values (1)")
             per_count.append(time.perf_counter() - start)
         times[strategy_name] = per_count
+        record_stats(strategy_name, db)
         rows.append(
             (strategy_name,)
             + tuple(f"{value*1e3:.1f}ms" for value in per_count)
@@ -99,6 +100,7 @@ def _shape_strategies():
         "PERF-4: selection strategies, N triggered rules (1 fires)",
         ("strategy",) + tuple(f"{n} rules" for n in RULE_COUNTS),
         rows,
+        values={"seconds_by_strategy": times},
     )
     # all strategies quiesce; the priority chain (transitive-closure
     # checks) is the costliest but must stay within interactive bounds

@@ -117,6 +117,7 @@ def _shape_test_shape_set_oriented_wins_at_scale():
         ("deleted depts", "set-oriented", "instance-oriented",
          "instance/set"),
         rows,
+        values={"instance_over_set_ratio": ratios},
     )
     # Shape claims from the paper's architectural argument:
     assert ratios[1] < 3.0, "architectures should be comparable at batch=1"

@@ -108,6 +108,7 @@ def _shape_cache_pays_off():
         "ABL-1: uncorrelated-subquery cache on Example 3.1",
         ("employees", "cache on", "cache off", "off/on"),
         rows,
+        values={"off_over_on_ratio": ratios},
     )
     assert ratios[SIZES[-1]] > 2.0, (
         "memoization should clearly pay off on large scans"

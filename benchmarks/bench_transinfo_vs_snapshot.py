@@ -144,6 +144,7 @@ def _shape_test_shape_incremental_scales_with_change_not_database():
         f"PERF-2: effect tracking for a {CHANGE_SIZE}-tuple change",
         ("db size", "incremental", "snapshot+diff", "snap/incr"),
         rows,
+        values={"seconds_incremental_vs_snapshot": tracked},
     )
     small_incr, small_snap = tracked[DB_SIZES[0]]
     large_incr, large_snap = tracked[DB_SIZES[-1]]

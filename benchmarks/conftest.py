@@ -4,14 +4,30 @@ Every benchmark module regenerates one row of EXPERIMENTS.md: it prints
 a small table (the "series" the paper-style evaluation would plot) in
 addition to the pytest-benchmark timings, so `pytest benchmarks/
 --benchmark-only -s` shows the shape results directly.
+
+Each module's series (plus any engine counters recorded through
+:func:`record_stats`) is also written to ``BENCH_<name>.json`` at the
+repository root when the session ends — the machine-readable trajectory
+CI validates and regressions are diffed against. Set ``REPRO_BENCH_FAST=1``
+to shrink the parameter grids (a smoke run, not a measurement).
 """
 
 from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
 
 import pytest
 
 from repro import ActiveDatabase
 from repro.workloads import create_schema
+
+FAST_MODE = os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_REPORTS = {}
+_CURRENT_MODULE = [None]
 
 
 @pytest.fixture
@@ -31,8 +47,40 @@ def load_employees(db, count, departments=10, salary=50000.0):
     db.execute(f"insert into emp values {rows}")
 
 
-def print_series(title, headers, rows):
-    """Print a small aligned table (the bench's paper-shape series)."""
+# ---------------------------------------------------------------------------
+# per-module JSON reports
+
+
+@pytest.fixture(autouse=True)
+def _bench_report(request):
+    """Track which bench module is running so the reporting helpers know
+    which ``BENCH_<name>.json`` to contribute to."""
+    module = request.module.__name__.rpartition(".")[2]
+    if module.startswith("bench_"):
+        _CURRENT_MODULE[0] = module
+        _report_for(module)
+    yield
+
+
+def _report_for(module):
+    return _REPORTS.setdefault(
+        module,
+        {"bench": module, "fast_mode": FAST_MODE, "series": [], "stats": []},
+    )
+
+
+def _current_report():
+    return _report_for(_CURRENT_MODULE[0] or "bench_adhoc")
+
+
+def print_series(title, headers, rows, values=None):
+    """Print a small aligned table (the bench's paper-shape series) and
+    record it in the module's ``BENCH_<name>.json`` report.
+
+    ``values`` (optional) carries the raw numbers behind the formatted
+    rows — e.g. ``{"times": {8: 0.0123}}`` — so downstream tooling does
+    not have to parse the display strings.
+    """
     widths = [
         max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
         for i in range(len(headers))
@@ -44,3 +92,36 @@ def print_series(title, headers, rows):
     print("-" * len(line))
     for row in rows:
         print("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+    entry = {
+        "title": title,
+        "headers": list(headers),
+        "rows": [[str(value) for value in row] for row in rows],
+    }
+    if values is not None:
+        entry["values"] = values
+    _current_report()["series"].append(entry)
+
+
+def record_stats(label, db):
+    """Record a database's engine/per-rule counters in the module report
+    (see :meth:`repro.ActiveDatabase.stats`)."""
+    _current_report()["stats"].append({"label": label, **db.stats()})
+
+
+def _json_safe(value):
+    if isinstance(value, dict):
+        return {str(key): _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    for module, report in _REPORTS.items():
+        name = module.removeprefix("bench_")
+        path = _REPO_ROOT / f"BENCH_{name}.json"
+        path.write_text(
+            json.dumps(_json_safe(report), indent=2) + "\n", encoding="utf-8"
+        )

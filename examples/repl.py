@@ -11,6 +11,9 @@ Meta commands:
     \\rules            list defined rules (with their SQL)
     \\analyze          run static analysis (§6 loop/conflict warnings)
     \\trace on|off     toggle printing of transition traces
+    \\stats            show engine and per-rule counters
+    \\stats reset      zero the counters (fresh measurement window)
+    \\events [n]       show the last n structured events (default 10)
     \\tables           list tables with row counts
     \\demo             load the paper's emp/dept schema and Example 3.1
     \\help             this text
@@ -22,7 +25,7 @@ Run:  python examples/repl.py            (interactive)
 
 import sys
 
-from repro import ActiveDatabase, ReproError
+from repro import ActiveDatabase, ReproError, RingBufferSink
 from repro.analysis import analyze
 from repro.core.trace import TransactionResult
 from repro.relational.select import SelectResult
@@ -46,6 +49,7 @@ class Repl:
 
     def __init__(self, out=sys.stdout):
         self.db = ActiveDatabase()
+        self.events = self.db.attach_sink(RingBufferSink(capacity=256))
         self.show_trace = True
         self.out = out
 
@@ -143,6 +147,20 @@ class Repl:
         elif command == "\\trace":
             self.show_trace = argument.strip().lower() != "off"
             self.println(f"trace {'on' if self.show_trace else 'off'}")
+        elif command == "\\stats":
+            if argument.strip().lower() == "reset":
+                self.db.reset_stats()
+                self.events.clear()
+                self.println("stats reset")
+            else:
+                self._print_stats()
+        elif command == "\\events":
+            count = int(argument) if argument.strip().isdigit() else 10
+            events = self.events.events[-count:]
+            if not events:
+                self.println("(no events)")
+            for event in events:
+                self.println(event.describe())
         elif command == "\\demo":
             for statement in DEMO_STATEMENTS:
                 self.println(f">> {statement}")
@@ -151,6 +169,24 @@ class Repl:
         else:
             self.println(f"unknown command {command!r}; try \\help")
         return True
+
+    def _print_stats(self):
+        stats = self.db.stats()
+        engine = stats["engine"]
+        self.println("engine:")
+        for key in sorted(engine):
+            self.println(f"  {key}: {engine[key]}")
+        if not stats["rules"]:
+            self.println("(no rule activity)")
+            return
+        self.println("rules:")
+        for name, counters in stats["rules"].items():
+            self.println(
+                f"  {name}: considered {counters['considerations']}, "
+                f"fired {counters['fires']}, "
+                f"condition {counters['condition_time']:.6f}s, "
+                f"action {counters['action_time']:.6f}s"
+            )
 
 
 def main():
@@ -161,6 +197,8 @@ def main():
             "select name, dept_no from emp",
             "\\analyze",
             "\\tables",
+            "\\stats",
+            "\\events 5",
         ]
         for line in script:
             print(f"repro> {line}")

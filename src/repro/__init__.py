@@ -53,6 +53,14 @@ from .errors import (
     TransactionError,
     UnknownRuleError,
 )
+from .obs import (
+    Event,
+    EventKind,
+    EventSink,
+    JsonLinesSink,
+    NullSink,
+    RingBufferSink,
+)
 from .persistence import PersistenceError, dump, load
 from .relational.database import Database
 from .system import ActiveDatabase
@@ -66,13 +74,19 @@ __all__ = [
     "CreationOrder",
     "Database",
     "DuplicateRuleError",
+    "Event",
+    "EventKind",
+    "EventSink",
     "ExecutionError",
     "InvalidRuleError",
+    "JsonLinesSink",
     "LeastRecentlyConsidered",
     "LexError",
     "MostRecentlyConsidered",
+    "NullSink",
     "ParseError",
     "PersistenceError",
+    "RingBufferSink",
     "PriorityCycleError",
     "PriorityOrder",
     "ReproError",

@@ -26,12 +26,18 @@ through the manual transaction API: :meth:`begin` /
 
 from __future__ import annotations
 
+from time import perf_counter
+
 from ..errors import (
     ExecutionError,
     RollbackRequested,
     RuleLoopError,
     TransactionError,
 )
+from ..obs.bus import EventBus
+from ..obs.events import EventKind
+from ..obs.metrics import MetricsCollector
+from ..obs.recorder import TraceRecorder
 from ..relational.database import Database
 from ..relational.dml import DmlExecutor
 from ..relational.expressions import Evaluator, Scope
@@ -43,7 +49,7 @@ from .external import ExternalAction, ExternalActionContext
 from .predicates import transition_predicate_satisfied
 from .rules import RuleCatalog
 from .selection import default_strategy
-from .trace import ConsiderationRecord, TransactionResult, TransitionRecord
+from .trace import TransactionResult
 from .transition_log import TransInfo
 from .transition_tables import TransitionTableResolver
 
@@ -66,11 +72,16 @@ class RuleEngine:
         record_seen: capture, per rule firing, what the rule's transition
             tables contained (needed to assert the paper's example
             narratives; small overhead — disable for benchmarks).
+        sink: an optional :class:`~repro.obs.sinks.EventSink` receiving
+            the engine's structured event stream (default: none — the
+            zero-overhead equivalent of a
+            :class:`~repro.obs.sinks.NullSink`). More sinks can be added
+            with :meth:`attach_sink`.
     """
 
     def __init__(self, database=None, catalog=None, strategy=None,
                  max_rule_transitions=10000, track_selects=False,
-                 record_seen=True):
+                 record_seen=True, sink=None):
         self.database = database if database is not None else Database()
         self.catalog = catalog if catalog is not None else RuleCatalog()
         self.strategy = strategy if strategy is not None else default_strategy()
@@ -78,12 +89,49 @@ class RuleEngine:
         self.track_selects = track_selects
         self.record_seen = record_seen
 
+        self._bus = EventBus()
+        self._metrics = MetricsCollector()
+        self._bus.attach(self._metrics)
+        if sink is not None:
+            self._bus.attach(sink)
+        self._recorder = None      # per-transaction TraceRecorder
+        self._txn_id = 0
+
         self._info = {}            # rule name -> TransInfo (during a txn)
         self._considered_at = {}   # rule name -> logical consideration time
         self._clock = 0
         self._transition_index = 0
         self._result = None        # TransactionResult of the open txn
         self._base_resolver = BaseTableResolver(self.database)
+
+    # ------------------------------------------------------------------
+    # observability
+
+    def attach_sink(self, sink):
+        """Attach an event sink (see :mod:`repro.obs`); returns it."""
+        return self._bus.attach(sink)
+
+    def detach_sink(self, sink):
+        """Detach a previously attached event sink."""
+        self._bus.detach(sink)
+
+    def stats(self):
+        """Per-engine and per-rule counters as a plain (JSON-ready) dict.
+
+        ``{"engine": {...}, "rules": {name: {...}}}`` — see
+        :class:`~repro.obs.metrics.MetricsCollector` for the fields.
+        Counters accumulate across transactions until :meth:`reset_stats`.
+        """
+        return self._metrics.snapshot(
+            strategy=getattr(self.strategy, "name", None)
+        )
+
+    def reset_stats(self):
+        """Zero all counters (a fresh measurement window)."""
+        self._metrics.reset()
+
+    def _emit(self, kind, **data):
+        self._bus.emit(kind, self._txn_id, data)
 
     # ------------------------------------------------------------------
     # rule definition
@@ -147,6 +195,9 @@ class RuleEngine:
         # observes only transitions that occur after its definition.
         if self.in_transaction:
             self._info[rule.name] = TransInfo.empty()
+            self._emit(
+                EventKind.TRANS_INFO_RESET, rule=rule.name, cause="registered"
+            )
 
     # ------------------------------------------------------------------
     # transactions
@@ -161,6 +212,9 @@ class RuleEngine:
         self._info = {rule.name: TransInfo.empty() for rule in self.catalog}
         self._transition_index = 0
         self._result = TransactionResult()
+        self._txn_id += 1
+        self._recorder = self._bus.attach(TraceRecorder(self._result))
+        self._emit(EventKind.TXN_BEGIN)
 
     def commit(self):
         """Process rules, then commit; returns the transaction's result."""
@@ -169,16 +223,20 @@ class RuleEngine:
         try:
             self._quiesce()
         except RollbackRequested as request:
-            self._abort()
+            self._abort(reason="rollback_by_rule", rule=request.rule_name)
             result.committed = False
             result.rolled_back_by = request.rule_name
             return result
         except Exception:
-            self._abort()
+            self._abort(reason="error")
             raise
         self.database.transactions.commit()
-        self._info = {}
-        self._result = None
+        self._emit(
+            EventKind.TXN_COMMIT,
+            transitions=len(result.transitions),
+            rule_transitions=result.rule_firings,
+        )
+        self._end_transaction()
         result.committed = True
         return result
 
@@ -186,7 +244,7 @@ class RuleEngine:
         """Explicitly roll back the open transaction."""
         self._require_transaction()
         result = self._result
-        self._abort()
+        self._abort(reason="explicit")
         result.committed = False
         return result
 
@@ -236,12 +294,12 @@ class RuleEngine:
             self.database.transactions.rollback_to_savepoint(savepoint)
             raise
         self._transition_index += 1
-        self._result.transitions.append(
-            TransitionRecord(
-                self._transition_index,
-                "external",
-                TransitionEffect.from_op_effects(effects),
-            )
+        self._emit(
+            EventKind.BLOCK_EXECUTED,
+            transition=self._transition_index,
+            effect=TransitionEffect.from_op_effects(effects),
+            operations=len(block.operations),
+            rows=sum(effect.rows_affected for effect in effects),
         )
         self._fold_transition_into_rules(effects)
         return effects
@@ -268,9 +326,19 @@ class RuleEngine:
         if not self.in_transaction or self._result is None:
             raise TransactionError("no transaction is active; call begin()")
 
-    def _abort(self):
+    def _abort(self, reason="error", rule=None):
         if self.database.transactions.active:
             self.database.transactions.rollback()
+        data = {"reason": reason}
+        if rule is not None:
+            data["rule"] = rule
+        self._bus.emit(EventKind.TXN_ABORT, self._txn_id, data)
+        self._end_transaction()
+
+    def _end_transaction(self):
+        if self._recorder is not None:
+            self._bus.detach(self._recorder)
+            self._recorder = None
         self._info = {}
         self._result = None
 
@@ -297,7 +365,10 @@ class RuleEngine:
         """
         result = self._result
         rule_transitions = 0
+        rounds = 0
+        selection_time = 0.0
         while True:
+            rounds += 1
             triggered = [
                 rule
                 for rule in self.catalog
@@ -306,52 +377,72 @@ class RuleEngine:
                     rule.predicates, self._info[rule.name]
                 )
             ]
+            selection_start = perf_counter()
             ordered = self.strategy.order(
                 triggered, self.catalog, self._considered_at
             )
+            selection_time += perf_counter() - selection_start
             fired = None
             for rule in ordered:
                 self._clock += 1
                 self._considered_at[rule.name] = self._clock
+                condition_start = perf_counter()
                 condition_value = self._check_condition(rule)
+                condition_elapsed = perf_counter() - condition_start
+                # Every consideration is recorded — the firing one
+                # included — so consideration counts match what the
+                # engine actually evaluated.
+                self._emit(
+                    EventKind.RULE_CONSIDERED,
+                    rule=rule.name,
+                    condition=condition_value,
+                    fired=condition_value is True,
+                    after_transition=self._transition_index,
+                    duration=condition_elapsed,
+                    trans_info_size=self._info[rule.name].size(),
+                )
                 if condition_value is True:
                     fired = rule
                     break
-                result.considered.append(
-                    ConsiderationRecord(
-                        self._transition_index, rule.name, condition_value
-                    )
-                )
                 if rule.reset_policy == "consideration":
                     # footnote 8 alternative: the baseline moves to "the
                     # most recent point at which it was chosen for
-                    # consideration" — a non-firing consideration consumes
-                    # the rule's accumulated transition information.
+                    # consideration" — a non-firing consideration (false
+                    # OR unknown condition) consumes the rule's
+                    # accumulated transition information.
                     self._info[rule.name] = TransInfo.empty()
+                    self._emit(
+                        EventKind.TRANS_INFO_RESET,
+                        rule=rule.name,
+                        cause="consideration",
+                    )
             if fired is None:
+                self._emit(
+                    EventKind.QUIESCENT,
+                    rounds=rounds,
+                    rule_transitions=rule_transitions,
+                    selection_time=selection_time,
+                )
                 return
 
             if fired.is_rollback:
+                self._emit(EventKind.ROLLBACK_BY_RULE, rule=fired.name)
                 raise RollbackRequested(fired.name)
 
             rule_transitions += 1
             if rule_transitions > self.max_rule_transitions:
+                self._emit(
+                    EventKind.LOOP_BUDGET_TRIP,
+                    limit=self.max_rule_transitions,
+                    rule=fired.name,
+                )
                 raise RuleLoopError(self.max_rule_transitions, trace=result)
 
             seen = self._snapshot_seen(fired) if self.record_seen else {}
+            action_start = perf_counter()
             effects = self._execute_rule_action(fired)
+            action_elapsed = perf_counter() - action_start
             self._transition_index += 1
-            result.transitions.append(
-                TransitionRecord(
-                    self._transition_index,
-                    fired.name,
-                    TransitionEffect.from_op_effects(effects),
-                    seen=seen,
-                    condition_result=(
-                        True if fired.condition is not None else None
-                    ),
-                )
-            )
 
             # Figure 1: the fired rule's trans-info restarts from its own
             # transition; every other rule composes the transition in
@@ -359,6 +450,21 @@ class RuleEngine:
             new_info = TransInfo.from_op_effects(effects)
             self._fold_transition_into_rules(effects, exclude=fired.name)
             self._info[fired.name] = new_info
+            self._emit(
+                EventKind.RULE_FIRED,
+                rule=fired.name,
+                transition=self._transition_index,
+                effect=new_info.to_effect(),
+                seen=seen,
+                condition=True if fired.condition is not None else None,
+                duration=action_elapsed,
+                trans_info_size=new_info.size(),
+            )
+            self._emit(
+                EventKind.TRANS_INFO_RESET,
+                rule=fired.name,
+                cause="execution",
+            )
 
     def _snapshot_seen(self, rule):
         """Capture the contents of the rule's transition tables at firing
@@ -412,10 +518,14 @@ class RuleEngine:
                 continue
             rule = self.catalog.rule(name)
             if rule.reset_policy == "triggering" and not (
-                transition_predicate_satisfied(rule.predicates, info)
+                info.is_empty()
+                or transition_predicate_satisfied(rule.predicates, info)
             ):
                 info = TransInfo.empty()
                 self._info[name] = info
+                self._emit(
+                    EventKind.TRANS_INFO_RESET, rule=name, cause="triggering"
+                )
             info.apply_all(effects)
 
     def _check_condition(self, rule):
@@ -467,12 +577,18 @@ class RuleEngine:
         return self._info[rule_name]
 
     def triggered_rules(self):
-        """Names of rules currently triggered (open txn only)."""
+        """Names of rules currently triggered (open txn only).
+
+        Applies the same ``rule.active`` filter as the processing loop:
+        a deactivated rule keeps accumulating transition information but
+        is never considered, so it must not be reported as triggered.
+        """
         self._require_transaction()
         return [
             rule.name
             for rule in self.catalog
-            if transition_predicate_satisfied(
+            if rule.active
+            and transition_predicate_satisfied(
                 rule.predicates, self._info[rule.name]
             )
         ]

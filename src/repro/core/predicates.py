@@ -14,7 +14,7 @@ effect satisfies at least one of them:
 
 from __future__ import annotations
 
-from ..sql.ast import BasicTransitionPredicate, TransitionPredicateKind
+from ..sql.ast import TransitionPredicateKind
 
 
 def basic_predicate_satisfied(predicate, info):

@@ -21,7 +21,12 @@ from ..errors import RuleError
 
 
 class SelectionStrategy:
-    """Base class. Subclasses implement :meth:`order`."""
+    """Base class. Subclasses implement :meth:`order`.
+
+    ``name`` identifies the strategy in engine stats and bench reports.
+    """
+
+    name = "custom"
 
     def order(self, triggered_rules, catalog, considered_at):
         """Return the triggered rules in consideration order.
@@ -39,6 +44,8 @@ class SelectionStrategy:
 class CreationOrder(SelectionStrategy):
     """Deterministic stand-in for "rules could be chosen arbitrarily"."""
 
+    name = "creation"
+
     def order(self, triggered_rules, catalog, considered_at):
         return sorted(triggered_rules, key=lambda rule: rule.sequence)
 
@@ -51,6 +58,8 @@ class PriorityOrder(SelectionStrategy):
     deterministic and reproducible.
     """
 
+    name = "priority"
+
     def order(self, triggered_rules, catalog, considered_at):
         return catalog.maximal_first_order(triggered_rules)
 
@@ -60,6 +69,8 @@ class TotalOrder(SelectionStrategy):
 
     Rules not named in the ordering come last, in creation order.
     """
+
+    name = "total"
 
     def __init__(self, rule_names):
         self._rank = {name: index for index, name in enumerate(rule_names)}
@@ -80,6 +91,8 @@ class TotalOrder(SelectionStrategy):
 class LeastRecentlyConsidered(SelectionStrategy):
     """Prefer rules considered least recently (never-considered first)."""
 
+    name = "least_recently_considered"
+
     def order(self, triggered_rules, catalog, considered_at):
         return sorted(
             triggered_rules,
@@ -89,6 +102,8 @@ class LeastRecentlyConsidered(SelectionStrategy):
 
 class MostRecentlyConsidered(SelectionStrategy):
     """Prefer rules considered most recently (never-considered last)."""
+
+    name = "most_recently_considered"
 
     def order(self, triggered_rules, catalog, considered_at):
         return sorted(

@@ -93,6 +93,13 @@ class TransInfo:
     def is_empty(self):
         return not (self.ins or self.deleted or self.upd or self.sel)
 
+    def size(self):
+        """Total tracked entries (the observability layer's measure of a
+        rule's composite-information footprint)."""
+        return (
+            len(self.ins) + len(self.deleted) + len(self.upd) + len(self.sel)
+        )
+
     # ------------------------------------------------------------------
     # Figure 1: modify-trans-info, one executed operation at a time
 

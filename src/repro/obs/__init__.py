@@ -1,0 +1,40 @@
+"""Observability for the rule engine (events, sinks, metrics).
+
+The Figure 1 rule loop is the system's core artifact; this package makes
+its behaviour visible without changing it:
+
+* :mod:`~repro.obs.events` — a structured event stream: every externally
+  observable step of the §4 execution model (transaction begin/commit/
+  abort, block executed, rule considered, rule fired, trans-info reset,
+  rollback-by-rule, loop-budget trip, quiescence) becomes one
+  :class:`~repro.obs.events.Event`;
+* :mod:`~repro.obs.sinks` — pluggable consumers: a zero-overhead
+  :class:`~repro.obs.sinks.NullSink` (the default), an in-memory
+  :class:`~repro.obs.sinks.RingBufferSink`, and a machine-readable
+  :class:`~repro.obs.sinks.JsonLinesSink`;
+* :mod:`~repro.obs.metrics` — per-rule and per-engine counters
+  (fire/consideration counts, condition and action wall time, quiescence
+  rounds, peak trans-info size) surfaced through ``RuleEngine.stats()``;
+* :mod:`~repro.obs.recorder` — the transaction trace
+  (:class:`~repro.core.trace.TransactionResult`) rebuilt as a consumer
+  of the same event stream, so traces, metrics and user sinks all see
+  one consistent sequence of events.
+"""
+
+from .bus import EventBus
+from .events import Event, EventKind
+from .metrics import MetricsCollector
+from .recorder import TraceRecorder
+from .sinks import EventSink, JsonLinesSink, NullSink, RingBufferSink
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "EventKind",
+    "EventSink",
+    "JsonLinesSink",
+    "MetricsCollector",
+    "NullSink",
+    "RingBufferSink",
+    "TraceRecorder",
+]

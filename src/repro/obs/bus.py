@@ -1,0 +1,49 @@
+"""The event bus: one emission point, many consumers.
+
+The engine builds each :class:`~repro.obs.events.Event` exactly once and
+the bus hands it to every attached consumer in attach order — the
+metrics collector and the per-transaction trace recorder are ordinary
+consumers, so user sinks observe exactly the stream the engine's own
+introspection is built from (no parallel mechanisms to drift apart).
+"""
+
+from __future__ import annotations
+
+from .events import Event
+
+
+class EventBus:
+    """Dispatches events to the attached, enabled sinks."""
+
+    def __init__(self):
+        self._sinks = []
+        self._seq = 0
+
+    def attach(self, sink):
+        """Attach a sink; disabled sinks (``enabled`` False) are ignored."""
+        if sink.enabled and sink not in self._sinks:
+            self._sinks.append(sink)
+        return sink
+
+    def detach(self, sink):
+        """Detach a previously attached sink (no-op if absent)."""
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            pass
+
+    @property
+    def sinks(self):
+        return tuple(self._sinks)
+
+    def emit(self, kind, txn, data):
+        """Construct the event and dispatch it to every sink."""
+        self._seq += 1
+        event = Event(self._seq, kind, txn, data)
+        for sink in self._sinks:
+            sink.emit(event)
+        return event
+
+    @property
+    def events_emitted(self):
+        return self._seq

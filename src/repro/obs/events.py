@@ -1,0 +1,123 @@
+"""Structured engine events.
+
+Each event marks one step of the paper's execution model (§4, Figure 1).
+The ``kind`` vocabulary maps onto Figure 1 as follows:
+
+=====================  ====================================================
+event kind             Figure 1 / §4 step
+=====================  ====================================================
+``txn_begin``          transaction start (state S0)
+``block_executed``     "an externally-generated operation block executes,
+                       creating a transition" + ``init-trans-info``
+``rule_considered``    ``select-eligible-rule``: one condition evaluation
+                       of a triggered rule (``fired`` tells whether it won)
+``rule_fired``         "execute R's action" — the rule-generated transition
+``trans_info_reset``   the per-rule baseline restart: ``cause`` is
+                       ``"execution"`` (Figure 1's re-init after firing),
+                       ``"consideration"`` / ``"triggering"`` (footnote-8
+                       policies), or ``"registered"`` (rule defined
+                       mid-transaction)
+``quiescent``          "no triggered rule has a true condition"
+``rollback_by_rule``   a ``rollback`` action restoring S0
+``loop_budget_trip``   the footnote-7 runaway guard firing
+``txn_commit``         transaction commit
+``txn_abort``          transaction abort (rollback action, explicit
+                       rollback, or error)
+=====================  ====================================================
+
+Events carry live objects (e.g. :class:`~repro.core.effects
+.TransitionEffect` instances) in ``data`` so in-process consumers — the
+trace recorder, the metrics collector — pay no serialization cost;
+:meth:`Event.to_json_dict` flattens them for file sinks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class EventKind:
+    """The event vocabulary (plain strings, usable as JSON keys)."""
+
+    TXN_BEGIN = "txn_begin"
+    TXN_COMMIT = "txn_commit"
+    TXN_ABORT = "txn_abort"
+    BLOCK_EXECUTED = "block_executed"
+    RULE_CONSIDERED = "rule_considered"
+    RULE_FIRED = "rule_fired"
+    TRANS_INFO_RESET = "trans_info_reset"
+    ROLLBACK_BY_RULE = "rollback_by_rule"
+    LOOP_BUDGET_TRIP = "loop_budget_trip"
+    QUIESCENT = "quiescent"
+
+    ALL = (
+        TXN_BEGIN,
+        TXN_COMMIT,
+        TXN_ABORT,
+        BLOCK_EXECUTED,
+        RULE_CONSIDERED,
+        RULE_FIRED,
+        TRANS_INFO_RESET,
+        ROLLBACK_BY_RULE,
+        LOOP_BUDGET_TRIP,
+        QUIESCENT,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One engine event.
+
+    Attributes:
+        seq: engine-global monotone sequence number.
+        kind: one of the :class:`EventKind` constants.
+        txn: 1-based transaction number within the engine's lifetime.
+        data: kind-specific payload (may hold live objects; see
+            :meth:`to_json_dict` for the flattened form).
+    """
+
+    seq: int
+    kind: str
+    txn: int
+    data: dict = field(default_factory=dict)
+
+    def to_json_dict(self):
+        """A JSON-serializable rendering of this event.
+
+        Live objects are summarized: a ``TransitionEffect`` becomes its
+        I/D/U(/S) cardinalities, a ``seen`` snapshot becomes per-table
+        row counts, durations stay as float seconds.
+        """
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "txn": self.txn,
+            "data": {key: _jsonify(value) for key, value in self.data.items()},
+        }
+
+    def describe(self):
+        """One-line human rendering (used by the REPL's ``\\events``)."""
+        parts = []
+        for key, value in self.data.items():
+            parts.append(f"{key}={_jsonify(value)}")
+        detail = " ".join(str(part) for part in parts)
+        return f"#{self.seq} txn{self.txn} {self.kind} {detail}".rstrip()
+
+
+def _jsonify(value):
+    """Flatten a payload value into JSON-representable primitives."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        # e.g. a `seen` snapshot {"deleted emp": [rows...]} -> row counts
+        return {
+            str(key): (len(inner) if isinstance(inner, (list, tuple, set))
+                       else _jsonify(inner))
+            for key, inner in value.items()
+        }
+    if isinstance(value, (list, tuple, frozenset, set)):
+        return [_jsonify(item) for item in value]
+    summary = getattr(value, "summary", None)
+    if callable(summary):  # TransitionEffect and friends
+        return summary()
+    return repr(value)

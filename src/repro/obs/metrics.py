@@ -1,0 +1,190 @@
+"""Per-rule and per-engine metrics, aggregated from the event stream.
+
+The collector is an ordinary :class:`~repro.obs.sinks.EventSink`; it is
+attached to the engine's bus at construction, so every counter is
+derived from exactly the events any other sink would see. ``snapshot()``
+renders everything as plain dicts (JSON-ready), which is what
+``RuleEngine.stats()`` returns.
+"""
+
+from __future__ import annotations
+
+from .events import EventKind
+from .sinks import EventSink
+
+
+class RuleMetrics:
+    """Counters for one rule."""
+
+    __slots__ = (
+        "considerations",
+        "fires",
+        "condition_true",
+        "condition_false",
+        "condition_unknown",
+        "condition_time",
+        "action_time",
+        "rows_inserted",
+        "rows_deleted",
+        "rows_updated",
+        "peak_trans_info_size",
+        "resets",
+        "rollbacks",
+    )
+
+    def __init__(self):
+        self.considerations = 0
+        self.fires = 0
+        self.condition_true = 0
+        self.condition_false = 0
+        self.condition_unknown = 0
+        self.condition_time = 0.0
+        self.action_time = 0.0
+        self.rows_inserted = 0
+        self.rows_deleted = 0
+        self.rows_updated = 0
+        self.peak_trans_info_size = 0
+        self.resets = {}
+        self.rollbacks = 0
+
+    def snapshot(self):
+        return {
+            "considerations": self.considerations,
+            "fires": self.fires,
+            "condition_true": self.condition_true,
+            "condition_false": self.condition_false,
+            "condition_unknown": self.condition_unknown,
+            "condition_time": self.condition_time,
+            "action_time": self.action_time,
+            "rows_inserted": self.rows_inserted,
+            "rows_deleted": self.rows_deleted,
+            "rows_updated": self.rows_updated,
+            "peak_trans_info_size": self.peak_trans_info_size,
+            "resets": dict(self.resets),
+            "rollbacks": self.rollbacks,
+        }
+
+
+class MetricsCollector(EventSink):
+    """Aggregates the event stream into engine- and rule-level counters."""
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self):
+        """Zero every counter (a fresh measurement window)."""
+        self.transactions = 0
+        self.commits = 0
+        self.aborts = 0
+        self.rollbacks_by_rule = 0
+        self.loop_budget_trips = 0
+        self.external_blocks = 0
+        self.rule_transitions = 0
+        self.considerations = 0
+        self.quiescence_rounds = 0
+        self.max_quiescence_rounds = 0
+        self.selection_time = 0.0
+        self.peak_trans_info_size = 0
+        self.events = 0
+        self.rules = {}
+
+    # ------------------------------------------------------------------
+
+    def rule(self, name):
+        metrics = self.rules.get(name)
+        if metrics is None:
+            metrics = self.rules[name] = RuleMetrics()
+        return metrics
+
+    def emit(self, event):
+        self.events += 1
+        kind = event.kind
+        data = event.data
+        if kind == EventKind.RULE_CONSIDERED:
+            self._on_considered(data)
+        elif kind == EventKind.RULE_FIRED:
+            self._on_fired(data)
+        elif kind == EventKind.BLOCK_EXECUTED:
+            self.external_blocks += 1
+        elif kind == EventKind.TRANS_INFO_RESET:
+            metrics = self.rule(data["rule"])
+            cause = data["cause"]
+            metrics.resets[cause] = metrics.resets.get(cause, 0) + 1
+        elif kind == EventKind.QUIESCENT:
+            rounds = data["rounds"]
+            self.quiescence_rounds += rounds
+            self.max_quiescence_rounds = max(self.max_quiescence_rounds, rounds)
+            self.selection_time += data.get("selection_time", 0.0)
+        elif kind == EventKind.TXN_BEGIN:
+            self.transactions += 1
+        elif kind == EventKind.TXN_COMMIT:
+            self.commits += 1
+        elif kind == EventKind.TXN_ABORT:
+            self.aborts += 1
+        elif kind == EventKind.ROLLBACK_BY_RULE:
+            self.rollbacks_by_rule += 1
+            self.rule(data["rule"]).rollbacks += 1
+        elif kind == EventKind.LOOP_BUDGET_TRIP:
+            self.loop_budget_trips += 1
+
+    def _on_considered(self, data):
+        self.considerations += 1
+        metrics = self.rule(data["rule"])
+        metrics.considerations += 1
+        metrics.condition_time += data.get("duration", 0.0)
+        condition = data.get("condition")
+        if condition is True:
+            metrics.condition_true += 1
+        elif condition is False:
+            metrics.condition_false += 1
+        else:
+            metrics.condition_unknown += 1
+        self._track_info_size(metrics, data)
+
+    def _on_fired(self, data):
+        self.rule_transitions += 1
+        metrics = self.rule(data["rule"])
+        metrics.fires += 1
+        metrics.action_time += data.get("duration", 0.0)
+        effect = data.get("effect")
+        if effect is not None:
+            metrics.rows_inserted += len(effect.inserted)
+            metrics.rows_deleted += len(effect.deleted)
+            metrics.rows_updated += len(effect.updated_handles)
+        self._track_info_size(metrics, data)
+
+    def _track_info_size(self, metrics, data):
+        size = data.get("trans_info_size")
+        if size is not None and size > metrics.peak_trans_info_size:
+            metrics.peak_trans_info_size = size
+            if size > self.peak_trans_info_size:
+                self.peak_trans_info_size = size
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self, strategy=None):
+        """The full stats dict (``RuleEngine.stats()``'s return value)."""
+        engine = {
+            "transactions": self.transactions,
+            "commits": self.commits,
+            "aborts": self.aborts,
+            "rollbacks_by_rule": self.rollbacks_by_rule,
+            "loop_budget_trips": self.loop_budget_trips,
+            "external_blocks": self.external_blocks,
+            "rule_transitions": self.rule_transitions,
+            "considerations": self.considerations,
+            "quiescence_rounds": self.quiescence_rounds,
+            "max_quiescence_rounds": self.max_quiescence_rounds,
+            "selection_time": self.selection_time,
+            "peak_trans_info_size": self.peak_trans_info_size,
+            "events": self.events,
+        }
+        if strategy is not None:
+            engine["strategy"] = strategy
+        return {
+            "engine": engine,
+            "rules": {
+                name: metrics.snapshot()
+                for name, metrics in sorted(self.rules.items())
+            },
+        }

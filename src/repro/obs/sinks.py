@@ -1,0 +1,117 @@
+"""Event sinks: pluggable consumers of the engine's event stream.
+
+Three concrete sinks cover the practical spectrum:
+
+* :class:`NullSink` — the zero-overhead default; ``enabled`` is False so
+  the engine skips payload construction for user-facing emission
+  entirely;
+* :class:`RingBufferSink` — keeps the last N events in memory (the
+  REPL's ``\\events`` view, tests asserting event order);
+* :class:`JsonLinesSink` — appends one JSON object per event to a file,
+  the machine-readable trajectory the benches and CI consume.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter, deque
+
+
+class EventSink:
+    """Base class. Subclasses implement :meth:`emit`.
+
+    ``enabled`` is checked once at attach time: a disabled sink is never
+    dispatched to, so it costs nothing per event.
+    """
+
+    enabled = True
+
+    def emit(self, event):
+        raise NotImplementedError
+
+    def close(self):
+        """Release resources (file handles); idempotent."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+
+class NullSink(EventSink):
+    """Discards everything; the zero-overhead default."""
+
+    enabled = False
+
+    def emit(self, event):
+        pass
+
+
+class RingBufferSink(EventSink):
+    """Keeps the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity=1024):
+        if capacity <= 0:
+            raise ValueError("ring buffer capacity must be positive")
+        self.capacity = capacity
+        self._events = deque(maxlen=capacity)
+
+    def emit(self, event):
+        self._events.append(event)
+
+    @property
+    def events(self):
+        """The buffered events, oldest first."""
+        return list(self._events)
+
+    def of_kind(self, kind):
+        """The buffered events of one kind, oldest first."""
+        return [event for event in self._events if event.kind == kind]
+
+    def kind_counts(self):
+        """``{kind: count}`` over the buffered events."""
+        return Counter(event.kind for event in self._events)
+
+    def clear(self):
+        self._events.clear()
+
+    def __len__(self):
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(list(self._events))
+
+
+class JsonLinesSink(EventSink):
+    """Writes one JSON object per event to a file (JSON-lines format).
+
+    Args:
+        target: a path (string / ``os.PathLike``) opened lazily for
+            writing, or any object with a ``write`` method.
+    """
+
+    def __init__(self, target):
+        if hasattr(target, "write"):
+            self._file = target
+            self._owns_file = False
+            self._path = None
+        else:
+            self._file = None
+            self._owns_file = True
+            self._path = target
+        self.emitted = 0
+
+    def emit(self, event):
+        if self._file is None:
+            self._file = open(self._path, "w", encoding="utf-8")
+        self._file.write(json.dumps(event.to_json_dict()) + "\n")
+        self.emitted += 1
+
+    def close(self):
+        if self._file is not None:
+            self._file.flush()
+            if self._owns_file:
+                self._file.close()
+                self._file = None

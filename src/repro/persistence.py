@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import json
 
-from .errors import ExecutionError, ReproError
+from .errors import ReproError
 from .system import ActiveDatabase
 
 FORMAT_NAME = "repro-active-database"

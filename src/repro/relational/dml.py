@@ -20,7 +20,7 @@ Semantics implemented exactly as the paper specifies:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import ExecutionError
 from ..sql import ast
@@ -44,6 +44,10 @@ class InsertEffect:
     def kind(self):
         return "insert"
 
+    @property
+    def rows_affected(self):
+        return len(self.handles)
+
 
 @dataclass(frozen=True)
 class DeleteEffect:
@@ -56,6 +60,10 @@ class DeleteEffect:
     @property
     def kind(self):
         return "delete"
+
+    @property
+    def rows_affected(self):
+        return len(self.entries)
 
 
 @dataclass(frozen=True)
@@ -71,6 +79,10 @@ class UpdateEffect:
     def kind(self):
         return "update"
 
+    @property
+    def rows_affected(self):
+        return len(self.entries)
+
 
 @dataclass(frozen=True)
 class SelectEffect:
@@ -81,6 +93,10 @@ class SelectEffect:
     @property
     def kind(self):
         return "select"
+
+    @property
+    def rows_affected(self):
+        return len(self.entries)
 
 
 # ---------------------------------------------------------------------------

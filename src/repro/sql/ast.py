@@ -18,7 +18,7 @@ tests. Every node renders back to SQL via :mod:`repro.sql.formatter`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Optional
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 from ..errors import ParseError
 from . import ast
 from .lexer import tokenize
-from .tokens import Token, TokenKind
+from .tokens import TokenKind
 
 _TYPE_KEYWORDS = {"INTEGER", "INT", "FLOAT", "REAL", "VARCHAR", "CHAR", "BOOLEAN"}
 

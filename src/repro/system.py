@@ -41,10 +41,12 @@ class ActiveDatabase:
         max_rule_transitions: per-transaction rule transition budget.
         track_selects: enable the §5.1 ``selected`` extension.
         record_seen: record transition-table snapshots in traces.
+        sink: optional :class:`~repro.obs.sinks.EventSink` receiving the
+            engine's structured event stream (default: none).
     """
 
     def __init__(self, strategy=None, max_rule_transitions=10000,
-                 track_selects=False, record_seen=True):
+                 track_selects=False, record_seen=True, sink=None):
         self.database = Database()
         self.catalog = RuleCatalog()
         self.engine = RuleEngine(
@@ -54,6 +56,7 @@ class ActiveDatabase:
             max_rule_transitions=max_rule_transitions,
             track_selects=track_selects,
             record_seen=record_seen,
+            sink=sink,
         )
 
     # ------------------------------------------------------------------
@@ -154,6 +157,26 @@ class ActiveDatabase:
     def assert_rules(self):
         """Process rules now (a §5.3 user-defined triggering point)."""
         self.engine.assert_rules()
+
+    # ------------------------------------------------------------------
+    # observability
+
+    def stats(self):
+        """Engine and per-rule counters (``{"engine": ..., "rules": ...}``);
+        see :meth:`repro.core.engine.RuleEngine.stats`."""
+        return self.engine.stats()
+
+    def reset_stats(self):
+        """Zero all engine counters (a fresh measurement window)."""
+        self.engine.reset_stats()
+
+    def attach_sink(self, sink):
+        """Attach an event sink (see :mod:`repro.obs`); returns it."""
+        return self.engine.attach_sink(sink)
+
+    def detach_sink(self, sink):
+        """Detach a previously attached event sink."""
+        self.engine.detach_sink(sink)
 
     # ------------------------------------------------------------------
     # rules convenience

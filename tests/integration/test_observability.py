@@ -1,0 +1,168 @@
+"""Integration tests: the event stream and metrics over real workloads.
+
+The centerpiece drives the paper's Example 4.3 walkthrough with a
+:class:`~repro.obs.sinks.RingBufferSink` attached and asserts that the
+event stream narrates exactly the firing order the paper does — the
+external block deletes Jane, ``salary_control`` removes Mary, then
+``manager_cascade`` sweeps {Bill, Jim} and finally {Sam, Sue} — and
+that the per-rule counters in ``stats()`` reconcile with it.
+"""
+
+import pytest
+
+from repro import ActiveDatabase, EventKind, RingBufferSink
+
+EMP = (
+    "create table emp (name varchar, emp_no integer, salary float, "
+    "dept_no integer)"
+)
+DEPT = "create table dept (dept_no integer, mgr_no integer)"
+
+RULE_41 = """
+create rule manager_cascade
+when deleted from emp
+then delete from emp
+     where dept_no in (select dept_no from dept
+                       where mgr_no in (select emp_no from deleted emp));
+     delete from dept
+     where mgr_no in (select emp_no from deleted emp)
+"""
+
+RULE_42 = """
+create rule salary_control
+when updated emp.salary
+if (select avg(salary) from new updated emp.salary) > 50000
+then delete from emp
+     where emp_no in (select emp_no from new updated emp.salary)
+       and salary > 80000
+"""
+
+
+@pytest.fixture
+def scenario():
+    """Example 4.3: rules, priority, org chart, and an attached ring
+    buffer; returns (db, sink, transaction result)."""
+    db = ActiveDatabase()
+    sink = db.attach_sink(RingBufferSink())
+    db.execute(EMP)
+    db.execute(DEPT)
+    db.execute(RULE_41)
+    db.execute(RULE_42)
+    db.execute("create rule priority salary_control before manager_cascade")
+    db.execute("insert into dept values (1, 1), (2, 2), (3, 3)")
+    db.execute(
+        "insert into emp values "
+        "('Jane', 1, 60000, 0), ('Mary', 2, 70000, 1), "
+        "('Jim', 3, 55000, 1), ('Bill', 4, 25000, 2), "
+        "('Sam', 5, 30000, 3), ('Sue', 6, 30000, 3)"
+    )
+    db.reset_stats()
+    sink.clear()
+    result = db.execute(
+        "delete from emp where name = 'Jane'; "
+        "update emp set salary = 30000 where name = 'Bill'; "
+        "update emp set salary = 85000 where name = 'Mary'"
+    )
+    return db, sink, result
+
+
+class TestExample43EventStream:
+    def test_firing_order_matches_the_paper(self, scenario):
+        _, sink, _ = scenario
+        fired = [e.data["rule"] for e in sink.of_kind(EventKind.RULE_FIRED)]
+        assert fired == [
+            "salary_control",   # R2 first (priority): deletes Mary
+            "manager_cascade",  # sees {Jane, Mary}
+            "manager_cascade",  # sees {Bill, Jim}
+            "manager_cascade",  # sees {Sam, Sue}
+        ]
+
+    def test_fired_events_narrate_the_deleted_sets(self, scenario):
+        """The ``seen`` payload of each manager_cascade firing is the
+        paper's step-by-step narration: Jane ⇒ Mary ⇒ {Bill, Jim} ⇒
+        {Sam, Sue}."""
+        _, sink, _ = scenario
+        cascades = [
+            e for e in sink.of_kind(EventKind.RULE_FIRED)
+            if e.data["rule"] == "manager_cascade"
+        ]
+        seen_names = [
+            sorted(row[0] for row in e.data["seen"]["deleted emp"])
+            for e in cascades
+        ]
+        assert seen_names == [
+            ["Jane", "Mary"],
+            ["Bill", "Jim"],
+            ["Sam", "Sue"],
+        ]
+
+    def test_stream_brackets_the_transaction(self, scenario):
+        _, sink, result = scenario
+        kinds = [e.kind for e in sink.events]
+        assert kinds[0] == EventKind.TXN_BEGIN
+        assert kinds[1] == EventKind.BLOCK_EXECUTED
+        assert kinds[-1] == EventKind.TXN_COMMIT
+        assert kinds[-2] == EventKind.QUIESCENT
+        assert result.committed
+
+    def test_per_rule_counts_reconcile(self, scenario):
+        db, sink, result = scenario
+        stats = db.stats()
+        cascade = stats["rules"]["manager_cascade"]
+        control = stats["rules"]["salary_control"]
+        assert cascade["fires"] == 3
+        assert control["fires"] == 1
+        assert stats["engine"]["rule_transitions"] == result.rule_firings == 4
+        # every firing was preceded by a winning consideration, and each
+        # rule was considered at least as often as it fired
+        assert cascade["considerations"] >= cascade["fires"]
+        assert control["considerations"] >= control["fires"]
+        considered = sink.of_kind(EventKind.RULE_CONSIDERED)
+        assert sum(1 for e in considered if e.data["fired"]) == 4
+        assert len(considered) == stats["engine"]["considerations"]
+
+    def test_trace_and_events_tell_the_same_story(self, scenario):
+        """The TransactionResult is built from the same stream the sink
+        observed — sources and firing order must agree exactly."""
+        _, sink, result = scenario
+        fired = [e.data["rule"] for e in sink.of_kind(EventKind.RULE_FIRED)]
+        rule_sources = [
+            t.source for t in result.transitions if t.source != "external"
+        ]
+        assert fired == rule_sources
+
+    def test_seq_numbers_are_strictly_increasing(self, scenario):
+        _, sink, _ = scenario
+        seqs = [e.seq for e in sink.events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+
+class TestResetNarration:
+    def test_execution_resets_follow_each_firing(self):
+        db = ActiveDatabase()
+        sink = db.attach_sink(RingBufferSink())
+        db.execute("create table t (x integer)")
+        db.execute(
+            "create rule mirror when inserted into t "
+            "then delete from t where false"
+        )
+        db.execute("insert into t values (1)")
+        resets = sink.of_kind(EventKind.TRANS_INFO_RESET)
+        assert [(e.data["rule"], e.data["cause"]) for e in resets] == [
+            ("mirror", "execution"),
+        ]
+
+    def test_rollback_by_rule_event(self):
+        db = ActiveDatabase()
+        sink = db.attach_sink(RingBufferSink())
+        db.execute("create table t (x integer)")
+        db.execute(
+            "create rule veto when inserted into t then rollback"
+        )
+        result = db.execute("insert into t values (1)")
+        assert result.rolled_back
+        kinds = [e.kind for e in sink.events]
+        assert EventKind.ROLLBACK_BY_RULE in kinds
+        assert kinds[-1] == EventKind.TXN_ABORT
+        [abort] = sink.of_kind(EventKind.TXN_ABORT)
+        assert abort.data == {"reason": "rollback_by_rule", "rule": "veto"}

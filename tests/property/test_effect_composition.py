@@ -95,6 +95,19 @@ class TestCompositionAlgebra:
 
     @given(op_sequences(), st.integers(), st.integers())
     @settings(max_examples=200)
+    def test_compose_preserves_well_formedness(self, seq, cut_a, cut_b):
+        """Closure: composing well-formed effects (in any grouping, at
+        every intermediate step) yields a well-formed effect."""
+        _, ops = seq
+        running = TransitionEffect.empty()
+        for chunk in split_points(ops, cut_a, cut_b):
+            effect = TransitionEffect.from_op_effects(chunk)
+            assert effect.is_well_formed()
+            running = running.compose(effect)
+            assert running.is_well_formed()
+
+    @given(op_sequences(), st.integers(), st.integers())
+    @settings(max_examples=200)
     def test_any_grouping_equals_full_fold(self, seq, cut_a, cut_b):
         _, ops = seq
         chunks = split_points(ops, cut_a, cut_b)

@@ -141,6 +141,74 @@ class TestQuiescence:
         assert live + archived == inserted
 
 
+class TestStatsReconciliation:
+    @given(configs)
+    @settings(max_examples=20, deadline=None)
+    def test_stats_counters_match_transaction_traces(self, config):
+        """The metrics collector consumes the same event stream the trace
+        recorder does, so its counters must reconcile exactly with the
+        per-transaction results."""
+        db = build_db()
+        transactions = 0
+        external = 0
+        firings = 0
+        considerations = 0
+        per_rule_fires = {}
+        for block in WorkloadGenerator(config).blocks():
+            result = db.execute(block)
+            transactions += 1
+            external += sum(
+                1 for record in result.transitions if record.is_external
+            )
+            firings += result.rule_firings
+            considerations += len(result.considered)
+            for record in result.transitions:
+                if not record.is_external:
+                    per_rule_fires[record.source] = (
+                        per_rule_fires.get(record.source, 0) + 1
+                    )
+        stats = db.stats()
+        engine = stats["engine"]
+        assert engine["transactions"] == engine["commits"] == transactions
+        assert engine["external_blocks"] == external
+        assert engine["rule_transitions"] == firings
+        assert engine["considerations"] == considerations
+        for name, fires in per_rule_fires.items():
+            assert stats["rules"][name]["fires"] == fires
+        # every firing shows up as a winning consideration too
+        fired_considerations = sum(
+            counters["condition_true"]
+            for counters in stats["rules"].values()
+        )
+        assert fired_considerations >= firings
+
+    @given(configs)
+    @settings(max_examples=10, deadline=None)
+    def test_event_stream_reconciles_with_stats(self, config):
+        """An independent sink sees exactly the stream the collector
+        counted: per-kind event totals match the counters."""
+        from repro import EventKind, RingBufferSink
+
+        db = build_db()
+        sink = db.attach_sink(RingBufferSink(capacity=100000))
+        for block in WorkloadGenerator(config).blocks():
+            db.execute(block)
+        counts = sink.kind_counts()
+        engine = db.stats()["engine"]
+        assert counts.get(EventKind.TXN_BEGIN, 0) == engine["transactions"]
+        assert counts.get(EventKind.TXN_COMMIT, 0) == engine["commits"]
+        assert counts.get(EventKind.BLOCK_EXECUTED, 0) == (
+            engine["external_blocks"]
+        )
+        assert counts.get(EventKind.RULE_FIRED, 0) == (
+            engine["rule_transitions"]
+        )
+        assert counts.get(EventKind.RULE_CONSIDERED, 0) == (
+            engine["considerations"]
+        )
+        assert engine["events"] == len(sink)
+
+
 class TestArchitecturalAgreement:
     @given(configs)
     @settings(max_examples=15, deadline=None)

@@ -1,6 +1,6 @@
 """Property-based tests for three-valued logic and value comparison."""
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.relational.expressions import (
     compare,

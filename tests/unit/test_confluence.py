@@ -1,7 +1,5 @@
 """Unit tests for the dynamic order-sensitivity probe."""
 
-import pytest
-
 from repro import ActiveDatabase
 from repro.analysis import (
     canonical_state,

@@ -263,6 +263,21 @@ class TestIntrospection:
         with pytest.raises(TransactionError):
             db.engine.triggered_rules()
 
+    def test_triggered_rules_excludes_deactivated(self, db):
+        """Regression: a deactivated rule keeps accumulating trans-info
+        but must not be listed as triggered (it is never considered)."""
+        db.execute(
+            "create rule r when inserted into t then insert into log values (1)"
+        )
+        db.deactivate_rule("r")
+        db.begin()
+        db.execute("insert into t values (1)")
+        assert db.engine.triggered_rules() == []
+        # reactivation makes the accumulated info count again
+        db.activate_rule("r")
+        assert db.engine.triggered_rules() == ["r"]
+        db.commit()
+
     def test_rule_defined_mid_transaction_sees_later_changes_only(self, db):
         db.begin()
         db.execute("insert into t values (1)")

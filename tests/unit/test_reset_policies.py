@@ -138,6 +138,102 @@ class TestTriggeringPolicy:
         assert db.query("select count(*) from log").scalar() == 3
 
 
+class TestConsiderationPolicyUnknownCondition:
+    """Footnote-8 audit: the 'consideration' baseline moves at *every*
+    consideration — "regardless of whether its action was executed" —
+    including one whose condition evaluates to UNKNOWN (NULL)."""
+
+    def scenario(self, policy):
+        db = make_db()
+        db.execute("create table n (v integer)")
+        # with n empty, max(v) is NULL: the condition is UNKNOWN
+        db.engine.define_rule(
+            "create rule waiting when inserted into t "
+            "if (select max(v) from n) > 0 "
+            "then insert into log (select x from inserted t)",
+            reset_policy=policy,
+        )
+        # feeder runs after waiting's first (unknown) consideration and
+        # makes the condition true while adding one more t-row
+        db.execute(
+            "create rule feeder when inserted into t "
+            "if not exists (select * from n) "
+            "then insert into n values (1); insert into t values (99)"
+        )
+        db.execute("create rule priority waiting before feeder")
+        db.execute("insert into t values (1), (2)")
+        return db, sorted(db.rows("select x from log"))
+
+    def test_default_keeps_composite_across_unknown(self):
+        _, logged = self.scenario("execution")
+        assert logged == [(1,), (2,), (99,)]
+
+    def test_unknown_consideration_consumes_the_baseline(self):
+        db, logged = self.scenario("consideration")
+        assert logged == [(99,)]
+        # the engine recorded exactly one consideration-policy reset,
+        # for the UNKNOWN evaluation
+        resets = db.stats()["rules"]["waiting"]["resets"]
+        assert resets.get("consideration") == 1
+
+    def test_unknown_evaluation_is_in_the_trace(self):
+        db = make_db()
+        db.execute("create table n (v integer)")
+        db.engine.define_rule(
+            "create rule waiting when inserted into t "
+            "if (select max(v) from n) > 0 then delete from t",
+            reset_policy="consideration",
+        )
+        result = db.execute("insert into t values (1)")
+        [record] = result.considerations_of("waiting")
+        assert record.condition_result is None and not record.fired
+
+
+class TestMidTransactionRegistration:
+    """Footnote-8 audit: a rule defined mid-transaction starts with an
+    empty baseline at its definition point (§4.2: it "considers only the
+    transition since its definition"), under every reset policy."""
+
+    def test_pre_definition_changes_invisible_under_triggering(self):
+        db = make_db()
+        db.begin()
+        db.execute("insert into t values (1)")
+        db.engine.define_rule(
+            "create rule late when inserted into t "
+            "then insert into log (select x from inserted t)",
+            reset_policy="triggering",
+        )
+        db.execute("insert into t values (2)")
+        db.commit()
+        assert db.rows("select x from log") == [(2,)]
+
+    def divergence(self, policy):
+        """watcher is registered inside an open transaction, then an
+        insert+update of the same tuple follows."""
+        db = make_db()
+        db.begin()
+        db.engine.define_rule(
+            "create rule watcher when updated t.x "
+            "then insert into log (select x from new updated t.x)",
+            reset_policy=policy,
+        )
+        db.execute("insert into t values (1)")
+        db.execute("update t set x = x + 10")
+        db.commit()
+        return sorted(db.rows("select x from log"))
+
+    def test_execution_policy_composes_across_the_insert(self):
+        """Primary semantics: insert ⊕ update nets to an insertion, the
+        U component stays empty, watcher never fires — the same
+        composition §2.2 prescribes for rules defined up front."""
+        assert self.divergence("execution") == []
+
+    def test_triggering_policy_restarts_at_the_update(self):
+        """[WF89b]: watcher was untriggered until the update, so its
+        baseline restarts just before it and the update stands alone."""
+        assert self.divergence("triggering") == [(11,)]
+
+
 class TestPolicyChangeAtRuntime:
     def test_policy_switch_affects_next_transaction(self):
         db = make_db()

@@ -10,7 +10,6 @@ from repro.errors import (
     PriorityCycleError,
     UnknownRuleError,
 )
-from repro.sql import ast
 from repro.sql.parser import parse_statement
 
 

@@ -1,7 +1,5 @@
 """Unit tests for transition records and transaction results."""
 
-import pytest
-
 from repro import ActiveDatabase
 from repro.core.effects import TransitionEffect
 from repro.core.trace import (
@@ -95,6 +93,41 @@ class TestConsiderationRecordsEndToEnd:
         )
         result = db.execute("insert into t values (1)")
         assert result.considered[0].condition_result is None
+
+    def test_firing_consideration_recorded_and_flagged(self):
+        """Regression: the consideration that *wins* (condition true,
+        rule fires) must appear in the trace, flagged ``fired``."""
+        db = ActiveDatabase()
+        db.execute("create table t (x integer)")
+        db.execute(
+            "create rule fire when inserted into t "
+            "then delete from t where false"
+        )
+        result = db.execute("insert into t values (1)")
+        records = result.considerations_of("fire")
+        # its own transition is empty, so it is not re-triggered: exactly
+        # one consideration — the winning one — must be in the trace
+        assert [r.fired for r in records] == [True]
+        assert records[0].condition_result is True
+        assert records[0].after_transition == 1
+
+    def test_consideration_counts_cover_every_evaluation(self):
+        """With one firing and one non-firing rule, both evaluations per
+        round are in the trace and only the winner is flagged."""
+        db = ActiveDatabase()
+        db.execute("create table t (x integer)")
+        db.execute(
+            "create rule quiet when inserted into t "
+            "if false then delete from t"
+        )
+        db.execute(
+            "create rule fire when inserted into t "
+            "then delete from t where false"
+        )
+        result = db.execute("insert into t values (1)")
+        assert all(not r.fired for r in result.considerations_of("quiet"))
+        fired_flags = [r.fired for r in result.considerations_of("fire")]
+        assert fired_flags.count(True) == result.rule_firings == 1
 
     def test_considered_records_transition_index(self):
         db = ActiveDatabase()

@@ -1,14 +1,11 @@
 """Unit tests for the synthetic workload generators."""
 
-import pytest
-
 from repro import ActiveDatabase
 from repro.workloads import (
     WorkloadConfig,
     WorkloadGenerator,
     build_orgchart,
     create_schema,
-    load_orgchart,
     populate,
     run_workload,
 )
