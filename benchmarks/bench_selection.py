@@ -20,9 +20,9 @@ from repro import (
     TotalOrder,
 )
 
-from .conftest import print_series, record_stats
+from .conftest import FAST_MODE, print_series, record_stats
 
-RULE_COUNTS = (8, 32, 128)
+RULE_COUNTS = (4, 8) if FAST_MODE else (8, 32, 128)
 
 STRATEGIES = {
     "creation": CreationOrder,

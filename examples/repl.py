@@ -9,6 +9,7 @@ exploring the paper's semantics by hand.
 Meta commands:
 
     \\rules            list defined rules (with their SQL)
+    \\explain <select> show the select's logical plan (also: explain <select>)
     \\analyze          run static analysis (§6 loop/conflict warnings)
     \\trace on|off     toggle printing of transition traces
     \\stats            show engine and per-rule counters
@@ -80,7 +81,10 @@ class Repl:
             self._print_result(result)
             return
         outcome = self.db.execute(line)
-        if isinstance(outcome, TransactionResult):
+        if isinstance(outcome, str):
+            # explain returns rendered plan text
+            self.println(outcome)
+        elif isinstance(outcome, TransactionResult):
             if self.show_trace:
                 self.println(outcome.describe())
             elif outcome.rolled_back:
@@ -138,6 +142,14 @@ class Repl:
             for name in self.db.rule_names():
                 self.println(self.db.catalog.rule(name).to_sql())
                 self.println()
+        elif command == "\\explain":
+            if not argument.strip():
+                self.println("usage: \\explain select ...")
+            else:
+                try:
+                    self.println(self.db.explain(argument))
+                except ReproError as error:
+                    self.println(f"error: {error}")
         elif command == "\\analyze":
             self.println(analyze(self.db.catalog).describe())
         elif command == "\\tables":
@@ -176,6 +188,13 @@ class Repl:
         self.println("engine:")
         for key in sorted(engine):
             self.println(f"  {key}: {engine[key]}")
+        planner = stats["planner"]
+        self.println("planner:")
+        for key in sorted(planner):
+            value = planner[key]
+            if isinstance(value, float):
+                value = f"{value:.2f}"
+            self.println(f"  {key}: {value}")
         if not stats["rules"]:
             self.println("(no rule activity)")
             return
@@ -185,7 +204,9 @@ class Repl:
                 f"  {name}: considered {counters['considerations']}, "
                 f"fired {counters['fires']}, "
                 f"condition {counters['condition_time']:.6f}s, "
-                f"action {counters['action_time']:.6f}s"
+                f"action {counters['action_time']:.6f}s, "
+                f"rows scanned {counters['rows_scanned']}, "
+                f"plan hits {counters['plan_cache_hits']}"
             )
 
 

@@ -122,13 +122,18 @@ class RuleEngine:
         :class:`~repro.obs.metrics.MetricsCollector` for the fields.
         Counters accumulate across transactions until :meth:`reset_stats`.
         """
+        planner = getattr(self.database, "planner_stats", None)
         return self._metrics.snapshot(
-            strategy=getattr(self.strategy, "name", None)
+            strategy=getattr(self.strategy, "name", None),
+            planner=planner.snapshot() if planner is not None else None,
         )
 
     def reset_stats(self):
         """Zero all counters (a fresh measurement window)."""
         self._metrics.reset()
+        planner = getattr(self.database, "planner_stats", None)
+        if planner is not None:
+            planner.reset()
 
     def _emit(self, kind, **data):
         self._bus.emit(kind, self._txn_id, data)
@@ -386,6 +391,10 @@ class RuleEngine:
             for rule in ordered:
                 self._clock += 1
                 self._considered_at[rule.name] = self._clock
+                planner = getattr(self.database, "planner_stats", None)
+                planner_before = (
+                    planner.counters() if planner is not None else None
+                )
                 condition_start = perf_counter()
                 condition_value = self._check_condition(rule)
                 condition_elapsed = perf_counter() - condition_start
@@ -400,6 +409,11 @@ class RuleEngine:
                     after_transition=self._transition_index,
                     duration=condition_elapsed,
                     trans_info_size=self._info[rule.name].size(),
+                    planner=(
+                        planner.delta_since(planner_before)
+                        if planner is not None
+                        else None
+                    ),
                 )
                 if condition_value is True:
                     fired = rule
@@ -439,6 +453,8 @@ class RuleEngine:
                 raise RuleLoopError(self.max_rule_transitions, trace=result)
 
             seen = self._snapshot_seen(fired) if self.record_seen else {}
+            planner = getattr(self.database, "planner_stats", None)
+            planner_before = planner.counters() if planner is not None else None
             action_start = perf_counter()
             effects = self._execute_rule_action(fired)
             action_elapsed = perf_counter() - action_start
@@ -459,6 +475,11 @@ class RuleEngine:
                 condition=True if fired.condition is not None else None,
                 duration=action_elapsed,
                 trans_info_size=new_info.size(),
+                planner=(
+                    planner.delta_since(planner_before)
+                    if planner is not None
+                    else None
+                ),
             )
             self._emit(
                 EventKind.TRANS_INFO_RESET,

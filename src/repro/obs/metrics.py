@@ -27,6 +27,11 @@ class RuleMetrics:
         "rows_inserted",
         "rows_deleted",
         "rows_updated",
+        "rows_scanned",
+        "rows_visited",
+        "rows_returned",
+        "plan_cache_hits",
+        "plan_cache_misses",
         "peak_trans_info_size",
         "resets",
         "rollbacks",
@@ -43,6 +48,11 @@ class RuleMetrics:
         self.rows_inserted = 0
         self.rows_deleted = 0
         self.rows_updated = 0
+        self.rows_scanned = 0
+        self.rows_visited = 0
+        self.rows_returned = 0
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
         self.peak_trans_info_size = 0
         self.resets = {}
         self.rollbacks = 0
@@ -59,6 +69,11 @@ class RuleMetrics:
             "rows_inserted": self.rows_inserted,
             "rows_deleted": self.rows_deleted,
             "rows_updated": self.rows_updated,
+            "rows_scanned": self.rows_scanned,
+            "rows_visited": self.rows_visited,
+            "rows_returned": self.rows_returned,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
             "peak_trans_info_size": self.peak_trans_info_size,
             "resets": dict(self.resets),
             "rollbacks": self.rollbacks,
@@ -139,6 +154,7 @@ class MetricsCollector(EventSink):
             metrics.condition_false += 1
         else:
             metrics.condition_unknown += 1
+        self._fold_planner(metrics, data)
         self._track_info_size(metrics, data)
 
     def _on_fired(self, data):
@@ -151,7 +167,25 @@ class MetricsCollector(EventSink):
             metrics.rows_inserted += len(effect.inserted)
             metrics.rows_deleted += len(effect.deleted)
             metrics.rows_updated += len(effect.updated_handles)
+        self._fold_planner(metrics, data)
         self._track_info_size(metrics, data)
+
+    def _fold_planner(self, metrics, data):
+        """Accumulate the per-evaluation planner delta the engine attaches
+        to consideration/firing events (None when the database has no
+        planner, e.g. a bare test double)."""
+        delta = data.get("planner")
+        if not delta:
+            return
+        for field in (
+            "rows_scanned",
+            "rows_visited",
+            "rows_returned",
+            "plan_cache_hits",
+            "plan_cache_misses",
+        ):
+            increment = delta.get(field, 0)
+            setattr(metrics, field, getattr(metrics, field) + increment)
 
     def _track_info_size(self, metrics, data):
         size = data.get("trans_info_size")
@@ -162,8 +196,15 @@ class MetricsCollector(EventSink):
 
     # ------------------------------------------------------------------
 
-    def snapshot(self, strategy=None):
-        """The full stats dict (``RuleEngine.stats()``'s return value)."""
+    def snapshot(self, strategy=None, planner=None):
+        """The full stats dict (``RuleEngine.stats()``'s return value).
+
+        ``planner`` is the database-wide
+        :meth:`~repro.relational.plan.cache.PlannerStats.snapshot` dict
+        (plan-cache hit rate, rows scanned/visited/returned); it covers
+        *all* query evaluation on the database, while the per-rule
+        counters cover only condition/action evaluations.
+        """
         engine = {
             "transactions": self.transactions,
             "commits": self.commits,
@@ -181,10 +222,13 @@ class MetricsCollector(EventSink):
         }
         if strategy is not None:
             engine["strategy"] = strategy
-        return {
+        result = {
             "engine": engine,
             "rules": {
                 name: metrics.snapshot()
                 for name, metrics in sorted(self.rules.items())
             },
         }
+        if planner is not None:
+            result["planner"] = planner
+        return result

@@ -35,6 +35,21 @@ class Database:
         #: hash indexes by name (see repro.relational.index)
         self.indexes = IndexRegistry()
 
+        from .plan.cache import PlanCache, PlannerStats
+
+        #: catalog-shape version, bumped only by schema/index DDL; the
+        #: plan cache is invalidated when it moves (plans depend on the
+        #: catalog, not on table contents)
+        self.schema_version = 0
+        #: execute selects through compiled logical plans (see
+        #: repro.relational.plan); False selects the naive
+        #: iterate-and-filter path — same results, different cost
+        self.enable_planner = True
+        #: compiled plans per select AST (see repro.relational.plan.cache)
+        self.plan_cache = PlanCache()
+        #: planner/evaluator counters (rows scanned, cache hits, ...)
+        self.planner_stats = PlannerStats()
+
     # ------------------------------------------------------------------
     # schema management
 
@@ -53,6 +68,7 @@ class Database:
         self.catalog.create_table(schema)
         self._tables[name] = Table(schema)
         self.version += 1
+        self.schema_version += 1
         return schema
 
     def drop_table(self, name):
@@ -60,6 +76,7 @@ class Database:
         del self._tables[name]
         self.indexes.drop_for_table(name)
         self.version += 1
+        self.schema_version += 1
 
     def create_index(self, name, table_name, column):
         """Create (and build) a hash index on ``table_name.column``."""
@@ -70,11 +87,13 @@ class Database:
         index = HashIndex(name, table_name, column, position)
         self.indexes.add(index)
         table.attach_index(index)
+        self.schema_version += 1
         return index
 
     def drop_index(self, name):
         index = self.indexes.drop(name)
         self.table(index.table_name).detach_index(index)
+        self.schema_version += 1
 
     def table(self, name):
         """The :class:`Table` storage for ``name``.

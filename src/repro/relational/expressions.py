@@ -592,6 +592,11 @@ def _select_is_self_contained(select, database):
     columns = set()
     for nested in ast.iter_selects(select):
         for table_ref in nested.tables:
+            if isinstance(table_ref, ast.TransitionTableRef):
+                # Transition-table contents vary with the reading rule's
+                # trans-info while database.version (the cache key) stays
+                # put — caching them would serve stale rows.
+                return False
             bindings.add(table_ref.binding_name)
             table_name = getattr(table_ref, "table", None)
             if table_name is None or not database.catalog.has_table(table_name):

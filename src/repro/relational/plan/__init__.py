@@ -1,0 +1,86 @@
+"""Query planning: logical plans between the SQL AST and evaluation.
+
+The paper defines rule semantics over query *results*, not plans (§4),
+so the evaluator substrate is free to pick any access path that returns
+the same result. This package supplies that freedom in layers:
+
+* :mod:`~repro.relational.plan.nodes` — the logical-plan IR (Scan,
+  IndexLookup, Filter, HashJoin, Product, Project, Aggregate, Sort,
+  Limit, ...) and the ``explain()`` renderer;
+* :mod:`~repro.relational.plan.pushdown` — conjunct analysis: splitting
+  a WHERE into per-table pushdown filters, hash-join keys and a residual;
+* :mod:`~repro.relational.plan.builder` — ``build_plan()``: AST → plan;
+* :mod:`~repro.relational.plan.executor` — runs a plan's source pipeline,
+  producing the scopes the (shared) projection machinery consumes;
+* :mod:`~repro.relational.plan.cache` — the per-database plan cache
+  (keyed by the select AST, invalidated by schema/index DDL) and the
+  planner counters surfaced through the engine's observability bus.
+
+**Plan-invariance guarantee:** plans never change §4 semantics, only
+cost. Every plan produces exactly the rows, columns and touched handles
+the naive iterate-and-filter evaluator in
+:mod:`repro.relational.select` produces (property-tested differentially
+in ``tests/property/test_planner_differential.py``); the naive path
+stays available behind ``database.enable_planner = False``.
+"""
+
+from .builder import build_plan
+from .cache import PlanCache, PlannerStats
+from .executor import execute_source
+from .nodes import (
+    Aggregate,
+    Distinct,
+    Filter,
+    HashJoin,
+    IndexLookup,
+    Limit,
+    Plan,
+    Product,
+    Project,
+    Scan,
+    SingleRow,
+    Sort,
+    explain,
+)
+from .pushdown import conjuncts, index_candidates
+
+
+def explain_select(database, select):
+    """Render the plan for a (possibly UNION-chained) select as text.
+
+    Plans come from the database's plan cache, so EXPLAIN shows exactly
+    the plan subsequent executions will run (and warms the cache).
+    """
+    stats = database.planner_stats
+    plan = database.plan_cache.plan_for(select, database, stats)
+    if select.union is None:
+        return explain(plan)
+    label = "Union all" if select.union_all else "Union"
+    first = explain(plan, indent=1)
+    rest = explain_select(database, select.union)
+    rest = "\n".join("  " + line for line in rest.splitlines())
+    return f"{label}\n{first}\n{rest}"
+
+
+__all__ = [
+    "Aggregate",
+    "Distinct",
+    "Filter",
+    "HashJoin",
+    "IndexLookup",
+    "Limit",
+    "Plan",
+    "PlanCache",
+    "PlannerStats",
+    "Product",
+    "Project",
+    "Scan",
+    "SingleRow",
+    "Sort",
+    "build_plan",
+    "conjuncts",
+    "execute_source",
+    "explain",
+    "explain_select",
+    "index_candidates",
+]

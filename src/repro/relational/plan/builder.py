@@ -1,0 +1,180 @@
+"""``build_plan()``: one select arm's AST → a logical plan.
+
+Planning decisions, in order:
+
+1. classify the WHERE's top-level conjuncts (pushdown / equi-join /
+   residual — see :mod:`~repro.relational.plan.pushdown`);
+2. give every FROM item a leaf: an :class:`~repro.relational.plan.nodes
+   .IndexLookup` when a pushed ``col = literal`` conjunct hits an
+   existing hash index (base tables only), else a full
+   :class:`~repro.relational.plan.nodes.Scan`; pushed conjuncts become a
+   per-leaf :class:`~repro.relational.plan.nodes.Filter` (they *always*
+   re-run, even when an index served candidates, so index contents can
+   never change results);
+3. join the leaves left-to-right in FROM order: a
+   :class:`~repro.relational.plan.nodes.HashJoin` when an unused
+   equi-conjunct connects the tables joined so far to the next one, else
+   a :class:`~repro.relational.plan.nodes.Product`;
+4. wrap the residual conjuncts (if any) in a top-level Filter, then add
+   the result chain (Project/Aggregate, Distinct, Sort, Limit) mirroring
+   the select's clauses.
+
+The builder reads only the catalog (schemas and indexes), never table
+contents, so a plan stays valid until schema or index DDL — which is
+exactly the plan cache's invalidation rule.
+"""
+
+from __future__ import annotations
+
+from ...errors import ExecutionError
+from ...sql import ast
+from .nodes import (
+    Aggregate,
+    Distinct,
+    Filter,
+    HashJoin,
+    IndexLookup,
+    Limit,
+    Plan,
+    Product,
+    Project,
+    Scan,
+    SingleRow,
+    Sort,
+)
+from .pushdown import _indexable_pair, classify_where
+
+
+def build_plan(database, select):
+    """Build a :class:`Plan` for one select arm (``select.union`` is the
+    caller's concern — each arm is planned and cached separately)."""
+    binding_columns = {}
+    for table_ref in select.tables:
+        name = table_ref.binding_name
+        if name in binding_columns:
+            raise ExecutionError(
+                f"duplicate table name or alias {name!r} in FROM clause; "
+                "use aliases to distinguish"
+            )
+        binding_columns[name] = tuple(
+            database.schema(table_ref.table).column_names
+        )
+
+    classified = classify_where(select.where, binding_columns)
+
+    source = None if select.tables else SingleRow()
+    used_joins = [False] * len(classified.joins)
+    joined = set()
+    for table_ref in select.tables:
+        binding = table_ref.binding_name
+        leaf = _build_leaf(
+            database, table_ref, binding, binding_columns[binding],
+            classified.pushed.get(binding, ()),
+        )
+        if source is None:
+            source = leaf
+        else:
+            left_keys, right_keys = _connecting_keys(
+                classified.joins, used_joins, joined, binding
+            )
+            if left_keys:
+                source = HashJoin(source, leaf, tuple(left_keys),
+                                  tuple(right_keys))
+            else:
+                source = Product(source, leaf)
+        joined.add(binding)
+
+    # equi-join conjuncts that never connected (e.g. joining two tables
+    # both already in the tree) fall back to the residual
+    residual = list(classified.residual)
+    for used, join in zip(used_joins, classified.joins):
+        if not used:
+            left_expr, _, right_expr, _ = join
+            residual.append(ast.BinaryOp("=", left_expr, right_expr))
+
+    if residual:
+        source = Filter(source, tuple(residual), residual=True)
+
+    root = _build_result_chain(select, source)
+    return Plan(select, source, root, binding_columns)
+
+
+def _build_leaf(database, table_ref, binding, columns, pushed):
+    pushed = tuple(pushed)
+    leaf = None
+    if isinstance(table_ref, ast.BaseTableRef):
+        table = database.table(table_ref.table)
+        keys = []
+        for conjunct in pushed:
+            pair = _indexable_pair(
+                conjunct, {binding, table_ref.table}, table.schema
+            )
+            if pair is None:
+                continue
+            column, value = pair
+            index = table.index_on(column)
+            if index is not None:
+                keys.append((index.name, column, value))
+        if keys:
+            leaf = IndexLookup(table_ref, binding, columns, tuple(keys))
+    if leaf is None:
+        leaf = Scan(table_ref, binding, columns)
+    if pushed:
+        leaf = Filter(leaf, pushed)
+    return leaf
+
+
+def _connecting_keys(joins, used_joins, joined, new_binding):
+    """Equi-join keys connecting the already-joined bindings to
+    ``new_binding``; marks the conjuncts it consumes as used."""
+    left_keys, right_keys = [], []
+    for position, (left_expr, left_bindings, right_expr,
+                   right_bindings) in enumerate(joins):
+        if used_joins[position]:
+            continue
+        if left_bindings <= joined and right_bindings == {new_binding}:
+            left_keys.append(left_expr)
+            right_keys.append(right_expr)
+        elif right_bindings <= joined and left_bindings == {new_binding}:
+            left_keys.append(right_expr)
+            right_keys.append(left_expr)
+        else:
+            continue
+        used_joins[position] = True
+    return left_keys, right_keys
+
+
+def _build_result_chain(select, source):
+    from ..expressions import contains_aggregate
+
+    items = _output_names(select)
+    grouped = bool(select.group_by) or any(
+        isinstance(item, ast.SelectItem) and contains_aggregate(item.expression)
+        for item in select.items
+    ) or (select.having is not None and contains_aggregate(select.having))
+    if grouped:
+        root = Aggregate(source, items, select.group_by, select.having)
+    else:
+        root = Project(source, items)
+    if select.distinct:
+        root = Distinct(root)
+    if select.order_by:
+        root = Sort(root, select.order_by)
+    if select.limit is not None:
+        root = Limit(root, select.limit)
+    return root
+
+
+def _output_names(select):
+    """Output column labels for explain (``*`` kept symbolic)."""
+    names = []
+    for position, item in enumerate(select.items):
+        if isinstance(item, ast.Star):
+            names.append(f"{item.qualifier}.*" if item.qualifier else "*")
+        elif item.alias:
+            names.append(item.alias)
+        elif isinstance(item.expression, ast.ColumnRef):
+            names.append(item.expression.column)
+        else:
+            names.append(f"col{position + 1}")
+    return tuple(names)

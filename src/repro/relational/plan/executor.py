@@ -1,0 +1,262 @@
+"""Execute a plan's source pipeline, producing filtered FROM scopes.
+
+``execute_source`` runs the Scan/IndexLookup/Filter/HashJoin/Product
+tree and returns one :class:`~repro.relational.expressions.Scope` per
+surviving combination — the same objects (same binding layout, same
+``touched_pairs`` attribute) the naive product enumerator in
+:mod:`repro.relational.select` produces, so the shared projection
+machinery is oblivious to which path ran.
+
+Combination order is the nested-loop order: for every pipeline node the
+left/outer input's order is preserved and the right input's rows keep
+their scan order within each match group. That makes planned results
+*order*-identical to naive results, not merely set-identical, which is
+what the differential property test asserts.
+
+Intermediate combinations are ``(rows, pairs)`` tuples aligned with the
+node's binding list; Scopes are only materialized at the top (and
+transiently for key/filter evaluation).
+"""
+
+from __future__ import annotations
+
+from ...errors import ExecutionError
+from ...sql import ast
+from ..expressions import Scope
+from ..types import compare_values
+from .nodes import Filter, HashJoin, IndexLookup, Plan, Product, Scan, SingleRow
+
+
+def execute_source(plan, database, resolver, evaluator, outer,
+                   collect_handles=False, stats=None):
+    """Run ``plan``'s source tree; returns ``(bindings, scopes)``.
+
+    ``bindings`` is a list of ``(name, columns)`` pairs in FROM order
+    (columns as resolved at run time); ``scopes`` is the list of
+    surviving combination Scopes, each carrying ``touched_pairs`` when
+    ``collect_handles`` is on. ``stats`` (a
+    :class:`~repro.relational.plan.cache.PlannerStats`) receives the
+    rows-scanned / rows-visited counters.
+    """
+    source = plan.source if isinstance(plan, Plan) else plan
+    runner = _SourceRunner(
+        database, resolver, evaluator, outer, collect_handles, stats
+    )
+    bindings, combos = runner.run(source)
+    if stats is not None and runner.visited is None:
+        # single-table pipeline: the combinations *are* the scanned rows
+        stats.rows_visited += len(combos)
+    scopes = []
+    for rows, pairs in combos:
+        scope = Scope(parent=outer)
+        for (name, columns), row in zip(bindings, rows):
+            scope.bind(name, columns, row)
+        if pairs:
+            touched = [pair for pair in pairs if pair is not None]
+            if touched:
+                scope.touched_pairs = touched
+        scopes.append(scope)
+    return bindings, scopes
+
+
+class _SourceRunner:
+    """One execution of a source tree (leaf resolution is per-run: the
+    same cached plan serves many database states and resolvers)."""
+
+    def __init__(self, database, resolver, evaluator, outer,
+                 collect_handles, stats):
+        self.database = database
+        self.resolver = resolver
+        self.evaluator = evaluator
+        self.outer = outer
+        self.collect_handles = collect_handles
+        self.stats = stats
+        #: combinations materialized by join/product nodes (None until
+        #: one runs — execute_source falls back to the pipeline output)
+        self.visited = None
+
+    def run(self, node):
+        """Execute ``node``; returns ``(bindings, combos)`` where combos
+        are ``(rows_tuple, pairs_tuple_or_None)`` aligned with bindings."""
+        if isinstance(node, SingleRow):
+            return [], [((), None)]
+        if isinstance(node, Scan):
+            return self._run_scan(node)
+        if isinstance(node, IndexLookup):
+            return self._run_index_lookup(node)
+        if isinstance(node, Filter):
+            return self._run_filter(node)
+        if isinstance(node, HashJoin):
+            return self._run_hash_join(node)
+        if isinstance(node, Product):
+            return self._run_product(node)
+        raise ExecutionError(
+            f"cannot execute plan node {type(node).__name__}"
+        )
+
+    # -- leaves -----------------------------------------------------------
+
+    def _run_scan(self, node):
+        columns, rows = self.resolver.resolve(node.table_ref)
+        if self.stats is not None:
+            self.stats.rows_scanned += len(rows)
+        pairs = None
+        if self.collect_handles and isinstance(node.table_ref,
+                                               ast.BaseTableRef):
+            table = self.database.table(node.table_ref.table)
+            pairs = [
+                (node.table_ref.table, handle) for handle in table.handles()
+            ]
+        return (
+            [(node.binding, columns)],
+            [
+                ((row,), ((pairs[i],) if pairs is not None else None))
+                for i, row in enumerate(rows)
+            ],
+        )
+
+    def _run_index_lookup(self, node):
+        table = self.database.table(node.table_ref.table)
+        candidates = None
+        for _, column, value in node.keys:
+            index = table.index_on(column)
+            if index is None:
+                # index dropped since planning (stale plan served once);
+                # fall back to a full scan — candidates stay a superset
+                continue
+            found = index.lookup(value)
+            candidates = found if candidates is None else (candidates & found)
+        if candidates is None:
+            handles = table.handles()
+        else:
+            handles = sorted(candidates)
+        if self.stats is not None:
+            self.stats.rows_scanned += len(handles)
+        columns = table.schema.column_names
+        combos = []
+        for handle in handles:
+            pair = None
+            if self.collect_handles:
+                pair = ((node.table_ref.table, handle),)
+            combos.append(((table.get(handle),), pair))
+        return [(node.binding, columns)], combos
+
+    # -- filters ----------------------------------------------------------
+
+    def _run_filter(self, node):
+        bindings, combos = self.run(node.child)
+        evaluate = self.evaluator.evaluate_predicate
+        kept = []
+        for rows, pairs in combos:
+            scope = self._scope_for(bindings, rows)
+            if all(
+                evaluate(predicate, scope) is True
+                for predicate in node.predicates
+            ):
+                kept.append((rows, pairs))
+        return bindings, kept
+
+    # -- joins ------------------------------------------------------------
+
+    def _run_hash_join(self, node):
+        left_bindings, left_combos = self.run(node.left)
+        right_bindings, right_combos = self.run(node.right)
+
+        buckets = {}
+        # per key position: kind tag -> witness value, for reproducing the
+        # naive path's cross-kind comparison errors (see _check_kinds)
+        witnesses = [{} for _ in node.right_keys]
+        for combo in right_combos:
+            values = self._key_values(right_bindings, combo, node.right_keys)
+            parts = []
+            for position, value in enumerate(values):
+                if value is None:
+                    continue
+                tag = _KIND_TAGS.get(type(value), "?")
+                witnesses[position].setdefault(tag, value)
+                parts.append((tag, value))
+            if len(parts) != len(values):
+                continue  # a NULL key component never joins
+            buckets.setdefault(tuple(parts), []).append(combo)
+
+        joined = []
+        for left_rows, left_pairs in left_combos:
+            values = self._key_values(
+                left_bindings, (left_rows, left_pairs), node.left_keys
+            )
+            parts = []
+            for position, value in enumerate(values):
+                if value is None:
+                    continue
+                self._check_kinds(value, witnesses[position])
+                parts.append((_KIND_TAGS.get(type(value), "?"), value))
+            if len(parts) != len(values):
+                continue
+            for right_rows, right_pairs in buckets.get(tuple(parts), ()):
+                joined.append(
+                    _merge(left_rows, left_pairs, right_rows, right_pairs)
+                )
+        self._count_visited(joined)
+        return left_bindings + right_bindings, joined
+
+    @staticmethod
+    def _check_kinds(left_value, right_witnesses):
+        """Raise the comparison error the naive product would.
+
+        The naive evaluator compares every left key against every right
+        key, so one right-side value of an incomparable kind is enough to
+        raise ``TypeError_`` (NULLs excepted — they compare to Unknown).
+        The hash lookup would silently skip such pairs; probe-time kind
+        checking restores the error."""
+        left_tag = _KIND_TAGS.get(type(left_value), "?")
+        for tag, witness in right_witnesses.items():
+            if tag != left_tag:
+                compare_values(left_value, witness)
+
+    def _run_product(self, node):
+        left_bindings, left_combos = self.run(node.left)
+        right_bindings, right_combos = self.run(node.right)
+        joined = [
+            _merge(left_rows, left_pairs, right_rows, right_pairs)
+            for left_rows, left_pairs in left_combos
+            for right_rows, right_pairs in right_combos
+        ]
+        self._count_visited(joined)
+        return left_bindings + right_bindings, joined
+
+    def _count_visited(self, combos):
+        if self.visited is None:
+            self.visited = 0
+        self.visited += len(combos)
+        if self.stats is not None:
+            self.stats.rows_visited += len(combos)
+
+    # -- helpers ----------------------------------------------------------
+
+    def _scope_for(self, bindings, rows):
+        scope = Scope(parent=self.outer)
+        for (name, columns), row in zip(bindings, rows):
+            scope.bind(name, columns, row)
+        return scope
+
+    def _key_values(self, bindings, combo, key_exprs):
+        """One combination's join-key values (NULLs included; hash parts
+        are tagged by kind at the call site, so Python's cross-kind
+        equalities like ``True == 1`` cannot produce matches SQL
+        comparison would reject)."""
+        rows, _ = combo
+        scope = self._scope_for(bindings, rows)
+        return [self.evaluator.evaluate(expr, scope) for expr in key_exprs]
+
+
+_KIND_TAGS = {bool: "b", int: "n", float: "n", str: "s"}
+
+
+def _merge(left_rows, left_pairs, right_rows, right_pairs):
+    rows = left_rows + right_rows
+    if left_pairs is None and right_pairs is None:
+        return rows, None
+    pairs = (left_pairs or (None,) * len(left_rows)) + (
+        right_pairs or (None,) * len(right_rows)
+    )
+    return rows, pairs

@@ -1,0 +1,270 @@
+"""The logical-plan IR and its ``explain()`` renderer.
+
+A plan for one select arm is a chain of *result* nodes (Project or
+Aggregate, optionally wrapped by Distinct, Sort and Limit) over a tree
+of *source* nodes (Scan, IndexLookup, Filter, HashJoin, Product) that
+produces the filtered FROM combinations.
+
+Source nodes carry everything needed to execute them against any table
+resolver — plans are resolver-independent, so one cached plan serves a
+rule condition across consideration rounds even though each round reads
+different transition-table contents.
+
+Nodes are plain (non-frozen) dataclasses: they are private to the plan
+cache, never hashed, and carry derived fields (``bindings``) computed at
+build time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ...sql import ast
+from ...sql.formatter import format_node
+
+
+# ---------------------------------------------------------------------------
+# source nodes: produce FROM combinations
+
+
+@dataclass
+class SingleRow:
+    """The FROM-less source: exactly one empty combination (``select 1``)."""
+
+    @property
+    def bindings(self):
+        return ()
+
+
+@dataclass
+class Scan:
+    """Full scan of one FROM item (base *or* transition table)."""
+
+    table_ref: object          # ast.BaseTableRef | ast.TransitionTableRef
+    binding: str               # the name the table is bound as
+    columns: tuple             # column names (from the schema at plan time)
+
+    @property
+    def bindings(self):
+        return (self.binding,)
+
+
+@dataclass
+class IndexLookup:
+    """Hash-index candidate lookup on a base table.
+
+    ``keys`` is a tuple of ``(index_name, column, literal_value)``; when
+    several indexed equality conjuncts exist the candidate sets are
+    intersected. Candidates are a *superset* of the matching tuples —
+    the pushed filter conjuncts still run on them, so semantics never
+    depend on index contents.
+    """
+
+    table_ref: object          # ast.BaseTableRef
+    binding: str
+    columns: tuple
+    keys: tuple                # of (index_name, column, value)
+
+    @property
+    def bindings(self):
+        return (self.binding,)
+
+
+@dataclass
+class Filter:
+    """Evaluate conjuncts over the child's combinations; keep the True ones.
+
+    Directly above a leaf this is a pushed-down per-table filter; at the
+    top of the source tree it is the residual (the conjuncts that need
+    the full combined scope).
+    """
+
+    child: object
+    predicates: tuple          # of Expression (implicitly AND-ed)
+    residual: bool = False     # True for the top-level residual filter
+
+    @property
+    def bindings(self):
+        return self.child.bindings
+
+
+@dataclass
+class HashJoin:
+    """Hash equi-join: build on the right child, probe with the left.
+
+    ``left_keys``/``right_keys`` are parallel tuples of expressions (one
+    pair per equi-conjunct); a combination joins when every key pair
+    compares equal and no key is NULL. Probe order preserves the left
+    child's order, then the right child's — exactly the nested-loop
+    (Cartesian) enumeration order, so results are order-identical to the
+    naive evaluator's.
+    """
+
+    left: object
+    right: object
+    left_keys: tuple           # of Expression, evaluated against left
+    right_keys: tuple          # of Expression, evaluated against right
+
+    @property
+    def bindings(self):
+        return self.left.bindings + self.right.bindings
+
+
+@dataclass
+class Product:
+    """Cartesian product (no usable equi-join conjunct)."""
+
+    left: object
+    right: object
+
+    @property
+    def bindings(self):
+        return self.left.bindings + self.right.bindings
+
+
+# ---------------------------------------------------------------------------
+# result nodes: shape the surviving combinations into the output table
+
+
+@dataclass
+class Project:
+    """Plain (non-aggregate) projection of the select items."""
+
+    source: object
+    items: tuple               # of output column names
+
+
+@dataclass
+class Aggregate:
+    """Grouped projection (GROUP BY and/or aggregate select items)."""
+
+    source: object
+    items: tuple               # of output column names
+    group_by: tuple = ()       # of Expression
+    having: Optional[object] = None
+
+
+@dataclass
+class Distinct:
+    child: object
+
+
+@dataclass
+class Sort:
+    child: object
+    order_by: tuple            # of ast.OrderItem
+
+
+@dataclass
+class Limit:
+    child: object
+    count: int
+
+
+@dataclass
+class Plan:
+    """One select arm's full plan.
+
+    ``root`` is the result-node chain (Limit/Sort/Distinct over
+    Project/Aggregate); ``source`` is the combination pipeline the
+    executor runs. ``select`` keeps the arm's AST alive (the cache key
+    references it) and is what the shared projection machinery reads.
+    """
+
+    select: object             # ast.Select (one arm; union handled above)
+    source: object             # source-node tree
+    root: object               # result-node chain ending at Project/Aggregate
+    binding_columns: dict = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# explain rendering
+
+
+def _describe(node):
+    if isinstance(node, Scan):
+        ref = node.table_ref
+        if isinstance(ref, ast.TransitionTableRef):
+            name = f"{ref.kind.value} {ref.table}"
+            if ref.column:
+                name += f".{ref.column}"
+        else:
+            name = ref.table
+        label = f"Scan {name}"
+        if node.binding != getattr(ref, "table", node.binding):
+            label += f" as {node.binding}"
+        return label
+    if isinstance(node, IndexLookup):
+        keys = ", ".join(
+            f"{column} = {format_node(ast.Literal(value))} [{index_name}]"
+            for index_name, column, value in node.keys
+        )
+        label = f"IndexLookup {node.table_ref.table}"
+        if node.binding != node.table_ref.table:
+            label += f" as {node.binding}"
+        return f"{label} ({keys})"
+    if isinstance(node, Filter):
+        kind = "Filter (residual)" if node.residual else "Filter"
+        rendered = " and ".join(
+            format_node(predicate) for predicate in node.predicates
+        )
+        return f"{kind}: {rendered}"
+    if isinstance(node, HashJoin):
+        keys = ", ".join(
+            f"{format_node(left)} = {format_node(right)}"
+            for left, right in zip(node.left_keys, node.right_keys)
+        )
+        return f"HashJoin ({keys})"
+    if isinstance(node, Product):
+        return "Product"
+    if isinstance(node, SingleRow):
+        return "SingleRow"
+    if isinstance(node, Project):
+        return "Project [" + ", ".join(node.items) + "]"
+    if isinstance(node, Aggregate):
+        label = "Aggregate [" + ", ".join(node.items) + "]"
+        if node.group_by:
+            label += " group by " + ", ".join(
+                format_node(expr) for expr in node.group_by
+            )
+        if node.having is not None:
+            label += " having " + format_node(node.having)
+        return label
+    if isinstance(node, Distinct):
+        return "Distinct"
+    if isinstance(node, Sort):
+        keys = ", ".join(
+            format_node(order.expression) + (" desc" if order.descending else "")
+            for order in node.order_by
+        )
+        return f"Sort [{keys}]"
+    if isinstance(node, Limit):
+        return f"Limit {node.count}"
+    return type(node).__name__
+
+
+def _children(node):
+    if isinstance(node, (HashJoin, Product)):
+        return (node.left, node.right)
+    if isinstance(node, Filter):
+        return (node.child,)
+    if isinstance(node, (Distinct, Sort, Limit)):
+        return (node.child,)
+    if isinstance(node, (Project, Aggregate)):
+        return (node.source,)
+    return ()
+
+
+def explain(plan, indent=0):
+    """Render a :class:`Plan` (or any node subtree) as an indented tree."""
+    node = plan.root if isinstance(plan, Plan) else plan
+    lines = []
+
+    def walk(current, depth):
+        lines.append("  " * depth + _describe(current))
+        for child in _children(current):
+            walk(child, depth + 1)
+
+    walk(node, indent)
+    return "\n".join(lines)

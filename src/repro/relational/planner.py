@@ -1,73 +1,13 @@
-"""Minimal access-path selection: indexed-equality pushdown.
+"""Back-compat shim: conjunct analysis moved to :mod:`repro.relational.plan`.
 
-The evaluator is a scan-and-filter design; this module adds the one
-access-path optimization with the highest payoff for rule workloads:
-when a predicate contains a top-level conjunct of the form
-``column = <literal>`` (or ``<literal> = column``) on an indexed column,
-the scan is replaced by an index lookup, and the full predicate is then
-evaluated only on the candidates.
-
-This is deliberately conservative: anything not obviously an indexable
-conjunct keeps the scan path, so semantics never depend on the planner.
+The original single-table access-path helpers grew into the full
+planning package (logical plans, pushdown, hash joins, plan cache);
+their home is now :mod:`repro.relational.plan.pushdown`. This module
+re-exports them so existing imports keep working.
 """
 
 from __future__ import annotations
 
-from ..sql import ast
+from .plan.pushdown import _indexable_pair, conjuncts, index_candidates
 
-
-def conjuncts(expression):
-    """Split a predicate into its top-level AND-conjuncts."""
-    if isinstance(expression, ast.BinaryOp) and expression.op == "and":
-        yield from conjuncts(expression.left)
-        yield from conjuncts(expression.right)
-    else:
-        yield expression
-
-
-def _indexable_pair(conjunct, binding_names, schema):
-    """If ``conjunct`` is ``col = literal`` on this table, return
-    ``(column, value)``; otherwise None."""
-    if not isinstance(conjunct, ast.BinaryOp) or conjunct.op != "=":
-        return None
-    left, right = conjunct.left, conjunct.right
-    if isinstance(right, ast.ColumnRef) and isinstance(left, ast.Literal):
-        left, right = right, left
-    if not isinstance(left, ast.ColumnRef) or not isinstance(right, ast.Literal):
-        return None
-    if right.value is None:
-        return None  # col = NULL never matches; let 3VL handle it
-    if left.qualifier is not None and left.qualifier not in binding_names:
-        return None
-    if not schema.has_column(left.column):
-        return None
-    return left.column, right.value
-
-
-def index_candidates(where, table, binding_names):
-    """Handles possibly matching ``where`` via index lookups, or None.
-
-    ``table`` is the :class:`~repro.relational.table.Table` being
-    scanned; ``binding_names`` are the names the table is known by in the
-    predicate's scope (its own name, plus an alias if any). When several
-    indexable conjuncts exist, candidate sets are intersected.
-
-    Returning a set S guarantees every matching tuple is in S (the full
-    predicate still runs on S); returning None means "no index applies".
-    """
-    if where is None:
-        return None
-    candidates = None
-    for conjunct in conjuncts(where):
-        pair = _indexable_pair(conjunct, binding_names, table.schema)
-        if pair is None:
-            continue
-        column, value = pair
-        index = table.index_on(column)
-        if index is None:
-            continue
-        found = index.lookup(value)
-        candidates = found if candidates is None else (candidates & found)
-        if not candidates:
-            return set()
-    return candidates
+__all__ = ["conjuncts", "index_candidates", "_indexable_pair"]

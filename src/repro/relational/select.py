@@ -1,11 +1,19 @@
-"""Select evaluation: FROM products, WHERE, aggregation, projection.
+"""Select evaluation: planned or naive FROM/WHERE, shared projection.
 
-The evaluator is deliberately a straightforward iterate-and-filter
-implementation — the paper's semantics are defined over *results*, not
-plans, and a simple evaluator keeps the reproduction auditable. The
-set-oriented benchmarks compare architectural strategies (set- vs.
-instance-oriented rule execution) on top of this one substrate, so both
-sides pay the same per-operation costs.
+The paper's semantics are defined over query *results*, not plans (§4),
+so two execution paths coexist over one projection/aggregation back end:
+
+* the **planned** path (default): each select arm compiles to a logical
+  plan (:mod:`repro.relational.plan`) — per-table conjunct pushdown,
+  index lookups, hash equi-joins — cached per AST on the database and
+  reused across rule consideration rounds;
+* the **naive** path (``database.enable_planner = False``): the original
+  iterate-and-filter Cartesian product, kept as the auditable reference
+  implementation and the differential-testing oracle.
+
+Both paths produce identical rows, columns, ordering and touched
+handles; only the cost differs (the plan-invariance guarantee, see
+``docs/semantics.md``).
 
 Table resolution is pluggable: :class:`BaseTableResolver` serves ordinary
 tables; the rule engine supplies a resolver that additionally serves the
@@ -16,6 +24,7 @@ paper's logical *transition tables* (``inserted t``, ``deleted t``,
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..errors import ExecutionError
 from ..sql import ast
@@ -41,7 +50,7 @@ class SelectResult:
 
     columns: list
     rows: list
-    touched: list = None
+    touched: Optional[list] = None
 
     def as_dicts(self):
         """Rows as dictionaries keyed by output column name."""
@@ -149,14 +158,12 @@ class _SelectExecutor:
     # ------------------------------------------------------------------
 
     def _run_single(self, select, outer):
-        bindings = self._resolve_tables(select)
-        scopes = self._product_scopes(bindings, outer)
-        if select.where is not None:
-            scopes = [
-                scope
-                for scope in scopes
-                if self.evaluator.evaluate_predicate(select.where, scope) is True
-            ]
+        stats = getattr(self.database, "planner_stats", None)
+        if getattr(self.database, "enable_planner", False):
+            bindings, scopes = self._planned_scopes(select, outer, stats)
+        else:
+            bindings, scopes = self._naive_scopes(select, outer, stats)
+
         if self.collect_handles:
             seen = set(self.touched)
             for scope in scopes:
@@ -184,10 +191,48 @@ class _SelectExecutor:
         rows = [row for row, _ in projected]
         if select.limit is not None:
             rows = rows[: select.limit]
+        if stats is not None:
+            stats.rows_returned += len(rows)
         return SelectResult(columns, rows)
 
     # ------------------------------------------------------------------
-    # FROM handling
+    # FROM/WHERE handling — planned path
+
+    def _planned_scopes(self, select, outer, stats):
+        """Compile (or fetch) the arm's plan and run its source pipeline;
+        the surviving scopes are exactly the naive path's post-WHERE
+        scopes (plan-invariance guarantee)."""
+        from .plan.executor import execute_source
+
+        plan = self.database.plan_cache.plan_for(select, self.database, stats)
+        bindings, scopes = execute_source(
+            plan,
+            self.database,
+            self.resolver,
+            self.evaluator,
+            outer,
+            collect_handles=self.collect_handles,
+            stats=stats,
+        )
+        return bindings, scopes
+
+    # ------------------------------------------------------------------
+    # FROM/WHERE handling — naive path
+
+    def _naive_scopes(self, select, outer, stats):
+        resolved = self._resolve_tables(select)
+        scopes = self._product_scopes(resolved, outer)
+        if stats is not None:
+            stats.rows_scanned += sum(len(rows) for _, _, rows, _ in resolved)
+            stats.rows_visited += len(scopes)
+        if select.where is not None:
+            scopes = [
+                scope
+                for scope in scopes
+                if self.evaluator.evaluate_predicate(select.where, scope) is True
+            ]
+        bindings = [(name, columns) for name, columns, _, _ in resolved]
+        return bindings, scopes
 
     def _resolve_tables(self, select):
         """Resolve FROM items to (binding_name, columns, rows, pairs) tuples.
@@ -214,7 +259,7 @@ class _SelectExecutor:
             ):
                 # indexed-equality pushdown for single-table scans; the
                 # full WHERE still filters the candidates afterwards
-                from .planner import index_candidates
+                from .plan.pushdown import index_candidates
 
                 table = self.database.table(table_ref.table)
                 restricted = index_candidates(
@@ -286,7 +331,10 @@ class _SelectExecutor:
         return False
 
     def _expand_items(self, select, bindings):
-        """Expand ``*``/``t.*`` into explicit column references."""
+        """Expand ``*``/``t.*`` into explicit column references.
+
+        ``bindings`` is a list of (binding_name, columns) pairs.
+        """
         items = []
         for item in select.items:
             if isinstance(item, ast.Star):
@@ -300,7 +348,7 @@ class _SelectExecutor:
                             f"unknown table or alias {item.qualifier!r} in "
                             f"{item.qualifier}.*"
                         )
-                for name, columns, _, _ in targets:
+                for name, columns in targets:
                     for column in columns:
                         items.append(
                             ast.SelectItem(ast.ColumnRef(column, qualifier=name))
@@ -349,7 +397,7 @@ class _SelectExecutor:
         elif scopes:
             group_scopes = [GroupScope(scopes, parent=outer)]
         else:
-            names = [name for name, _, _, _ in bindings]
+            names = [name for name, _ in bindings]
             group_scopes = [EmptyGroupScope(names, parent=outer)]
 
         if select.having is not None:

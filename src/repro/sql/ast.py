@@ -461,6 +461,18 @@ class AssertRules:
     """
 
 
+@dataclass(frozen=True)
+class Explain:
+    """``explain <select>`` — render the select's logical plan as text.
+
+    A read-only observability statement (not part of the paper's
+    language): execution returns the plan the planner would run, without
+    evaluating the query.
+    """
+
+    select: Select
+
+
 # ---------------------------------------------------------------------------
 # Walking utilities
 

@@ -360,6 +360,10 @@ def _format_assert_rules(node):
     return "assert rules"
 
 
+def _format_explain(node):
+    return f"explain {_format_select(node.select)}"
+
+
 def _format_rollback_action(node):
     return "rollback"
 
@@ -400,5 +404,6 @@ _FORMATTERS = {
     ast.DropRule: _format_drop_rule,
     ast.CreateRulePriority: _format_create_rule_priority,
     ast.AssertRules: _format_assert_rules,
+    ast.Explain: _format_explain,
     ast.RollbackAction: _format_rollback_action,
 }

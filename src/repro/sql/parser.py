@@ -139,6 +139,9 @@ class Parser:
             self._advance()
             self._expect_keyword("RULES")
             return ast.AssertRules()
+        if self._check_keyword("EXPLAIN"):
+            self._advance()
+            return ast.Explain(self._parse_select())
         return self._parse_operation_block()
 
     def _parse_create(self):

@@ -66,6 +66,8 @@ KEYWORDS = frozenset({
     "SELECTED",
     # §5.3 extension: user-defined rule triggering points
     "ASSERT", "RULES",
+    # observability: render a select's logical plan
+    "EXPLAIN",
 })
 
 

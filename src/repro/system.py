@@ -108,6 +108,8 @@ class ActiveDatabase:
         if isinstance(statement, ast.AssertRules):
             self.engine.assert_rules()
             return None
+        if isinstance(statement, ast.Explain):
+            return self.explain(statement.select)
         if isinstance(statement, ast.OperationBlock):
             if self.engine.in_transaction:
                 return self.engine.execute_block(statement)
@@ -138,6 +140,20 @@ class ActiveDatabase:
     def rows(self, select):
         """Shorthand: the result rows of :meth:`query`."""
         return self.query(select).rows
+
+    def explain(self, select):
+        """The logical plan for a select (text or AST) as rendered text.
+
+        Also reachable as the ``explain <select>`` statement. The plan is
+        the one the planner would (and will — EXPLAIN warms the plan
+        cache) run; with ``database.enable_planner`` off the plan is still
+        shown, but execution takes the naive path.
+        """
+        from .relational.plan import explain_select
+
+        if isinstance(select, str):
+            select = parse_select(select)
+        return explain_select(self.database, select)
 
     # ------------------------------------------------------------------
     # explicit transactions (§5.3 triggering points)

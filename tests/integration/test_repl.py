@@ -118,6 +118,33 @@ class TestMetaCommands:
         text = output_of(shell, "\\demo")
         assert "cascade_delete" in text
 
+    def test_explain_meta_command(self, shell):
+        text = output_of(
+            shell,
+            "create table emp (name varchar, dept_no integer)",
+            "create table dept (dept_no integer)",
+            "\\explain select e.name from emp e, dept d "
+            "where e.dept_no = d.dept_no",
+        )
+        assert "HashJoin (e.dept_no = d.dept_no)" in text
+        assert "Scan emp as e" in text
+
+    def test_explain_meta_without_argument(self, shell):
+        assert "usage: \\explain" in output_of(shell, "\\explain")
+
+    def test_explain_meta_reports_errors(self, shell):
+        text = output_of(shell, "\\explain select * from ghost")
+        assert "error:" in text
+
+    def test_explain_statement_prints_plan(self, shell):
+        text = output_of(
+            shell,
+            "create table t (x integer)",
+            "explain select x from t where x = 1",
+        )
+        assert "Project [x]" in text
+        assert "Filter: x = 1" in text
+
     def test_unknown_meta(self, shell):
         assert "unknown command" in output_of(shell, "\\bogus")
 

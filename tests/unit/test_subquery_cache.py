@@ -9,9 +9,12 @@ version. These tests pin down the classification, the invalidation, and
 import pytest
 
 from repro import ActiveDatabase
+from repro.core.transition_log import TransInfo
+from repro.core.transition_tables import TransitionTableResolver
 from repro.relational.database import Database
-from repro.relational.expressions import _select_is_self_contained
-from repro.sql.parser import parse_select
+from repro.relational.dml import InsertEffect
+from repro.relational.expressions import Evaluator, Scope, _select_is_self_contained
+from repro.sql.parser import parse_expression, parse_select
 
 
 @pytest.fixture
@@ -145,6 +148,44 @@ class TestCacheBehaviour:
             outcomes.append(rows)
         assert outcomes[0] == outcomes[1]
         assert outcomes[0] == [("b",), ("c",)]
+
+    def test_transition_table_subquery_never_cached(self, database):
+        """Regression: a subquery reading a *transition table* must not be
+        classified self-contained. TransitionTableRef carries a ``.table``
+        attribute (its base table), so a purely attribute-based check
+        mistakes it for a cacheable base-table read — but its contents
+        vary with the reading rule's trans-info while ``database.version``
+        (the cache key) stays put."""
+        assert not _select_is_self_contained(
+            parse_select("select name from inserted emp"), database
+        )
+        assert not _select_is_self_contained(
+            parse_select("select salary from old updated emp.salary"),
+            database,
+        )
+        # a transition table anywhere in the subtree disqualifies too
+        assert not _select_is_self_contained(
+            parse_select(
+                "select name from emp where exists "
+                "(select * from deleted emp)"
+            ),
+            database,
+        )
+
+    def test_transition_subquery_sees_trans_info_changes(self, database):
+        """Regression: one Evaluator re-reading a transition-table
+        subquery must observe updated trans-info even though no base-table
+        mutation moved ``database.version`` in between (stale-cache
+        scenario the classification fix prevents)."""
+        handle = database.insert_row("emp", ("a", 10.0, 1))
+        info = TransInfo.empty()
+        resolver = TransitionTableResolver(database, info)
+        evaluator = Evaluator(database, resolver)
+        condition = parse_expression("exists (select * from inserted emp)")
+
+        assert evaluator.evaluate_predicate(condition, Scope()) is False
+        info.apply(InsertEffect("emp", (handle,)))
+        assert evaluator.evaluate_predicate(condition, Scope()) is True
 
     def test_rollback_does_not_resurrect_stale_entries(self):
         """Version only moves forward; a state restored by rollback gets
