@@ -1,0 +1,140 @@
+"""Durability cost and recovery time.
+
+The paper treats failures as transparent ("rule processing is part of
+the transaction"); the durability subsystem makes that literal — a
+transaction's fsync'd WAL record is its commit point. Two questions
+matter for the reproduction's evaluation:
+
+1. What does the WAL cost per committed transaction — and how much of
+   that is the fsync itself (measured by toggling ``fsync`` off) versus
+   record building and serialization?
+2. How does recovery time grow with WAL length, and how much does a
+   checkpoint cut it? Expected shape: linear in the replayed suffix,
+   dropping to near-constant right after a checkpoint.
+"""
+
+import tempfile
+import time
+
+import pytest
+
+from repro import ActiveDatabase, recover
+
+from .conftest import FAST_MODE, print_series, record_stats
+
+TXNS = 60 if FAST_MODE else 400
+WAL_LENGTHS = (20, 60) if FAST_MODE else (100, 400, 1600)
+
+
+def build(durability=None):
+    db = ActiveDatabase(durability=durability, record_seen=False)
+    db.execute("create table acct (id integer, bal float)")
+    db.execute("create table audit (aid integer, note varchar)")
+    db.execute(
+        "create rule journal when inserted into acct "
+        "then insert into audit (select id, 'ins' from inserted acct)"
+    )
+    return db
+
+
+def run_txns(db, count, offset=0):
+    for i in range(count):
+        db.execute(f"insert into acct values ({offset + i}, {float(i)})")
+
+
+def timed_txns(db, count):
+    start = time.perf_counter()
+    run_txns(db, count)
+    return (time.perf_counter() - start) / count
+
+
+@pytest.mark.parametrize("mode", ["off", "wal_nofsync", "wal_fsync"])
+def test_commit_latency(benchmark, mode):
+    def run():
+        if mode == "off":
+            run_txns(build(), TXNS)
+            return
+        with tempfile.TemporaryDirectory() as directory:
+            from repro import DurabilityManager
+
+            manager = DurabilityManager(directory, fsync=mode == "wal_fsync")
+            run_txns(build(manager), TXNS)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_shape_commit_latency_by_mode(benchmark):
+    benchmark.pedantic(_shape_commit_latency, rounds=1, iterations=1)
+
+
+def _shape_commit_latency():
+    from repro import DurabilityManager
+
+    times = {}
+    baseline = timed_txns(build(), TXNS)
+    times["off"] = baseline
+    stats_db = None
+    for fsync, label in ((False, "wal_nofsync"), (True, "wal_fsync")):
+        with tempfile.TemporaryDirectory() as directory:
+            db = build(DurabilityManager(directory, fsync=fsync))
+            times[label] = timed_txns(db, TXNS)
+            if fsync:
+                stats_db = db
+                record_stats("wal_fsync", db)
+    rows = [
+        (label, f"{seconds * 1e6:.1f}", f"{seconds / baseline:.2f}x")
+        for label, seconds in times.items()
+    ]
+    print_series(
+        "commit latency vs durability mode "
+        f"({TXNS} single-insert transactions, rule firing)",
+        ("mode", "us/txn", "vs in-memory"),
+        rows,
+        values={"seconds_per_txn": times},
+    )
+    wal = stats_db.stats()["durability"]
+    assert wal["commits_logged"] == TXNS
+    assert wal["wal_bytes"] > 0
+
+
+def test_shape_recovery_time_vs_wal_length(benchmark):
+    benchmark.pedantic(_shape_recovery_time, rounds=1, iterations=1)
+
+
+def _shape_recovery_time():
+    rows = []
+    times = {"replay": {}, "after_checkpoint": {}}
+    for length in WAL_LENGTHS:
+        with tempfile.TemporaryDirectory() as directory:
+            db = build(directory)
+            run_txns(db, length)
+            db.durability.close()
+
+            start = time.perf_counter()
+            recovered = recover(directory)
+            replay = time.perf_counter() - start
+            info = recovered.durability.recovery
+            assert info["commits_replayed"] == length
+
+            # checkpoint, add a short suffix, recover again
+            recovered.checkpoint()
+            run_txns(recovered, 5, offset=length)
+            recovered.durability.close()
+            start = time.perf_counter()
+            again = recover(directory)
+            after = time.perf_counter() - start
+            assert again.durability.recovery["commits_replayed"] == 5
+            record_stats(f"recovered_wal_{length}", again)
+
+        times["replay"][length] = replay
+        times["after_checkpoint"][length] = after
+        rows.append(
+            (length, f"{replay * 1e3:.2f}", f"{after * 1e3:.2f}")
+        )
+    print_series(
+        "recovery time vs WAL length (full replay vs checkpoint + 5-txn "
+        "suffix)",
+        ("committed txns", "replay ms", "post-checkpoint ms"),
+        rows,
+        values=times,
+    )

@@ -64,6 +64,14 @@ from .obs import (
 from .persistence import PersistenceError, dump, load
 from .relational.database import Database
 from .system import ActiveDatabase
+from .durability import (
+    DurabilityError,
+    DurabilityManager,
+    FaultInjector,
+    SimulatedCrash,
+    WalError,
+    recover,
+)
 
 __version__ = "1.0.0"
 
@@ -74,10 +82,13 @@ __all__ = [
     "CreationOrder",
     "Database",
     "DuplicateRuleError",
+    "DurabilityError",
+    "DurabilityManager",
     "Event",
     "EventKind",
     "EventSink",
     "ExecutionError",
+    "FaultInjector",
     "InvalidRuleError",
     "JsonLinesSink",
     "LeastRecentlyConsidered",
@@ -95,6 +106,7 @@ __all__ = [
     "RuleEngine",
     "RuleError",
     "RuleLoopError",
+    "SimulatedCrash",
     "SqlError",
     "TotalOrder",
     "TransInfo",
@@ -102,7 +114,9 @@ __all__ = [
     "TransactionResult",
     "TransitionEffect",
     "UnknownRuleError",
+    "WalError",
     "__version__",
     "dump",
     "load",
+    "recover",
 ]

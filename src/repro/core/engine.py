@@ -77,17 +77,25 @@ class RuleEngine:
             zero-overhead equivalent of a
             :class:`~repro.obs.sinks.NullSink`). More sinks can be added
             with :meth:`attach_sink`.
+        durability: an optional
+            :class:`~repro.durability.manager.DurabilityManager`. When
+            present, each transaction's composed net effect is appended
+            to the write-ahead log (fsync'd) after rule quiescence and
+            *before* the commit is acknowledged — the WAL append is the
+            durable commit point. None (the default) is behavior-
+            identical to an engine without the durability subsystem.
     """
 
     def __init__(self, database=None, catalog=None, strategy=None,
                  max_rule_transitions=10000, track_selects=False,
-                 record_seen=True, sink=None):
+                 record_seen=True, sink=None, durability=None):
         self.database = database if database is not None else Database()
         self.catalog = catalog if catalog is not None else RuleCatalog()
         self.strategy = strategy if strategy is not None else default_strategy()
         self.max_rule_transitions = max_rule_transitions
         self.track_selects = track_selects
         self.record_seen = record_seen
+        self.durability = durability
 
         self._bus = EventBus()
         self._metrics = MetricsCollector()
@@ -102,6 +110,7 @@ class RuleEngine:
         self._clock = 0
         self._transition_index = 0
         self._result = None        # TransactionResult of the open txn
+        self._txn_effect = None    # composed net effect of the open txn
         self._base_resolver = BaseTableResolver(self.database)
 
     # ------------------------------------------------------------------
@@ -126,7 +135,17 @@ class RuleEngine:
         return self._metrics.snapshot(
             strategy=getattr(self.strategy, "name", None),
             planner=planner.snapshot() if planner is not None else None,
+            durability=(
+                self.durability.stats_snapshot()
+                if self.durability is not None
+                else None
+            ),
         )
+
+    def _emit_recovery(self, info):
+        """Emit the ``recovery`` event (called by
+        :func:`repro.durability.recovery.recover` on the rebuilt engine)."""
+        self._emit(EventKind.RECOVERY, **info)
 
     def reset_stats(self):
         """Zero all counters (a fresh measurement window)."""
@@ -217,6 +236,7 @@ class RuleEngine:
         self._info = {rule.name: TransInfo.empty() for rule in self.catalog}
         self._transition_index = 0
         self._result = TransactionResult()
+        self._txn_effect = TransitionEffect.empty()
         self._txn_id += 1
         self._recorder = self._bus.attach(TraceRecorder(self._result))
         self._emit(EventKind.TXN_BEGIN)
@@ -235,6 +255,27 @@ class RuleEngine:
         except Exception:
             self._abort(reason="error")
             raise
+        if self.durability is not None:
+            # The durable commit point: the transaction's composed net
+            # effect reaches the fsync'd WAL after quiescence and before
+            # the in-memory commit is acknowledged. A failure here (IO
+            # error or injected crash) means the transaction did not
+            # commit — unless the record was already fully written, in
+            # which case recovery will (correctly) replay it.
+            try:
+                info = self.durability.log_commit(
+                    self._txn_id, self._txn_effect, self.database
+                )
+            except Exception:
+                self._abort(reason="wal_error")
+                raise
+            self._emit(
+                EventKind.WAL_APPEND,
+                lsn=info["lsn"],
+                bytes=info["bytes"],
+                records=1,
+                duration=info["duration"],
+            )
         self.database.transactions.commit()
         self._emit(
             EventKind.TXN_COMMIT,
@@ -299,14 +340,18 @@ class RuleEngine:
             self.database.transactions.rollback_to_savepoint(savepoint)
             raise
         self._transition_index += 1
+        block_effect = TransitionEffect.from_op_effects(effects)
         self._emit(
             EventKind.BLOCK_EXECUTED,
             transition=self._transition_index,
-            effect=TransitionEffect.from_op_effects(effects),
+            effect=block_effect,
             operations=len(block.operations),
             rows=sum(effect.rows_affected for effect in effects),
         )
         self._fold_transition_into_rules(effects)
+        self._txn_effect = self._txn_effect.compose(block_effect)
+        if self.durability is not None:
+            self.durability.crash_point("mid_block")
         return effects
 
     def run_block(self, block):
@@ -346,6 +391,7 @@ class RuleEngine:
             self._recorder = None
         self._info = {}
         self._result = None
+        self._txn_effect = None
 
     # ------------------------------------------------------------------
     # queries (read-only, outside rule processing)
@@ -486,6 +532,9 @@ class RuleEngine:
                 rule=fired.name,
                 cause="execution",
             )
+            self._txn_effect = self._txn_effect.compose(new_info.to_effect())
+            if self.durability is not None:
+                self.durability.crash_point("mid_quiesce")
 
     def _snapshot_seen(self, rule):
         """Capture the contents of the rule's transition tables at firing

@@ -1,0 +1,45 @@
+"""Durability: write-ahead logging, checkpointing, crash recovery.
+
+The paper assumes durability away ("failures are transparent", §2); this
+package supplies it, together with the fault-injection harness that
+makes the guarantee testable:
+
+* :mod:`~repro.durability.wal` — append-only, checksummed JSONL log of
+  committed transactions' net effects; the fsync'd append is the commit
+  point;
+* :mod:`~repro.durability.checkpoint` — atomic full snapshots with a WAL
+  high-water mark;
+* :mod:`~repro.durability.recovery` — :func:`recover`: load the last
+  checkpoint, truncate torn WAL tails, replay the suffix, rebuild
+  indexes, verify row counts;
+* :mod:`~repro.durability.faults` — :class:`FaultInjector`, seeded
+  crash schedules at named points of the commit/checkpoint path;
+* :mod:`~repro.durability.manager` — :class:`DurabilityManager`, the
+  object an :class:`~repro.ActiveDatabase` is constructed with::
+
+      db = ActiveDatabase(durability="state_dir")
+      db.execute("create table t (x integer)")
+      db.execute("insert into t values (1)")     # WAL-logged, fsync'd
+      db.checkpoint()
+      # ... crash ...
+      db = recover("state_dir")                  # same committed state
+"""
+
+from .checkpoint import CheckpointError
+from .faults import CRASH_POINTS, FaultInjector, SimulatedCrash
+from .manager import DurabilityError, DurabilityManager
+from .recovery import recover
+from .wal import WalError, WalWriter, scan_wal
+
+__all__ = [
+    "CRASH_POINTS",
+    "CheckpointError",
+    "DurabilityError",
+    "DurabilityManager",
+    "FaultInjector",
+    "SimulatedCrash",
+    "WalError",
+    "WalWriter",
+    "recover",
+    "scan_wal",
+]

@@ -1,0 +1,264 @@
+"""The write-ahead log: append-only JSONL of committed transactions.
+
+Each line is ``<crc32-hex> <json-body>\\n`` — the checksum covers the
+body bytes, so a torn tail (partial write of the final record) is
+detected by either a JSON parse failure or a checksum mismatch, and
+:func:`scan_wal` reports how many bytes of the file are valid so
+recovery can truncate the rest.
+
+Two record kinds exist:
+
+* ``commit`` — the *net effect* of one committed transaction, in the
+  paper's ``[I, D, U]`` shape (Section 2.2) but carrying redo values:
+  inserted rows with their handles, deleted handles, updated handles
+  with the new column values. Because the record is the composed net
+  effect of the whole transaction (external block plus every rule-
+  generated transition, Definition 2.1), replaying it reproduces the
+  committed state without re-running any rules.
+* ``ddl`` — a schema/rule-catalog change (tables, indexes, rules,
+  priorities), which executes outside transactions and is logged so the
+  catalog survives between checkpoints.
+
+The append of a ``commit`` record (plus fsync) *is* the commit point:
+a transaction whose record is fully durable is committed; one whose
+record is missing or torn never happened.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+
+from ..errors import ReproError
+
+WAL_FILENAME = "wal.jsonl"
+
+
+class WalError(ReproError):
+    """Raised for WAL misuse or an unrecoverably corrupt WAL."""
+
+
+def encode_record(body):
+    """Render a record body as one checksummed WAL line (bytes)."""
+    payload = json.dumps(body, separators=(",", ":"), sort_keys=True)
+    data = payload.encode("utf-8")
+    return b"%08x %s\n" % (zlib.crc32(data), data)
+
+
+def decode_line(line):
+    """Parse one WAL line back into its body dict.
+
+    Returns None when the line is torn or corrupt (bad shape, checksum
+    mismatch, or invalid JSON).
+    """
+    if not line.endswith(b"\n"):
+        return None
+    head, sep, data = line[:-1].partition(b" ")
+    if not sep or len(head) != 8:
+        return None
+    try:
+        expected = int(head, 16)
+    except ValueError:
+        return None
+    if zlib.crc32(data) != expected:
+        return None
+    try:
+        body = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    return body if isinstance(body, dict) else None
+
+
+@dataclass
+class WalScan:
+    """The result of :func:`scan_wal`.
+
+    Attributes:
+        records: the valid record bodies, in log order.
+        valid_bytes: length of the valid prefix of the file; bytes past
+            this offset belong to a torn or corrupt tail.
+        torn_bytes: how many trailing bytes were invalid (0 for a clean
+            log).
+    """
+
+    records: list
+    valid_bytes: int
+    torn_bytes: int
+
+    @property
+    def last_lsn(self):
+        return self.records[-1]["lsn"] if self.records else 0
+
+
+def scan_wal(path):
+    """Read a WAL file, stopping at the first torn/corrupt record.
+
+    Everything from the first invalid record onward is treated as a torn
+    tail (an fsync'd log can only be damaged at the end; anything after
+    a damaged record is unreachable garbage).
+    """
+    if not os.path.exists(path):
+        return WalScan([], 0, 0)
+    records = []
+    valid = 0
+    total = os.path.getsize(path)
+    with open(path, "rb") as handle:
+        for line in handle:
+            body = decode_line(line)
+            if body is None:
+                break
+            records.append(body)
+            valid += len(line)
+    return WalScan(records, valid, total - valid)
+
+
+class WalWriter:
+    """Appends checksummed records to the WAL, fsync'ing each one.
+
+    Args:
+        path: the WAL file path (created on first append).
+        fsync: issue ``os.fsync`` after every append (the durability
+            guarantee; disable only for benchmarking the syscall cost).
+        injector: optional :class:`~repro.durability.faults.FaultInjector`
+            whose ``pre_wal_append`` / ``torn_wal_append`` /
+            ``post_wal_append`` points instrument the append path.
+    """
+
+    def __init__(self, path, fsync=True, injector=None, next_lsn=1):
+        self.path = path
+        self.fsync = fsync
+        self.injector = injector
+        self.next_lsn = next_lsn
+        self._file = None
+        #: running counters for stats()["durability"]
+        self.records_written = 0
+        self.bytes_written = 0
+
+    def _open(self):
+        if self._file is None or self._file.closed:
+            self._file = open(self.path, "ab")
+        return self._file
+
+    def append(self, body):
+        """Assign the next LSN, append the record durably, return it.
+
+        The record only counts as written once the bytes are flushed
+        (and fsync'd when enabled) — a crash before that leaves the log
+        exactly as it was, or with a detectable torn tail.
+        """
+        if self.injector is not None:
+            self.injector.fire("pre_wal_append")
+        body = dict(body)
+        body["lsn"] = self.next_lsn
+        line = encode_record(body)
+        handle = self._open()
+        if self.injector is not None:
+            keep = self.injector.torn_write(len(line))
+            if keep is not None:
+                handle.write(line[:keep])
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+                self.injector.torn_crash()
+        handle.write(line)
+        handle.flush()
+        if self.fsync:
+            os.fsync(handle.fileno())
+        self.next_lsn += 1
+        self.records_written += 1
+        self.bytes_written += len(line)
+        if self.injector is not None:
+            self.injector.fire("post_wal_append")
+        return body
+
+    def close(self):
+        if self._file is not None and not self._file.closed:
+            self._file.close()
+        self._file = None
+
+    def truncate_to(self, valid_bytes):
+        """Cut a torn tail off the file (used by recovery)."""
+        self.close()
+        if os.path.exists(self.path):
+            with open(self.path, "r+b") as handle:
+                handle.truncate(valid_bytes)
+                handle.flush()
+                os.fsync(handle.fileno())
+
+
+# ---------------------------------------------------------------------------
+# commit-record construction and replay
+
+
+def build_commit_record(txn_id, effect, database):
+    """Render a transaction's composed net effect as a commit record.
+
+    ``effect`` is the whole-transaction
+    :class:`~repro.core.effects.TransitionEffect` (external block and all
+    rule-generated transitions composed per Definition 2.1); redo values
+    are read from the database at the commit point, which by definition
+    holds every net-inserted row live and every net-updated column at
+    its final value. The §5.1 ``S`` component is read-only and is not
+    logged.
+
+    The record also carries the handle high-water mark (handles are
+    non-reusable across crashes too) and per-table row counts for the
+    touched tables, which recovery verifies after replay.
+    """
+    inserts = []
+    for handle in sorted(effect.inserted):
+        table = database.table_of_handle(handle)
+        inserts.append([table, handle, list(database.row(table, handle))])
+    deletes = []
+    for handle in sorted(effect.deleted):
+        deletes.append([database.table_of_handle(handle), handle])
+    updates = {}
+    for handle, column in sorted(effect.updated):
+        table = database.table_of_handle(handle)
+        updates.setdefault(handle, [table, handle, {}])
+        row = database.row(table, handle)
+        position = database.schema(table).column_position(column)
+        updates[handle][2][column] = row[position]
+    touched = {entry[0] for entry in inserts}
+    touched.update(entry[0] for entry in deletes)
+    touched.update(entry[0] for entry in updates.values())
+    return {
+        "kind": "commit",
+        "txn": txn_id,
+        "insert": inserts,
+        "delete": deletes,
+        "update": [updates[handle] for handle in sorted(updates)],
+        "handle_hwm": database.handles.issued_count,
+        "counts": {table: database.row_count(table) for table in sorted(touched)},
+    }
+
+
+def replay_commit_record(record, database):
+    """Apply one commit record's net effect to a recovering database.
+
+    Deletes first, then inserts (ascending handle order — allocation
+    order), then updates: inserted handles are always fresher than
+    anything live, so this reproduces the original storage order
+    byte-for-byte.
+
+    Raises:
+        WalError: when the post-replay row counts disagree with the
+            counts recorded at commit time.
+    """
+    for table, handle in record["delete"]:
+        database.delete_row(table, handle)
+    for table, handle, values in record["insert"]:
+        database.restore_row(table, handle, values)
+    for table, handle, values in record["update"]:
+        database.update_row(table, handle, values)
+    database.handles.advance_past(record["handle_hwm"])
+    for table, expected in record["counts"].items():
+        actual = database.row_count(table)
+        if actual != expected:
+            raise WalError(
+                f"recovery verification failed: table {table!r} has "
+                f"{actual} rows after replaying txn {record['txn']} "
+                f"(lsn {record['lsn']}), commit recorded {expected}"
+            )

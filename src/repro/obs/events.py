@@ -25,6 +25,12 @@ event kind             Figure 1 / §4 step
                        rollback, or error)
 =====================  ====================================================
 
+Three further kinds belong to the durability subsystem (not part of the
+paper's model — see :mod:`repro.durability`): ``wal_append`` (a commit
+record reached the write-ahead log; the durable commit point),
+``checkpoint`` (a full snapshot was installed), and ``recovery``
+(a database was rebuilt from checkpoint + WAL after a crash).
+
 Events carry live objects (e.g. :class:`~repro.core.effects
 .TransitionEffect` instances) in ``data`` so in-process consumers — the
 trace recorder, the metrics collector — pay no serialization cost;
@@ -49,6 +55,9 @@ class EventKind:
     ROLLBACK_BY_RULE = "rollback_by_rule"
     LOOP_BUDGET_TRIP = "loop_budget_trip"
     QUIESCENT = "quiescent"
+    WAL_APPEND = "wal_append"
+    CHECKPOINT = "checkpoint"
+    RECOVERY = "recovery"
 
     ALL = (
         TXN_BEGIN,
@@ -61,6 +70,9 @@ class EventKind:
         ROLLBACK_BY_RULE,
         LOOP_BUDGET_TRIP,
         QUIESCENT,
+        WAL_APPEND,
+        CHECKPOINT,
+        RECOVERY,
     )
 
 

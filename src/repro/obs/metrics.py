@@ -196,14 +196,18 @@ class MetricsCollector(EventSink):
 
     # ------------------------------------------------------------------
 
-    def snapshot(self, strategy=None, planner=None):
+    def snapshot(self, strategy=None, planner=None, durability=None):
         """The full stats dict (``RuleEngine.stats()``'s return value).
 
         ``planner`` is the database-wide
         :meth:`~repro.relational.plan.cache.PlannerStats.snapshot` dict
         (plan-cache hit rate, rows scanned/visited/returned); it covers
         *all* query evaluation on the database, while the per-rule
-        counters cover only condition/action evaluations.
+        counters cover only condition/action evaluations. ``durability``
+        is the attached manager's
+        :meth:`~repro.durability.manager.DurabilityManager.stats_snapshot`
+        (WAL bytes/records/latency, checkpoints, recovery), present only
+        when durability is enabled.
         """
         engine = {
             "transactions": self.transactions,
@@ -231,4 +235,6 @@ class MetricsCollector(EventSink):
         }
         if planner is not None:
             result["planner"] = planner
+        if durability is not None:
+            result["durability"] = durability
         return result

@@ -85,7 +85,11 @@ def to_document(db, skip_external=False):
                 "serialized (pass skip_external=True to drop such rules)"
             )
         rules.append(
-            {"sql": rule.to_sql(), "reset_policy": rule.reset_policy}
+            {
+                "sql": rule.to_sql(),
+                "reset_policy": rule.reset_policy,
+                "active": rule.active,
+            }
         )
 
     priorities = sorted(db.catalog.pairings())
@@ -107,18 +111,13 @@ def from_document(document, **db_kwargs):
     *before* rules are defined, so loading never fires rules.
 
     Raises:
-        PersistenceError: on format mismatches.
+        PersistenceError: on format mismatches or structural problems
+            (duplicate table names, rows that do not match their table's
+            column count, ...). Validation happens before any data is
+            loaded, so a rejected document never yields a half-built
+            database.
     """
-    if not isinstance(document, dict):
-        raise PersistenceError("dump document must be a JSON object")
-    if document.get("format") != FORMAT_NAME:
-        raise PersistenceError(
-            f"not a {FORMAT_NAME} document: {document.get('format')!r}"
-        )
-    if document.get("version") != FORMAT_VERSION:
-        raise PersistenceError(
-            f"unsupported dump version {document.get('version')!r}"
-        )
+    validate_document(document)
 
     db = ActiveDatabase(**db_kwargs)
     for table in document.get("tables", ()):
@@ -136,9 +135,47 @@ def from_document(document, **db_kwargs):
         defined = db.engine.define_rule(
             rule["sql"], reset_policy=rule.get("reset_policy", "execution")
         )
+        defined.active = rule.get("active", True)
     for higher, lower in document.get("priorities", ()):
         db.engine.add_priority(higher, lower)
     return db
+
+
+def validate_document(document):
+    """Check a dump document's format, version and structure.
+
+    Raises:
+        PersistenceError: with a message naming the first problem found.
+    """
+    if not isinstance(document, dict):
+        raise PersistenceError("dump document must be a JSON object")
+    if document.get("format") != FORMAT_NAME:
+        raise PersistenceError(
+            f"not a {FORMAT_NAME} document: {document.get('format')!r}"
+        )
+    version = document.get("version")
+    if version != FORMAT_VERSION:
+        if isinstance(version, int) and version > FORMAT_VERSION:
+            raise PersistenceError(
+                f"dump version {version} was written by a newer repro; "
+                f"this build reads version {FORMAT_VERSION}"
+            )
+        raise PersistenceError(f"unsupported dump version {version!r}")
+    seen = set()
+    for table in document.get("tables", ()):
+        name = table.get("name")
+        if name in seen:
+            raise PersistenceError(
+                f"duplicate table {name!r} in dump document"
+            )
+        seen.add(name)
+        columns = table.get("columns", ())
+        for position, row in enumerate(table.get("rows", ())):
+            if len(row) != len(columns):
+                raise PersistenceError(
+                    f"table {name!r}: row {position} has {len(row)} "
+                    f"values for {len(columns)} columns"
+                )
 
 
 def dump(db, path, skip_external=False):

@@ -156,6 +156,22 @@ class Database:
         self.version += 1
         return old_row, new_row
 
+    def restore_row(self, table_name, handle, values):
+        """Re-insert a row under its original handle (crash recovery).
+
+        Identical to :meth:`insert_row` except the handle comes from
+        durable state instead of the allocator — tuple handles are
+        non-reusable values identifying tuples, so recovery must
+        preserve them for transition effects to stay meaningful.
+        """
+        table = self.table(table_name)
+        row = table.schema.coerce_row(values)
+        self.handles.restore(handle, table_name)
+        table.insert(handle, row)
+        self.transactions.log_insert(table_name, handle)
+        self.version += 1
+        return handle
+
     # ------------------------------------------------------------------
     # convenience readers
 

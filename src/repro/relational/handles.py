@@ -35,6 +35,24 @@ class HandleAllocator:
         self._tables[handle] = table_name
         return handle
 
+    def restore(self, handle, table_name):
+        """Re-register a handle from durable state (crash recovery).
+
+        The allocator resumes past it, so handles stay non-reusable
+        across system lifetimes, not just within one.
+        """
+        self._tables[handle] = table_name
+        if handle >= self._next:
+            self._next = handle + 1
+
+    def advance_past(self, handle):
+        """Ensure future allocations exceed ``handle`` (recovery uses
+        this with the WAL's recorded high-water mark, which may sit above
+        any live tuple when a committed transaction deleted its newest
+        inserts)."""
+        if handle >= self._next:
+            self._next = handle + 1
+
     def table_of(self, handle):
         """The table a handle belongs(/belonged) to.
 

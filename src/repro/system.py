@@ -24,9 +24,12 @@ plus explicit transactions for the §5.3 triggering-point extension::
 
 from __future__ import annotations
 
+import os
+
 from .core.engine import RuleEngine
 from .core.rules import RuleCatalog
 from .errors import ExecutionError, TransactionError
+from .obs.events import EventKind
 from .relational.database import Database
 from .sql import ast, parse_statement
 from .sql.parser import parse_select
@@ -43,10 +46,22 @@ class ActiveDatabase:
         record_seen: record transition-table snapshots in traces.
         sink: optional :class:`~repro.obs.sinks.EventSink` receiving the
             engine's structured event stream (default: none).
+        durability: None (default — a purely in-memory database, exactly
+            as before the durability subsystem existed), a directory
+            path, or a :class:`~repro.durability.DurabilityManager`.
+            With durability on, every committed transaction's net effect
+            is WAL-logged (fsync'd) before the commit returns, DDL is
+            logged too, and :meth:`checkpoint` /
+            :func:`repro.durability.recover` complete the story.
     """
 
     def __init__(self, strategy=None, max_rule_transitions=10000,
-                 track_selects=False, record_seen=True, sink=None):
+                 track_selects=False, record_seen=True, sink=None,
+                 durability=None):
+        if isinstance(durability, (str, os.PathLike)):
+            from .durability.manager import DurabilityManager
+
+            durability = DurabilityManager(durability)
         self.database = Database()
         self.catalog = RuleCatalog()
         self.engine = RuleEngine(
@@ -57,6 +72,7 @@ class ActiveDatabase:
             track_selects=track_selects,
             record_seen=record_seen,
             sink=sink,
+            durability=durability,
         )
 
     # ------------------------------------------------------------------
@@ -82,28 +98,54 @@ class ActiveDatabase:
                 statement.name,
                 [(column.name, column.type_name) for column in statement.columns],
             )
+            self._log_ddl(
+                "create_table",
+                name=statement.name,
+                columns=[
+                    [column.name, column.type_name]
+                    for column in statement.columns
+                ],
+            )
             return None
         if isinstance(statement, ast.DropTable):
             self._require_no_transaction("drop table")
             self.database.drop_table(statement.name)
+            self._log_ddl("drop_table", name=statement.name)
             return None
         if isinstance(statement, ast.CreateIndex):
             self._require_no_transaction("create index")
             self.database.create_index(
                 statement.name, statement.table, statement.column
             )
+            self._log_ddl(
+                "create_index",
+                name=statement.name,
+                table=statement.table,
+                column=statement.column,
+            )
             return None
         if isinstance(statement, ast.DropIndex):
             self._require_no_transaction("drop index")
             self.database.drop_index(statement.name)
+            self._log_ddl("drop_index", name=statement.name)
             return None
         if isinstance(statement, ast.CreateRule):
-            return self.engine.define_rule(statement)
+            rule = self.engine.define_rule(statement)
+            self._log_ddl(
+                "create_rule",
+                sql=rule.to_sql(),
+                reset_policy=rule.reset_policy,
+            )
+            return rule
         if isinstance(statement, ast.DropRule):
             self.engine.drop_rule(statement.name)
+            self._log_ddl("drop_rule", name=statement.name)
             return None
         if isinstance(statement, ast.CreateRulePriority):
             self.engine.add_priority(statement.higher, statement.lower)
+            self._log_ddl(
+                "priority", higher=statement.higher, lower=statement.lower
+            )
             return None
         if isinstance(statement, ast.AssertRules):
             self.engine.assert_rules()
@@ -113,7 +155,9 @@ class ActiveDatabase:
         if isinstance(statement, ast.OperationBlock):
             if self.engine.in_transaction:
                 return self.engine.execute_block(statement)
-            return self.engine.run_block(statement)
+            result = self.engine.run_block(statement)
+            self._maybe_checkpoint()
+            return result
         raise ExecutionError(
             f"unsupported statement {type(statement).__name__}"
         )
@@ -164,7 +208,9 @@ class ActiveDatabase:
 
     def commit(self):
         """Process rules and commit the open transaction."""
-        return self.engine.commit()
+        result = self.engine.commit()
+        self._maybe_checkpoint()
+        return result
 
     def rollback(self):
         """Abort the open transaction."""
@@ -173,6 +219,42 @@ class ActiveDatabase:
     def assert_rules(self):
         """Process rules now (a §5.3 user-defined triggering point)."""
         self.engine.assert_rules()
+
+    # ------------------------------------------------------------------
+    # durability
+
+    @property
+    def durability(self):
+        """The attached durability manager, or None (in-memory only)."""
+        return self.engine.durability
+
+    def checkpoint(self):
+        """Write a durable checkpoint now (snapshot + WAL truncation).
+
+        Returns the checkpoint info dict (``wal_lsn``, ``bytes``,
+        ``duration``). Requires durability and no open transaction.
+        """
+        from .durability.manager import DurabilityError
+
+        manager = self.engine.durability
+        if manager is None:
+            raise DurabilityError(
+                "checkpoint requires a durability-enabled database "
+                "(pass durability=<directory> to ActiveDatabase)"
+            )
+        info = manager.checkpoint(self)
+        self.engine._emit(EventKind.CHECKPOINT, **info)
+        return info
+
+    def _maybe_checkpoint(self):
+        manager = self.engine.durability
+        if manager is not None and manager.should_checkpoint():
+            self.checkpoint()
+
+    def _log_ddl(self, op, **fields):
+        manager = self.engine.durability
+        if manager is not None:
+            manager.log_ddl(op, **fields)
 
     # ------------------------------------------------------------------
     # observability
@@ -199,7 +281,21 @@ class ActiveDatabase:
 
     def define_external_rule(self, name, when, procedure, condition=None,
                              description=None):
-        """Define a rule with a Python-procedure action (§5.2)."""
+        """Define a rule with a Python-procedure action (§5.2).
+
+        Not available on a durability-enabled database: a Python
+        procedure cannot be written to the WAL, so it could not survive
+        recovery (the same restriction :mod:`repro.persistence` applies
+        to dumps).
+        """
+        if self.engine.durability is not None:
+            from .durability.manager import DurabilityError
+
+            raise DurabilityError(
+                f"rule {name!r} has a Python action, which cannot be made "
+                "durable; use an in-memory database (durability=None) for "
+                "external rules"
+            )
         return self.engine.define_external_rule(
             name, when, procedure, condition, description
         )
@@ -211,10 +307,12 @@ class ActiveDatabase:
         """Pause a rule: it keeps its definition and keeps accumulating
         transition information, but is never considered until reactivated."""
         self.catalog.rule(name).active = False
+        self._log_ddl("set_rule_active", rule=name, active=False)
 
     def activate_rule(self, name):
         """Resume a previously deactivated rule."""
         self.catalog.rule(name).active = True
+        self._log_ddl("set_rule_active", rule=name, active=True)
 
     def set_rule_reset_policy(self, name, policy):
         """Select a rule's footnote-8 re-triggering baseline:
@@ -231,6 +329,7 @@ class ActiveDatabase:
                 f"got {policy!r}"
             )
         self.catalog.rule(name).reset_policy = policy
+        self._log_ddl("set_reset_policy", rule=name, policy=policy)
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,285 @@
+"""Recovery scenarios: checkpoint restore, WAL replay, torn tails,
+handle identity, and post-recovery behaviour."""
+
+
+import pytest
+
+from repro import ActiveDatabase, RingBufferSink, recover
+from repro.durability.wal import WalError, encode_record, scan_wal
+
+
+def snapshot(db):
+    """Full comparable state: rows with handles, per table."""
+    return {
+        name: dict(db.database.table(name).items())
+        for name in db.database.table_names()
+    }
+
+
+def make_db(directory, **kwargs):
+    db = ActiveDatabase(durability=directory, **kwargs)
+    db.execute("create table emp (name varchar, salary float, dno integer)")
+    db.execute("create table dept (dno integer)")
+    db.execute(
+        "create rule cascade when deleted from dept "
+        "then delete from emp where dno in (select dno from deleted dept)"
+    )
+    db.execute("insert into dept values (1), (2)")
+    db.execute("insert into emp values ('jane', 50.0, 1), ('bob', 40.0, 2)")
+    return db
+
+
+class TestBasicRecovery:
+    def test_empty_directory_recovers_to_empty_database(self, tmp_path):
+        db = recover(str(tmp_path / "d"))
+        assert not db.database.table_names()
+        assert db.durability.recovery["checkpoint"] is False
+        assert db.durability.recovery["records_scanned"] == 0
+
+    def test_wal_only_replay_reproduces_rows_and_handles(self, tmp_path):
+        directory = str(tmp_path / "d")
+        original = make_db(directory)
+        original.execute("delete from dept where dno = 2")  # fires cascade
+        expected = snapshot(original)
+        original.durability.close()
+
+        recovered = recover(directory)
+        assert snapshot(recovered) == expected
+        assert recovered.rows("select name from emp") == [("jane",)]
+        info = recovered.durability.recovery
+        assert info["checkpoint"] is False
+        assert info["commits_replayed"] == 3
+        assert info["ddl_replayed"] == 3
+
+    def test_checkpoint_plus_wal_suffix(self, tmp_path):
+        directory = str(tmp_path / "d")
+        original = make_db(directory)
+        original.checkpoint()
+        original.execute("insert into emp values ('amy', 60.0, 1)")
+        expected = snapshot(original)
+        original.durability.close()
+
+        recovered = recover(directory)
+        assert snapshot(recovered) == expected
+        info = recovered.durability.recovery
+        assert info["checkpoint"] is True
+        assert info["commits_replayed"] == 1
+        assert info["ddl_replayed"] == 0
+
+    def test_rules_never_refire_during_replay(self, tmp_path):
+        directory = str(tmp_path / "d")
+        original = make_db(directory)
+        original.execute("delete from dept where dno = 1")
+        expected = snapshot(original)
+        original.durability.close()
+
+        sink = RingBufferSink()
+        recovered = recover(directory, sink=sink)
+        assert snapshot(recovered) == expected
+        kinds = {event.kind for event in sink.events}
+        assert kinds == {"recovery"}
+
+    def test_ddl_replay_covers_every_op(self, tmp_path):
+        directory = str(tmp_path / "d")
+        original = make_db(directory)
+        original.execute("create index emp_dno on emp (dno)")
+        original.execute("create index dept_dno on dept (dno)")
+        original.execute("drop index dept_dno")
+        original.execute(
+            "create rule doomed when inserted into dept then rollback"
+        )
+        original.execute("drop rule doomed")
+        original.execute(
+            "create rule cascade2 when deleted from dept "
+            "then delete from emp where false"
+        )
+        original.execute("create rule priority cascade before cascade2")
+        original.deactivate_rule("cascade")
+        original.set_rule_reset_policy("cascade", "triggering")
+        original.durability.close()
+
+        recovered = recover(directory)
+        assert recovered.database.indexes.names() == ["emp_dno"]
+        assert list(recovered.catalog.rule_names()) == ["cascade", "cascade2"]
+        rule = recovered.catalog.rule("cascade")
+        assert rule.active is False
+        assert rule.reset_policy == "triggering"
+        assert ("cascade", "cascade2") in recovered.catalog.pairings()
+
+    def test_checkpoint_preserves_active_and_reset_policy(self, tmp_path):
+        directory = str(tmp_path / "d")
+        original = make_db(directory)
+        original.deactivate_rule("cascade")
+        original.set_rule_reset_policy("cascade", "triggering")
+        original.checkpoint()
+        original.durability.close()
+
+        recovered = recover(directory)
+        rule = recovered.catalog.rule("cascade")
+        assert rule.active is False
+        assert rule.reset_policy == "triggering"
+
+
+class TestHandlesAcrossRecovery:
+    def test_handles_survive_and_are_not_reused(self, tmp_path):
+        directory = str(tmp_path / "d")
+        original = make_db(directory)
+        original.execute("delete from emp where name = 'jane'")
+        live_handles = set(snapshot(original)["emp"])
+        issued = original.database.handles.issued_count
+        original.durability.close()
+
+        recovered = recover(directory)
+        assert set(snapshot(recovered)["emp"]) == live_handles
+        recovered.execute("insert into emp values ('new', 1.0, 1)")
+        (new_handle,) = (
+            set(snapshot(recovered)["emp"]) - live_handles
+        )
+        # fresh handles start past everything ever issued, including
+        # handles whose rows were deleted before the crash
+        assert new_handle > issued
+
+    def test_transition_state_empty_after_recovery(self, tmp_path):
+        directory = str(tmp_path / "d")
+        original = make_db(directory)
+        original.durability.close()
+
+        recovered = recover(directory)
+        assert not recovered.engine.in_transaction
+        for rule in recovered.catalog:
+            info = recovered.engine._info.get(rule.name)
+            assert info is None or info.to_effect().is_empty()
+
+
+class TestTornTailTruncation:
+    def test_torn_tail_is_cut_and_prefix_recovered(self, tmp_path):
+        directory = str(tmp_path / "d")
+        original = make_db(directory)
+        expected = snapshot(original)
+        original.durability.close()
+        wal_path = original.durability.wal_path
+        with open(wal_path, "ab") as handle:
+            handle.write(encode_record({"kind": "commit", "txn": 99})[:-9])
+
+        recovered = recover(directory)
+        assert snapshot(recovered) == expected
+        assert recovered.durability.recovery["torn_bytes_truncated"] > 0
+        # the file itself was physically truncated
+        assert scan_wal(wal_path).torn_bytes == 0
+
+    def test_recovered_db_appends_after_the_tear(self, tmp_path):
+        directory = str(tmp_path / "d")
+        original = make_db(directory)
+        original.durability.close()
+        with open(original.durability.wal_path, "ab") as handle:
+            handle.write(b"torn")
+
+        recovered = recover(directory)
+        recovered.execute("insert into dept values (7)")
+        recovered.durability.close()
+
+        again = recover(directory)
+        assert (7,) in again.rows("select dno from dept")
+
+
+class TestReplayVerification:
+    def test_row_count_mismatch_raises_wal_error(self, tmp_path):
+        directory = str(tmp_path / "d")
+        original = make_db(directory)
+        original.durability.close()
+        wal_path = original.durability.wal_path
+        records = scan_wal(wal_path).records
+        # corrupt the last commit record's verification counts but keep
+        # the checksum valid (simulates a replay/logging logic bug, the
+        # thing the counts exist to catch)
+        last = records[-1]
+        assert last["kind"] == "commit"
+        last["counts"] = {table: n + 1 for table, n in last["counts"].items()}
+        with open(wal_path, "wb") as handle:
+            for record in records:
+                handle.write(encode_record(record))
+
+        with pytest.raises(WalError, match="recovery verification failed"):
+            recover(directory)
+
+    def test_unknown_record_kind_rejected(self, tmp_path):
+        directory = str(tmp_path / "d")
+        original = make_db(directory)
+        original.durability.close()
+        with open(original.durability.wal_path, "ab") as handle:
+            handle.write(encode_record({"kind": "mystery", "lsn": 999}))
+        from repro.durability.checkpoint import CheckpointError
+
+        with pytest.raises(CheckpointError, match="mystery"):
+            recover(directory)
+
+
+class TestRecoveredLifecycle:
+    def test_txn_ids_continue_not_restart(self, tmp_path):
+        directory = str(tmp_path / "d")
+        original = make_db(directory)
+        last = original.engine._txn_id
+        original.durability.close()
+
+        recovered = recover(directory)
+        assert recovered.engine._txn_id == last
+        recovered.execute("insert into dept values (3)")
+        assert recovered.engine._txn_id == last + 1
+
+    def test_recovery_event_and_stats(self, tmp_path):
+        directory = str(tmp_path / "d")
+        original = make_db(directory)
+        original.checkpoint()
+        original.execute("insert into dept values (3)")
+        original.durability.close()
+
+        sink = RingBufferSink()
+        recovered = recover(directory, sink=sink)
+        (event,) = sink.of_kind("recovery")
+        assert event.data["checkpoint"] is True
+        assert event.data["commits_replayed"] == 1
+        stats = recovered.stats()["durability"]
+        assert stats["recovery"]["commits_replayed"] == 1
+        assert stats["recovery"]["duration"] > 0
+
+    def test_rules_fire_normally_after_recovery(self, tmp_path):
+        directory = str(tmp_path / "d")
+        original = make_db(directory)
+        original.durability.close()
+
+        recovered = recover(directory)
+        recovered.execute("delete from dept where dno = 1")
+        assert recovered.rows("select name from emp") == [("bob",)]
+
+    def test_second_recovery_round_trip(self, tmp_path):
+        directory = str(tmp_path / "d")
+        original = make_db(directory)
+        original.durability.close()
+
+        first = recover(directory)
+        first.execute("insert into emp values ('amy', 60.0, 2)")
+        first.checkpoint()
+        first.execute("delete from dept where dno = 1")
+        expected = snapshot(first)
+        first.durability.close()
+
+        second = recover(directory)
+        assert snapshot(second) == expected
+
+    def test_indexes_are_rebuilt_and_consistent(self, tmp_path):
+        directory = str(tmp_path / "d")
+        original = make_db(directory)
+        original.execute("create index emp_dno on emp (dno)")
+        original.execute("insert into emp values ('amy', 60.0, 2)")
+        original.durability.close()
+
+        recovered = recover(directory)
+        index = recovered.database.indexes.get("emp_dno")
+        table = recovered.database.table("emp")
+        rebuilt = {}
+        for handle, row in table.items():
+            rebuilt.setdefault(row[2], set()).add(handle)
+        assert {
+            key: set(handles) for key, handles in index._entries.items()
+            if handles
+        } == rebuilt

@@ -1,0 +1,264 @@
+"""Unit tests for the WAL format, checkpoint atomicity, and the
+durability manager's bookkeeping."""
+
+import json
+import os
+
+import pytest
+
+from repro import ActiveDatabase, DurabilityError, DurabilityManager
+from repro.durability.checkpoint import (
+    CheckpointError,
+    build_checkpoint_document,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.durability.faults import FaultInjector, SimulatedCrash
+from repro.durability.wal import (
+    WalWriter,
+    decode_line,
+    encode_record,
+    scan_wal,
+)
+
+
+class TestRecordFormat:
+    def test_encode_decode_roundtrip(self):
+        body = {"kind": "commit", "txn": 3, "insert": [["t", 1, [5]]]}
+        line = encode_record(body)
+        assert line.endswith(b"\n")
+        assert decode_line(line) == body
+
+    def test_any_payload_byte_flip_is_detected(self):
+        line = encode_record({"kind": "ddl", "op": "drop_table", "name": "t"})
+        for position in range(9, len(line) - 1):
+            mutated = bytearray(line)
+            mutated[position] ^= 0xFF
+            assert decode_line(bytes(mutated)) is None, position
+
+    def test_truncated_line_is_rejected(self):
+        line = encode_record({"kind": "commit", "txn": 1})
+        for cut in range(1, len(line)):
+            assert decode_line(line[:cut]) is None
+
+    def test_non_object_body_is_rejected(self):
+        import zlib
+
+        data = b"[1,2,3]"
+        line = b"%08x %s\n" % (zlib.crc32(data), data)
+        assert decode_line(line) is None
+
+
+class TestWriterAndScan:
+    def test_appends_assign_monotone_lsns(self, tmp_path):
+        writer = WalWriter(str(tmp_path / "wal.jsonl"))
+        first = writer.append({"kind": "ddl", "op": "x"})
+        second = writer.append({"kind": "ddl", "op": "y"})
+        writer.close()
+        assert (first["lsn"], second["lsn"]) == (1, 2)
+        scan = scan_wal(str(tmp_path / "wal.jsonl"))
+        assert [record["lsn"] for record in scan.records] == [1, 2]
+        assert scan.torn_bytes == 0
+
+    def test_scan_of_missing_file_is_empty(self, tmp_path):
+        scan = scan_wal(str(tmp_path / "absent.jsonl"))
+        assert scan.records == [] and scan.last_lsn == 0
+
+    def test_scan_stops_at_torn_tail(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        writer = WalWriter(path)
+        writer.append({"kind": "ddl", "op": "a"})
+        writer.append({"kind": "ddl", "op": "b"})
+        writer.close()
+        intact = os.path.getsize(path)
+        with open(path, "ab") as handle:
+            handle.write(encode_record({"kind": "commit", "txn": 9})[:-7])
+        scan = scan_wal(path)
+        assert [record["op"] for record in scan.records] == ["a", "b"]
+        assert scan.valid_bytes == intact
+        assert scan.torn_bytes > 0
+
+    def test_garbage_after_tear_is_ignored(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        writer = WalWriter(path)
+        writer.append({"kind": "ddl", "op": "a"})
+        writer.close()
+        with open(path, "ab") as handle:
+            handle.write(b"garbage\n")
+            handle.write(encode_record({"kind": "ddl", "op": "late"}))
+        scan = scan_wal(path)
+        assert [record["op"] for record in scan.records] == ["a"]
+
+    def test_truncate_to_cuts_the_tail(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        writer = WalWriter(path)
+        writer.append({"kind": "ddl", "op": "a"})
+        writer.close()
+        intact = os.path.getsize(path)
+        with open(path, "ab") as handle:
+            handle.write(b"partial")
+        WalWriter(path).truncate_to(intact)
+        assert os.path.getsize(path) == intact
+        assert scan_wal(path).torn_bytes == 0
+
+    def test_counters_track_records_and_bytes(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        writer = WalWriter(path)
+        writer.append({"kind": "ddl", "op": "a"})
+        writer.append({"kind": "ddl", "op": "b"})
+        writer.close()
+        assert writer.records_written == 2
+        assert writer.bytes_written == os.path.getsize(path)
+
+
+class TestTornWriteInjection:
+    def test_torn_write_leaves_strict_prefix(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        injector = FaultInjector(
+            point="torn_wal_append", occurrence=2, torn_fraction=0.5
+        )
+        writer = WalWriter(path, injector=injector)
+        writer.append({"kind": "ddl", "op": "a"})
+        with pytest.raises(SimulatedCrash):
+            writer.append({"kind": "ddl", "op": "b"})
+        writer.close()
+        scan = scan_wal(path)
+        assert [record["op"] for record in scan.records] == ["a"]
+        assert scan.torn_bytes > 0
+
+    def test_pre_append_crash_writes_nothing(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        injector = FaultInjector(point="pre_wal_append", occurrence=1)
+        writer = WalWriter(path, injector=injector)
+        with pytest.raises(SimulatedCrash):
+            writer.append({"kind": "ddl", "op": "a"})
+        writer.close()
+        assert not os.path.exists(path)
+
+    def test_post_append_crash_leaves_record_durable(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        injector = FaultInjector(point="post_wal_append", occurrence=1)
+        writer = WalWriter(path, injector=injector)
+        with pytest.raises(SimulatedCrash):
+            writer.append({"kind": "ddl", "op": "a"})
+        writer.close()
+        assert [record["op"] for record in scan_wal(path).records] == ["a"]
+
+
+class TestFaultInjector:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector(point="nonsense")
+
+    def test_occurrence_counting(self):
+        injector = FaultInjector(point="mid_block", occurrence=3)
+        injector.fire("mid_block")
+        injector.fire("mid_block")
+        with pytest.raises(SimulatedCrash) as excinfo:
+            injector.fire("mid_block")
+        assert excinfo.value.occurrence == 3
+        assert injector.fired == "mid_block"
+
+    def test_unarmed_points_never_crash(self):
+        injector = FaultInjector(point="mid_block", occurrence=1)
+        for _ in range(10):
+            injector.fire("mid_quiesce")
+        assert injector.fired is None
+
+    def test_from_seed_is_deterministic(self):
+        first, second = FaultInjector.from_seed(7), FaultInjector.from_seed(7)
+        assert (first.point, first.occurrence, first.torn_fraction) == (
+            second.point, second.occurrence, second.torn_fraction
+        )
+
+
+def build_db(directory=None, **kwargs):
+    db = ActiveDatabase(durability=directory, **kwargs)
+    db.execute("create table t (x integer, y varchar)")
+    db.execute("insert into t values (1, 'a'), (2, 'b')")
+    return db
+
+
+class TestCheckpointFile:
+    def test_roundtrip(self, tmp_path):
+        db = build_db()
+        document = build_checkpoint_document(db, wal_lsn=5, last_txn=2)
+        write_checkpoint(str(tmp_path), document)
+        loaded = read_checkpoint(str(tmp_path))
+        assert loaded == json.loads(json.dumps(document))
+        assert loaded["wal_lsn"] == 5
+        assert loaded["handles"]["t"] == [1, 2]
+
+    def test_missing_checkpoint_is_none(self, tmp_path):
+        assert read_checkpoint(str(tmp_path)) is None
+
+    def test_corrupt_checkpoint_raises(self, tmp_path):
+        (tmp_path / "checkpoint.json").write_text("{oops")
+        with pytest.raises(CheckpointError):
+            read_checkpoint(str(tmp_path))
+
+    def test_wrong_format_raises(self, tmp_path):
+        (tmp_path / "checkpoint.json").write_text('{"format": "x"}')
+        with pytest.raises(CheckpointError):
+            read_checkpoint(str(tmp_path))
+
+    def test_crash_before_rename_preserves_old_checkpoint(self, tmp_path):
+        db = build_db()
+        old = build_checkpoint_document(db, wal_lsn=1, last_txn=1)
+        write_checkpoint(str(tmp_path), old)
+        injector = FaultInjector(point="mid_checkpoint_rename", occurrence=1)
+        new = build_checkpoint_document(db, wal_lsn=9, last_txn=9)
+        with pytest.raises(SimulatedCrash):
+            write_checkpoint(str(tmp_path), new, injector=injector)
+        assert read_checkpoint(str(tmp_path))["wal_lsn"] == 1
+
+
+class TestManager:
+    def test_refuses_existing_state_without_recover(self, tmp_path):
+        directory = str(tmp_path / "d")
+        db = build_db(directory)
+        db.durability.close()
+        with pytest.raises(DurabilityError):
+            ActiveDatabase(durability=directory)
+
+    def test_fresh_empty_directory_is_fine(self, tmp_path):
+        directory = str(tmp_path / "d")
+        os.makedirs(directory)
+        db = ActiveDatabase(durability=directory)
+        assert db.durability.commits_logged == 0
+
+    def test_checkpoint_truncates_wal_and_resets_counter(self, tmp_path):
+        directory = str(tmp_path / "d")
+        db = build_db(directory)
+        assert os.path.getsize(db.durability.wal_path) > 0
+        info = db.checkpoint()
+        assert info["wal_lsn"] == 2  # create_table ddl + one commit
+        assert os.path.getsize(db.durability.wal_path) == 0
+        assert db.durability.commits_since_checkpoint == 0
+        # LSNs keep counting after the truncation
+        db.execute("insert into t values (3, 'c')")
+        assert scan_wal(db.durability.wal_path).records[0]["lsn"] == 3
+
+    def test_auto_checkpoint_interval(self, tmp_path):
+        directory = str(tmp_path / "d")
+        manager = DurabilityManager(directory, checkpoint_interval=2)
+        db = ActiveDatabase(durability=manager)
+        db.execute("create table t (x integer)")
+        db.execute("insert into t values (1)")
+        assert manager.checkpoints == 0
+        db.execute("insert into t values (2)")
+        assert manager.checkpoints == 1
+        assert read_checkpoint(directory)["last_txn"] == 2
+
+    def test_external_rules_rejected_when_durable(self, tmp_path):
+        db = build_db(str(tmp_path / "d"))
+        with pytest.raises(DurabilityError):
+            db.define_external_rule("ext", "inserted into t", lambda c: None)
+
+    def test_stats_section_present_only_with_durability(self, tmp_path):
+        assert "durability" not in build_db().stats()
+        stats = build_db(str(tmp_path / "d")).stats()["durability"]
+        assert stats["commits_logged"] == 1
+        assert stats["ddl_logged"] == 1
+        assert stats["wal_bytes"] > 0
+        assert stats["append_time"] > 0

@@ -1,0 +1,126 @@
+"""Persistence roundtrip property: dump → load → dump is the identity.
+
+Over randomized schemas, data, rules, priorities, and reset policies,
+``to_document(from_document(doc))`` must reproduce ``doc`` exactly, and
+the file-level :func:`repro.persistence.dump` / :func:`~repro.persistence.load`
+pair must agree with the in-memory pair. Handles are deliberately *not*
+part of the format (a reloaded database starts a fresh handle lifetime),
+so the comparison is on the document, which is handle-free by design.
+"""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro import ActiveDatabase
+from repro.persistence import dump, from_document, load, to_document
+
+TYPES = ["integer", "float", "varchar", "boolean"]
+
+
+def value_for(type_name, draw_from):
+    if type_name == "integer":
+        return draw_from(st.integers(min_value=-1000, max_value=1000))
+    if type_name == "float":
+        return draw_from(
+            st.floats(
+                min_value=-1e6, max_value=1e6,
+                allow_nan=False, allow_infinity=False,
+            )
+        )
+    if type_name == "boolean":
+        return draw_from(st.booleans())
+    return draw_from(st.text(alphabet="abcxyz", max_size=6))
+
+
+@st.composite
+def databases(draw):
+    db = ActiveDatabase()
+    table_count = draw(st.integers(min_value=1, max_value=3))
+    schemas = {}
+    for table_index in range(table_count):
+        name = f"t{table_index}"
+        column_count = draw(st.integers(min_value=1, max_value=3))
+        columns = [
+            (f"c{position}", draw(st.sampled_from(TYPES)))
+            for position in range(column_count)
+        ]
+        schemas[name] = columns
+        rendered = ", ".join(
+            f"{column} {type_name}" for column, type_name in columns
+        )
+        db.execute(f"create table {name} ({rendered})")
+        for _ in range(draw(st.integers(min_value=0, max_value=4))):
+            row = [value_for(type_name, draw) for _, type_name in columns]
+            db.database.insert_row(name, row)
+
+    # an index on the first column of each table, sometimes
+    for name, columns in schemas.items():
+        if draw(st.booleans()):
+            db.execute(f"create index ix_{name} on {name} ({columns[0][0]})")
+
+    # rules: rollback and delete actions (terminating, serializable)
+    rule_names = []
+    for name in schemas:
+        choice = draw(st.integers(min_value=0, max_value=2))
+        if choice == 0:
+            continue
+        rule_name = f"r_{name}"
+        if choice == 1:
+            db.execute(
+                f"create rule {rule_name} when inserted into {name} "
+                f"if exists (select * from {name} where false) then rollback"
+            )
+        else:
+            db.execute(
+                f"create rule {rule_name} when deleted from {name} "
+                f"then delete from {name} where false"
+            )
+        rule_names.append(rule_name)
+        policy = draw(
+            st.sampled_from(["execution", "consideration", "triggering"])
+        )
+        db.set_rule_reset_policy(rule_name, policy)
+        if draw(st.booleans()):
+            db.deactivate_rule(rule_name)
+
+    # an acyclic priority chain over whatever rules exist
+    for higher, lower in zip(rule_names, rule_names[1:]):
+        if draw(st.booleans()):
+            db.execute(f"create rule priority {higher} before {lower}")
+    return db
+
+
+class TestRoundtrip:
+    @given(databases())
+    @settings(max_examples=30, deadline=None)
+    def test_dump_load_dump_is_identity(self, db):
+        document = to_document(db)
+        reloaded = from_document(document)
+        assert to_document(reloaded) == document
+
+    @given(databases())
+    @settings(max_examples=15, deadline=None)
+    def test_document_survives_json_serialization(self, db):
+        document = to_document(db)
+        assert json.loads(json.dumps(document)) == document
+
+    @given(databases())
+    @settings(max_examples=10, deadline=None)
+    def test_file_roundtrip_matches_in_memory_roundtrip(self, db):
+        import tempfile
+
+        document = to_document(db)
+        with tempfile.TemporaryDirectory() as directory:
+            path = f"{directory}/db.json"
+            dump(db, path)
+            assert to_document(load(path)) == document
+
+    @given(databases())
+    @settings(max_examples=10, deadline=None)
+    def test_reloaded_database_answers_queries_identically(self, db):
+        reloaded = from_document(to_document(db))
+        for name in db.database.table_names():
+            assert sorted(
+                map(repr, reloaded.rows(f"select * from {name}"))
+            ) == sorted(map(repr, db.rows(f"select * from {name}")))

@@ -125,6 +125,76 @@ class TestFiles:
             from_document([1, 2, 3])
 
 
+class TestMalformedDocuments:
+    """validate_document rejects structural problems with pointed
+    messages, before any data is loaded."""
+
+    def valid(self):
+        from repro.persistence import to_document
+
+        return to_document(build())
+
+    def test_future_version_names_the_version_gap(self):
+        document = self.valid()
+        document["version"] = 7
+        with pytest.raises(
+            PersistenceError,
+            match=r"version 7 was written by a newer repro.*reads version 1",
+        ):
+            from_document(document)
+
+    def test_non_integer_version_is_unsupported_not_newer(self):
+        document = self.valid()
+        document["version"] = "one"
+        with pytest.raises(
+            PersistenceError, match=r"unsupported dump version 'one'"
+        ):
+            from_document(document)
+
+    def test_wrong_format_names_what_it_found(self):
+        with pytest.raises(
+            PersistenceError,
+            match=r"not a repro-active-database document: 'csv'",
+        ):
+            from_document({"format": "csv", "version": 1})
+
+    def test_duplicate_table_names_rejected(self):
+        document = self.valid()
+        document["tables"].append(dict(document["tables"][0]))
+        name = document["tables"][0]["name"]
+        with pytest.raises(
+            PersistenceError, match=rf"duplicate table '{name}'"
+        ):
+            from_document(document)
+
+    def test_row_arity_mismatch_names_table_row_and_counts(self):
+        document = self.valid()
+        table = document["tables"][0]
+        table["rows"][1] = table["rows"][1] + ["extra"]
+        expected = len(table["columns"])
+        with pytest.raises(
+            PersistenceError,
+            match=rf"table '{table['name']}': row 1 has {expected + 1} "
+            rf"values for {expected} columns",
+        ):
+            from_document(document)
+
+    def test_rejection_happens_before_any_load_side_effects(self):
+        # a document that passes validation of early tables but fails on
+        # a later one must not leave a half-built database behind —
+        # from_document validates everything up front
+        document = self.valid()
+        document["tables"][-1]["rows"] = [["wrong-arity"]]
+        with pytest.raises(PersistenceError, match="values for"):
+            from_document(document)
+
+    def test_non_dict_document_message(self):
+        with pytest.raises(
+            PersistenceError, match="dump document must be a JSON object"
+        ):
+            from_document("just a string")
+
+
 class TestRestrictions:
     def test_open_transaction_rejected(self):
         db = build()

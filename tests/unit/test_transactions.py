@@ -131,3 +131,101 @@ class TestMisuse:
         database.insert_row("t", [1])
         database.transactions.rollback()
         assert database.row_count("t") == 0
+
+
+class TestSavepointInterleaving:
+    """Savepoint rollback with interleaved operations *on the same
+    handle* — the undo log must restore the exact pre-savepoint value,
+    not an intermediate one."""
+
+    def test_insert_update_delete_same_handle_after_savepoint(self, database):
+        database.transactions.begin()
+        savepoint = database.transactions.savepoint()
+        handle = database.insert_row("t", [1])
+        database.update_row("t", handle, {"x": 2})
+        database.update_row("t", handle, {"x": 3})
+        database.delete_row("t", handle)
+        database.transactions.rollback_to_savepoint(savepoint)
+        # the whole insert→update→update→delete chain is unwound
+        assert database.row_count("t") == 0
+        database.transactions.commit()
+        assert database.row_count("t") == 0
+
+    def test_update_delete_then_rollback_restores_pre_savepoint_value(
+        self, database
+    ):
+        handle = database.insert_row("t", [10])
+        database.transactions.begin()
+        database.update_row("t", handle, {"x": 20})
+        savepoint = database.transactions.savepoint()
+        database.update_row("t", handle, {"x": 30})
+        database.delete_row("t", handle)
+        database.transactions.rollback_to_savepoint(savepoint)
+        # back to the savepoint's value (20) — not the original 10
+        assert database.row("t", handle) == (20,)
+        database.transactions.rollback()
+        assert database.row("t", handle) == (10,)
+
+    def test_multiple_handles_interleaved_across_savepoint(self, database):
+        h1 = database.insert_row("t", [1])
+        database.transactions.begin()
+        database.update_row("t", h1, {"x": 11})
+        savepoint = database.transactions.savepoint()
+        h2 = database.insert_row("t", [2])
+        database.update_row("t", h1, {"x": 111})
+        database.update_row("t", h2, {"x": 22})
+        database.delete_row("t", h1)
+        database.transactions.rollback_to_savepoint(savepoint)
+        assert database.row("t", h1) == (11,)
+        assert database.row_count("t") == 1  # h2's insert unwound
+        database.transactions.commit()
+        assert database.row("t", h1) == (11,)
+
+    def test_work_after_partial_rollback_commits_cleanly(self, database):
+        database.transactions.begin()
+        savepoint = database.transactions.savepoint()
+        database.insert_row("t", [1])
+        database.transactions.rollback_to_savepoint(savepoint)
+        h2 = database.insert_row("t", [2])
+        database.transactions.commit()
+        assert database.row("t", h2) == (2,)
+        assert database.row_count("t") == 1
+
+    def test_same_savepoint_can_be_rolled_back_to_twice(self, database):
+        database.transactions.begin()
+        savepoint = database.transactions.savepoint()
+        database.insert_row("t", [1])
+        database.transactions.rollback_to_savepoint(savepoint)
+        database.insert_row("t", [2])
+        database.transactions.rollback_to_savepoint(savepoint)
+        assert database.row_count("t") == 0
+
+
+class TestDoubleBeginAndCommitPaths:
+    def test_double_begin_leaves_first_transaction_intact(self, database):
+        database.transactions.begin()
+        database.insert_row("t", [1])
+        with pytest.raises(TransactionError):
+            database.transactions.begin()
+        # the failed begin neither committed nor aborted the open one
+        assert database.transactions.active
+        database.transactions.rollback()
+        assert database.row_count("t") == 0
+
+    def test_commit_without_begin_then_normal_use(self, database):
+        with pytest.raises(TransactionError):
+            database.transactions.commit()
+        database.transactions.begin()
+        database.insert_row("t", [1])
+        database.transactions.commit()
+        assert database.row_count("t") == 1
+
+    def test_double_commit_raises_on_the_second(self, database):
+        database.transactions.begin()
+        database.transactions.commit()
+        with pytest.raises(TransactionError):
+            database.transactions.commit()
+
+    def test_rollback_to_savepoint_without_begin_raises(self, database):
+        with pytest.raises(TransactionError):
+            database.transactions.rollback_to_savepoint(0)
