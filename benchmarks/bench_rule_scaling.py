@@ -130,6 +130,70 @@ def _shape_test_shape_linear_scaling():
     assert per_high < per_low * 8
 
 
+# ---------------------------------------------------------------------------
+# PERF-3c: wide-table cascade, compiled vs interpreted evaluation
+
+WIDE_ROWS = 200 if FAST_MODE else 2000
+WIDE_DEPTHS = (2, 8) if FAST_MODE else (8, 32)
+
+
+def make_wide_cascade_db(depth, compiled):
+    """The countdown cascade over a table padded with ``WIDE_ROWS``
+    never-matching tuples: every transition's condition subquery and its
+    action's update WHERE full-scan the table, so per-row predicate cost
+    dominates — the compiled layer's target profile."""
+    db = ActiveDatabase(record_seen=False, max_rule_transitions=depth + 10)
+    db.database.enable_compiled_eval = compiled
+    db.execute("create table c (n integer, pad integer)")
+    rows = ", ".join(f"(0, {i})" for i in range(WIDE_ROWS))
+    db.execute(f"insert into c values {rows}")
+    db.execute(
+        "create rule countdown when inserted into c or updated c.n "
+        "if exists (select * from c where n > 0) "
+        "then update c set n = n - 1 where n > 0"
+    )
+    return db
+
+
+def test_shape_compiled_cascade(benchmark):
+    benchmark.pedantic(_shape_compiled_cascade, rounds=1, iterations=1)
+
+
+def _shape_compiled_cascade():
+    rows_out = []
+    times = {}
+    for mode, compiled in (("compiled", True), ("interpreted", False)):
+        per_depth = []
+        for depth in WIDE_DEPTHS:
+            db = make_wide_cascade_db(depth, compiled)
+            start = time.perf_counter()
+            result = db.execute(f"insert into c values ({depth}, -1)")
+            per_depth.append(time.perf_counter() - start)
+            assert result.rule_firings == depth
+        times[mode] = per_depth
+        record_stats(f"eval_{mode}", db)
+        rows_out.append(
+            (mode,) + tuple(f"{value*1e3:.1f}ms" for value in per_depth)
+        )
+    rows_out.append(
+        ("speedup",)
+        + tuple(
+            f"{i/c:.2f}x"
+            for i, c in zip(times["interpreted"], times["compiled"])
+        )
+    )
+    print_series(
+        f"PERF-3c: {WIDE_ROWS}-row cascade, compiled vs interpreted",
+        ("evaluation",) + tuple(f"depth {d}" for d in WIDE_DEPTHS),
+        rows_out,
+        values={"seconds_by_mode": times},
+    )
+    if not FAST_MODE:
+        # rule condition + DML WHERE both run compiled; the combined
+        # per-transition cost must drop at least 2x
+        assert times["interpreted"][-1] / times["compiled"][-1] >= 2.0
+
+
 def _timed(fn):
     start = time.perf_counter()
     fn()

@@ -105,3 +105,69 @@ def _shape_strategies():
     # all strategies quiesce; the priority chain (transitive-closure
     # checks) is the costliest but must stay within interactive bounds
     assert times["priority"][-1] < 5.0
+
+
+# ---------------------------------------------------------------------------
+# PERF-4b: predicate-heavy conditions, compiled vs interpreted evaluation
+
+DATA_ROWS = 500 if FAST_MODE else 4000
+
+
+def build_predicate_heavy(rules, compiled):
+    """N rules whose conditions each full-scan a data table under a
+    multi-term predicate that never holds; the evaluation cost is almost
+    entirely per-row expression work, which is what the compiled layer
+    (repro.relational.compiled) targets."""
+    db = ActiveDatabase(record_seen=False)
+    db.database.enable_compiled_eval = compiled
+    db.execute("create table t (a integer, b integer, c float)")
+    db.execute("create table trig (x integer)")
+    rows = ", ".join(f"({i}, {i % 7}, {i * 1.5})" for i in range(DATA_ROWS))
+    db.execute(f"insert into t values {rows}")
+    for index in range(rules):
+        db.execute(
+            f"create rule heavy{index} when inserted into trig "
+            f"if exists (select * from t where a % 3 = 1 and b > 7 "
+            f"and c + a < 0.0) "
+            f"then delete from trig where false"
+        )
+    return db
+
+
+def test_shape_compiled_conditions(benchmark):
+    benchmark.pedantic(_shape_compiled_conditions, rounds=1, iterations=1)
+
+
+def _shape_compiled_conditions():
+    rows_out = []
+    times = {}
+    for mode, compiled in (("compiled", True), ("interpreted", False)):
+        per_count = []
+        for rules in RULE_COUNTS:
+            db = build_predicate_heavy(rules, compiled)
+            db.execute("insert into trig values (0)")  # warm the caches
+            start = time.perf_counter()
+            db.execute("insert into trig values (1)")
+            per_count.append(time.perf_counter() - start)
+        times[mode] = per_count
+        record_stats(f"eval_{mode}", db)
+        rows_out.append(
+            (mode,) + tuple(f"{value*1e3:.1f}ms" for value in per_count)
+        )
+    rows_out.append(
+        ("speedup",)
+        + tuple(
+            f"{i/c:.2f}x"
+            for i, c in zip(times["interpreted"], times["compiled"])
+        )
+    )
+    print_series(
+        "PERF-4b: predicate-heavy conditions, compiled vs interpreted",
+        ("evaluation",) + tuple(f"{n} rules" for n in RULE_COUNTS),
+        rows_out,
+        values={"seconds_by_mode": times},
+    )
+    if not FAST_MODE:
+        # the tentpole claim: closed-over slot access beats per-row Scope
+        # dict resolution by at least 2x on predicate-dominated work
+        assert times["interpreted"][-1] / times["compiled"][-1] >= 2.0

@@ -195,6 +195,14 @@ class Repl:
             if isinstance(value, float):
                 value = f"{value:.2f}"
             self.println(f"  {key}: {value}")
+        compiler = stats.get("compiler")
+        if compiler is not None:
+            self.println("compiler:")
+            for key in sorted(compiler):
+                value = compiler[key]
+                if isinstance(value, float):
+                    value = f"{value:.2f}"
+                self.println(f"  {key}: {value}")
         if not stats["rules"]:
             self.println("(no rule activity)")
             return
@@ -206,7 +214,8 @@ class Repl:
                 f"condition {counters['condition_time']:.6f}s, "
                 f"action {counters['action_time']:.6f}s, "
                 f"rows scanned {counters['rows_scanned']}, "
-                f"plan hits {counters['plan_cache_hits']}"
+                f"plan hits {counters['plan_cache_hits']}, "
+                f"compile hits {counters['compile_cache_hits']}"
             )
 
 

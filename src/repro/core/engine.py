@@ -132,9 +132,11 @@ class RuleEngine:
         Counters accumulate across transactions until :meth:`reset_stats`.
         """
         planner = getattr(self.database, "planner_stats", None)
+        compiler = getattr(self.database, "compiler_stats", None)
         return self._metrics.snapshot(
             strategy=getattr(self.strategy, "name", None),
             planner=planner.snapshot() if planner is not None else None,
+            compiler=compiler.snapshot() if compiler is not None else None,
             durability=(
                 self.durability.stats_snapshot()
                 if self.durability is not None
@@ -153,6 +155,9 @@ class RuleEngine:
         planner = getattr(self.database, "planner_stats", None)
         if planner is not None:
             planner.reset()
+        compiler = getattr(self.database, "compiler_stats", None)
+        if compiler is not None:
+            compiler.reset()
 
     def _emit(self, kind, **data):
         self._bus.emit(kind, self._txn_id, data)
@@ -215,6 +220,17 @@ class RuleEngine:
         self.catalog.add_priority(higher, lower)
 
     def _register_rule(self, rule):
+        # Compile the condition now: define_rule is the one point every
+        # rule passes through once, so the quiescence loop's repeated
+        # considerations re-enter an already-cached program (the compiled
+        # cache re-compiles transparently if schema DDL intervenes).
+        if (
+            rule.condition is not None
+            and getattr(self.database, "enable_compiled_eval", False)
+        ):
+            from ..relational.compiled import program_for
+
+            program_for(self.database, rule.condition, (), predicate=True)
         # A rule defined mid-transaction starts with an empty baseline: it
         # observes only transitions that occur after its definition.
         if self.in_transaction:
@@ -441,6 +457,10 @@ class RuleEngine:
                 planner_before = (
                     planner.counters() if planner is not None else None
                 )
+                compiler = getattr(self.database, "compiler_stats", None)
+                compiler_before = (
+                    compiler.counters() if compiler is not None else None
+                )
                 condition_start = perf_counter()
                 condition_value = self._check_condition(rule)
                 condition_elapsed = perf_counter() - condition_start
@@ -458,6 +478,11 @@ class RuleEngine:
                     planner=(
                         planner.delta_since(planner_before)
                         if planner is not None
+                        else None
+                    ),
+                    compiler=(
+                        compiler.delta_since(compiler_before)
+                        if compiler is not None
                         else None
                     ),
                 )
@@ -501,6 +526,10 @@ class RuleEngine:
             seen = self._snapshot_seen(fired) if self.record_seen else {}
             planner = getattr(self.database, "planner_stats", None)
             planner_before = planner.counters() if planner is not None else None
+            compiler = getattr(self.database, "compiler_stats", None)
+            compiler_before = (
+                compiler.counters() if compiler is not None else None
+            )
             action_start = perf_counter()
             effects = self._execute_rule_action(fired)
             action_elapsed = perf_counter() - action_start
@@ -524,6 +553,11 @@ class RuleEngine:
                 planner=(
                     planner.delta_since(planner_before)
                     if planner is not None
+                    else None
+                ),
+                compiler=(
+                    compiler.delta_since(compiler_before)
+                    if compiler is not None
                     else None
                 ),
             )
@@ -600,13 +634,29 @@ class RuleEngine:
 
     def _check_condition(self, rule):
         """Evaluate the rule's condition against the current state and its
-        transition tables (None condition means ``if true``)."""
+        transition tables (None condition means ``if true``).
+
+        With compiled evaluation on, the condition runs through the
+        program compiled at definition time (a cache hit here); its
+        subquery fallbacks — and the selects they execute — get compiled
+        filter/projection programs of their own. The evaluator is still
+        per-consideration: it carries the rule's current trans-info
+        resolver and the state-versioned subquery caches.
+        """
         if rule.condition is None:
             return True
         resolver = TransitionTableResolver(
             self.database, self._info[rule.name]
         )
         evaluator = Evaluator(self.database, resolver)
+        database = self.database
+        if getattr(database, "enable_compiled_eval", False):
+            from ..relational.compiled import program_for
+
+            program = program_for(
+                database, rule.condition, (), predicate=True
+            )
+            return program.run((), Scope(), evaluator)
         return evaluator.evaluate_predicate(rule.condition, Scope())
 
     def _execute_rule_action(self, rule):

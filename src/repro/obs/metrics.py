@@ -32,6 +32,9 @@ class RuleMetrics:
         "rows_returned",
         "plan_cache_hits",
         "plan_cache_misses",
+        "compiles",
+        "compile_cache_hits",
+        "compile_cache_misses",
         "peak_trans_info_size",
         "resets",
         "rollbacks",
@@ -53,6 +56,9 @@ class RuleMetrics:
         self.rows_returned = 0
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
+        self.compiles = 0
+        self.compile_cache_hits = 0
+        self.compile_cache_misses = 0
         self.peak_trans_info_size = 0
         self.resets = {}
         self.rollbacks = 0
@@ -74,6 +80,9 @@ class RuleMetrics:
             "rows_returned": self.rows_returned,
             "plan_cache_hits": self.plan_cache_hits,
             "plan_cache_misses": self.plan_cache_misses,
+            "compiles": self.compiles,
+            "compile_cache_hits": self.compile_cache_hits,
+            "compile_cache_misses": self.compile_cache_misses,
             "peak_trans_info_size": self.peak_trans_info_size,
             "resets": dict(self.resets),
             "rollbacks": self.rollbacks,
@@ -155,6 +164,7 @@ class MetricsCollector(EventSink):
         else:
             metrics.condition_unknown += 1
         self._fold_planner(metrics, data)
+        self._fold_compiler(metrics, data)
         self._track_info_size(metrics, data)
 
     def _on_fired(self, data):
@@ -168,6 +178,7 @@ class MetricsCollector(EventSink):
             metrics.rows_deleted += len(effect.deleted)
             metrics.rows_updated += len(effect.updated_handles)
         self._fold_planner(metrics, data)
+        self._fold_compiler(metrics, data)
         self._track_info_size(metrics, data)
 
     def _fold_planner(self, metrics, data):
@@ -187,6 +198,17 @@ class MetricsCollector(EventSink):
             increment = delta.get(field, 0)
             setattr(metrics, field, getattr(metrics, field) + increment)
 
+    def _fold_compiler(self, metrics, data):
+        """Accumulate the per-evaluation compiler delta the engine attaches
+        to consideration/firing events (None when compiled evaluation is
+        unavailable on the database)."""
+        delta = data.get("compiler")
+        if not delta:
+            return
+        metrics.compiles += delta.get("compiles", 0)
+        metrics.compile_cache_hits += delta.get("cache_hits", 0)
+        metrics.compile_cache_misses += delta.get("cache_misses", 0)
+
     def _track_info_size(self, metrics, data):
         size = data.get("trans_info_size")
         if size is not None and size > metrics.peak_trans_info_size:
@@ -196,14 +218,19 @@ class MetricsCollector(EventSink):
 
     # ------------------------------------------------------------------
 
-    def snapshot(self, strategy=None, planner=None, durability=None):
+    def snapshot(self, strategy=None, planner=None, compiler=None,
+                 durability=None):
         """The full stats dict (``RuleEngine.stats()``'s return value).
 
         ``planner`` is the database-wide
         :meth:`~repro.relational.plan.cache.PlannerStats.snapshot` dict
         (plan-cache hit rate, rows scanned/visited/returned); it covers
         *all* query evaluation on the database, while the per-rule
-        counters cover only condition/action evaluations. ``durability``
+        counters cover only condition/action evaluations. ``compiler``
+        is the database-wide
+        :meth:`~repro.relational.compiled.CompilerStats.snapshot` dict
+        (expression compiles, compiled-cache hit rate, interpreter
+        fallbacks) with the same all-evaluation scope. ``durability``
         is the attached manager's
         :meth:`~repro.durability.manager.DurabilityManager.stats_snapshot`
         (WAL bytes/records/latency, checkpoints, recovery), present only
@@ -235,6 +262,8 @@ class MetricsCollector(EventSink):
         }
         if planner is not None:
             result["planner"] = planner
+        if compiler is not None:
+            result["compiler"] = compiler
         if durability is not None:
             result["durability"] = durability
         return result

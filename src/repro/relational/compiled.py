@@ -1,0 +1,706 @@
+"""Compiled-expression execution: ASTs translated to Python closures.
+
+The interpreter in :mod:`repro.relational.expressions` resolves every
+column reference through a :class:`~repro.relational.expressions.Scope`
+chain — a dict lookup plus a per-binding membership scan — *per row*.
+That cost dominates the system's hot paths: plan ``Filter`` nodes, hash
+join keys, projections, DML WHERE identification, and (through all of
+those) rule-condition evaluation in the quiescence loop, which the paper
+re-runs for every triggered rule after every transition (§4, Figure 1).
+
+This module translates an expression AST into a tree of closed-over
+Python closures against a fixed *layout* — the ordered ``(binding_name,
+columns)`` pairs of a FROM clause. Column references resolve to
+``rows[i][j]`` tuple indexes **once at compile time**; three-valued
+logic, comparison, arithmetic and type-error behaviour reuse the
+interpreter's own helper functions so the two paths cannot drift.
+
+Constructs whose value depends on machinery beyond the row tuples —
+subqueries (they need the evaluator, its caches and the resolver),
+aggregates (they need a ``GroupScope``), and column references that do
+not resolve inside the layout (they belong to an outer query's scope) —
+compile to *fallback* closures that delegate the subtree to the
+interpreter. A program whose tree contains a fallback reports
+``needs_scope`` so callers materialize the Scope the interpreter
+expects; a program without one skips Scope construction entirely.
+
+The invariance guarantee (docs/semantics.md §10): a compiled program
+returns exactly the value — or raises exactly the error — the
+interpreter would, for every expression and every row. The differential
+and property suites enforce it.
+
+Compiled programs are cached per database in a :class:`CompiledCache`
+keyed by ``(AST identity, layout, predicate-ness)`` and invalidated
+wholesale when ``database.schema_version`` moves, mirroring the plan
+cache: rule conditions and plan predicates are stable AST objects, so
+steady-state rule processing compiles once and re-enters the closures
+per consideration. ``database.enable_compiled_eval`` (default on;
+``REPRO_COMPILED_EVAL=0`` in the environment forces it off) gates every
+call site.
+"""
+
+from __future__ import annotations
+
+from ..errors import ExecutionError, TypeError_
+from ..sql import ast
+from .expressions import (
+    AGGREGATE_NAMES,
+    _apply_scalar_function,
+    _like_to_regex,
+    compare,
+    logic_and,
+    logic_not,
+    logic_or,
+)
+
+#: counters whose deltas the engine attaches to rule events (mirrors
+#: repro.relational.plan.cache.DELTA_FIELDS)
+DELTA_FIELDS = (
+    "cache_hits",
+    "cache_misses",
+    "compiles",
+)
+
+
+class CompilerStats:
+    """Monotone counters for the compiled-expression layer.
+
+    ``compiles`` counts programs built; ``nodes_compiled`` /
+    ``nodes_fallback`` partition the AST nodes of those programs into
+    closure-compiled and interpreter-delegated; cache counters mirror
+    the plan cache's. Exposed as ``stats()["compiler"]``.
+    """
+
+    __slots__ = (
+        "compiles",
+        "cache_hits",
+        "cache_misses",
+        "invalidations",
+        "nodes_compiled",
+        "nodes_fallback",
+    )
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self):
+        self.compiles = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.invalidations = 0
+        self.nodes_compiled = 0
+        self.nodes_fallback = 0
+
+    def snapshot(self):
+        lookups = self.cache_hits + self.cache_misses
+        nodes = self.nodes_compiled + self.nodes_fallback
+        return {
+            "compiles": self.compiles,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": (self.cache_hits / lookups if lookups else 0.0),
+            "invalidations": self.invalidations,
+            "nodes_compiled": self.nodes_compiled,
+            "nodes_fallback": self.nodes_fallback,
+            "fallback_rate": (self.nodes_fallback / nodes if nodes else 0.0),
+        }
+
+    def counters(self):
+        """The :data:`DELTA_FIELDS` values as a tuple (cheap to snapshot
+        around a single condition/action evaluation)."""
+        return tuple(getattr(self, name) for name in DELTA_FIELDS)
+
+    def delta_since(self, before):
+        """``{field: increment}`` relative to a :meth:`counters` tuple."""
+        return {
+            name: getattr(self, name) - then
+            for name, then in zip(DELTA_FIELDS, before)
+        }
+
+
+class CompiledProgram:
+    """One compiled expression: a closure tree plus its metadata.
+
+    ``fn(rows, scope, evaluator)`` evaluates against ``rows`` (a tuple of
+    row value tuples aligned with the compile-time layout). ``scope`` may
+    be ``None`` unless :attr:`needs_scope`; ``evaluator`` is only touched
+    by fallback nodes (and may be ``None`` for programs without any).
+    """
+
+    __slots__ = ("fn", "needs_scope", "nodes_compiled", "nodes_fallback")
+
+    def __init__(self, fn, needs_scope, nodes_compiled, nodes_fallback):
+        self.fn = fn
+        self.needs_scope = needs_scope
+        self.nodes_compiled = nodes_compiled
+        self.nodes_fallback = nodes_fallback
+
+    def run(self, rows, scope, evaluator):
+        return self.fn(rows, scope, evaluator)
+
+
+class CompiledCache:
+    """Compiled programs per database, guarded by the schema version.
+
+    Keys are ``(id(node), layout, predicate)`` — AST *identity*, not
+    structure: plan predicates and rule conditions are long-lived
+    objects, and identity keys make lookups O(1) without deep hashing.
+    Each entry holds a strong reference to its AST node so the id cannot
+    be recycled while the entry lives. ``max_entries`` bounds ad-hoc
+    growth the way the plan cache does (wholesale clear on overflow).
+    """
+
+    def __init__(self, max_entries=2048):
+        self.max_entries = max_entries
+        self._programs = {}
+        self._schema_version = None
+
+    def __len__(self):
+        return len(self._programs)
+
+    def program_for(self, node, layout, database, predicate=False,
+                    stats=None):
+        """The cached program for ``node`` against ``layout``, compiling
+        on miss. ``layout`` is a hashable tuple of ``(binding_name,
+        columns_tuple)`` pairs; ``predicate=True`` adds the interpreter's
+        predicate coercion at the root."""
+        if self._schema_version != database.schema_version:
+            if self._programs:
+                if stats is not None:
+                    stats.invalidations += 1
+                self._programs.clear()
+            self._schema_version = database.schema_version
+        key = (id(node), layout, predicate)
+        entry = self._programs.get(key)
+        if entry is not None:
+            if stats is not None:
+                stats.cache_hits += 1
+            return entry[0]
+        if stats is not None:
+            stats.cache_misses += 1
+            stats.compiles += 1
+        if predicate:
+            program = compile_predicate(node, layout)
+        else:
+            program = compile_expression(node, layout)
+        if stats is not None:
+            stats.nodes_compiled += program.nodes_compiled
+            stats.nodes_fallback += program.nodes_fallback
+        if len(self._programs) >= self.max_entries:
+            self._programs.clear()
+        # keep the node alive so id() stays unambiguous
+        self._programs[key] = (program, node)
+        return program
+
+    def clear(self):
+        self._programs.clear()
+
+
+def program_for(database, node, layout, predicate=False):
+    """Convenience wrapper: the database's cached program for ``node``."""
+    return database.compiled_cache.program_for(
+        node, layout, database, predicate, database.compiler_stats
+    )
+
+
+def layout_of(bindings):
+    """A hashable layout from a ``(name, columns)`` bindings list."""
+    return tuple((name, tuple(columns)) for name, columns in bindings)
+
+
+# ---------------------------------------------------------------------------
+# compilation entry points
+
+
+def compile_expression(expression, layout):
+    """Compile ``expression`` to a :class:`CompiledProgram` evaluating to
+    a value (``None`` = SQL NULL), exactly as the interpreter's
+    ``evaluate`` would."""
+    compiler = _Compiler(layout)
+    fn, needs_scope = compiler.compile(expression)
+    return CompiledProgram(
+        fn, needs_scope, compiler.nodes_compiled, compiler.nodes_fallback
+    )
+
+
+def compile_predicate(expression, layout):
+    """Compile ``expression`` as a predicate: the result is coerced to
+    True/False/None with the interpreter's non-boolean error."""
+    compiler = _Compiler(layout)
+    fn, needs_scope = compiler.compile_predicate(expression)
+    return CompiledProgram(
+        fn, needs_scope, compiler.nodes_compiled, compiler.nodes_fallback
+    )
+
+
+# ---------------------------------------------------------------------------
+# the compiler
+
+_AMBIGUOUS = object()
+
+
+class _Compiler:
+    """One compilation pass: resolves column slots against a layout and
+    lowers each node to a closure, counting what compiled vs. fell back."""
+
+    def __init__(self, layout):
+        self.nodes_compiled = 0
+        self.nodes_fallback = 0
+        # (qualifier, column) -> (i, j); qualifier -> True for presence
+        self._qualified = {}
+        self._qualifiers = set()
+        # column -> (i, j) | _AMBIGUOUS (paired with the ambiguity names)
+        self._unqualified = {}
+        self._ambiguous_names = {}
+        for i, (name, columns) in enumerate(layout):
+            self._qualifiers.add(name)
+            for j, column in enumerate(columns):
+                self._qualified[(name, column)] = (i, j)
+                if column in self._unqualified:
+                    if self._unqualified[column] is not _AMBIGUOUS:
+                        first = self._ambiguous_names[column][0]
+                        if first != name:
+                            self._unqualified[column] = _AMBIGUOUS
+                    if name not in self._ambiguous_names[column]:
+                        self._ambiguous_names[column].append(name)
+                else:
+                    self._unqualified[column] = (i, j)
+                    self._ambiguous_names[column] = [name]
+
+    # -- dispatch ---------------------------------------------------------
+
+    def compile(self, node):
+        """Lower ``node``; returns ``(fn, needs_scope)``."""
+        handler = _HANDLERS.get(type(node))
+        if handler is None:
+            return self._fallback(node)
+        return handler(self, node)
+
+    def compile_predicate(self, node):
+        """Lower ``node`` with predicate-result coercion at the root —
+        the compiled mirror of ``Evaluator.evaluate_predicate``."""
+        if type(node) in _DYNAMIC_NODES:
+            # delegate the whole predicate: evaluate_predicate applies
+            # the same coercion after the interpreter runs the subtree
+            self.nodes_fallback += 1
+
+            def fallback_predicate(rows, scope, evaluator):
+                return evaluator.evaluate_predicate(node, scope)
+
+            return fallback_predicate, True
+        fn, needs_scope = self.compile(node)
+        if _always_boolean(node):
+            # the closure can only produce True/False/None (or raise);
+            # the interpreter's coercion would be a no-op
+            return fn, needs_scope
+
+        def predicate(rows, scope, evaluator):
+            value = fn(rows, scope, evaluator)
+            if value is None or isinstance(value, bool):
+                return value
+            raise ExecutionError(
+                f"predicate evaluated to non-boolean value {value!r}"
+            )
+
+        return predicate, needs_scope
+
+    def _fallback(self, node):
+        """Delegate ``node`` (and its whole subtree) to the interpreter."""
+        self.nodes_fallback += 1
+
+        def fallback(rows, scope, evaluator):
+            return evaluator.evaluate(node, scope)
+
+        return fallback, True
+
+    # -- leaves -----------------------------------------------------------
+
+    def _compile_literal(self, node):
+        self.nodes_compiled += 1
+        value = node.value
+
+        def literal(rows, scope, evaluator):
+            return value
+
+        return literal, False
+
+    def _compile_column_ref(self, node):
+        column = node.column
+        qualifier = node.qualifier
+        if qualifier is not None:
+            slot = self._qualified.get((qualifier, column))
+            if slot is not None:
+                self.nodes_compiled += 1
+                i, j = slot
+
+                def qualified_ref(rows, scope, evaluator):
+                    return rows[i][j]
+
+                return qualified_ref, False
+            if qualifier in self._qualifiers:
+                # the innermost scope owns this qualifier but lacks the
+                # column: the interpreter errors without looking outward,
+                # and so must we — but only if the node is ever evaluated
+                self.nodes_compiled += 1
+                message = (
+                    f"table or alias {qualifier!r} has no column {column!r}"
+                )
+
+                def missing_column(rows, scope, evaluator):
+                    raise ExecutionError(message)
+
+                return missing_column, False
+            return self._fallback(node)  # outer query's binding
+        slot = self._unqualified.get(column)
+        if slot is None:
+            return self._fallback(node)  # outer scope (or unknown: the
+            # interpreter raises its own error either way)
+        if slot is _AMBIGUOUS:
+            self.nodes_compiled += 1
+            names = ", ".join(self._ambiguous_names[column])
+            message = (
+                f"ambiguous column reference {column!r} "
+                f"(could be any of: {names})"
+            )
+
+            def ambiguous_ref(rows, scope, evaluator):
+                raise ExecutionError(message)
+
+            return ambiguous_ref, False
+        self.nodes_compiled += 1
+        i, j = slot
+
+        def column_ref(rows, scope, evaluator):
+            return rows[i][j]
+
+        return column_ref, False
+
+    def _compile_star(self, node):
+        self.nodes_compiled += 1
+
+        def star(rows, scope, evaluator):
+            raise ExecutionError("'*' is only valid in select lists and count(*)")
+
+        return star, False
+
+    # -- operators --------------------------------------------------------
+
+    def _compile_unary(self, node):
+        op = node.op
+        if op == "not":
+            operand, needs = self.compile_predicate(node.operand)
+            self.nodes_compiled += 1
+
+            def negation(rows, scope, evaluator):
+                return logic_not(operand(rows, scope, evaluator))
+
+            return negation, needs
+        operand, needs = self.compile(node.operand)
+        self.nodes_compiled += 1
+        negate = op == "-"
+
+        def unary(rows, scope, evaluator):
+            value = operand(rows, scope, evaluator)
+            if value is None:
+                return None
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise TypeError_(f"unary {op} requires a number, got {value!r}")
+            return -value if negate else value
+
+        return unary, needs
+
+    def _compile_binary(self, node):
+        op = node.op
+        if op == "and":
+            left, left_needs = self.compile_predicate(node.left)
+            right, right_needs = self.compile_predicate(node.right)
+            self.nodes_compiled += 1
+
+            def conjunction(rows, scope, evaluator):
+                value = left(rows, scope, evaluator)
+                if value is False:
+                    return False  # short-circuit
+                return logic_and(value, right(rows, scope, evaluator))
+
+            return conjunction, left_needs or right_needs
+        if op == "or":
+            left, left_needs = self.compile_predicate(node.left)
+            right, right_needs = self.compile_predicate(node.right)
+            self.nodes_compiled += 1
+
+            def disjunction(rows, scope, evaluator):
+                value = left(rows, scope, evaluator)
+                if value is True:
+                    return True  # short-circuit
+                return logic_or(value, right(rows, scope, evaluator))
+
+            return disjunction, left_needs or right_needs
+
+        left, left_needs = self.compile(node.left)
+        right, right_needs = self.compile(node.right)
+        needs = left_needs or right_needs
+        self.nodes_compiled += 1
+
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+
+            def comparison(rows, scope, evaluator):
+                return compare(
+                    op,
+                    left(rows, scope, evaluator),
+                    right(rows, scope, evaluator),
+                )
+
+            return comparison, needs
+
+        if op == "||":
+
+            def concat(rows, scope, evaluator):
+                left_value = left(rows, scope, evaluator)
+                right_value = right(rows, scope, evaluator)
+                if left_value is None or right_value is None:
+                    return None
+                if not isinstance(left_value, str) or not isinstance(
+                    right_value, str
+                ):
+                    raise TypeError_(
+                        f"'||' requires strings, got {left_value!r} and "
+                        f"{right_value!r}"
+                    )
+                return left_value + right_value
+
+            return concat, needs
+
+        if op in ("+", "-", "*", "/", "%"):
+
+            def arithmetic(rows, scope, evaluator):
+                left_value = left(rows, scope, evaluator)
+                right_value = right(rows, scope, evaluator)
+                if left_value is None or right_value is None:
+                    return None
+                if isinstance(left_value, bool) or isinstance(
+                    right_value, bool
+                ):
+                    raise TypeError_(
+                        f"arithmetic on booleans: {left_value!r} {op} "
+                        f"{right_value!r}"
+                    )
+                if not isinstance(left_value, (int, float)) or not isinstance(
+                    right_value, (int, float)
+                ):
+                    raise TypeError_(
+                        f"arithmetic requires numbers: {left_value!r} {op} "
+                        f"{right_value!r}"
+                    )
+                if op == "+":
+                    return left_value + right_value
+                if op == "-":
+                    return left_value - right_value
+                if op == "*":
+                    return left_value * right_value
+                if op == "/":
+                    if right_value == 0:
+                        raise ExecutionError("division by zero")
+                    result = left_value / right_value
+                    # integer / integer stays integral when exact
+                    if isinstance(left_value, int) and isinstance(
+                        right_value, int
+                    ):
+                        quotient = left_value // right_value
+                        if quotient * right_value == left_value:
+                            return quotient
+                    return result
+                if right_value == 0:
+                    raise ExecutionError("modulo by zero")
+                return left_value % right_value
+
+            return arithmetic, needs
+
+        message = f"unknown binary operator {op!r}"
+
+        def unknown_operator(rows, scope, evaluator):
+            raise ExecutionError(message)
+
+        return unknown_operator, needs
+
+    # -- predicates -------------------------------------------------------
+
+    def _compile_is_null(self, node):
+        operand, needs = self.compile(node.operand)
+        self.nodes_compiled += 1
+        negated = node.negated
+
+        def is_null(rows, scope, evaluator):
+            result = operand(rows, scope, evaluator) is None
+            return not result if negated else result
+
+        return is_null, needs
+
+    def _compile_between(self, node):
+        operand, operand_needs = self.compile(node.operand)
+        low, low_needs = self.compile(node.low)
+        high, high_needs = self.compile(node.high)
+        self.nodes_compiled += 1
+        negated = node.negated
+
+        def between(rows, scope, evaluator):
+            value = operand(rows, scope, evaluator)
+            low_value = low(rows, scope, evaluator)
+            high_value = high(rows, scope, evaluator)
+            result = logic_and(
+                compare("<=", low_value, value),
+                compare("<=", value, high_value),
+            )
+            return logic_not(result) if negated else result
+
+        return between, operand_needs or low_needs or high_needs
+
+    def _compile_like(self, node):
+        operand, operand_needs = self.compile(node.operand)
+        negated = node.negated
+        if isinstance(node.pattern, ast.Literal) and isinstance(
+            node.pattern.value, str
+        ):
+            # constant pattern: the regex compiles once, at compile time
+            self.nodes_compiled += 2  # the Like node and its pattern
+            regex = _like_to_regex(node.pattern.value)
+
+            def like_constant(rows, scope, evaluator):
+                value = operand(rows, scope, evaluator)
+                if value is None:
+                    return None
+                if not isinstance(value, str):
+                    raise TypeError_("LIKE requires string operands")
+                result = bool(regex.match(value))
+                return not result if negated else result
+
+            return like_constant, operand_needs
+        pattern, pattern_needs = self.compile(node.pattern)
+        self.nodes_compiled += 1
+
+        def like(rows, scope, evaluator):
+            value = operand(rows, scope, evaluator)
+            pattern_value = pattern(rows, scope, evaluator)
+            if value is None or pattern_value is None:
+                return None
+            if not isinstance(value, str) or not isinstance(
+                pattern_value, str
+            ):
+                raise TypeError_("LIKE requires string operands")
+            result = bool(_like_to_regex(pattern_value).match(value))
+            return not result if negated else result
+
+        return like, operand_needs or pattern_needs
+
+    def _compile_in_list(self, node):
+        operand, needs = self.compile(node.operand)
+        items = []
+        for item in node.items:
+            item_fn, item_needs = self.compile(item)
+            items.append(item_fn)
+            needs = needs or item_needs
+        self.nodes_compiled += 1
+        negated = node.negated
+
+        def in_list(rows, scope, evaluator):
+            value = operand(rows, scope, evaluator)
+            found_unknown = False
+            for item_fn in items:
+                result = compare("=", value, item_fn(rows, scope, evaluator))
+                if result is True:
+                    return False if negated else True
+                if result is None:
+                    found_unknown = True
+            if found_unknown:
+                return None
+            return True if negated else False
+
+        return in_list, needs
+
+    # -- functions --------------------------------------------------------
+
+    def _compile_function_call(self, node):
+        if node.name in AGGREGATE_NAMES:
+            # aggregates need the GroupScope machinery
+            return self._fallback(node)
+        args = []
+        needs = False
+        for arg in node.args:
+            arg_fn, arg_needs = self.compile(arg)
+            args.append(arg_fn)
+            needs = needs or arg_needs
+        self.nodes_compiled += 1
+        name = node.name
+
+        def function_call(rows, scope, evaluator):
+            return _apply_scalar_function(
+                name, [arg_fn(rows, scope, evaluator) for arg_fn in args]
+            )
+
+        return function_call, needs
+
+    def _compile_case(self, node):
+        branches = []
+        needs = False
+        for condition, value in node.branches:
+            condition_fn, condition_needs = self.compile_predicate(condition)
+            value_fn, value_needs = self.compile(value)
+            branches.append((condition_fn, value_fn))
+            needs = needs or condition_needs or value_needs
+        default = None
+        if node.default is not None:
+            default, default_needs = self.compile(node.default)
+            needs = needs or default_needs
+        self.nodes_compiled += 1
+
+        def case(rows, scope, evaluator):
+            for condition_fn, value_fn in branches:
+                if condition_fn(rows, scope, evaluator) is True:
+                    return value_fn(rows, scope, evaluator)
+            if default is not None:
+                return default(rows, scope, evaluator)
+            return None
+
+        return case, needs
+
+
+_COMPARISON_OPS = frozenset({"=", "<>", "<", "<=", ">", ">=", "and", "or"})
+
+
+def _always_boolean(node):
+    """True when evaluating ``node`` can only yield True/False/None."""
+    if isinstance(node, (ast.IsNull, ast.Between, ast.Like, ast.InList)):
+        return True
+    if isinstance(node, ast.BinaryOp):
+        return node.op in _COMPARISON_OPS
+    if isinstance(node, ast.UnaryOp):
+        return node.op == "not"
+    if isinstance(node, ast.Literal):
+        return node.value is None or isinstance(node.value, bool)
+    return False
+
+
+#: node types that always delegate to the interpreter: subqueries need
+#: the evaluator (resolver, subquery caches), and anything unknown is
+#: safer interpreted than guessed at
+_DYNAMIC_NODES = frozenset(
+    {
+        ast.InSelect,
+        ast.Exists,
+        ast.QuantifiedComparison,
+        ast.ScalarSelect,
+    }
+)
+
+_HANDLERS = {
+    ast.Literal: _Compiler._compile_literal,
+    ast.ColumnRef: _Compiler._compile_column_ref,
+    ast.Star: _Compiler._compile_star,
+    ast.UnaryOp: _Compiler._compile_unary,
+    ast.BinaryOp: _Compiler._compile_binary,
+    ast.IsNull: _Compiler._compile_is_null,
+    ast.Between: _Compiler._compile_between,
+    ast.Like: _Compiler._compile_like,
+    ast.InList: _Compiler._compile_in_list,
+    ast.FunctionCall: _Compiler._compile_function_call,
+    ast.CaseExpression: _Compiler._compile_case,
+}

@@ -8,6 +8,8 @@ undo logging and handle bookkeeping cannot be bypassed.
 
 from __future__ import annotations
 
+import os
+
 from ..errors import CatalogError
 from .handles import HandleAllocator
 from .schema import Catalog, Column, TableSchema
@@ -49,6 +51,21 @@ class Database:
         self.plan_cache = PlanCache()
         #: planner/evaluator counters (rows scanned, cache hits, ...)
         self.planner_stats = PlannerStats()
+
+        from .compiled import CompiledCache, CompilerStats
+
+        #: evaluate predicates/projections through compiled closures (see
+        #: repro.relational.compiled); False interprets every expression —
+        #: same values and errors, different cost. REPRO_COMPILED_EVAL=0
+        #: in the environment forces the layer off (CI runs both ways).
+        self.enable_compiled_eval = os.environ.get(
+            "REPRO_COMPILED_EVAL", "1"
+        ).lower() not in ("0", "off", "false")
+        #: compiled programs per (expression AST, layout), invalidated by
+        #: schema_version like the plan cache
+        self.compiled_cache = CompiledCache()
+        #: compiler counters (compiles, cache hits, fallback nodes, ...)
+        self.compiler_stats = CompilerStats()
 
     # ------------------------------------------------------------------
     # schema management

@@ -274,9 +274,26 @@ class DmlExecutor:
         else:
             pairs = [(handle, table.get(handle)) for handle in sorted(candidates)]
         matched = []
+        columns = schema.column_names
+        if getattr(self.database, "enable_compiled_eval", False):
+            from .compiled import program_for
+
+            program = program_for(
+                self.database, where, ((table_name, columns),), predicate=True
+            )
+            needs_scope = program.needs_scope
+            evaluator = self._evaluator
+            for handle, row in pairs:
+                scope = None
+                if needs_scope:
+                    scope = Scope()
+                    scope.bind(table_name, columns, row)
+                if program.fn((row,), scope, evaluator) is True:
+                    matched.append((handle, row))
+            return matched
         for handle, row in pairs:
             scope = Scope()
-            scope.bind(table_name, schema.column_names, row)
+            scope.bind(table_name, columns, row)
             if self._evaluator.evaluate_predicate(where, scope) is True:
                 matched.append((handle, row))
         return matched

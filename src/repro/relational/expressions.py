@@ -14,6 +14,7 @@ expressions; the runtime recursion between them mirrors the grammar's).
 from __future__ import annotations
 
 import re
+from functools import lru_cache
 
 from ..errors import ExecutionError, TypeError_
 from ..sql import ast
@@ -242,7 +243,10 @@ def compare(op, left, right):
     raise ExecutionError(f"unknown comparison operator {op!r}")
 
 
+@lru_cache(maxsize=512)
 def _like_to_regex(pattern):
+    # Memoized: LIKE evaluation runs per row, but a workload uses few
+    # distinct patterns — each should cost one regex compilation total.
     parts = []
     for char in pattern:
         if char == "%":

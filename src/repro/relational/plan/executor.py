@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from ...errors import ExecutionError
 from ...sql import ast
+from ..compiled import layout_of, program_for
 from ..expressions import Scope
 from ..types import compare_values
 from .nodes import Filter, HashJoin, IndexLookup, Plan, Product, Scan, SingleRow
@@ -51,6 +52,10 @@ def execute_source(plan, database, resolver, evaluator, outer,
         scope = Scope(parent=outer)
         for (name, columns), row in zip(bindings, rows):
             scope.bind(name, columns, row)
+        # the combination's row tuples, aligned with ``bindings`` — the
+        # compiled projection path indexes these instead of resolving
+        # column names through the scope (see repro.relational.compiled)
+        scope.rows = rows
         if pairs:
             touched = [pair for pair in pairs if pair is not None]
             if touched:
@@ -145,6 +150,8 @@ class _SourceRunner:
 
     def _run_filter(self, node):
         bindings, combos = self.run(node.child)
+        if getattr(self.database, "enable_compiled_eval", False) and combos:
+            return bindings, self._filter_compiled(node, bindings, combos)
         evaluate = self.evaluator.evaluate_predicate
         kept = []
         for rows, pairs in combos:
@@ -156,18 +163,42 @@ class _SourceRunner:
                 kept.append((rows, pairs))
         return bindings, kept
 
+    def _filter_compiled(self, node, bindings, combos):
+        """The filter loop over compiled predicate programs: column slots
+        resolve at compile time, and the per-row Scope is only built when
+        some predicate contains an interpreter-fallback subtree."""
+        layout = layout_of(bindings)
+        programs = [
+            program_for(self.database, predicate, layout, predicate=True)
+            for predicate in node.predicates
+        ]
+        needs_scope = any(program.needs_scope for program in programs)
+        evaluator = self.evaluator
+        kept = []
+        for combo in combos:
+            rows = combo[0]
+            scope = self._scope_for(bindings, rows) if needs_scope else None
+            for program in programs:
+                if program.fn(rows, scope, evaluator) is not True:
+                    break
+            else:
+                kept.append(combo)
+        return kept
+
     # -- joins ------------------------------------------------------------
 
     def _run_hash_join(self, node):
         left_bindings, left_combos = self.run(node.left)
         right_bindings, right_combos = self.run(node.right)
+        right_key_values = self._key_values_fn(right_bindings, node.right_keys)
+        left_key_values = self._key_values_fn(left_bindings, node.left_keys)
 
         buckets = {}
         # per key position: kind tag -> witness value, for reproducing the
         # naive path's cross-kind comparison errors (see _check_kinds)
         witnesses = [{} for _ in node.right_keys]
         for combo in right_combos:
-            values = self._key_values(right_bindings, combo, node.right_keys)
+            values = right_key_values(combo[0])
             parts = []
             for position, value in enumerate(values):
                 if value is None:
@@ -181,9 +212,7 @@ class _SourceRunner:
 
         joined = []
         for left_rows, left_pairs in left_combos:
-            values = self._key_values(
-                left_bindings, (left_rows, left_pairs), node.left_keys
-            )
+            values = left_key_values(left_rows)
             parts = []
             for position, value in enumerate(values):
                 if value is None:
@@ -239,14 +268,43 @@ class _SourceRunner:
             scope.bind(name, columns, row)
         return scope
 
-    def _key_values(self, bindings, combo, key_exprs):
-        """One combination's join-key values (NULLs included; hash parts
-        are tagged by kind at the call site, so Python's cross-kind
-        equalities like ``True == 1`` cannot produce matches SQL
-        comparison would reject)."""
-        rows, _ = combo
-        scope = self._scope_for(bindings, rows)
-        return [self.evaluator.evaluate(expr, scope) for expr in key_exprs]
+    def _key_values_fn(self, bindings, key_exprs):
+        """A ``rows -> [key values]`` callable for one join side (NULLs
+        included; hash parts are tagged by kind at the call site, so
+        Python's cross-kind equalities like ``True == 1`` cannot produce
+        matches SQL comparison would reject). With compiled evaluation on,
+        the key expressions compile once per join run; either way the
+        per-combination Scope is only built when actually needed."""
+        evaluator = self.evaluator
+        if getattr(self.database, "enable_compiled_eval", False):
+            layout = layout_of(bindings)
+            programs = [
+                program_for(self.database, expr, layout)
+                for expr in key_exprs
+            ]
+            if not any(program.needs_scope for program in programs):
+                def compiled_values(rows):
+                    return [
+                        program.fn(rows, None, evaluator)
+                        for program in programs
+                    ]
+
+                return compiled_values
+
+            def compiled_values_with_scope(rows):
+                scope = self._scope_for(bindings, rows)
+                return [
+                    program.fn(rows, scope, evaluator)
+                    for program in programs
+                ]
+
+            return compiled_values_with_scope
+
+        def interpreted_values(rows):
+            scope = self._scope_for(bindings, rows)
+            return [evaluator.evaluate(expr, scope) for expr in key_exprs]
+
+        return interpreted_values
 
 
 _KIND_TAGS = {bool: "b", int: "n", float: "n", str: "s"}

@@ -1,0 +1,187 @@
+"""Diff fresh ``BENCH_*.json`` reports against committed baselines.
+
+Each benchmark module writes a machine-readable report to the repository
+root (see ``benchmarks/conftest.py``); the first accepted run of each is
+committed under ``benchmarks/baselines/``. This tool compares the timing
+leaves — numeric values under ``values`` keys whose name starts with
+``seconds`` — of a fresh report against its baseline and fails when any
+series regresses by more than the threshold (default 25%).
+
+Comparisons only make sense between runs of the same scale, so a report
+whose ``fast_mode`` flag differs from its baseline's is skipped with a
+note rather than compared.
+
+Usage::
+
+    python tools/bench_compare.py [names...]
+        [--baseline-dir benchmarks/baselines]
+        [--threshold 0.25]
+
+``names`` restricts the check to specific benches (``selection`` checks
+``BENCH_selection.json``); by default every baseline present is checked.
+Exit status is 1 if any regression (or a missing fresh report/series)
+was found, 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE_DIR = REPO_ROOT / "benchmarks" / "baselines"
+DEFAULT_THRESHOLD = 0.25
+#: absolute slack (seconds) added on top of the relative threshold —
+#: sub-millisecond timings jitter by multiples under scheduler noise, so
+#: a purely relative gate on them would flap
+DEFAULT_GRACE = 0.005
+
+
+def timing_leaves(values, prefix=()):
+    """Yield ``(path, number)`` for every numeric leaf under a key that
+    starts with ``seconds`` — the raw timings print_series records."""
+    for key, item in sorted(values.items()):
+        if not str(key).startswith("seconds"):
+            continue
+        yield from _numeric_leaves(item, prefix + (str(key),))
+
+
+def _numeric_leaves(item, path):
+    if isinstance(item, bool):
+        return
+    if isinstance(item, (int, float)):
+        yield path, float(item)
+    elif isinstance(item, dict):
+        for key, value in sorted(item.items()):
+            yield from _numeric_leaves(value, path + (str(key),))
+    elif isinstance(item, (list, tuple)):
+        for index, value in enumerate(item):
+            yield from _numeric_leaves(value, path + (str(index),))
+
+
+def compare_reports(baseline, fresh, threshold, grace=DEFAULT_GRACE):
+    """Compare one report pair; returns ``(problems, checked)`` where
+    ``problems`` is a list of human-readable failure strings and
+    ``checked`` counts the timing leaves actually compared."""
+    problems = []
+    checked = 0
+    fresh_series = {
+        series.get("title"): series for series in fresh.get("series", [])
+    }
+    for series in baseline.get("series", []):
+        title = series.get("title")
+        values = series.get("values")
+        if not values:
+            continue
+        counterpart = fresh_series.get(title)
+        if counterpart is None:
+            problems.append(f"series {title!r} missing from fresh report")
+            continue
+        base_leaves = dict(timing_leaves(values))
+        fresh_leaves = dict(timing_leaves(counterpart.get("values", {})))
+        for path, base_value in base_leaves.items():
+            fresh_value = fresh_leaves.get(path)
+            where = f"{title!r} / {'/'.join(path)}"
+            if fresh_value is None:
+                problems.append(f"timing {where} missing from fresh report")
+                continue
+            checked += 1
+            if base_value <= 0:
+                continue
+            ratio = (fresh_value - base_value) / base_value
+            allowed = base_value * (1 + threshold) + grace
+            if fresh_value > allowed:
+                problems.append(
+                    f"regression at {where}: "
+                    f"{base_value:.6f}s -> {fresh_value:.6f}s "
+                    f"(+{ratio * 100:.0f}%, allowed {allowed:.6f}s = "
+                    f"+{threshold * 100:.0f}% and {grace:.3f}s grace)"
+                )
+    return problems, checked
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="compare BENCH_*.json against committed baselines"
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        help="bench names to check (default: every committed baseline)",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=DEFAULT_BASELINE_DIR,
+        help="directory holding the baseline BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--fresh-dir",
+        type=Path,
+        default=REPO_ROOT,
+        help="directory holding the fresh BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed fractional slowdown before failing (default 0.25)",
+    )
+    parser.add_argument(
+        "--grace",
+        type=float,
+        default=DEFAULT_GRACE,
+        help="absolute seconds of slack on top of the threshold "
+        "(default 0.005; absorbs scheduler noise on micro timings)",
+    )
+    options = parser.parse_args(argv)
+
+    if options.names:
+        baseline_paths = [
+            options.baseline_dir / f"BENCH_{name}.json"
+            for name in options.names
+        ]
+        missing = [str(path) for path in baseline_paths if not path.exists()]
+        if missing:
+            print(f"error: no baseline at {', '.join(missing)}")
+            return 1
+    else:
+        baseline_paths = sorted(options.baseline_dir.glob("BENCH_*.json"))
+        if not baseline_paths:
+            print(f"error: no baselines under {options.baseline_dir}")
+            return 1
+
+    failed = False
+    for baseline_path in baseline_paths:
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+        fresh_path = options.fresh_dir / baseline_path.name
+        if not fresh_path.exists():
+            print(f"FAIL {baseline_path.name}: no fresh report at "
+                  f"{fresh_path}")
+            failed = True
+            continue
+        fresh = json.loads(fresh_path.read_text(encoding="utf-8"))
+        if bool(baseline.get("fast_mode")) != bool(fresh.get("fast_mode")):
+            print(
+                f"skip {baseline_path.name}: fast_mode mismatch "
+                f"(baseline={baseline.get('fast_mode')}, "
+                f"fresh={fresh.get('fast_mode')})"
+            )
+            continue
+        problems, checked = compare_reports(
+            baseline, fresh, options.threshold, options.grace
+        )
+        if problems:
+            failed = True
+            print(f"FAIL {baseline_path.name} ({checked} timings checked):")
+            for problem in problems:
+                print(f"  {problem}")
+        else:
+            print(f"ok   {baseline_path.name} ({checked} timings checked)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
