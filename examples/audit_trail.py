@@ -89,6 +89,10 @@ def main():
         if exists (select * from accounts where balance < 0)
         then rollback
     """)
+    # The guard vetoes before the (opaque) fraud detector runs, and the
+    # read auditor logs before either mutates anything further.
+    db.execute("create rule priority negative_balance_guard before fraud_watch")
+    db.execute("create rule priority audit_balance_reads before fraud_watch")
     db.begin()
     db.execute("update accounts set balance = balance - 40 where acct = 2")
     print("mid-transaction: asserting rules now (a triggering point)...")

@@ -86,6 +86,12 @@ def setup(db, departments=10):
                     where e.dept_no = payroll.dept_no)
              where dept_no in (select dept_no from new updated emp.salary)
     """)
+    # Each aggregate's maintainers are ordered: a transition mixing
+    # inserts, deletes and updates applies them deterministically
+    # (otherwise they are genuine §6 ordering conflicts — see \lint).
+    db.execute("create rule priority headcount_in before headcount_out")
+    db.execute("create rule priority payroll_in before payroll_out")
+    db.execute("create rule priority payroll_out before payroll_adjust")
 
 
 def verify(db):

@@ -103,6 +103,8 @@ def main():
              where emp_no in (select emp_no from inserted emp)
     """)
     db.execute("create rule priority no_negative_salary before audit_new_hires")
+    db.execute("create rule priority no_negative_salary before raise_watchdog")
+    db.execute("create rule priority raise_watchdog before audit_new_hires")
     print("declared: no_negative_salary runs before audit_new_hires")
     print("rules defined:", ", ".join(db.rule_names()))
 

@@ -11,6 +11,7 @@ Meta commands:
     \\rules            list defined rules (with their SQL)
     \\explain <select> show the select's logical plan (also: explain <select>)
     \\analyze          run static analysis (§6 loop/conflict warnings)
+    \\lint             run the semantic analyzer (RPLnnn diagnostics)
     \\trace on|off     toggle printing of transition traces
     \\stats            show engine and per-rule counters
     \\stats reset      zero the counters (fresh measurement window)
@@ -152,6 +153,13 @@ class Repl:
                     self.println(f"error: {error}")
         elif command == "\\analyze":
             self.println(analyze(self.db.catalog).describe())
+        elif command == "\\lint":
+            report = self.db.lint()
+            if not len(report):
+                self.println("lint: no findings")
+            else:
+                for diagnostic in report:
+                    self.println(diagnostic.describe())
         elif command == "\\tables":
             for name in self.db.database.table_names():
                 count = self.db.database.row_count(name)
@@ -226,6 +234,7 @@ def main():
             "delete from dept where dept_no = 1",
             "select name, dept_no from emp",
             "\\analyze",
+            "\\lint",
             "\\tables",
             "\\stats",
             "\\events 5",

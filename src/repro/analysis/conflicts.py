@@ -24,20 +24,30 @@ from .graph import action_provides
 @dataclass(frozen=True)
 class ConflictWarning:
     """Rules ``first``/``second`` are mutually triggerable, unordered, and
-    interfere on ``tables`` — execution order may affect the final state."""
+    interfere on ``tables`` — execution order may affect the final state.
+
+    ``assumed`` is True when the interference could not be derived from
+    SQL: one of the actions is an opaque external procedure, so the
+    analysis had to assume it touches everything."""
 
     first: str
     second: str
     tables: tuple
+    assumed: bool = False
 
     def describe(self):
         tables = ", ".join(self.tables)
-        return (
+        text = (
             f"rules {self.first!r} and {self.second!r} may trigger on the "
             f"same transition, are not ordered by any priority, and both "
             f"touch {{{tables}}}; their relative order may affect the final "
             "database state (consider 'create rule priority ... before ...')"
         )
+        if self.assumed:
+            text += (
+                " [assumed: an opaque external action may touch any table]"
+            )
+        return text
 
 
 def predicates_overlap(first, second):
@@ -123,9 +133,13 @@ def find_ordering_conflicts(catalog):
                 continue
             tables = actions_interfere(first, second)
             if tables:
+                assumed = (
+                    rule_writes(first) is None or rule_writes(second) is None
+                )
                 warnings.append(
                     ConflictWarning(
-                        first.name, second.name, tuple(sorted(tables))
+                        first.name, second.name, tuple(sorted(tables)),
+                        assumed=assumed,
                     )
                 )
     return warnings

@@ -89,6 +89,48 @@ def may_trigger(provider, consumer):
     )
 
 
+def strongly_connected_components(nodes, successors):
+    """Tarjan's algorithm over an explicit adjacency map.
+
+    Shared by the syntactic :class:`TriggeringGraph` and the refined
+    graph the lint subsystem builds; returns components (node lists) in
+    reverse topological order.
+    """
+    index_counter = [0]
+    stack = []
+    lowlink = {}
+    index = {}
+    on_stack = set()
+    components = []
+
+    def strongconnect(node):
+        index[node] = index_counter[0]
+        lowlink[node] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        for successor in successors.get(node, ()):
+            if successor not in index:
+                strongconnect(successor)
+                lowlink[node] = min(lowlink[node], lowlink[successor])
+            elif successor in on_stack:
+                lowlink[node] = min(lowlink[node], index[successor])
+        if lowlink[node] == index[node]:
+            component = []
+            while True:
+                successor = stack.pop()
+                on_stack.discard(successor)
+                component.append(successor)
+                if successor == node:
+                    break
+            components.append(component)
+
+    for node in nodes:
+        if node not in index:
+            strongconnect(node)
+    return components
+
+
 class TriggeringGraph:
     """The rule triggering graph: ``successors[r]`` = rules r may trigger."""
 
@@ -120,39 +162,9 @@ class TriggeringGraph:
     def strongly_connected_components(self):
         """Tarjan's algorithm; returns a list of components (name lists),
         in reverse topological order."""
-        index_counter = [0]
-        stack = []
-        lowlink = {}
-        index = {}
-        on_stack = set()
-        components = []
-
-        def strongconnect(node):
-            index[node] = index_counter[0]
-            lowlink[node] = index_counter[0]
-            index_counter[0] += 1
-            stack.append(node)
-            on_stack.add(node)
-            for successor in self.successors.get(node, ()):
-                if successor not in index:
-                    strongconnect(successor)
-                    lowlink[node] = min(lowlink[node], lowlink[successor])
-                elif successor in on_stack:
-                    lowlink[node] = min(lowlink[node], index[successor])
-            if lowlink[node] == index[node]:
-                component = []
-                while True:
-                    successor = stack.pop()
-                    on_stack.discard(successor)
-                    component.append(successor)
-                    if successor == node:
-                        break
-                components.append(component)
-
-        for rule in self.rules:
-            if rule.name not in index:
-                strongconnect(rule.name)
-        return components
+        return strongly_connected_components(
+            [rule.name for rule in self.rules], self.successors
+        )
 
     def to_dot(self):
         """Graphviz rendering of the triggering graph (for documentation)."""

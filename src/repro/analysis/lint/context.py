@@ -1,0 +1,164 @@
+"""The linted program: a uniform view over live catalogs and SQL scripts.
+
+The analyzer runs in two modes:
+
+* **catalog mode** (:func:`repro.analysis.lint.lint_catalog`,
+  ``ActiveDatabase.lint()``) — rules come from a live
+  :class:`~repro.core.rules.RuleCatalog` and carry no source spans;
+* **script mode** (:func:`repro.analysis.lint.lint_script`, the
+  ``python -m repro.lint`` CLI) — rules come from parsed ``create rule``
+  statements and every finding points at ``line:col`` in the script.
+
+:class:`LintRule` abstracts over both so passes never care which mode
+they run in, and :class:`LintContext` carries everything a pass may
+consult: the schema catalog, the rule set, the priority order, and the
+workload write set (for closed-world checks like RPL304).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from ...sql import ast
+from ...sql.spans import Span, span_of
+
+
+@dataclass
+class LintRule:
+    """One rule as the analyzer sees it.
+
+    ``span`` locates the rule's ``create rule`` statement (script mode
+    only); ``active`` mirrors the catalog's activation flag (always True
+    in script mode unless a ``-- lint: deactivate`` pragma applies).
+    """
+
+    name: str
+    predicates: tuple
+    condition: Optional[ast.Expression]
+    action: object
+    active: bool = True
+    span: Optional[Span] = None
+    sequence: int = 0
+
+    @property
+    def is_rollback(self) -> bool:
+        return isinstance(self.action, ast.RollbackAction)
+
+    @property
+    def is_external(self) -> bool:
+        """Opaque (non-SQL) action: the analyzer must assume anything."""
+        return not isinstance(
+            self.action, (ast.OperationBlock, ast.RollbackAction)
+        )
+
+    @classmethod
+    def from_catalog_rule(cls, rule: object, sequence: int = 0) -> "LintRule":
+        return cls(
+            name=rule.name,
+            predicates=tuple(rule.predicates),
+            condition=rule.condition,
+            action=rule.action,
+            active=getattr(rule, "active", True),
+            span=None,
+            sequence=getattr(rule, "sequence", sequence),
+        )
+
+    @classmethod
+    def from_statement(cls, statement: ast.CreateRule,
+                       sequence: int = 0) -> "LintRule":
+        return cls(
+            name=statement.name,
+            predicates=tuple(statement.predicates),
+            condition=statement.condition,
+            action=statement.action,
+            active=True,
+            span=span_of(statement),
+            sequence=sequence,
+        )
+
+
+@dataclass
+class LintContext:
+    """Everything the passes can see.
+
+    Attributes:
+        database: the relational :class:`~repro.relational.database
+            .Database` whose catalog supplies table schemas (may hold a
+            scratch database in script mode).
+        rules: the rule program under analysis.
+        precedes: ``precedes(a, b)`` — is rule ``a`` strictly higher
+            than ``b`` in the priority partial order?
+        workload_writes: ``(table, column-or-None)`` pairs written by the
+            known external workload (script DML, caller-supplied hints).
+        closed_world: True when ``workload_writes`` is believed complete
+            (script mode), enabling dead-read analysis; False on a live
+            database whose future workload is unknown.
+        statements: non-rule statements to lint (script mode: the DML
+            blocks), as ``(statement, span)`` pairs.
+        only_rule: when set, restrict rule-scoped passes to this rule
+            (used for definition-time linting of a single new rule).
+        defined_names: every rule name the program ever defined,
+            including rules later dropped (so ``drop rule``/priority
+            references to them are not flagged as dangling).
+    """
+
+    database: object
+    rules: list[LintRule] = field(default_factory=list)
+    precedes: Callable[[str, str], bool] = lambda a, b: False
+    workload_writes: set = field(default_factory=set)
+    closed_world: bool = False
+    statements: list = field(default_factory=list)
+    only_rule: Optional[str] = None
+    defined_names: set = field(default_factory=set)
+
+    def rule_named(self, name: str) -> Optional[LintRule]:
+        for rule in self.rules:
+            if rule.name == name:
+                return rule
+        return None
+
+    def scoped_rules(self) -> list[LintRule]:
+        """The rules a rule-scoped pass should visit."""
+        if self.only_rule is None:
+            return self.rules
+        rule = self.rule_named(self.only_rule)
+        return [rule] if rule is not None else []
+
+    def has_table(self, name: str) -> bool:
+        try:
+            self.database.schema(name)
+        except Exception:
+            return False
+        return True
+
+    def schema(self, name: str) -> object:
+        """The table schema, or None when the table is unknown."""
+        try:
+            return self.database.schema(name)
+        except Exception:
+            return None
+
+
+def priority_precedes(pairings: Iterable[tuple[str, str]],
+                      ) -> Callable[[str, str], bool]:
+    """A ``precedes`` predicate over an explicit pairing list (script
+    mode, where no :class:`RuleCatalog` exists)."""
+    adjacency: dict[str, list[str]] = {}
+    for higher, lower in pairings:
+        adjacency.setdefault(higher, []).append(lower)
+
+    def precedes(first: str, second: str) -> bool:
+        stack = list(adjacency.get(first, ()))
+        seen: set[str] = set()
+        while stack:
+            node = stack.pop()
+            if node == second:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(adjacency.get(node, ()))
+        return False
+
+    return precedes

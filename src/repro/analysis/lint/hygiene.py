@@ -1,0 +1,297 @@
+"""Program-hygiene checks: dead rules, shadowing, rollback cycles,
+dead condition reads, dangling rule references.
+
+* RPL301 (rule-scoped) — the rule's condition contains a conjunct that
+  constant-folds to FALSE/NULL: the rule can never fire.
+* RPL302 — a deactivated rule watches the same table(s) as an active
+  rule: easy to forget it exists while the active rule changes behavior.
+* RPL303 — a triggering cycle (on the refined graph) can reach a rule
+  whose action is ROLLBACK: every iteration risks aborting the whole
+  transaction.
+* RPL304 — closed-world only: a rule's condition reads a base-table
+  column that holds no data and that no rule action or workload
+  statement ever writes; the read can only ever see an empty relation.
+* RPL007 — a priority pairing or ``drop rule`` names a rule that does
+  not exist in the program.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Iterator, Optional
+
+from ...sql import ast
+from ...sql.spans import span_of
+from ..conflicts import predicates_overlap
+from ..graph import strongly_connected_components
+from .base import register_pass
+from .context import LintContext, LintRule
+from .diagnostics import Diagnostic, make
+from .refine import RefinedTriggeringGraph, condition_provably_false
+
+_RULE_PASS = "reachability"
+_PROGRAM_PASS = "hygiene"
+
+
+@register_pass(_RULE_PASS, scope="rule",
+               description="detect rules whose condition is constant-false")
+def run_rule_scoped(context: LintContext) -> Iterable[Diagnostic]:
+    out: list[Diagnostic] = []
+    for rule in context.scoped_rules():
+        if condition_provably_false(rule.condition):
+            out.append(make(
+                "RPL301",
+                f"rule {rule.name!r} is unreachable: its condition "
+                "constant-folds to false",
+                span=rule.span, rule=rule.name,
+                hint="delete the rule or fix the contradictory condition",
+                pass_name=_RULE_PASS,
+            ))
+    return out
+
+
+@register_pass(_PROGRAM_PASS, scope="program",
+               description="shadowing, rollback cycles, dead reads, "
+                           "dangling references")
+def run_program_scoped(context: LintContext) -> Iterable[Diagnostic]:
+    out: list[Diagnostic] = []
+    _check_deactivated_overlap(context, out)
+    _check_rollback_cycles(context, out)
+    _check_dead_reads(context, out)
+    _check_rule_references(context, out)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# RPL302
+
+def _check_deactivated_overlap(context: LintContext,
+                               out: list[Diagnostic]) -> None:
+    active = [rule for rule in context.rules if rule.active]
+    for rule in context.rules:
+        if rule.active:
+            continue
+        overlapping = sorted(
+            other.name for other in active
+            if predicates_overlap(rule, other)
+        )
+        if overlapping:
+            names = ", ".join(repr(name) for name in overlapping)
+            out.append(make(
+                "RPL302",
+                f"deactivated rule {rule.name!r} watches the same table(s) "
+                f"as active rule(s) {names}; transitions it would handle "
+                "are now processed differently",
+                span=rule.span, rule=rule.name,
+                hint="drop the rule if it is obsolete, or reactivate it",
+                pass_name=_PROGRAM_PASS,
+            ))
+
+
+# ---------------------------------------------------------------------------
+# RPL303
+
+def _check_rollback_cycles(context: LintContext,
+                           out: list[Diagnostic]) -> None:
+    active = [rule for rule in context.rules if rule.active]
+    if not active:
+        return
+    graph = RefinedTriggeringGraph(active, schema_lookup=context.schema)
+    names = [rule.name for rule in active]
+    cyclic: set[str] = set()
+    for component in strongly_connected_components(names, graph.successors):
+        if len(component) > 1 or (
+            component[0] in graph.successors.get(component[0], ())
+        ):
+            cyclic.update(component)
+    if not cyclic:
+        return
+    rollback_rules = {
+        rule.name for rule in active if rule.is_rollback
+    }
+    if not rollback_rules:
+        return
+    reported: set[tuple[str, str]] = set()
+    for start in sorted(cyclic):
+        reachable = _reachable_from(start, graph.successors)
+        for target in sorted(rollback_rules & reachable):
+            key = (start, target)
+            if key in reported:
+                continue
+            reported.add(key)
+            rule = context.rule_named(start)
+            out.append(make(
+                "RPL303",
+                f"triggering cycle through {start!r} can reach rollback "
+                f"rule {target!r}: the loop may abort the whole "
+                "transaction",
+                span=rule.span if rule else None, rule=start,
+                hint="order the rollback guard before the cascading rules "
+                     "or tighten its condition",
+                pass_name=_PROGRAM_PASS,
+            ))
+
+
+def _reachable_from(start: str,
+                    successors: dict[str, list[str]]) -> set[str]:
+    seen: set[str] = set()
+    stack = list(successors.get(start, ()))
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.extend(successors.get(node, ()))
+    return seen
+
+
+# ---------------------------------------------------------------------------
+# RPL304
+
+def _immediate_column_refs(expr: object) -> Iterator[ast.ColumnRef]:
+    """Column references under ``expr`` without descending into nested
+    selects (those resolve against their own scopes)."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if node is None or isinstance(node, (ast.Select, str, int, float,
+                                             bool)):
+            continue
+        if isinstance(node, ast.ColumnRef):
+            yield node
+            continue
+        if isinstance(node, (tuple, list)):
+            stack.extend(node)
+            continue
+        if dataclasses.is_dataclass(node):
+            for field in dataclasses.fields(node):
+                stack.append(getattr(node, field.name))
+
+
+def _own_expressions(select: ast.Select) -> Iterator[object]:
+    for item in select.items:
+        if isinstance(item, ast.SelectItem):
+            yield item.expression
+    yield select.where
+    yield from select.group_by
+    yield select.having
+    for order in select.order_by:
+        yield order.expression
+
+
+def _condition_reads(context: LintContext, rule: LintRule,
+                     ) -> Iterator[tuple[str, str, ast.ColumnRef]]:
+    """(table, column, ref) base-table reads of the rule's condition."""
+    if rule.condition is None:
+        return
+    for select in ast.iter_selects(rule.condition):
+        base = {
+            ref.binding_name: ref.table
+            for ref in select.tables
+            if isinstance(ref, ast.BaseTableRef)
+        }
+        if not base:
+            continue
+        sole_table = (
+            next(iter(base.values()))
+            if len(select.tables) == 1 and len(base) == 1 else None
+        )
+        for expr in _own_expressions(select):
+            for ref in _immediate_column_refs(expr):
+                if ref.qualifier is not None:
+                    table = base.get(ref.qualifier)
+                    if table is not None:
+                        yield table, ref.column, ref
+                elif sole_table is not None:
+                    schema = context.schema(sole_table)
+                    if schema is not None and schema.has_column(ref.column):
+                        yield sole_table, ref.column, ref
+
+
+def _written_columns(context: LintContext) -> set[tuple[str, Optional[str]]]:
+    """(table, column-or-None) pairs some rule action or workload
+    statement can populate. ``(t, None)`` means "rows of t appear"."""
+    writes: set[tuple[str, Optional[str]]] = set(context.workload_writes)
+    for rule in context.rules:
+        if not rule.active:
+            continue
+        if rule.is_external:
+            return {("<any>", None)}  # opaque: may write anything
+        if not isinstance(rule.action, ast.OperationBlock):
+            continue
+        for operation in rule.action.operations:
+            if isinstance(operation, (ast.InsertValues, ast.InsertSelect)):
+                writes.add((operation.table, None))
+            elif isinstance(operation, ast.Update):
+                for assignment in operation.assignments:
+                    writes.add((operation.table, assignment.column))
+    return writes
+
+
+def _table_has_rows(context: LintContext, table: str) -> bool:
+    try:
+        storage = context.database.table(table)
+    except Exception:
+        return True  # unknown table: schema pass reports it; stay silent
+    try:
+        return len(storage) > 0
+    except TypeError:
+        return True
+
+
+def _check_dead_reads(context: LintContext, out: list[Diagnostic]) -> None:
+    if not context.closed_world:
+        return
+    writes = _written_columns(context)
+    if ("<any>", None) in writes:
+        return
+    populated_tables = {table for table, _ in writes}
+    reported: set[tuple[str, str, str]] = set()
+    for rule in context.rules:
+        if not rule.active:
+            continue
+        for table, column, ref in _condition_reads(context, rule):
+            if table in populated_tables:
+                continue
+            if _table_has_rows(context, table):
+                continue
+            key = (rule.name, table, column)
+            if key in reported:
+                continue
+            reported.add(key)
+            out.append(make(
+                "RPL304",
+                f"condition of rule {rule.name!r} reads {table}.{column}, "
+                f"but nothing in the program ever populates {table!r}: "
+                "the subquery is always empty",
+                span=span_of(ref) or rule.span, rule=rule.name,
+                hint="seed the table, or remove the dead predicate",
+                pass_name=_PROGRAM_PASS,
+            ))
+
+
+# ---------------------------------------------------------------------------
+# RPL007
+
+def _check_rule_references(context: LintContext,
+                           out: list[Diagnostic]) -> None:
+    known = {rule.name for rule in context.rules} | context.defined_names
+    for statement, span in context.statements:
+        if isinstance(statement, ast.CreateRulePriority):
+            for name in (statement.higher, statement.lower):
+                if name not in known:
+                    out.append(make(
+                        "RPL007",
+                        f"priority pairing references unknown rule {name!r}",
+                        span=span_of(statement) or span,
+                        hint="define the rule before ordering it",
+                        pass_name=_PROGRAM_PASS,
+                    ))
+        elif isinstance(statement, ast.DropRule):
+            if statement.name not in known:
+                out.append(make(
+                    "RPL007",
+                    f"drop rule references unknown rule {statement.name!r}",
+                    span=span_of(statement) or span,
+                    pass_name=_PROGRAM_PASS,
+                ))

@@ -12,14 +12,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .graph import TriggeringGraph
+from .graph import TriggeringGraph, action_provides
 
 
 @dataclass(frozen=True)
 class LoopWarning:
-    """A potential infinite loop among ``rules`` (a triggering cycle)."""
+    """A potential infinite loop among ``rules`` (a triggering cycle).
+
+    ``assumed`` is True when some participating edge exists only because
+    a rule's action is opaque (an external Python procedure): the
+    analysis had to assume that action can do anything, rather than
+    derive the edge from SQL the rule actually contains.
+    """
 
     rules: tuple
+    assumed: bool = False
 
     @property
     def is_self_loop(self):
@@ -27,12 +34,19 @@ class LoopWarning:
 
     def describe(self):
         if self.is_self_loop:
-            return (
+            text = (
                 f"rule {self.rules[0]!r} may trigger itself indefinitely "
                 "(see paper §4.1 / footnote 7)"
             )
-        chain = " -> ".join(self.rules) + f" -> {self.rules[0]}"
-        return f"rules may trigger each other indefinitely: {chain}"
+        else:
+            chain = " -> ".join(self.rules) + f" -> {self.rules[0]}"
+            text = f"rules may trigger each other indefinitely: {chain}"
+        if self.assumed:
+            text += (
+                " [assumed: an opaque external action participates, so the "
+                "cycle could not be ruled out]"
+            )
+        return text
 
 
 def find_potential_loops(catalog):
@@ -43,15 +57,21 @@ def find_potential_loops(catalog):
     with a self-edge).
     """
     graph = TriggeringGraph.from_catalog(catalog)
+    opaque = {
+        rule.name for rule in graph.rules
+        if action_provides(rule) is None
+    }
     warnings = []
     for component in graph.strongly_connected_components():
         if len(component) > 1:
             ordered = tuple(sorted(component))
-            warnings.append(LoopWarning(ordered))
+            warnings.append(
+                LoopWarning(ordered, assumed=bool(opaque & set(ordered)))
+            )
         else:
             name = component[0]
             if graph.has_edge(name, name):
-                warnings.append(LoopWarning((name,)))
+                warnings.append(LoopWarning((name,), assumed=name in opaque))
     return warnings
 
 

@@ -37,10 +37,14 @@ _NEGATED_COMPARISON = {
 
 @dataclass(frozen=True)
 class GeneratedRule:
-    """One production rule produced by the compiler."""
+    """One statement produced by the compiler: a production rule
+    (``kind="rule"``) or a priority pairing between generated rules
+    (``kind="priority"``, used when a constraint compiles to several
+    rules whose firing order matters)."""
 
     name: str
     sql: str
+    kind: str = "rule"
 
 
 def compile_constraint(constraint):
@@ -197,6 +201,16 @@ def _compile_referential(constraint):
         "then rollback"
     )
     rules.append(GeneratedRule(update_name, update_sql))
+    # Both parent-side rules watch the parent table and touch the child:
+    # repairing deletions must run before the key-update guard inspects
+    # the child for orphans, or the guard could veto a state the cascade
+    # was about to fix. Without this pairing the pair is an RPL203
+    # ordering conflict.
+    rules.append(GeneratedRule(
+        f"{constraint.name}__order",
+        f"create rule priority {parent_name} before {update_name}",
+        kind="priority",
+    ))
     return rules
 
 

@@ -43,7 +43,8 @@ class ConstraintManager:
         try:
             for rule in generated:
                 self.db.execute(rule.sql)
-                defined.append(rule.name)
+                if rule.kind == "rule":
+                    defined.append(rule.name)
         except Exception:
             # leave no partial constraint behind
             for name in defined:

@@ -26,6 +26,7 @@ through the manual transaction API: :meth:`begin` /
 
 from __future__ import annotations
 
+import os
 from time import perf_counter
 
 from ..errors import (
@@ -238,6 +239,28 @@ class RuleEngine:
             self._emit(
                 EventKind.TRANS_INFO_RESET, rule=rule.name, cause="registered"
             )
+        self._lint_new_rule(rule)
+
+    def _lint_new_rule(self, rule):
+        """Definition-time warnings: run the rule-scoped lint passes on
+        the new rule and emit each finding as a ``lint_diagnostic``
+        event. Purely advisory — rule definition never fails because of
+        lint, and analyzer bugs must not break the engine, so the whole
+        thing is wrapped. Set ``REPRO_DEFINE_LINT=0`` to disable."""
+        if os.environ.get("REPRO_DEFINE_LINT", "1").lower() in (
+            "0", "off", "false"
+        ):
+            return
+        try:
+            from ..analysis.lint import lint_rule
+
+            report = lint_rule(self.catalog, self.database, rule.name)
+            for diagnostic in report:
+                self._emit(
+                    EventKind.LINT_DIAGNOSTIC, **diagnostic.to_dict()
+                )
+        except Exception:  # pragma: no cover - defensive
+            pass
 
     # ------------------------------------------------------------------
     # transactions

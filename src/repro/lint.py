@@ -1,0 +1,207 @@
+"""``python -m repro.lint`` — the rule-program semantic analyzer CLI.
+
+Lints SQL rule scripts (``.sql``, via :func:`repro.analysis.lint
+.lint_script`) and Python example programs (``.py``: the file is
+executed with a capturing :class:`~repro.system.ActiveDatabase`, then
+every database it built is linted). Directories are walked for both.
+
+Usage::
+
+    python -m repro.lint [options] <path>...
+    python -m repro.lint --orgchart        # lint the org-chart workload
+
+Options:
+
+* ``--fail-on {error,warning}`` — findings at or above this severity
+  set exit status 1 (default ``error``);
+* ``--allow CODE[:rule]`` — suppress a diagnostic code, optionally only
+  for one rule (e.g. ``--allow RPL201:manager_cascade`` acknowledges a
+  known, intended recursive rule); repeatable;
+* ``--format {text,json}`` — report format.
+
+Exit status: 0 clean, 1 findings at/above the fail level, 2 on usage,
+parse or execution errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import json
+import runpy
+import sys
+from pathlib import Path
+from typing import Iterator, Optional
+
+from .analysis.lint import Diagnostic, LintReport, Severity, lint_script
+from .errors import ReproError
+
+
+def _iter_files(paths: list[str]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.sql"))
+            yield from sorted(path.rglob("*.py"))
+        else:
+            yield path
+
+
+def _lint_sql_file(path: Path) -> LintReport:
+    return lint_script(path.read_text())
+
+
+def _lint_python_file(path: Path) -> LintReport:
+    """Execute a Python example and lint every ActiveDatabase it builds.
+
+    The example runs exactly as ``python example.py --script`` would
+    (``--script`` keeps the REPL example non-interactive), with stdout
+    suppressed and stdin empty; the patched constructor records each
+    instance so the rule programs the example defines can be analyzed.
+    """
+    import repro
+    import repro.system
+
+    instances = []
+    original = repro.system.ActiveDatabase
+
+    class _CapturingActiveDatabase(original):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            instances.append(self)
+
+    saved_argv = sys.argv
+    saved_stdin = sys.stdin
+    sys.argv = [str(path), "--script"]
+    sys.stdin = io.StringIO("")
+    repro.ActiveDatabase = _CapturingActiveDatabase
+    repro.system.ActiveDatabase = _CapturingActiveDatabase
+    try:
+        with contextlib.redirect_stdout(io.StringIO()):
+            runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = saved_argv
+        sys.stdin = saved_stdin
+        repro.ActiveDatabase = original
+        repro.system.ActiveDatabase = original
+
+    report = LintReport()
+    for db in instances:
+        report.extend(list(db.lint()))
+    report.sort()
+    return report
+
+
+def _lint_orgchart() -> LintReport:
+    from .system import ActiveDatabase
+    from .workloads.orgchart import define_rules, populate
+
+    db = ActiveDatabase()
+    populate(db, depth=2, branching=2)
+    define_rules(db)
+    return db.lint()
+
+
+def _parse_allow(specs: list[str]) -> list[tuple[str, Optional[str]]]:
+    allowed = []
+    for spec in specs:
+        code, _, rule = spec.partition(":")
+        allowed.append((code.upper(), rule or None))
+    return allowed
+
+
+def _suppressed(diagnostic: Diagnostic,
+                allowed: list[tuple[str, Optional[str]]]) -> bool:
+    return any(
+        diagnostic.code == code and (rule is None or diagnostic.rule == rule)
+        for code, rule in allowed
+    )
+
+
+def _text_report(label: str, report: LintReport,
+                 suppressed_count: int) -> str:
+    lines = [f"== {label}"]
+    if not len(report):
+        lines.append("   no findings"
+                     + (f" ({suppressed_count} suppressed)"
+                        if suppressed_count else ""))
+    else:
+        lines.extend(f"   {d.describe()}" for d in report)
+        if suppressed_count:
+            lines.append(f"   ({suppressed_count} suppressed)")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="semantic analyzer for rule programs",
+    )
+    parser.add_argument("paths", nargs="*",
+                        help=".sql scripts, .py examples, or directories")
+    parser.add_argument("--orgchart", action="store_true",
+                        help="also lint the built-in org-chart workload "
+                             "rule program")
+    parser.add_argument("--fail-on", choices=("error", "warning"),
+                        default="error",
+                        help="severity that sets a nonzero exit status")
+    parser.add_argument("--allow", action="append", default=[],
+                        metavar="CODE[:rule]",
+                        help="suppress a diagnostic code (repeatable)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    args = parser.parse_args(argv)
+
+    if not args.paths and not args.orgchart:
+        parser.print_usage(sys.stderr)
+        return 2
+
+    allowed = _parse_allow(args.allow)
+    failing = {Severity.ERROR}
+    if args.fail_on == "warning":
+        failing.add(Severity.WARNING)
+
+    targets: list[tuple[str, object]] = [
+        (str(path), path) for path in _iter_files(args.paths)
+    ]
+    if args.orgchart:
+        targets.append(("workloads/orgchart", None))
+
+    exit_status = 0
+    json_out = []
+    for label, path in targets:
+        try:
+            if path is None:
+                report = _lint_orgchart()
+            elif path.suffix == ".py":
+                report = _lint_python_file(path)
+            else:
+                report = _lint_sql_file(path)
+        except (ReproError, OSError) as error:
+            print(f"== {label}\n   {type(error).__name__}: {error}",
+                  file=sys.stderr)
+            exit_status = 2
+            continue
+
+        kept = [d for d in report if not _suppressed(d, allowed)]
+        suppressed_count = len(report) - len(kept)
+        filtered = LintReport(kept)
+        if any(d.severity in failing for d in kept):
+            exit_status = max(exit_status, 1)
+        if args.format == "json":
+            json_out.append({
+                "path": label,
+                "suppressed": suppressed_count,
+                "diagnostics": [d.to_dict() for d in kept],
+            })
+        else:
+            print(_text_report(label, filtered, suppressed_count))
+
+    if args.format == "json":
+        print(json.dumps({"files": json_out}, indent=2))
+    return exit_status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

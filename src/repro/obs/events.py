@@ -31,6 +31,11 @@ record reached the write-ahead log; the durable commit point),
 ``checkpoint`` (a full snapshot was installed), and ``recovery``
 (a database was rebuilt from checkpoint + WAL after a crash).
 
+``lint_diagnostic`` carries one static-analysis finding (see
+:mod:`repro.analysis.lint`): rule-scoped passes run when a rule is
+defined, and each resulting :class:`~repro.analysis.lint.Diagnostic`
+is emitted with its flattened ``to_dict()`` payload.
+
 Events carry live objects (e.g. :class:`~repro.core.effects
 .TransitionEffect` instances) in ``data`` so in-process consumers — the
 trace recorder, the metrics collector — pay no serialization cost;
@@ -58,6 +63,7 @@ class EventKind:
     WAL_APPEND = "wal_append"
     CHECKPOINT = "checkpoint"
     RECOVERY = "recovery"
+    LINT_DIAGNOSTIC = "lint_diagnostic"
 
     ALL = (
         TXN_BEGIN,
@@ -73,6 +79,7 @@ class EventKind:
         WAL_APPEND,
         CHECKPOINT,
         RECOVERY,
+        LINT_DIAGNOSTIC,
     )
 
 

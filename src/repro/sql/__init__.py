@@ -17,10 +17,12 @@ from .parser import (
     parse_select,
     parse_statement,
 )
+from .spans import Span, span_of, walk
 
 __all__ = [
     "Lexer",
     "Parser",
+    "Span",
     "ast",
     "format_node",
     "parse_block",
@@ -28,5 +30,7 @@ __all__ = [
     "parse_script",
     "parse_select",
     "parse_statement",
+    "span_of",
     "tokenize",
+    "walk",
 ]

@@ -23,6 +23,7 @@ from __future__ import annotations
 from ..errors import ParseError
 from . import ast
 from .lexer import tokenize
+from .spans import set_span, span_between
 from .tokens import TokenKind
 
 _TYPE_KEYWORDS = {"INTEGER", "INT", "FLOAT", "REAL", "VARCHAR", "CHAR", "BOOLEAN"}
@@ -109,6 +110,18 @@ class Parser:
         return self._peek().kind is TokenKind.EOF
 
     # ------------------------------------------------------------------
+    # source spans
+
+    def _prev(self):
+        """The most recently consumed token (or the first, before any)."""
+        return self._tokens[max(self._index - 1, 0)]
+
+    def _spanned(self, node, start_token):
+        """Attach the span from ``start_token`` to the last consumed
+        token onto ``node``; returns the node."""
+        return set_span(node, span_between(start_token, self._prev()))
+
+    # ------------------------------------------------------------------
     # statements
 
     def parse_statement(self):
@@ -131,17 +144,18 @@ class Parser:
         return statements
 
     def _parse_statement_inner(self):
+        start = self._peek()
         if self._check_keyword("CREATE"):
-            return self._parse_create()
+            return self._spanned(self._parse_create(), start)
         if self._check_keyword("DROP"):
-            return self._parse_drop()
+            return self._spanned(self._parse_drop(), start)
         if self._check_keyword("ASSERT"):
             self._advance()
             self._expect_keyword("RULES")
-            return ast.AssertRules()
+            return self._spanned(ast.AssertRules(), start)
         if self._check_keyword("EXPLAIN"):
             self._advance()
-            return ast.Explain(self._parse_select())
+            return self._spanned(ast.Explain(self._parse_select()), start)
         return self._parse_operation_block()
 
     def _parse_create(self):
@@ -189,6 +203,7 @@ class Parser:
         self._expect(TokenKind.LPAREN, "'('")
         columns = []
         while True:
+            column_start = self._peek()
             column_name = self._expect_identifier("column name")
             type_token = self._peek()
             if type_token.kind is TokenKind.KEYWORD and type_token.value in _TYPE_KEYWORDS:
@@ -202,7 +217,9 @@ class Parser:
                 raise ParseError(
                     f"expected column type, found {type_token.text!r}", type_token
                 )
-            columns.append(ast.ColumnDef(column_name, type_name))
+            columns.append(
+                self._spanned(ast.ColumnDef(column_name, type_name), column_start)
+            )
             if not self._match(TokenKind.COMMA):
                 break
         self._expect(TokenKind.RPAREN, "')'")
@@ -228,7 +245,7 @@ class Parser:
             condition = self.parse_expression_inner()
         self._expect_keyword("THEN")
         if self._match_keyword("ROLLBACK"):
-            action = ast.RollbackAction()
+            action = self._spanned(ast.RollbackAction(), self._prev())
         else:
             action = self._parse_operation_block()
         return ast.CreateRule(name, tuple(predicates), condition, action)
@@ -238,30 +255,42 @@ class Parser:
         if self._match_keyword("INSERTED"):
             self._expect_keyword("INTO")
             table = self._expect_identifier("table name")
-            return ast.BasicTransitionPredicate(
-                ast.TransitionPredicateKind.INSERTED, table
+            return self._spanned(
+                ast.BasicTransitionPredicate(
+                    ast.TransitionPredicateKind.INSERTED, table
+                ),
+                token,
             )
         if self._match_keyword("DELETED"):
             self._expect_keyword("FROM")
             table = self._expect_identifier("table name")
-            return ast.BasicTransitionPredicate(
-                ast.TransitionPredicateKind.DELETED, table
+            return self._spanned(
+                ast.BasicTransitionPredicate(
+                    ast.TransitionPredicateKind.DELETED, table
+                ),
+                token,
             )
         if self._match_keyword("UPDATED"):
             table = self._expect_identifier("table name")
             column = None
             if self._match(TokenKind.DOT):
                 column = self._expect_identifier("column name")
-            return ast.BasicTransitionPredicate(
-                ast.TransitionPredicateKind.UPDATED, table, column
+            return self._spanned(
+                ast.BasicTransitionPredicate(
+                    ast.TransitionPredicateKind.UPDATED, table, column
+                ),
+                token,
             )
         if self._match_keyword("SELECTED"):
             table = self._expect_identifier("table name")
             column = None
             if self._match(TokenKind.DOT):
                 column = self._expect_identifier("column name")
-            return ast.BasicTransitionPredicate(
-                ast.TransitionPredicateKind.SELECTED, table, column
+            return self._spanned(
+                ast.BasicTransitionPredicate(
+                    ast.TransitionPredicateKind.SELECTED, table, column
+                ),
+                token,
             )
         raise ParseError(
             "expected transition predicate (inserted into / deleted from / "
@@ -273,6 +302,7 @@ class Parser:
     # operation blocks (paper §2.1)
 
     def _parse_operation_block(self):
+        start = self._peek()
         operations = [self._parse_operation()]
         while self._check(TokenKind.SEMICOLON):
             # Greedy: continue only if another operation follows.
@@ -282,18 +312,20 @@ class Parser:
                 operations.append(self._parse_operation())
             else:
                 break
-        return ast.OperationBlock(tuple(operations))
+        return self._spanned(ast.OperationBlock(tuple(operations)), start)
 
     def _parse_operation(self):
         token = self._peek()
         if self._check_keyword("INSERT"):
-            return self._parse_insert()
+            return self._spanned(self._parse_insert(), token)
         if self._check_keyword("DELETE"):
-            return self._parse_delete()
+            return self._spanned(self._parse_delete(), token)
         if self._check_keyword("UPDATE"):
-            return self._parse_update()
+            return self._spanned(self._parse_update(), token)
         if self._check_keyword("SELECT"):
-            return ast.SelectOperation(self._parse_select())
+            return self._spanned(
+                ast.SelectOperation(self._parse_select()), token
+            )
         raise ParseError(
             f"expected insert, delete, update or select, found {token.text!r}",
             token,
@@ -360,15 +392,17 @@ class Parser:
         return ast.Update(table, tuple(assignments), where)
 
     def _parse_assignment(self):
+        start = self._peek()
         column = self._expect_identifier("column name")
         self._expect(TokenKind.EQ, "'='")
         value = self.parse_expression_inner()
-        return ast.Assignment(column, value)
+        return self._spanned(ast.Assignment(column, value), start)
 
     # ------------------------------------------------------------------
     # select
 
     def _parse_select(self):
+        start = self._peek()
         self._expect_keyword("SELECT")
         distinct = False
         if self._match_keyword("DISTINCT"):
@@ -416,23 +450,27 @@ class Parser:
         if self._match_keyword("UNION"):
             union_all = bool(self._match_keyword("ALL"))
             union = self._parse_select()
-        return ast.Select(
-            items=tuple(items),
-            tables=tables,
-            where=where,
-            group_by=group_by,
-            having=having,
-            order_by=order_by,
-            limit=limit,
-            distinct=distinct,
-            union=union,
-            union_all=union_all,
+        return self._spanned(
+            ast.Select(
+                items=tuple(items),
+                tables=tables,
+                where=where,
+                group_by=group_by,
+                having=having,
+                order_by=order_by,
+                limit=limit,
+                distinct=distinct,
+                union=union,
+                union_all=union_all,
+            ),
+            start,
         )
 
     def _parse_select_item(self):
+        start = self._peek()
         if self._check(TokenKind.STAR):
             self._advance()
-            return ast.Star()
+            return self._spanned(ast.Star(), start)
         # qualified star: t.*
         if (
             self._check(TokenKind.IDENTIFIER)
@@ -442,51 +480,58 @@ class Parser:
             qualifier = self._advance().value
             self._advance()  # '.'
             self._advance()  # '*'
-            return ast.Star(qualifier)
+            return self._spanned(ast.Star(qualifier), start)
         expression = self.parse_expression_inner()
         alias = None
         if self._match_keyword("AS"):
             alias = self._expect_identifier("column alias")
         elif self._check(TokenKind.IDENTIFIER):
             alias = self._advance().value
-        return ast.SelectItem(expression, alias)
+        return self._spanned(ast.SelectItem(expression, alias), start)
 
     def _parse_order_item(self):
+        start = self._peek()
         expression = self.parse_expression_inner()
         descending = False
         if self._match_keyword("DESC"):
             descending = True
         elif self._match_keyword("ASC"):
             pass
-        return ast.OrderItem(expression, descending)
+        return self._spanned(ast.OrderItem(expression, descending), start)
 
     def _parse_table_reference(self):
         # Transition tables (paper §3): inserted t, deleted t,
         # old updated t[.c], new updated t[.c]; §5.1: selected t[.c]
+        start = self._peek()
         if self._match_keyword("INSERTED"):
-            return self._finish_transition_ref(ast.TransitionKind.INSERTED,
-                                               allow_column=False)
+            return self._spanned(
+                self._finish_transition_ref(ast.TransitionKind.INSERTED,
+                                            allow_column=False), start)
         if self._match_keyword("DELETED"):
-            return self._finish_transition_ref(ast.TransitionKind.DELETED,
-                                               allow_column=False)
+            return self._spanned(
+                self._finish_transition_ref(ast.TransitionKind.DELETED,
+                                            allow_column=False), start)
         if self._match_keyword("OLD"):
             self._expect_keyword("UPDATED")
-            return self._finish_transition_ref(ast.TransitionKind.OLD_UPDATED,
-                                               allow_column=True)
+            return self._spanned(
+                self._finish_transition_ref(ast.TransitionKind.OLD_UPDATED,
+                                            allow_column=True), start)
         if self._match_keyword("NEW"):
             self._expect_keyword("UPDATED")
-            return self._finish_transition_ref(ast.TransitionKind.NEW_UPDATED,
-                                               allow_column=True)
+            return self._spanned(
+                self._finish_transition_ref(ast.TransitionKind.NEW_UPDATED,
+                                            allow_column=True), start)
         if self._match_keyword("SELECTED"):
-            return self._finish_transition_ref(ast.TransitionKind.SELECTED,
-                                               allow_column=True)
+            return self._spanned(
+                self._finish_transition_ref(ast.TransitionKind.SELECTED,
+                                            allow_column=True), start)
         table = self._expect_identifier("table name")
         alias = None
         if self._match_keyword("AS"):
             alias = self._expect_identifier("table alias")
         elif self._check(TokenKind.IDENTIFIER):
             alias = self._advance().value
-        return ast.BaseTableRef(table, alias)
+        return self._spanned(ast.BaseTableRef(table, alias), start)
 
     def _finish_transition_ref(self, kind, allow_column):
         table = self._expect_identifier("table name")
@@ -507,25 +552,31 @@ class Parser:
         return self._parse_or()
 
     def _parse_or(self):
+        start = self._peek()
         left = self._parse_and()
         while self._match_keyword("OR"):
             right = self._parse_and()
-            left = ast.BinaryOp("or", left, right)
+            left = self._spanned(ast.BinaryOp("or", left, right), start)
         return left
 
     def _parse_and(self):
+        start = self._peek()
         left = self._parse_not()
         while self._match_keyword("AND"):
             right = self._parse_not()
-            left = ast.BinaryOp("and", left, right)
+            left = self._spanned(ast.BinaryOp("and", left, right), start)
         return left
 
     def _parse_not(self):
+        start = self._peek()
         if self._match_keyword("NOT"):
-            return ast.UnaryOp("not", self._parse_not())
+            return self._spanned(
+                ast.UnaryOp("not", self._parse_not()), start
+            )
         return self._parse_comparison()
 
     def _parse_comparison(self):
+        start = self._peek()
         left = self._parse_additive()
         while True:
             token = self._peek()
@@ -540,23 +591,25 @@ class Parser:
                 self._advance()
                 is_negated = bool(self._match_keyword("NOT"))
                 self._expect_keyword("NULL")
-                left = ast.IsNull(left, is_negated)
+                left = self._spanned(ast.IsNull(left, is_negated), start)
                 continue
             if token.is_keyword("IN"):
                 self._advance()
-                left = self._parse_in_rhs(left, negated)
+                left = self._spanned(self._parse_in_rhs(left, negated), start)
                 continue
             if token.is_keyword("BETWEEN"):
                 self._advance()
                 low = self._parse_additive()
                 self._expect_keyword("AND")
                 high = self._parse_additive()
-                left = ast.Between(left, low, high, negated)
+                left = self._spanned(
+                    ast.Between(left, low, high, negated), start
+                )
                 continue
             if token.is_keyword("LIKE"):
                 self._advance()
                 pattern = self._parse_additive()
-                left = ast.Like(left, pattern, negated)
+                left = self._spanned(ast.Like(left, pattern, negated), start)
                 continue
             if negated:
                 raise ParseError("expected IN, BETWEEN or LIKE after NOT", token)
@@ -571,10 +624,13 @@ class Parser:
                     self._expect(TokenKind.LPAREN, "'('")
                     select = self._parse_select()
                     self._expect(TokenKind.RPAREN, "')'")
-                    left = ast.QuantifiedComparison(left, op, quantifier, select)
+                    left = self._spanned(
+                        ast.QuantifiedComparison(left, op, quantifier, select),
+                        start,
+                    )
                 else:
                     right = self._parse_additive()
-                    left = ast.BinaryOp(op, left, right)
+                    left = self._spanned(ast.BinaryOp(op, left, right), start)
                 continue
             return left
 
@@ -591,6 +647,7 @@ class Parser:
         return ast.InList(operand, tuple(items), negated)
 
     def _parse_additive(self):
+        start = self._peek()
         left = self._parse_multiplicative()
         while True:
             if self._match(TokenKind.PLUS):
@@ -601,8 +658,10 @@ class Parser:
                 left = ast.BinaryOp("||", left, self._parse_multiplicative())
             else:
                 return left
+            self._spanned(left, start)
 
     def _parse_multiplicative(self):
+        start = self._peek()
         left = self._parse_unary()
         while True:
             if self._match(TokenKind.STAR):
@@ -613,12 +672,14 @@ class Parser:
                 left = ast.BinaryOp("%", left, self._parse_unary())
             else:
                 return left
+            self._spanned(left, start)
 
     def _parse_unary(self):
+        start = self._peek()
         if self._match(TokenKind.MINUS):
-            return ast.UnaryOp("-", self._parse_unary())
+            return self._spanned(ast.UnaryOp("-", self._parse_unary()), start)
         if self._match(TokenKind.PLUS):
-            return ast.UnaryOp("+", self._parse_unary())
+            return self._spanned(ast.UnaryOp("+", self._parse_unary()), start)
         return self._parse_primary()
 
     def _parse_primary(self):
@@ -626,26 +687,26 @@ class Parser:
 
         if token.kind is TokenKind.INTEGER or token.kind is TokenKind.FLOAT:
             self._advance()
-            return ast.Literal(token.value)
+            return self._spanned(ast.Literal(token.value), token)
         if token.kind is TokenKind.STRING:
             self._advance()
-            return ast.Literal(token.value)
+            return self._spanned(ast.Literal(token.value), token)
         if token.is_keyword("NULL"):
             self._advance()
-            return ast.Literal(None)
+            return self._spanned(ast.Literal(None), token)
         if token.is_keyword("TRUE"):
             self._advance()
-            return ast.Literal(True)
+            return self._spanned(ast.Literal(True), token)
         if token.is_keyword("FALSE"):
             self._advance()
-            return ast.Literal(False)
+            return self._spanned(ast.Literal(False), token)
 
         if token.is_keyword("EXISTS"):
             self._advance()
             self._expect(TokenKind.LPAREN, "'('")
             select = self._parse_select()
             self._expect(TokenKind.RPAREN, "')'")
-            return ast.Exists(select)
+            return self._spanned(ast.Exists(select), token)
 
         if token.is_keyword("CASE"):
             return self._parse_case()
@@ -655,10 +716,11 @@ class Parser:
             if self._check_keyword("SELECT"):
                 select = self._parse_select()
                 self._expect(TokenKind.RPAREN, "')'")
-                return ast.ScalarSelect(select)
+                return self._spanned(ast.ScalarSelect(select), token)
             expression = self.parse_expression_inner()
             self._expect(TokenKind.RPAREN, "')'")
-            return expression
+            # widen the span to include the parentheses
+            return self._spanned(expression, token)
 
         if token.kind is TokenKind.IDENTIFIER:
             return self._parse_identifier_expression()
@@ -668,6 +730,7 @@ class Parser:
         )
 
     def _parse_case(self):
+        start = self._peek()
         self._expect_keyword("CASE")
         branches = []
         while self._match_keyword("WHEN"):
@@ -681,29 +744,31 @@ class Parser:
         if self._match_keyword("ELSE"):
             default = self.parse_expression_inner()
         self._expect_keyword("END")
-        return ast.CaseExpression(tuple(branches), default)
+        return self._spanned(ast.CaseExpression(tuple(branches), default), start)
 
     def _parse_identifier_expression(self):
+        start = self._peek()
         name = self._advance().value
 
         if self._check(TokenKind.LPAREN):
-            return self._parse_function_call(name)
+            return self._spanned(self._parse_function_call(name), start)
 
         if self._check(TokenKind.DOT):
             # qualified column: t.c  (t.* is handled at select-item level)
             self._advance()
             column = self._expect_identifier("column name")
-            return ast.ColumnRef(column, qualifier=name)
+            return self._spanned(ast.ColumnRef(column, qualifier=name), start)
 
-        return ast.ColumnRef(name)
+        return self._spanned(ast.ColumnRef(name), start)
 
     def _parse_function_call(self, name):
         self._expect(TokenKind.LPAREN, "'('")
         distinct = False
         args = []
         if self._check(TokenKind.STAR):
+            star = self._peek()
             self._advance()
-            args.append(ast.Star())
+            args.append(self._spanned(ast.Star(), star))
         elif not self._check(TokenKind.RPAREN):
             if self._match_keyword("DISTINCT"):
                 distinct = True

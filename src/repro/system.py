@@ -303,6 +303,24 @@ class ActiveDatabase:
     def rule_names(self):
         return self.catalog.rule_names()
 
+    def lint(self, *, closed_world=False, workload_writes=()):
+        """Run the full semantic analyzer over the current rule program.
+
+        Returns a :class:`~repro.analysis.lint.LintReport` of
+        diagnostics against the live catalog and schemas. Pass
+        ``closed_world=True`` (optionally with ``workload_writes``:
+        ``(table, column-or-None)`` pairs the application writes) to
+        also enable the dead-condition-read check, which needs to
+        assume no unknown writer exists.
+        """
+        from .analysis.lint import lint_catalog
+
+        return lint_catalog(
+            self.catalog, self.database,
+            closed_world=closed_world,
+            workload_writes=workload_writes,
+        )
+
     def deactivate_rule(self, name):
         """Pause a rule: it keeps its definition and keeps accumulating
         transition information, but is never considered until reactivated."""

@@ -156,3 +156,59 @@ def populate(db, depth=3, branching=2, seed=0):
     chart = build_orgchart(depth=depth, branching=branching, seed=seed)
     load_orgchart(db, chart)
     return chart
+
+
+# ---------------------------------------------------------------------------
+# the org-chart maintenance rule program
+
+#: A lint-clean rule program over the org-chart schema. ``discharge_demo``
+#: is deliberately a *syntactic* self-loop (it updates the very column it
+#: watches) that condition refinement proves terminating: setting
+#: ``salary = 0`` cannot satisfy ``salary < 0`` again, so the analyzer
+#: reports the loop as discharged (RPL202) rather than warning about it.
+ORG_RULES = [
+    # negative salaries are clamped to zero on hire
+    "create rule clamp_salary "
+    "when inserted into emp "
+    "if exists (select * from inserted emp where salary < 0) "
+    "then update emp set salary = 0 where salary < 0",
+    # ... and on any later salary change (self-disactivating update)
+    "create rule discharge_demo "
+    "when updated emp.salary "
+    "if exists (select * from new updated emp.salary where salary < 0) "
+    "then update emp set salary = 0 where salary < 0",
+    # deleting a department moves its employees to the unassigned pool
+    "create rule dept_integrity "
+    "when deleted from dept "
+    "then update emp set dept_no = 0 "
+    "where dept_no in (select dept_no from deleted dept)",
+    # every salary change is journaled
+    "create rule log_salaries "
+    "when updated emp.salary "
+    "then insert into salary_log select name, salary "
+    "from new updated emp.salary",
+]
+
+#: Priorities making every mutually-triggerable interfering pair ordered
+#: (otherwise the analyzer would rightly report RPL203 confluence
+#: warnings): clamp first, then the salary watcher, then the journal.
+ORG_PRIORITIES = [
+    ("clamp_salary", "discharge_demo"),
+    ("discharge_demo", "log_salaries"),
+    ("clamp_salary", "log_salaries"),
+]
+
+
+def define_rules(db):
+    """Define the org-chart maintenance rule program.
+
+    Creates the ``salary_log`` journal table, the :data:`ORG_RULES`
+    rules and the :data:`ORG_PRIORITIES` orderings on ``db`` (an
+    :class:`~repro.system.ActiveDatabase`). The program is lint-clean:
+    ``db.lint()`` afterwards reports no errors or warnings.
+    """
+    db.execute("create table salary_log (name varchar, salary float)")
+    for sql in ORG_RULES:
+        db.execute(sql)
+    for higher, lower in ORG_PRIORITIES:
+        db.execute(f"create rule priority {higher} before {lower}")

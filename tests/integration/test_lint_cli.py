@@ -1,0 +1,161 @@
+"""Integration tests for the lint command line (python -m repro.lint)."""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+CLEAN_SCRIPT = """\
+create table emp (name varchar, salary integer);
+
+create rule guard
+when inserted into emp
+if exists (select * from inserted emp where salary < 0)
+then delete from emp where salary < 0;
+"""
+
+BROKEN_SCRIPT = """\
+create table emp (name varchar, salary integer);
+
+create rule guard
+when inserted into emp
+if exists (select * from inserted emp where salry < 0)
+then delete from emp where salary < 0;
+"""
+
+LOOPING_SCRIPT = """\
+create table dept (dno integer, budget integer);
+
+create rule spiral
+when updated dept.budget
+then update dept set budget = budget - 1 where budget > 0;
+"""
+
+
+def run_lint(*args, cwd=REPO):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *map(str, args)],
+        capture_output=True, text=True, env=env, cwd=cwd,
+    )
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, tmp_path):
+        script = tmp_path / "clean.sql"
+        script.write_text(CLEAN_SCRIPT)
+        result = run_lint(script)
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "no findings" in result.stdout
+
+    def test_error_file_exits_one(self, tmp_path):
+        script = tmp_path / "broken.sql"
+        script.write_text(BROKEN_SCRIPT)
+        result = run_lint(script)
+        assert result.returncode == 1
+        assert "RPL002" in result.stdout
+
+    def test_warning_passes_at_default_fail_level(self, tmp_path):
+        script = tmp_path / "loop.sql"
+        script.write_text(LOOPING_SCRIPT)
+        result = run_lint(script)
+        assert result.returncode == 0
+        assert "RPL201" in result.stdout
+
+    def test_fail_on_warning_tightens_the_gate(self, tmp_path):
+        script = tmp_path / "loop.sql"
+        script.write_text(LOOPING_SCRIPT)
+        result = run_lint("--fail-on", "warning", script)
+        assert result.returncode == 1
+
+    def test_missing_file_is_a_usage_error(self, tmp_path):
+        result = run_lint(tmp_path / "nope.sql")
+        assert result.returncode == 2
+
+
+class TestSuppression:
+    def test_allow_suppresses_a_code(self, tmp_path):
+        script = tmp_path / "loop.sql"
+        script.write_text(LOOPING_SCRIPT)
+        result = run_lint(
+            "--fail-on", "warning", "--allow", "RPL201", script
+        )
+        assert result.returncode == 0
+        assert "suppressed" in result.stdout
+
+    def test_allow_scoped_to_a_rule(self, tmp_path):
+        script = tmp_path / "loop.sql"
+        script.write_text(LOOPING_SCRIPT)
+        scoped = run_lint(
+            "--fail-on", "warning", "--allow", "RPL201:spiral", script
+        )
+        assert scoped.returncode == 0
+        wrong_rule = run_lint(
+            "--fail-on", "warning", "--allow", "RPL201:other", script
+        )
+        assert wrong_rule.returncode == 1
+
+
+class TestFormatsAndTargets:
+    def test_json_format(self, tmp_path):
+        script = tmp_path / "broken.sql"
+        script.write_text(BROKEN_SCRIPT)
+        result = run_lint("--format", "json", script)
+        assert result.returncode == 1
+        payload = json.loads(result.stdout)
+        [finding] = [
+            d for entry in payload["files"] for d in entry["diagnostics"]
+            if d["code"] == "RPL002"
+        ]
+        assert finding["severity"] == "error"
+
+    def test_directory_target_lints_every_script(self, tmp_path):
+        (tmp_path / "a.sql").write_text(CLEAN_SCRIPT)
+        (tmp_path / "b.sql").write_text(BROKEN_SCRIPT)
+        result = run_lint(tmp_path)
+        assert result.returncode == 1
+        assert "a.sql" in result.stdout and "b.sql" in result.stdout
+
+    def test_python_example_target(self, tmp_path):
+        script = tmp_path / "program.py"
+        script.write_text(
+            "from repro import ActiveDatabase\n"
+            "db = ActiveDatabase()\n"
+            "db.execute('create table t (x integer)')\n"
+            "db.execute('create rule tidy when inserted into t '\n"
+            "           'then delete from t where x < 0')\n"
+        )
+        result = run_lint(script)
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "no findings" in result.stdout
+
+    def test_orgchart_gate_is_clean(self):
+        result = run_lint("--fail-on", "warning", "--orgchart")
+        assert result.returncode == 0, result.stdout + result.stderr
+
+
+class TestExamplesGate:
+    """The exact CI gate: examples/ plus the org-chart workload must be
+    lint-clean at warning level, modulo the documented intentional
+    loops."""
+
+    ALLOWANCES = [
+        "--allow", "RPL201:raise_watchdog",
+        "--allow", "RPL303:raise_watchdog",
+        "--allow", "RPL201:fraud_watch",
+        "--allow", "RPL303:fraud_watch",
+        "--allow", "RPL201:manager_cascade",
+    ]
+
+    def test_examples_and_orgchart_are_clean(self):
+        result = run_lint(
+            "--fail-on", "warning", "examples", "--orgchart",
+            *self.ALLOWANCES,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr

@@ -167,3 +167,30 @@ class TestDemoScenario:
         assert "[cascade_delete]" in text
         assert "Mary" in text
         assert "Jane" not in text.split("select name from emp")[-1]
+
+
+class TestLintCommand:
+    def test_lint_clean_catalog(self, shell):
+        text = output_of(
+            shell,
+            "create table t (x integer)",
+            "create rule tidy when inserted into t "
+            "then delete from t where x < 0",
+            "\\lint",
+        )
+        assert "no findings" in text
+
+    def test_lint_reports_diagnostics(self, shell):
+        text = output_of(
+            shell,
+            "create table t (x integer)",
+            "create rule a when inserted into t "
+            "then update t set x = 1 where x < 1",
+            "create rule b when inserted into t "
+            "then update t set x = 2 where x > 2",
+            "\\lint",
+        )
+        assert "RPL203" in text
+
+    def test_lint_listed_in_help(self, shell):
+        assert "\\lint" in output_of(shell, "\\help")

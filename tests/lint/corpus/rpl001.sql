@@ -1,0 +1,8 @@
+-- Seeded defect: the action inserts into a table that does not exist.
+create table emp (name varchar, salary integer);
+
+create rule reward
+when inserted into emp
+if exists (select * from inserted emp where salary > 0)
+then insert into bonus values (1);
+-- expect: RPL001 @ 7:6

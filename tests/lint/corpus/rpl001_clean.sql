@@ -1,0 +1,8 @@
+-- Clean counterpart of rpl001: the target table exists.
+create table emp (name varchar, salary integer);
+create table bonus (amount integer);
+
+create rule reward
+when inserted into emp
+if exists (select * from inserted emp where salary > 0)
+then insert into bonus values (1);

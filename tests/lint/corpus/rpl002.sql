@@ -1,0 +1,8 @@
+-- Seeded defect: the condition misspells the salary column.
+create table emp (name varchar, salary integer);
+
+create rule guard
+when inserted into emp
+if exists (select * from inserted emp where salry > 0)
+then delete from emp where salary is null;
+-- expect: RPL002 @ 6:45

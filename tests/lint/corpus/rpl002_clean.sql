@@ -1,0 +1,7 @@
+-- Clean counterpart of rpl002: the column name is spelled correctly.
+create table emp (name varchar, salary integer);
+
+create rule guard
+when inserted into emp
+if exists (select * from inserted emp where salary > 0)
+then delete from emp where salary is null;

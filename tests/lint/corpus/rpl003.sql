@@ -1,0 +1,9 @@
+-- Seeded defect: bare dept_no exists in both FROM tables.
+create table emp (name varchar, dept_no integer);
+create table dept (dept_no integer, budget integer);
+
+create rule check_depts
+when inserted into emp
+if exists (select * from emp e, dept d where dept_no = 1)
+then delete from emp where name = 'ghost';
+-- expect: RPL003 @ 7:46

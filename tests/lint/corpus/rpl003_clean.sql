@@ -1,0 +1,11 @@
+-- Clean counterpart of rpl003: the reference is qualified (and the
+-- workload populates the table it reads).
+create table emp (name varchar, dept_no integer);
+create table dept (dept_no integer, budget integer);
+
+insert into dept values (1, 100);
+
+create rule check_depts
+when inserted into emp
+if exists (select * from emp e, dept d where d.dept_no = 1)
+then delete from emp where name = 'ghost';

@@ -1,0 +1,8 @@
+-- Seeded defect: a varchar column compared with an integer literal.
+create table emp (name varchar, salary integer);
+
+create rule typo
+when inserted into emp
+if exists (select * from inserted emp where name > 10)
+then delete from emp where salary < 0;
+-- expect: RPL004 @ 6:45

@@ -1,0 +1,7 @@
+-- Clean counterpart of rpl004: the comparison is type-correct.
+create table emp (name varchar, salary integer);
+
+create rule typo
+when inserted into emp
+if exists (select * from inserted emp where name > 'a')
+then delete from emp where salary < 0;

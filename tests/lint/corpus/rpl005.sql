@@ -1,0 +1,7 @@
+-- Seeded defect: three values inserted into a two-column table.
+create table emp (name varchar, salary integer);
+
+create rule backfill
+when deleted from emp
+then insert into emp values ('stub', 1, 2);
+-- expect: RPL005 @ 6:30

@@ -1,0 +1,7 @@
+-- Seeded defect: a string inserted into the integer salary column.
+create table emp (name varchar, salary integer);
+
+create rule backfill
+when deleted from emp
+then insert into emp values ('stub', 'oops');
+-- expect: RPL006 @ 6:38

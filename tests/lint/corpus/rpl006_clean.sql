@@ -1,0 +1,6 @@
+-- Clean counterpart of rpl006: value types match the columns.
+create table emp (name varchar, salary integer);
+
+create rule backfill
+when deleted from emp
+then insert into emp values ('stub', 0);

@@ -1,0 +1,9 @@
+-- Seeded defect: the priority pairing names an undefined rule.
+create table emp (name varchar, salary integer);
+
+create rule cleanup
+when inserted into emp
+then delete from emp where salary < 0;
+
+create rule priority cleanup before ghost;
+-- expect: RPL007 @ 8:1

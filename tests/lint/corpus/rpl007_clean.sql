@@ -1,0 +1,13 @@
+-- Clean counterpart of rpl007: both ordered rules exist (and the
+-- pairing also orders the otherwise-conflicting pair).
+create table emp (name varchar, salary integer);
+
+create rule cleanup
+when inserted into emp
+then delete from emp where salary < 0;
+
+create rule audit_fix
+when inserted into emp
+then update emp set salary = 0 where salary < 0;
+
+create rule priority cleanup before audit_fix;

@@ -1,0 +1,9 @@
+-- Seeded defect: the condition references a transition table no
+-- predicate covers.
+create table emp (name varchar, salary integer);
+
+create rule guard
+when inserted into emp
+if exists (select * from deleted emp where salary > 0)
+then delete from emp where salary < 0;
+-- expect: RPL101 @ 7:26

@@ -1,0 +1,7 @@
+-- Clean counterpart of rpl101: the reference matches the predicate.
+create table emp (name varchar, salary integer);
+
+create rule guard
+when inserted into emp
+if exists (select * from inserted emp where salary > 0)
+then delete from emp where salary < 0;

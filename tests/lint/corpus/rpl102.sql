@@ -1,0 +1,9 @@
+-- Seeded defect: the predicate narrows to salary, but the condition
+-- reads the dept_no narrowing.
+create table emp (name varchar, salary integer, dept_no integer);
+
+create rule watch
+when updated emp.salary
+if exists (select * from new updated emp.dept_no where dept_no > 0)
+then delete from emp where salary < 0;
+-- expect: RPL102 @ 7:26

@@ -1,0 +1,7 @@
+-- Clean counterpart of rpl102: narrowings agree.
+create table emp (name varchar, salary integer, dept_no integer);
+
+create rule watch
+when updated emp.salary
+if exists (select * from new updated emp.salary where salary < 0)
+then delete from emp where salary < 0;

@@ -1,0 +1,7 @@
+-- Seeded defect: the predicate narrows to a column the table lacks.
+create table emp (name varchar, salary integer);
+
+create rule watch
+when updated emp.bonus
+then delete from emp where salary < 0;
+-- expect: RPL103 @ 5:6

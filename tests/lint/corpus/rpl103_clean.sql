@@ -1,0 +1,6 @@
+-- Clean counterpart of rpl103: the narrowing column exists.
+create table emp (name varchar, salary integer);
+
+create rule watch
+when updated emp.salary
+then delete from emp where salary < 0;

@@ -1,0 +1,7 @@
+-- Seeded defect: an unconditional self-triggering update.
+create table dept (dno integer, budget integer);
+
+create rule spiral
+when updated dept.budget
+then update dept set budget = budget - 1 where budget > 0;
+-- expect: RPL201 @ 4:1

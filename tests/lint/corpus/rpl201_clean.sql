@@ -1,0 +1,7 @@
+-- Clean counterpart of rpl201: the action writes a different table.
+create table dept (dno integer, budget integer);
+create table audit (dno integer);
+
+create rule spiral
+when updated dept.budget
+then insert into audit (select dno from new updated dept.budget);

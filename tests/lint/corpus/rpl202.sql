@@ -1,0 +1,9 @@
+-- Seeded note: a syntactic self-loop whose condition refutes the
+-- clamping update — refinement discharges it.
+create table emp (name varchar, salary integer);
+
+create rule clamp
+when updated emp.salary
+if exists (select * from new updated emp.salary where salary < 0)
+then update emp set salary = 0 where salary < 0;
+-- expect: RPL202 @ 5:1

@@ -1,0 +1,9 @@
+-- Clean counterpart of rpl202: no syntactic loop, so nothing to
+-- discharge.
+create table emp (name varchar, salary integer);
+create table log (name varchar);
+
+create rule clamp
+when updated emp.salary
+if exists (select * from new updated emp.salary where salary < 0)
+then insert into log (select name from new updated emp.salary);

@@ -1,0 +1,11 @@
+-- Seeded defect: two unordered rules both rewrite emp.salary.
+create table emp (name varchar, salary integer);
+
+create rule floor_pay
+when inserted into emp
+then update emp set salary = 1 where salary < 1;
+
+create rule cap_pay
+when inserted into emp
+then update emp set salary = 2 where salary > 2;
+-- expect: RPL203 @ 4:1

@@ -1,0 +1,12 @@
+-- Clean counterpart of rpl203: a priority pairing orders the pair.
+create table emp (name varchar, salary integer);
+
+create rule floor_pay
+when inserted into emp
+then update emp set salary = 1 where salary < 1;
+
+create rule cap_pay
+when inserted into emp
+then update emp set salary = 2 where salary > 2;
+
+create rule priority floor_pay before cap_pay;

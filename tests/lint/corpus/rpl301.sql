@@ -1,0 +1,8 @@
+-- Seeded defect: a condition that is constant-false.
+create table emp (name varchar, salary integer);
+
+create rule never
+when inserted into emp
+if 1 = 2
+then delete from emp where salary < 0;
+-- expect: RPL301 @ 4:1

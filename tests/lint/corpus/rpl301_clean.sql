@@ -1,0 +1,7 @@
+-- Clean counterpart of rpl301: a satisfiable condition.
+create table emp (name varchar, salary integer);
+
+create rule never
+when inserted into emp
+if exists (select * from inserted emp where salary < 0)
+then delete from emp where salary < 0;

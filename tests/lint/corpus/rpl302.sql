@@ -1,0 +1,12 @@
+-- lint: deactivate old_guard
+-- Seeded defect: the deactivated rule overlaps an active one.
+create table emp (name varchar, salary integer);
+
+create rule old_guard
+when inserted into emp
+then delete from emp where salary < 0;
+
+create rule new_guard
+when inserted into emp
+then update emp set salary = 0 where salary < 0;
+-- expect: RPL302 @ 5:1

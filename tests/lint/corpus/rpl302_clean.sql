@@ -1,0 +1,13 @@
+-- lint: deactivate old_guard
+-- Clean counterpart of rpl302: the deactivated rule watches a table
+-- no active rule touches.
+create table emp (name varchar, salary integer);
+create table dept (dno integer);
+
+create rule old_guard
+when inserted into dept
+then delete from dept where dno < 0;
+
+create rule new_guard
+when inserted into emp
+then update emp set salary = 0 where salary < 0;

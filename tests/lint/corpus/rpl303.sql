@@ -1,0 +1,16 @@
+-- Seeded defect: the budget spiral can reach a rollback rule (and is
+-- itself a potential loop).
+create table dept (dno integer, budget integer);
+
+create rule spiral
+when updated dept.budget
+then update dept set budget = budget - 1 where budget > 0;
+
+create rule veto
+when updated dept.budget
+if exists (select * from dept where budget < 0)
+then rollback;
+
+create rule priority veto before spiral;
+-- expect: RPL201 @ 5:1
+-- expect: RPL303 @ 5:1

@@ -1,0 +1,14 @@
+-- Clean counterpart of rpl303: no cycle, so the rollback rule is only
+-- reachable from acyclic rules.
+create table dept (dno integer, budget integer);
+
+create rule relabel
+when updated dept.budget
+then update dept set dno = 0 where dno < 0;
+
+create rule veto
+when inserted into dept
+if exists (select * from dept where budget < 0)
+then rollback;
+
+create rule priority veto before relabel;

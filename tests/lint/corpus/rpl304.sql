@@ -1,0 +1,12 @@
+-- Seeded defect: the condition reads blacklist, which nothing in the
+-- program or workload ever writes.
+create table emp (name varchar, salary integer);
+create table blacklist (name varchar);
+
+insert into emp values ('alice', 1);
+
+create rule screen
+when inserted into emp
+if exists (select * from blacklist b where b.name = 'mallory')
+then delete from emp where salary < 0;
+-- expect: RPL304 @ 10:44

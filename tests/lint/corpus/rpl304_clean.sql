@@ -1,0 +1,11 @@
+-- Clean counterpart of rpl304: the workload populates blacklist.
+create table emp (name varchar, salary integer);
+create table blacklist (name varchar);
+
+insert into blacklist values ('mallory');
+insert into emp values ('alice', 1);
+
+create rule screen
+when inserted into emp
+if exists (select * from blacklist b where b.name = 'mallory')
+then delete from emp where salary < 0;

@@ -1,0 +1,84 @@
+"""Seeded-defect corpus for the rule-program lint subsystem.
+
+``corpus/`` holds one ``rplNNN.sql`` script per diagnostic code, each
+seeded with exactly the labelled defect(s), plus an ``rplNNN_clean.sql``
+counterpart with the defect repaired.  Positive files carry
+``-- expect: RPLnnn @ line:col`` labels; the harness asserts that
+linting reports *exactly* the labelled findings — right code, right
+source position, nothing else — and that every clean file lints to
+zero diagnostics.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import lint_script
+from repro.analysis.lint.diagnostics import CODES
+
+CORPUS = Path(__file__).parent / "corpus"
+EXPECT = re.compile(r"--\s*expect:\s*(RPL\d{3})\s*@\s*(\d+):(\d+)")
+
+POSITIVE = sorted(
+    path for path in CORPUS.glob("*.sql")
+    if not path.stem.endswith("_clean")
+)
+CLEAN = sorted(CORPUS.glob("*_clean.sql"))
+
+
+def expected_findings(source):
+    return {
+        (match.group(1), int(match.group(2)), int(match.group(3)))
+        for match in EXPECT.finditer(source)
+    }
+
+
+def actual_findings(source):
+    report = lint_script(source)
+    found = set()
+    for diagnostic in report:
+        assert diagnostic.span is not None, diagnostic
+        found.add(
+            (diagnostic.code, diagnostic.span.line, diagnostic.span.column)
+        )
+    return found
+
+
+class TestSeededDefects:
+    @pytest.mark.parametrize(
+        "path", POSITIVE, ids=[path.stem for path in POSITIVE]
+    )
+    def test_reports_exactly_the_labelled_defects(self, path):
+        source = path.read_text()
+        expected = expected_findings(source)
+        assert expected, f"{path.name} has no '-- expect:' label"
+        assert actual_findings(source) == expected
+
+    @pytest.mark.parametrize(
+        "path", POSITIVE, ids=[path.stem for path in POSITIVE]
+    )
+    def test_file_is_named_after_its_code(self, path):
+        codes = {code for code, _, _ in expected_findings(path.read_text())}
+        assert path.stem.upper() in codes
+
+
+class TestCleanCounterparts:
+    @pytest.mark.parametrize(
+        "path", CLEAN, ids=[path.stem for path in CLEAN]
+    )
+    def test_lints_to_zero_diagnostics(self, path):
+        assert actual_findings(path.read_text()) == set()
+
+
+class TestCoverage:
+    def test_every_diagnostic_code_has_a_positive_and_a_clean_case(self):
+        covered = {path.stem.upper() for path in POSITIVE}
+        cleaned = {
+            path.stem[: -len("_clean")].upper() for path in CLEAN
+        }
+        assert covered == set(CODES)
+        assert cleaned == set(CODES)
+
+    def test_pairs_line_up(self):
+        assert len(POSITIVE) == len(CLEAN) == len(CODES) == 17

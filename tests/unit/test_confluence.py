@@ -125,3 +125,59 @@ class TestProbe:
             commuting_factory, "insert into t values (1)", warnings
         )
         assert all(not result.order_sensitive for result in results)
+
+
+class TestEdgeCases:
+    """Boundary behavior: empty catalogs, self-loops, and the concrete
+    divergence witness carried by a ProbeResult."""
+
+    def test_empty_catalog_yields_no_probes(self):
+        def empty_factory():
+            db = ActiveDatabase()
+            db.execute("create table t (x integer)")
+            return db
+
+        results = probe_conflicts(empty_factory, "insert into t values (1)")
+        assert results == []
+
+    def test_single_self_loop_rule_is_no_conflict_but_is_a_loop(self):
+        """A single rule cannot form an ordering conflict (conflicts need
+        a pair), even when it triggers itself; the loop analysis is the
+        facility that reports it."""
+
+        def self_loop_factory():
+            db = ActiveDatabase()
+            db.execute("create table t (x integer)")
+            db.execute(
+                "create rule clamp when updated t.x "
+                "if exists (select * from new updated t.x where x < 0) "
+                "then update t set x = 0 where x < 0"
+            )
+            return db
+
+        results = probe_conflicts(
+            self_loop_factory, "insert into t values (-1)"
+        )
+        assert results == []
+
+        from repro.analysis import find_potential_loops
+
+        loops = find_potential_loops(self_loop_factory().catalog)
+        assert [warning.rules for warning in loops] == [("clamp",)]
+        assert not loops[0].assumed  # derived from SQL, not an opaque action
+
+    def test_divergence_witness_states_are_concrete(self):
+        """A genuinely diverging pair yields a ProbeResult whose two
+        canonical states are the divergence witness."""
+        result = probe_order_sensitivity(
+            sensitive_factory, "insert into t values (1)",
+            "stamp_a", "stamp_b",
+        )
+        assert result.order_sensitive
+        # the first mover stamps the marker; the loser is suppressed
+        assert result.state_first_first["marker"] == [("a",)]
+        assert result.state_second_first["marker"] == [("b",)]
+        # everything else agrees: the divergence is exactly the marker
+        assert result.state_first_first["t"] == result.state_second_first["t"]
+        assert result.outcome_first_first is None
+        assert result.outcome_second_first is None

@@ -71,15 +71,20 @@ class TestCompilation:
         [rule] = compiled_sql(Check("emp", "salary >= 0", repair="delete"))
         assert "then delete from emp" in rule.sql
 
-    def test_referential_produces_three_rules(self):
-        rules = compiled_sql(
+    def test_referential_produces_three_rules_and_an_ordering(self):
+        generated = compiled_sql(
             ReferentialIntegrity("emp", "dept_no", "dept", "dept_no")
         )
+        rules = [g for g in generated if g.kind == "rule"]
         names = [rule.name for rule in rules]
         assert len(rules) == 3
         assert any(name.endswith("__child") for name in names)
         assert any(name.endswith("__parent") for name in names)
         assert any(name.endswith("__parent_update") for name in names)
+        priorities = [g for g in generated if g.kind == "priority"]
+        assert len(priorities) == 1
+        assert "create rule priority" in priorities[0].sql
+        assert "__parent before" in priorities[0].sql
 
     def test_referential_cascade_uses_deleted_table(self):
         rules = compiled_sql(

@@ -66,7 +66,7 @@ class TestEvent:
             "txn_begin", "txn_commit", "txn_abort", "block_executed",
             "rule_considered", "rule_fired", "trans_info_reset",
             "rollback_by_rule", "loop_budget_trip", "quiescent",
-            "wal_append", "checkpoint", "recovery",
+            "wal_append", "checkpoint", "recovery", "lint_diagnostic",
         }
 
 

@@ -1,0 +1,122 @@
+"""Unit tests for source spans (repro.sql.spans).
+
+Spans are out-of-band metadata: they must pinpoint exact source
+locations for diagnostics without ever perturbing the structural
+equality of the frozen AST dataclasses they annotate.
+"""
+
+from repro.sql import Span, ast, span_of, walk
+from repro.sql.parser import parse_expression, parse_statement
+from repro.sql.spans import set_span, span_between, token_end
+
+
+class FakeToken:
+    def __init__(self, text, line, column, position):
+        self.text = text
+        self.line = line
+        self.column = column
+        self.position = position
+
+
+class TestSpan:
+    def test_location_and_str(self):
+        span = Span(3, 7, 3, 12, offset=40, end_offset=45)
+        assert span.location == "3:7"
+        assert str(span) == "3:7"
+
+    def test_slice(self):
+        source = "abcdefgh"
+        span = Span(1, 3, 1, 6, offset=2, end_offset=5)
+        assert span.slice(source) == "cde"
+
+    def test_covers(self):
+        outer = Span(1, 1, 1, 20, offset=0, end_offset=19)
+        inner = Span(1, 5, 1, 9, offset=4, end_offset=8)
+        assert outer.covers(inner)
+        assert not inner.covers(outer)
+
+
+class TestTokenGeometry:
+    def test_token_end_single_line(self):
+        token = FakeToken("select", line=2, column=5, position=30)
+        assert token_end(token) == (2, 11, 36)
+
+    def test_token_end_multiline_string(self):
+        token = FakeToken("'a\nbc'", line=1, column=1, position=0)
+        line, column, offset = token_end(token)
+        assert (line, column, offset) == (2, 4, 6)
+
+    def test_span_between(self):
+        start = FakeToken("select", 1, 1, 0)
+        end = FakeToken("emp", 1, 15, 14)
+        span = span_between(start, end)
+        assert (span.line, span.column) == (1, 1)
+        assert (span.end_line, span.end_column) == (1, 18)
+        assert (span.offset, span.end_offset) == (0, 17)
+
+
+class TestAttachment:
+    def test_set_span_returns_node_and_span_of_reads_back(self):
+        node = ast.Literal(1)
+        span = Span(1, 1, 1, 2, 0, 1)
+        assert set_span(node, span) is node
+        assert span_of(node) is span
+
+    def test_set_span_none_is_noop(self):
+        node = ast.Literal(1)
+        set_span(node, None)
+        assert span_of(node) is None
+
+    def test_hand_built_nodes_have_no_span(self):
+        assert span_of(ast.ColumnRef("x")) is None
+
+    def test_span_does_not_affect_equality_or_hash(self):
+        plain = parse_expression("salary + 1")
+        spanned = parse_expression("salary + 1")
+        set_span(spanned, None)
+        assert plain == spanned
+        assert hash(plain) == hash(spanned)
+        # two parses of the same text differ only in span identity
+        rebuilt = ast.BinaryOp("+", ast.ColumnRef("salary"), ast.Literal(1))
+        assert rebuilt == plain
+
+
+class TestParserThreading:
+    def test_every_parsed_node_carries_an_in_bounds_span(self):
+        source = (
+            "create rule r when inserted into emp "
+            "if exists (select * from inserted emp where salary < 0) "
+            "then update emp set salary = 0 where salary < 0"
+        )
+        statement = parse_statement(source)
+        nodes = list(walk(statement))
+        assert len(nodes) > 10
+        for node in nodes:
+            span = span_of(node)
+            assert span is not None, node
+            assert 0 <= span.offset < span.end_offset <= len(source)
+
+    def test_spans_point_at_the_actual_text(self):
+        source = "delete from emp where salary < 0"
+        statement = parse_statement(source)
+        [operation] = statement.operations
+        comparison = operation.where
+        assert span_of(comparison).slice(source) == "salary < 0"
+        left = comparison.left
+        assert span_of(left).slice(source) == "salary"
+
+    def test_line_and_column_track_newlines(self):
+        source = "delete from emp\nwhere salary\n  < 0"
+        statement = parse_statement(source)
+        [operation] = statement.operations
+        left = operation.where.left
+        span = span_of(left)
+        assert (span.line, span.column) == (2, 7)
+
+    def test_walk_yields_nested_nodes(self):
+        statement = parse_statement(
+            "insert into t (select x from s where x in (1, 2))"
+        )
+        kinds = {type(node).__name__ for node in walk(statement)}
+        assert {"OperationBlock", "InsertSelect", "Select",
+                "InList", "ColumnRef", "Literal"} <= kinds

@@ -243,3 +243,74 @@ class TestGraphAndReport:
         report = analyze(catalog)
         assert report.warning_count == 0
         assert report.describe() == "no warnings"
+
+
+class TestAssumedFlag:
+    """Warnings derived from opaque external actions are marked assumed."""
+
+    def test_sql_loop_is_not_assumed(self, catalog):
+        define(
+            catalog,
+            "create rule r when updated t.x then update t set x = 1",
+        )
+        (warning,) = find_potential_loops(catalog)
+        assert warning.rules == ("r",)
+        assert warning.assumed is False
+        assert "assumed" not in warning.describe()
+
+    def test_external_loop_is_assumed(self, catalog):
+        catalog.create_rule(
+            "ext", parse_statement(
+                "create rule ignored when inserted into t then rollback"
+            ).predicates,
+            None, ExternalAction(lambda context: None, "opaque"),
+        )
+        (warning,) = find_potential_loops(catalog)
+        assert warning.rules == ("ext",)
+        assert warning.assumed is True
+        assert "assumed" in warning.describe()
+
+    def test_mixed_cycle_through_external_rule_is_assumed(self, catalog):
+        define(
+            catalog,
+            "create rule sql_rule when inserted into t "
+            "then insert into u values (1)",
+        )
+        catalog.create_rule(
+            "ext", parse_statement(
+                "create rule ignored when inserted into u then rollback"
+            ).predicates,
+            None, ExternalAction(lambda context: None, "opaque"),
+        )
+        warnings = find_potential_loops(catalog)
+        cycle = next(w for w in warnings if "sql_rule" in w.rules)
+        assert cycle.assumed is True
+
+    def test_sql_conflict_is_not_assumed(self, catalog):
+        define(
+            catalog,
+            "create rule a when inserted into t then update t set x = 1",
+        )
+        define(
+            catalog,
+            "create rule b when inserted into t then update t set x = 2",
+        )
+        (warning,) = find_ordering_conflicts(catalog)
+        assert warning.assumed is False
+        assert "assumed" not in warning.describe()
+
+    def test_external_conflict_is_assumed(self, catalog):
+        define(
+            catalog,
+            "create rule a when inserted into t then update t set x = 1",
+        )
+        catalog.create_rule(
+            "ext", parse_statement(
+                "create rule ignored when inserted into t then rollback"
+            ).predicates,
+            None, ExternalAction(lambda context: None, "opaque"),
+        )
+        warnings = find_ordering_conflicts(catalog)
+        pair = next(w for w in warnings if "ext" in (w.first, w.second))
+        assert pair.assumed is True
+        assert "assumed" in pair.describe()
