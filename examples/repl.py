@@ -211,6 +211,14 @@ class Repl:
                 if isinstance(value, float):
                     value = f"{value:.2f}"
                 self.println(f"  {key}: {value}")
+        incremental = stats.get("incremental")
+        if incremental is not None:
+            self.println("incremental:")
+            for key in sorted(incremental):
+                value = incremental[key]
+                if isinstance(value, float):
+                    value = f"{value:.2f}"
+                self.println(f"  {key}: {value}")
         if not stats["rules"]:
             self.println("(no rule activity)")
             return
@@ -223,7 +231,8 @@ class Repl:
                 f"action {counters['action_time']:.6f}s, "
                 f"rows scanned {counters['rows_scanned']}, "
                 f"plan hits {counters['plan_cache_hits']}, "
-                f"compile hits {counters['compile_cache_hits']}"
+                f"compile hits {counters['compile_cache_hits']}, "
+                f"incr hits {counters['incremental_hits']}"
             )
 
 

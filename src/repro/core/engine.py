@@ -47,6 +47,7 @@ from ..sql import ast, parse_statement
 from ..sql.parser import parse_select, parse_transition_predicates
 from .effects import TransitionEffect
 from .external import ExternalAction, ExternalActionContext
+from .incremental import EXTERNAL_SOURCE, IncrementalManager
 from .predicates import transition_predicate_satisfied
 from .rules import RuleCatalog
 from .selection import default_strategy
@@ -113,6 +114,11 @@ class RuleEngine:
         self._result = None        # TransactionResult of the open txn
         self._txn_effect = None    # composed net effect of the open txn
         self._base_resolver = BaseTableResolver(self.database)
+        #: delta-driven condition evaluation (docs/semantics.md §12);
+        #: always constructed, only consulted while a transaction that
+        #: began with database.enable_incremental_eval on is active
+        self.incremental = IncrementalManager(self.database, self.catalog)
+        self._incremental_active = False
 
     # ------------------------------------------------------------------
     # observability
@@ -143,6 +149,7 @@ class RuleEngine:
                 if self.durability is not None
                 else None
             ),
+            incremental=self.incremental.stats_snapshot(),
         )
 
     def _emit_recovery(self, info):
@@ -159,6 +166,7 @@ class RuleEngine:
         compiler = getattr(self.database, "compiler_stats", None)
         if compiler is not None:
             compiler.reset()
+        self.incremental.stats.reset()
 
     def _emit(self, kind, **data):
         self._bus.emit(kind, self._txn_id, data)
@@ -215,6 +223,7 @@ class RuleEngine:
         self.catalog.drop_rule(name)
         self._info.pop(name, None)
         self._considered_at.pop(name, None)
+        self.incremental.on_rule_dropped(name)
 
     def add_priority(self, higher, lower):
         """``create rule priority higher before lower`` (§4.4)."""
@@ -239,6 +248,9 @@ class RuleEngine:
             self._emit(
                 EventKind.TRANS_INFO_RESET, rule=rule.name, cause="registered"
             )
+        # (Re)definition invalidates the incremental layer's per-rule
+        # plan and the refined triggering graph, active or not.
+        self.incremental.on_rule_defined(rule)
         self._lint_new_rule(rule)
 
     def _lint_new_rule(self, rule):
@@ -273,10 +285,21 @@ class RuleEngine:
         """Start a transaction (manual mode, for §5.3 triggering points)."""
         self.database.transactions.begin()
         self._info = {rule.name: TransInfo.empty() for rule in self.catalog}
+        # Consideration recency restarts with the transaction: recency
+        # strategies order rules within one transaction's quiescence
+        # loop, and stale clocks from earlier transactions would leak
+        # their consideration history into this one's ordering.
+        self._considered_at = {}
+        self._clock = 0
         self._transition_index = 0
         self._result = TransactionResult()
         self._txn_effect = TransitionEffect.empty()
         self._txn_id += 1
+        self._incremental_active = getattr(
+            self.database, "enable_incremental_eval", False
+        )
+        if self._incremental_active:
+            self.incremental.on_begin()
         self._recorder = self._bus.attach(TraceRecorder(self._result))
         self._emit(EventKind.TXN_BEGIN)
 
@@ -316,6 +339,8 @@ class RuleEngine:
                 duration=info["duration"],
             )
         self.database.transactions.commit()
+        if self._incremental_active:
+            self.incremental.on_commit()
         self._emit(
             EventKind.TXN_COMMIT,
             transitions=len(result.transitions),
@@ -339,13 +364,20 @@ class RuleEngine:
         begins". Raises on rollback-by-rule like :meth:`commit`, but the
         transaction stays open on quiescence."""
         self._require_transaction()
+        result = self._result
         try:
             self._quiesce()
-        except RollbackRequested:
-            self._abort()
+        except RollbackRequested as request:
+            # Attribute the abort exactly as commit() does: the TXN_ABORT
+            # event names the rolling-back rule and the transaction's
+            # result records it (the exception still propagates — unlike
+            # commit(), assert_rules has no result to hand back).
+            self._abort(reason="rollback_by_rule", rule=request.rule_name)
+            result.committed = False
+            result.rolled_back_by = request.rule_name
             raise
         except Exception:
-            self._abort()
+            self._abort(reason="error")
             raise
 
     def execute_block(self, block):
@@ -362,6 +394,8 @@ class RuleEngine:
         executor = DmlExecutor(
             self.database, self._base_resolver, self.track_selects
         )
+        if self._incremental_active:
+            self.incremental.before_transition()
         savepoint = self.database.transactions.savepoint()
         try:
             effects = []
@@ -418,6 +452,8 @@ class RuleEngine:
     def _abort(self, reason="error", rule=None):
         if self.database.transactions.active:
             self.database.transactions.rollback()
+        if self._incremental_active:
+            self.incremental.on_abort()
         data = {"reason": reason}
         if rule is not None:
             data["rule"] = rule
@@ -431,6 +467,7 @@ class RuleEngine:
         self._info = {}
         self._result = None
         self._txn_effect = None
+        self._incremental_active = False
 
     # ------------------------------------------------------------------
     # queries (read-only, outside rule processing)
@@ -485,7 +522,9 @@ class RuleEngine:
                     compiler.counters() if compiler is not None else None
                 )
                 condition_start = perf_counter()
-                condition_value = self._check_condition(rule)
+                condition_value, incremental_delta = (
+                    self._evaluate_condition(rule)
+                )
                 condition_elapsed = perf_counter() - condition_start
                 # Every consideration is recorded — the firing one
                 # included — so consideration counts match what the
@@ -508,6 +547,7 @@ class RuleEngine:
                         if compiler is not None
                         else None
                     ),
+                    incremental=incremental_delta,
                 )
                 if condition_value is True:
                     fired = rule
@@ -524,6 +564,8 @@ class RuleEngine:
                         rule=rule.name,
                         cause="consideration",
                     )
+                    if self._incremental_active:
+                        self.incremental.reset_provenance(rule.name)
             if fired is None:
                 self._emit(
                     EventKind.QUIESCENT,
@@ -553,6 +595,8 @@ class RuleEngine:
             compiler_before = (
                 compiler.counters() if compiler is not None else None
             )
+            if self._incremental_active:
+                self.incremental.before_transition()
             action_start = perf_counter()
             effects = self._execute_rule_action(fired)
             action_elapsed = perf_counter() - action_start
@@ -562,8 +606,14 @@ class RuleEngine:
             # transition; every other rule composes the transition in
             # (subject to its footnote-8 reset policy).
             new_info = TransInfo.from_op_effects(effects)
-            self._fold_transition_into_rules(effects, exclude=fired.name)
+            self._fold_transition_into_rules(
+                effects, exclude=fired.name, source=fired.name
+            )
             self._info[fired.name] = new_info
+            if self._incremental_active:
+                # The fired rule's trans-info restarted from its own
+                # transition, so its provenance is exactly itself.
+                self.incremental.set_sole_provenance(fired.name, fired.name)
             self._emit(
                 EventKind.RULE_FIRED,
                 rule=fired.name,
@@ -633,13 +683,22 @@ class RuleEngine:
                 )
         return seen
 
-    def _fold_transition_into_rules(self, effects, exclude=None):
+    def _fold_transition_into_rules(self, effects, exclude=None,
+                                    source=EXTERNAL_SOURCE):
         """Fold a transition's operation effects into every rule's
         trans-info (Figure 1's modify-trans-info loop), honouring each
         rule's footnote-8 reset policy: a "triggering"-policy rule that is
         currently untriggered restarts its baseline at this transition —
         the [WF89b] semantics of "the state preceding the most recent
-        triggering of the rule"."""
+        triggering of the rule".
+
+        This is also the incremental layer's maintenance point: the same
+        net effects that extend each rule's trans-info update the
+        maintained condition views, and ``source`` (the fired rule's name,
+        or "external") feeds the per-rule provenance that the refined
+        triggering graph's skip check consults."""
+        if self._incremental_active:
+            self.incremental.apply_transition(effects)
         for name, info in self._info.items():
             if name == exclude:
                 continue
@@ -653,7 +712,29 @@ class RuleEngine:
                 self._emit(
                     EventKind.TRANS_INFO_RESET, rule=name, cause="triggering"
                 )
+                if self._incremental_active:
+                    self.incremental.reset_provenance(name)
             info.apply_all(effects)
+            if self._incremental_active:
+                self.incremental.note_fold(name, source)
+
+    def _evaluate_condition(self, rule):
+        """Condition value plus the incremental layer's per-consideration
+        outcome (``None`` when the layer is inactive or the condition is
+        trivial). The incremental path answers from maintained views and
+        transition-table deltas when it can; any rule it cannot serve —
+        unclassifiable condition, broken view, maintenance error — falls
+        back to :meth:`_check_condition`, the full-evaluation oracle."""
+        if rule.condition is None:
+            return True, None
+        if self._incremental_active:
+            outcome, value = self.incremental.evaluate(
+                rule, self._info[rule.name]
+            )
+            if outcome != "fallback":
+                return value, {"outcome": outcome}
+            return self._check_condition(rule), {"outcome": "fallback"}
+        return self._check_condition(rule), None
 
     def _check_condition(self, rule):
         """Evaluate the rule's condition against the current state and its

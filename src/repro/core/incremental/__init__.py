@@ -1,0 +1,31 @@
+"""Incremental rule-condition evaluation (docs/semantics.md §12).
+
+Maintainable conditions become persisted support counters updated from
+each transition's net ``[I, D, U]`` effects instead of being re-run from
+scratch every consideration; the refined triggering graph additionally
+skips conditions a transition provably cannot affect. Gated by
+``database.enable_incremental_eval`` / ``REPRO_INCREMENTAL_EVAL``; full
+re-evaluation remains the differential oracle.
+"""
+
+from .classify import (
+    CounterConjunct,
+    DeltaConjunct,
+    MaintenancePlan,
+    classify_condition,
+    split_conjuncts,
+)
+from .manager import EXTERNAL_SOURCE, IncrementalManager, IncrementalStats
+from .views import MaintainedView
+
+__all__ = [
+    "CounterConjunct",
+    "DeltaConjunct",
+    "EXTERNAL_SOURCE",
+    "IncrementalManager",
+    "IncrementalStats",
+    "MaintainedView",
+    "MaintenancePlan",
+    "classify_condition",
+    "split_conjuncts",
+]

@@ -1,0 +1,394 @@
+"""Delta-driven incremental rule-condition evaluation.
+
+The quiescence loop re-evaluates every triggered rule's condition after
+every transition; with N rules that is N condition queries per round,
+each scanning its base tables from scratch (PERF-3a: 0.86ms → 2.85ms per
+transaction from 1 → 128 rules). "Declarative Semantics for Active
+Rules" frames rule conditions as *maintained derived relations* — this
+module implements that framing for the maintainable fragment:
+
+* conditions classify into counter conjuncts (base-table ``exists`` as
+  persisted support counts, see :mod:`.classify` / :mod:`.views`) and
+  delta conjuncts (transition-table ``exists``, O(delta) by
+  construction);
+* the engine's fold points — exactly where Figure 1 runs
+  ``modify-trans-info`` — feed each transition's net ``[I, D, U]``
+  effects to every affected view;
+* the PR 5 :class:`~repro.analysis.lint.refine.RefinedTriggeringGraph`
+  supplies a second shortcut: when a rule's accumulated trans-info stems
+  from exactly one transition of one provider rule and the refined graph
+  pruned that provider→consumer edge, the consumer's condition is
+  provably false and is not evaluated at all (``graph_skip``) — the
+  same single-action semantics PR 5's differential gate validates.
+
+Everything is behind ``database.enable_incremental_eval``
+(``REPRO_INCREMENTAL_EVAL=0`` forces it off); full re-evaluation remains
+the semantic oracle, and any classification gap, maintenance error or
+invalidation simply falls back to it. The invariance guarantee — same
+fired-rule sequences, same final state, same trace either way — is
+docs/semantics.md §12, enforced by the incremental differential suite.
+"""
+
+from __future__ import annotations
+
+from ...relational.expressions import Evaluator, Scope
+from ..transition_log import TransInfo
+from ..transition_tables import TransitionTableResolver
+from .classify import CounterConjunct, classify_condition
+from .views import MaintainedView
+
+#: external (user-block) transitions carry this provenance label; the
+#: refined graph can only reason about rule actions, so external deltas
+#: never justify a graph skip
+EXTERNAL_SOURCE = "external"
+
+#: cap on distinct maintained views; overflow clears wholesale (the
+#: CompiledCache discipline — correctness is refresh-on-miss anyway)
+MAX_VIEWS = 512
+
+
+class IncrementalStats:
+    """Monotone counters for the incremental layer
+    (``stats()["incremental"]``)."""
+
+    __slots__ = (
+        "classifications",
+        "rules_classified",
+        "rules_unclassifiable",
+        "view_refreshes",
+        "deltas_applied",
+        "delta_rows",
+        "hits",
+        "refreshes",
+        "fallbacks",
+        "graph_skips",
+        "invalidations",
+        "errors",
+    )
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self):
+        self.classifications = 0
+        self.rules_classified = 0
+        self.rules_unclassifiable = 0
+        self.view_refreshes = 0
+        self.deltas_applied = 0
+        self.delta_rows = 0
+        self.hits = 0
+        self.refreshes = 0
+        self.fallbacks = 0
+        self.graph_skips = 0
+        self.invalidations = 0
+        self.errors = 0
+
+
+class IncrementalManager:
+    """Owns the maintenance plans, the shared views, and the per-rule
+    delta provenance the graph skip needs.
+
+    The engine calls the ``on_*``/``before_transition``/
+    ``apply_transition`` hooks at its transaction and fold points and
+    :meth:`evaluate` from the consideration loop; everything else is
+    internal. The manager itself is always constructed — with the layer
+    disabled the engine simply never calls in, so the off-mode engine is
+    behaviour- and cost-identical to one without the subsystem.
+    """
+
+    def __init__(self, database, catalog):
+        self.database = database
+        self.catalog = catalog
+        self.stats = IncrementalStats()
+        self._plans = {}        # rule name -> (schema_version, plan|None)
+        self._views = {}        # (table, binding, where) -> MaintainedView
+        self._provenance = {}   # rule name -> {source label: fold count}
+        self._graph = None      # None=unbuilt, False=unavailable, else set
+        self._touched = set()   # views written during the open transaction
+        self._expected_version = -1
+
+    # ------------------------------------------------------------------
+    # transaction lifecycle (engine hooks)
+
+    def on_begin(self):
+        self._provenance = {rule.name: {} for rule in self.catalog}
+        self._touched = set()
+
+    def on_commit(self):
+        self._touched = set()
+
+    def on_abort(self):
+        """Transaction rollback restores tuples through the undo log
+        without bumping ``database.version`` — every view written during
+        the transaction now reflects discarded state and must refresh."""
+        for view in self._touched:
+            if not view.stale:
+                view.stale = True
+                self.stats.invalidations += 1
+        self._touched = set()
+
+    def before_transition(self):
+        """Called before a block or rule action executes: if the
+        database version moved since our last synchronization, some
+        mutation bypassed the fold hooks (direct ``Database`` use, a
+        rolled-back partial block) — distrust every view."""
+        if self._expected_version != self.database.version:
+            self._invalidate_all()
+            self._expected_version = self.database.version
+
+    def apply_transition(self, effects):
+        """Fold one transition's net effects into every affected view
+        (called from the engine's ``modify-trans-info`` point, right
+        after the transition's operations executed)."""
+        database = self.database
+        if not self._views:
+            self._expected_version = database.version
+            return
+        net = TransInfo.from_op_effects(effects)
+        touched_tables = set()
+        for handle in net.ins:
+            touched_tables.add(net.tables[handle])
+        for handle in net.deleted:
+            touched_tables.add(net.tables[handle])
+        for handle in net.upd:
+            touched_tables.add(net.tables[handle])
+        for view in self._views.values():
+            if view.broken or view.stale:
+                continue
+            if view.schema_version != database.schema_version:
+                view.stale = True
+                continue
+            if view.table in touched_tables:
+                try:
+                    self.stats.delta_rows += view.apply_net(database, net)
+                except Exception:
+                    # Never surface maintenance errors: the rule falls
+                    # back to full evaluation, where a genuine error
+                    # raises through the ordinary path.
+                    view.stale = True
+                    self.stats.errors += 1
+                    continue
+                self.stats.deltas_applied += 1
+                self._touched.add(view)
+            # Untouched-table views are unaffected by this transition;
+            # either way the view now matches the post-transition state.
+            view.version = database.version
+        self._expected_version = database.version
+
+    # ------------------------------------------------------------------
+    # provenance (who produced each rule's accumulated deltas)
+
+    def reset_provenance(self, name):
+        self._provenance[name] = {}
+
+    def note_fold(self, name, source):
+        provenance = self._provenance.setdefault(name, {})
+        provenance[source] = provenance.get(source, 0) + 1
+
+    def set_sole_provenance(self, name, source):
+        """The fired rule's trans-info restarts from its own transition."""
+        self._provenance[name] = {source: 1}
+
+    # ------------------------------------------------------------------
+    # rule-set changes
+
+    def on_rule_defined(self, rule):
+        self._plans.pop(rule.name, None)
+        self._provenance[rule.name] = {}
+        self._graph = None
+
+    def on_rule_dropped(self, name):
+        self._plans.pop(name, None)
+        self._provenance.pop(name, None)
+        self._graph = None
+
+    # ------------------------------------------------------------------
+    # condition evaluation
+
+    def evaluate(self, rule, info):
+        """Evaluate ``rule``'s condition incrementally.
+
+        Returns ``(outcome, value)`` with outcome one of ``"graph_skip"``
+        / ``"hit"`` / ``"refresh"`` / ``"fallback"``; value is None on
+        fallback (the engine then runs the full path).
+        """
+        if self._graph_skip(rule):
+            self.stats.graph_skips += 1
+            return "graph_skip", False
+        plan = self._plan_for(rule)
+        if plan is None:
+            self.stats.fallbacks += 1
+            return "fallback", None
+        outcome = "hit"
+        evaluator = None
+        result = True
+        for conjunct in plan.conjuncts:
+            if isinstance(conjunct, CounterConjunct):
+                view, refreshed = self._live_view(conjunct)
+                if view is None:
+                    self.stats.fallbacks += 1
+                    return "fallback", None
+                if refreshed:
+                    outcome = "refresh"
+                if conjunct.negated:
+                    value = view.count == 0
+                else:
+                    value = view.count > 0
+            else:
+                if evaluator is None:
+                    resolver = TransitionTableResolver(self.database, info)
+                    evaluator = Evaluator(self.database, resolver)
+                value = self._delta_value(conjunct.node, evaluator)
+            if value is False:
+                # Mirror the interpreter's conjunction short-circuit:
+                # later conjuncts are not evaluated (and cannot raise).
+                result = False
+                break
+            if value is None:
+                result = None
+        if outcome == "hit":
+            self.stats.hits += 1
+        else:
+            self.stats.refreshes += 1
+        return outcome, result
+
+    def _delta_value(self, node, evaluator):
+        """A delta conjunct runs through exactly the machinery the full
+        path would use for it (compiled program when enabled, whose
+        subquery root falls back to the interpreter; the interpreter
+        directly otherwise)."""
+        database = self.database
+        if getattr(database, "enable_compiled_eval", False):
+            from ...relational.compiled import program_for
+
+            program = program_for(database, node, (), predicate=True)
+            return program.run((), Scope(), evaluator)
+        return evaluator.evaluate_predicate(node, Scope())
+
+    def _plan_for(self, rule):
+        schema_version = self.database.schema_version
+        entry = self._plans.get(rule.name)
+        if entry is not None and entry[0] == schema_version:
+            return entry[1]
+        try:
+            plan = classify_condition(rule.condition, self.database)
+        except Exception:  # pragma: no cover - defensive
+            plan = None
+            self.stats.errors += 1
+        self.stats.classifications += 1
+        if plan is None:
+            self.stats.rules_unclassifiable += 1
+        else:
+            self.stats.rules_classified += 1
+        self._plans[rule.name] = (schema_version, plan)
+        return plan
+
+    def _live_view(self, conjunct):
+        """The healthy view for a counter conjunct, refreshing lazily.
+
+        Returns ``(view, refreshed)``; ``(None, False)`` when the view is
+        broken and the rule must fall back.
+        """
+        key = conjunct.view_key
+        view = self._views.get(key)
+        if view is None:
+            if len(self._views) >= MAX_VIEWS:
+                self._views.clear()
+            view = MaintainedView(
+                conjunct.table, conjunct.binding, conjunct.where
+            )
+            self._views[key] = view
+        if view.broken:
+            return None, False
+        if view.in_sync(self.database):
+            return view, False
+        try:
+            view.refresh(self.database)
+        except Exception:
+            view.broken = True
+            self.stats.errors += 1
+            return None, False
+        self.stats.view_refreshes += 1
+        # A refresh inside a transaction reads uncommitted state: if the
+        # transaction aborts, the count must not survive.
+        self._touched.add(view)
+        return view, True
+
+    # ------------------------------------------------------------------
+    # the refined-graph skip
+
+    def _graph_skip(self, rule):
+        """True when the rule's whole accumulated trans-info is one
+        transition of one provider whose edge to this rule the refined
+        triggering graph pruned — the exact situation PR 5's refinement
+        differential validates (the consumer provably cannot fire)."""
+        provenance = self._provenance.get(rule.name)
+        if not provenance or len(provenance) != 1:
+            return False
+        ((source, folds),) = provenance.items()
+        if folds != 1 or source == EXTERNAL_SOURCE:
+            return False
+        pruned = self._pruned_edges()
+        if pruned is None:
+            return False
+        return (source, rule.name) in pruned
+
+    def _pruned_edges(self):
+        if self._graph is None:
+            try:
+                from ...analysis.lint.context import LintRule
+                from ...analysis.lint.refine import RefinedTriggeringGraph
+
+                rules = [
+                    LintRule.from_catalog_rule(rule)
+                    for rule in self.catalog
+                ]
+                database = self.database
+
+                def schema_lookup(table):
+                    if database.catalog.has_table(table):
+                        return database.schema(table)
+                    return None
+
+                graph = RefinedTriggeringGraph(
+                    rules, schema_lookup=schema_lookup
+                )
+                self._graph = {
+                    (edge.provider, edge.consumer) for edge in graph.pruned
+                }
+            except Exception:  # pragma: no cover - defensive
+                self._graph = False
+                self.stats.errors += 1
+        if self._graph is False:
+            return None
+        return self._graph
+
+    # ------------------------------------------------------------------
+    # invalidation & observability
+
+    def _invalidate_all(self):
+        for view in self._views.values():
+            if not view.stale and not view.broken:
+                view.stale = True
+                self.stats.invalidations += 1
+
+    def stats_snapshot(self):
+        stats = self.stats
+        return {
+            "enabled": bool(
+                getattr(self.database, "enable_incremental_eval", False)
+            ),
+            "views": len(self._views),
+            "classifications": stats.classifications,
+            "rules_classified": stats.rules_classified,
+            "rules_unclassifiable": stats.rules_unclassifiable,
+            "view_refreshes": stats.view_refreshes,
+            "deltas_applied": stats.deltas_applied,
+            "delta_rows": stats.delta_rows,
+            "hits": stats.hits,
+            "refreshes": stats.refreshes,
+            "fallbacks": stats.fallbacks,
+            "graph_skips": stats.graph_skips,
+            "invalidations": stats.invalidations,
+            "errors": stats.errors,
+        }

@@ -1,0 +1,142 @@
+"""Maintained condition views: support counters over base tables.
+
+A :class:`MaintainedView` persists ``count(*) where P`` for one
+(table, binding, P) key. ``exists`` is ``count > 0``; the count is
+maintained from each transition's net ``[I, D, U]`` effects:
+
+    Δcount =   Σ  P(current(h))            for h in net-inserted
+             − Σ  P(old)                   for (h, old) in net-deleted
+             + Σ  P(current(h)) − P(old)   for (h, old) in net-updated
+
+where "current" reads the live storage right after the transition (the
+fold point) and pre-images come from the transition's own net effect —
+exactly the information Figure 1's ``modify-trans-info`` already keeps.
+
+``P`` runs through the compiled-expression layer when enabled (the same
+predicate kernels plan filters use) and through the interpreter
+otherwise; classification guarantees ``P`` needs no scope chain, so a
+single-binding row evaluation is exact either way.
+
+Views are best-effort caches, never an error source: any exception while
+refreshing or applying a delta marks the view broken/stale and the
+owning rules fall back to full evaluation, where the error (if it is a
+real one) surfaces through the ordinary path with the ordinary message.
+"""
+
+from __future__ import annotations
+
+
+def row_predicate(database, table, binding, where):
+    """A ``row -> True/False/None`` callable for ``where`` over single
+    rows of ``table`` bound as ``binding``."""
+    if where is None:
+        return lambda row: True
+    columns = database.schema(table).column_names
+    if getattr(database, "enable_compiled_eval", False):
+        from ...relational.compiled import layout_of, program_for
+
+        program = program_for(
+            database, where, layout_of([(binding, columns)]), predicate=True
+        )
+        if not program.needs_scope:
+            return lambda row: program.run((row,), None, None)
+    from ...relational.expressions import Evaluator, Scope
+    from ...relational.select import BaseTableResolver
+
+    evaluator = Evaluator(database, BaseTableResolver(database))
+    scope = Scope()
+    state = {"bound": False}
+
+    def predicate(row):
+        if state["bound"]:
+            scope.rebind(binding, row)
+        else:
+            scope.bind(binding, columns, row)
+            state["bound"] = True
+        return evaluator.evaluate_predicate(where, scope)
+
+    return predicate
+
+
+class MaintainedView:
+    """One persisted support counter (shared by every rule whose
+    condition contains the same conjunct structure).
+
+    ``version``/``schema_version`` record the database state the count
+    was last synchronized with; a mismatch at evaluation time means a
+    mutation bypassed the engine's fold hooks (or DDL happened) and the
+    view lazily refreshes. ``stale`` is the explicit invalidation flag
+    (transaction aborts restore tuples through the undo log *without*
+    bumping ``database.version``, so aborts must invalidate explicitly);
+    ``broken`` is terminal — a refresh failed, the owning rules fall
+    back to full evaluation permanently.
+    """
+
+    __slots__ = (
+        "table",
+        "binding",
+        "where",
+        "count",
+        "stale",
+        "broken",
+        "version",
+        "schema_version",
+    )
+
+    def __init__(self, table, binding, where):
+        self.table = table
+        self.binding = binding
+        self.where = where
+        self.count = 0
+        self.stale = True
+        self.broken = False
+        self.version = -1
+        self.schema_version = -1
+
+    def in_sync(self, database):
+        return (
+            not self.stale
+            and not self.broken
+            and self.version == database.version
+            and self.schema_version == database.schema_version
+        )
+
+    def refresh(self, database):
+        """Recount from a full scan of the current table contents."""
+        predicate = row_predicate(
+            database, self.table, self.binding, self.where
+        )
+        count = 0
+        for row in database.table(self.table).rows():
+            if predicate(row) is True:
+                count += 1
+        self.count = count
+        self.stale = False
+        self.version = database.version
+        self.schema_version = database.schema_version
+
+    def apply_net(self, database, net):
+        """Fold one transition's net effects into the count; returns the
+        number of delta rows examined. Caller synchronizes versions."""
+        predicate = row_predicate(
+            database, self.table, self.binding, self.where
+        )
+        storage = database.table(self.table)
+        delta = 0
+        rows = 0
+        for handle in net.inserted_handles(self.table):
+            rows += 1
+            if predicate(storage.get(handle)) is True:
+                delta += 1
+        for _, old_row in net.deleted_rows(self.table):
+            rows += 1
+            if predicate(old_row) is True:
+                delta -= 1
+        for handle, old_row in net.updated_handles(self.table):
+            rows += 1
+            if predicate(storage.get(handle)) is True:
+                delta += 1
+            if predicate(old_row) is True:
+                delta -= 1
+        self.count += delta
+        return rows

@@ -35,6 +35,10 @@ class RuleMetrics:
         "compiles",
         "compile_cache_hits",
         "compile_cache_misses",
+        "incremental_hits",
+        "incremental_refreshes",
+        "incremental_fallbacks",
+        "incremental_graph_skips",
         "peak_trans_info_size",
         "resets",
         "rollbacks",
@@ -59,6 +63,10 @@ class RuleMetrics:
         self.compiles = 0
         self.compile_cache_hits = 0
         self.compile_cache_misses = 0
+        self.incremental_hits = 0
+        self.incremental_refreshes = 0
+        self.incremental_fallbacks = 0
+        self.incremental_graph_skips = 0
         self.peak_trans_info_size = 0
         self.resets = {}
         self.rollbacks = 0
@@ -83,6 +91,10 @@ class RuleMetrics:
             "compiles": self.compiles,
             "compile_cache_hits": self.compile_cache_hits,
             "compile_cache_misses": self.compile_cache_misses,
+            "incremental_hits": self.incremental_hits,
+            "incremental_refreshes": self.incremental_refreshes,
+            "incremental_fallbacks": self.incremental_fallbacks,
+            "incremental_graph_skips": self.incremental_graph_skips,
             "peak_trans_info_size": self.peak_trans_info_size,
             "resets": dict(self.resets),
             "rollbacks": self.rollbacks,
@@ -165,6 +177,7 @@ class MetricsCollector(EventSink):
             metrics.condition_unknown += 1
         self._fold_planner(metrics, data)
         self._fold_compiler(metrics, data)
+        self._fold_incremental(metrics, data)
         self._track_info_size(metrics, data)
 
     def _on_fired(self, data):
@@ -209,6 +222,23 @@ class MetricsCollector(EventSink):
         metrics.compile_cache_hits += delta.get("cache_hits", 0)
         metrics.compile_cache_misses += delta.get("cache_misses", 0)
 
+    def _fold_incremental(self, metrics, data):
+        """Count how this consideration's condition was answered by the
+        incremental layer (None when the layer was inactive or the rule
+        has no condition)."""
+        delta = data.get("incremental")
+        if not delta:
+            return
+        outcome = delta.get("outcome")
+        if outcome == "hit":
+            metrics.incremental_hits += 1
+        elif outcome == "refresh":
+            metrics.incremental_refreshes += 1
+        elif outcome == "fallback":
+            metrics.incremental_fallbacks += 1
+        elif outcome == "graph_skip":
+            metrics.incremental_graph_skips += 1
+
     def _track_info_size(self, metrics, data):
         size = data.get("trans_info_size")
         if size is not None and size > metrics.peak_trans_info_size:
@@ -219,7 +249,7 @@ class MetricsCollector(EventSink):
     # ------------------------------------------------------------------
 
     def snapshot(self, strategy=None, planner=None, compiler=None,
-                 durability=None):
+                 durability=None, incremental=None):
         """The full stats dict (``RuleEngine.stats()``'s return value).
 
         ``planner`` is the database-wide
@@ -234,7 +264,10 @@ class MetricsCollector(EventSink):
         is the attached manager's
         :meth:`~repro.durability.manager.DurabilityManager.stats_snapshot`
         (WAL bytes/records/latency, checkpoints, recovery), present only
-        when durability is enabled.
+        when durability is enabled. ``incremental`` is the engine's
+        :meth:`~repro.core.incremental.IncrementalManager.stats_snapshot`
+        (maintained views, delta applications, hit/refresh/fallback/
+        graph-skip counts for the delta-driven condition layer).
         """
         engine = {
             "transactions": self.transactions,
@@ -266,4 +299,6 @@ class MetricsCollector(EventSink):
             result["compiler"] = compiler
         if durability is not None:
             result["durability"] = durability
+        if incremental is not None:
+            result["incremental"] = incremental
         return result

@@ -67,6 +67,17 @@ class Database:
         #: compiler counters (compiles, cache hits, fallback nodes, ...)
         self.compiler_stats = CompilerStats()
 
+        #: evaluate maintainable rule conditions from persisted support
+        #: counters updated by each transition's net deltas (see
+        #: repro.core.incremental); False re-runs every condition query
+        #: from scratch per consideration — same decisions, different
+        #: cost. REPRO_INCREMENTAL_EVAL=0 forces the layer off (CI runs
+        #: both ways). Read at transaction begin: toggling mid-
+        #: transaction takes effect at the next one.
+        self.enable_incremental_eval = os.environ.get(
+            "REPRO_INCREMENTAL_EVAL", "1"
+        ).lower() not in ("0", "off", "false")
+
     # ------------------------------------------------------------------
     # schema management
 

@@ -1,0 +1,184 @@
+"""Differential property test: incremental evaluation on ≡ off.
+
+The invariance guarantee (docs/semantics.md §12): the delta-driven
+condition layer may change the *cost* of rule processing, never its
+observable behaviour. These tests generate randomized rule programs —
+maintainable conditions, transition-table conditions, deliberate
+fallbacks — and randomized transaction sequences, run them against two
+engines that differ only in ``enable_incremental_eval``, and require the
+same fired-rule sequences, the same per-consideration condition values,
+and the same final database state.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import ActiveDatabase
+
+# Condition templates over t(x) / the rule's transition tables; the
+# {k} threshold varies per rule. The pool deliberately mixes counter
+# conjuncts, delta conjuncts, negation, conjunction, and shapes the
+# classifier must reject (so fallback interleaves with hits).
+CONDITIONS = [
+    "exists (select * from t where x > {k})",
+    "not exists (select * from t where x > {k})",
+    "(select count(*) from t) > {k}",          # unclassifiable: fallback
+    None,                                      # no condition
+]
+
+# shapes referencing "inserted t" are only legal on rules that declare
+# the matching basic transition predicate
+INSERTED_CONDITIONS = CONDITIONS + [
+    "exists (select * from inserted t where x > {k})",
+    "exists (select * from inserted t) "
+    "and exists (select * from t where x < {k})",
+]
+
+# Actions that cannot retrigger their own rule's predicate forever:
+# log writes never touch t, and the discharge update strictly shrinks
+# the set it matches.
+ACTIONS = [
+    "insert into log values ({k})",
+    "update t set x = x - 1 where x > 2",
+    "delete from t where x > 3",
+]
+
+INSERTED_ACTIONS = ACTIONS + [
+    "insert into log (select x from inserted t)",
+]
+
+PREDICATES = [
+    "inserted into t",
+    "inserted into t or updated t.x",
+    "deleted from t",
+]
+
+BLOCKS = [
+    "insert into t values ({k})",
+    "insert into t values ({k}), ({j})",
+    "update t set x = x + 1 where x < {k}",
+    "delete from t where x = {k}",
+    "insert into t values ({k}); delete from t where x = {j}",
+]
+
+
+@st.composite
+def programs(draw):
+    count = draw(st.integers(min_value=1, max_value=4))
+    rules = []
+    for index in range(count):
+        predicate = draw(st.sampled_from(PREDICATES))
+        has_inserted = "inserted into t" in predicate
+        condition = draw(st.sampled_from(
+            INSERTED_CONDITIONS if has_inserted else CONDITIONS
+        ))
+        action = draw(st.sampled_from(
+            INSERTED_ACTIONS if has_inserted else ACTIONS
+        ))
+        k = draw(st.integers(min_value=-2, max_value=3))
+        when = f"create rule r{index} when {predicate} "
+        if condition is not None:
+            when += f"if {condition.format(k=k)} "
+        when += f"then {action.format(k=k)}"
+        rules.append(when)
+    return rules
+
+
+@st.composite
+def workloads(draw):
+    count = draw(st.integers(min_value=1, max_value=4))
+    blocks = []
+    for _ in range(count):
+        template = draw(st.sampled_from(BLOCKS))
+        k = draw(st.integers(min_value=-2, max_value=4))
+        j = draw(st.integers(min_value=-2, max_value=4))
+        blocks.append(template.format(k=k, j=j))
+    return blocks
+
+
+def build(enabled, rules):
+    db = ActiveDatabase(record_seen=False)
+    db.database.enable_incremental_eval = enabled
+    db.execute("create table t (x integer)")
+    db.execute("create table log (x integer)")
+    for rule in rules:
+        db.execute(rule)
+    return db
+
+
+def observable(db, block):
+    """Run one block; return everything invariance promises to preserve."""
+    try:
+        result = db.execute(block)
+    except Exception as error:
+        return ("error", type(error).__name__, str(error))
+    return (
+        "ok",
+        result.committed,
+        result.rolled_back_by,
+        [(r.source, r.is_external) for r in result.transitions],
+        [(c.rule, c.condition_result, c.fired) for c in result.considered],
+    )
+
+
+def final_state(db):
+    return db.database.snapshot()
+
+
+class TestIncrementalEquivalence:
+    @given(programs(), workloads())
+    @settings(max_examples=80, deadline=None)
+    def test_on_equals_off(self, rules, blocks):
+        on = build(True, rules)
+        off = build(False, rules)
+        for block in blocks:
+            assert observable(on, block) == observable(off, block), block
+        assert final_state(on) == final_state(off)
+        incremental = on.stats()["incremental"]
+        assert incremental["enabled"] is True
+
+    @given(programs())
+    @settings(max_examples=30, deadline=None)
+    def test_mid_transaction_rule_changes(self, rules):
+        """define_rule / drop_rule inside an open transaction must be
+        invariant too: the incremental layer re-plans, re-baselines and
+        rebuilds its graph exactly where the full path re-reads the
+        catalog."""
+        def run(enabled):
+            db = build(enabled, rules[:1])
+            trace = []
+            db.begin()
+            db.execute("insert into t values (1), (3)")
+            db.assert_rules()
+            for rule in rules[1:]:
+                db.execute(rule)
+            db.execute("update t set x = x + 1 where x < 3")
+            db.assert_rules()
+            if len(rules) > 1:
+                db.execute("drop rule r1")
+            db.execute("insert into t values (0)")
+            result = db.commit()
+            trace.append(
+                [(r.source, r.is_external) for r in result.transitions]
+            )
+            trace.append(
+                [(c.rule, c.condition_result, c.fired)
+                 for c in result.considered]
+            )
+            return trace, final_state(db)
+
+        assert run(True) == run(False)
+
+    @given(programs(), workloads())
+    @settings(max_examples=20, deadline=None)
+    def test_rollback_mid_sequence_is_invariant(self, rules, blocks):
+        """An explicit rollback between blocks exercises the abort
+        invalidation path; later transactions must still agree."""
+        on = build(True, rules)
+        off = build(False, rules)
+        for db in (on, off):
+            db.begin()
+            db.execute("insert into t values (2)")
+            db.rollback()
+        for block in blocks:
+            assert observable(on, block) == observable(off, block), block
+        assert final_state(on) == final_state(off)

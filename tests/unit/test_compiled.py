@@ -281,6 +281,10 @@ class TestEngineIntegration:
 
         db = ActiveDatabase(record_seen=False)
         db.database.enable_compiled_eval = True
+        # pin the full condition path: with incremental evaluation on,
+        # this condition is answered from a maintained counter and never
+        # re-enters the compiled program per consideration
+        db.database.enable_incremental_eval = False
         db.execute("create table t (x integer)")
         db.execute(
             "create rule watch when inserted into t "

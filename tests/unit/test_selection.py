@@ -122,3 +122,60 @@ class TestStrategyAffectsEngine:
         db.execute("create rule priority second_rule before first_rule")
         db.execute("insert into t values (1)")
         assert db.rows("select who from winner") == [("second_rule",)]
+
+
+class TestRecencyResetAcrossTransactions:
+    """Regression: consideration clocks are per-transaction state.
+
+    Recency strategies order rules within one transaction's quiescence
+    loop; before the fix, clocks survived the transaction, so a rule
+    considered (without firing) in an earlier transaction was demoted
+    behind never-considered rules in every later one.
+    """
+
+    def make_db(self):
+        from repro import ActiveDatabase
+
+        db = ActiveDatabase(strategy=LeastRecentlyConsidered())
+        db.execute("create table t (x integer)")
+        db.execute("create table u (x integer)")
+        db.execute("create table gate (x integer)")
+        db.execute("create table winner (who varchar)")
+        # both rules race for the winner slot, but only once the gate
+        # table is populated — so txn 1 can consider a_rule without
+        # firing it
+        db.execute(
+            "create rule a_rule when inserted into t "
+            "if not exists (select * from winner) "
+            "and exists (select * from gate) "
+            "then insert into winner values ('a_rule')"
+        )
+        db.execute(
+            "create rule b_rule when inserted into u "
+            "if not exists (select * from winner) "
+            "and exists (select * from gate) "
+            "then insert into winner values ('b_rule')"
+        )
+        return db
+
+    def test_earlier_transaction_does_not_demote_a_rule(self):
+        db = self.make_db()
+        # txn 1: a_rule is considered (condition false, gate empty) —
+        # with leaking clocks this would stamp it as "recently
+        # considered" forever
+        db.execute("insert into t values (1)")
+        # txn 2: both rules triggered and fresh; the tie breaks on
+        # creation order, so a_rule must win
+        db.execute(
+            "insert into gate values (1); "
+            "insert into t values (2); insert into u values (1)"
+        )
+        assert db.rows("select who from winner") == [("a_rule",)]
+
+    def test_clocks_are_cleared_at_begin(self):
+        db = self.make_db()
+        db.execute("insert into t values (1)")
+        db.begin()
+        assert db.engine._considered_at == {}
+        assert db.engine._clock == 0
+        db.rollback()
