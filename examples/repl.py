@@ -211,6 +211,14 @@ class Repl:
                 if isinstance(value, float):
                     value = f"{value:.2f}"
                 self.println(f"  {key}: {value}")
+        vectorized = stats.get("vectorized")
+        if vectorized is not None:
+            self.println("vectorized:")
+            for key in sorted(vectorized):
+                value = vectorized[key]
+                if isinstance(value, float):
+                    value = f"{value:.2f}"
+                self.println(f"  {key}: {value}")
         incremental = stats.get("incremental")
         if incremental is not None:
             self.println("incremental:")
@@ -232,7 +240,8 @@ class Repl:
                 f"rows scanned {counters['rows_scanned']}, "
                 f"plan hits {counters['plan_cache_hits']}, "
                 f"compile hits {counters['compile_cache_hits']}, "
-                f"incr hits {counters['incremental_hits']}"
+                f"incr hits {counters['incremental_hits']}, "
+                f"batches {counters['batches_scanned']}"
             )
 
 

@@ -140,10 +140,18 @@ class RuleEngine:
         """
         planner = getattr(self.database, "planner_stats", None)
         compiler = getattr(self.database, "compiler_stats", None)
+        vectorized = getattr(self.database, "vectorized_stats", None)
+        from ..relational.compiled import vectorized_enabled
+
         return self._metrics.snapshot(
             strategy=getattr(self.strategy, "name", None),
             planner=planner.snapshot() if planner is not None else None,
             compiler=compiler.snapshot() if compiler is not None else None,
+            vectorized=(
+                vectorized.snapshot(enabled=vectorized_enabled(self.database))
+                if vectorized is not None
+                else None
+            ),
             durability=(
                 self.durability.stats_snapshot()
                 if self.durability is not None
@@ -166,6 +174,9 @@ class RuleEngine:
         compiler = getattr(self.database, "compiler_stats", None)
         if compiler is not None:
             compiler.reset()
+        vectorized = getattr(self.database, "vectorized_stats", None)
+        if vectorized is not None:
+            vectorized.reset()
         self.incremental.stats.reset()
 
     def _emit(self, kind, **data):
@@ -521,6 +532,10 @@ class RuleEngine:
                 compiler_before = (
                     compiler.counters() if compiler is not None else None
                 )
+                vectorized = getattr(self.database, "vectorized_stats", None)
+                vectorized_before = (
+                    vectorized.counters() if vectorized is not None else None
+                )
                 condition_start = perf_counter()
                 condition_value, incremental_delta = (
                     self._evaluate_condition(rule)
@@ -545,6 +560,11 @@ class RuleEngine:
                     compiler=(
                         compiler.delta_since(compiler_before)
                         if compiler is not None
+                        else None
+                    ),
+                    vectorized=(
+                        vectorized.delta_since(vectorized_before)
+                        if vectorized is not None
                         else None
                     ),
                     incremental=incremental_delta,
@@ -595,6 +615,10 @@ class RuleEngine:
             compiler_before = (
                 compiler.counters() if compiler is not None else None
             )
+            vectorized = getattr(self.database, "vectorized_stats", None)
+            vectorized_before = (
+                vectorized.counters() if vectorized is not None else None
+            )
             if self._incremental_active:
                 self.incremental.before_transition()
             action_start = perf_counter()
@@ -631,6 +655,11 @@ class RuleEngine:
                 compiler=(
                     compiler.delta_since(compiler_before)
                     if compiler is not None
+                    else None
+                ),
+                vectorized=(
+                    vectorized.delta_since(vectorized_before)
+                    if vectorized is not None
                     else None
                 ),
             )

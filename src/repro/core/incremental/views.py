@@ -26,6 +26,48 @@ real one) surfaces through the ordinary path with the ordinary message.
 from __future__ import annotations
 
 
+def _batch_counter(database, table, binding, where):
+    """A ``batch -> matching-row-count`` callable for ``where`` over
+    batches of ``table`` rows bound as ``binding``, or ``None`` when the
+    vectorized layer is off (callers fall back to :func:`row_predicate`).
+
+    Counting a batch is one filter-chain scan: the surviving selection
+    vector's length is exactly Σ P(row) is True. Errors propagate (the
+    earliest failing row's error, same as the row loop would raise
+    first within the batch) and the caller's broken/stale handling
+    applies unchanged.
+    """
+    from ...relational.compiled import (
+        BatchContext,
+        run_batch_filter,
+        vectorized_enabled,
+    )
+
+    if where is None or not vectorized_enabled(database):
+        return None
+    columns = database.schema(table).column_names
+    layout = ((binding, columns),)
+    from ...relational.expressions import Evaluator, Scope
+    from ...relational.select import BaseTableResolver
+
+    evaluator = Evaluator(database, BaseTableResolver(database))
+    stats = getattr(database, "vectorized_stats", None)
+
+    def count(batch):
+        row_of = batch.row
+
+        def scope_for(slot):
+            scope = Scope()
+            scope.bind(binding, columns, row_of(slot))
+            return scope
+
+        ctx = BatchContext(batch.cols, scope_for, evaluator, stats)
+        sel = run_batch_filter(database, (where,), layout, ctx, batch.sel)
+        return len(sel)
+
+    return count
+
+
 def row_predicate(database, table, binding, where):
     """A ``row -> True/False/None`` callable for ``where`` over single
     rows of ``table`` bound as ``binding``."""
@@ -103,13 +145,19 @@ class MaintainedView:
 
     def refresh(self, database):
         """Recount from a full scan of the current table contents."""
-        predicate = row_predicate(
+        counter = _batch_counter(
             database, self.table, self.binding, self.where
         )
-        count = 0
-        for row in database.table(self.table).rows():
-            if predicate(row) is True:
-                count += 1
+        if counter is not None:
+            count = counter(database.table(self.table).batch())
+        else:
+            predicate = row_predicate(
+                database, self.table, self.binding, self.where
+            )
+            count = 0
+            for row in database.table(self.table).rows():
+                if predicate(row) is True:
+                    count += 1
         self.count = count
         self.stale = False
         self.version = database.version
@@ -118,10 +166,35 @@ class MaintainedView:
     def apply_net(self, database, net):
         """Fold one transition's net effects into the count; returns the
         number of delta rows examined. Caller synchronizes versions."""
+        storage = database.table(self.table)
+        counter = _batch_counter(
+            database, self.table, self.binding, self.where
+        )
+        if counter is not None:
+            from ...relational.batch import Batch
+
+            arity = storage.schema.arity
+            inserted = list(net.inserted_handles(self.table))
+            deleted = [row for _, row in net.deleted_rows(self.table)]
+            updated = list(net.updated_handles(self.table))
+            delta = 0
+            rows = len(inserted) + len(deleted) + len(updated)
+            if inserted:
+                delta += counter(storage.batch_for_handles(inserted))
+            if deleted:
+                delta -= counter(Batch.from_rows(deleted, arity))
+            if updated:
+                delta += counter(
+                    storage.batch_for_handles([h for h, _ in updated])
+                )
+                delta -= counter(
+                    Batch.from_rows([old for _, old in updated], arity)
+                )
+            self.count += delta
+            return rows
         predicate = row_predicate(
             database, self.table, self.binding, self.where
         )
-        storage = database.table(self.table)
         delta = 0
         rows = 0
         for handle in net.inserted_handles(self.table):

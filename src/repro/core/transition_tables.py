@@ -21,6 +21,7 @@ conditions, rule actions and plain queries alike.
 from __future__ import annotations
 
 from ..errors import ExecutionError, InvalidRuleError
+from ..relational.batch import Batch
 from ..relational.select import BaseTableResolver
 from ..sql import ast
 
@@ -93,6 +94,69 @@ class TransitionTableResolver(BaseTableResolver):
                 if handle in storage
             ]
             return columns, rows
+
+        raise ExecutionError(f"unknown transition table kind {kind!r}")
+
+    def resolve_batch(self, table_ref):
+        """Batch form of :meth:`resolve` for the vectorized scan path.
+
+        Transition batches carry ``label=None``: §5.1 touched-handle
+        collection attributes handles to *base* tables only, and a
+        transition view over live storage must not re-report its
+        members as retrieved tuples.
+        """
+        if not isinstance(table_ref, ast.TransitionTableRef):
+            return super().resolve_batch(table_ref)
+
+        table = table_ref.table
+        schema = self.database.schema(table)
+        columns = schema.column_names
+        kind = table_ref.kind
+
+        if kind is ast.TransitionKind.INSERTED:
+            storage = self.database.table(table)
+            batch = storage.batch_for_handles(
+                self.info.inserted_handles(table)
+            )
+            return columns, batch.unlabeled()
+
+        if kind is ast.TransitionKind.DELETED:
+            rows = [row for _, row in self.info.deleted_rows(table)]
+            return columns, Batch.from_rows(rows, schema.arity)
+
+        if kind is ast.TransitionKind.OLD_UPDATED:
+            rows = [
+                old_row
+                for _, old_row in self.info.updated_handles(
+                    table, table_ref.column
+                )
+            ]
+            return columns, Batch.from_rows(rows, schema.arity)
+
+        if kind is ast.TransitionKind.NEW_UPDATED:
+            storage = self.database.table(table)
+            batch = storage.batch_for_handles(
+                [
+                    handle
+                    for handle, _ in self.info.updated_handles(
+                        table, table_ref.column
+                    )
+                ]
+            )
+            return columns, batch.unlabeled()
+
+        if kind is ast.TransitionKind.SELECTED:
+            storage = self.database.table(table)
+            batch = storage.batch_for_handles(
+                [
+                    handle
+                    for handle in self.info.selected_handles(
+                        table, table_ref.column
+                    )
+                    if handle in storage
+                ]
+            )
+            return columns, batch.unlabeled()
 
         raise ExecutionError(f"unknown transition table kind {kind!r}")
 

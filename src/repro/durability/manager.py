@@ -148,6 +148,12 @@ class DurabilityManager:
         records at or below it are skipped by recovery.
         """
         start = perf_counter()
+        # A checkpoint is the natural storage-maintenance point: no
+        # transaction is open, so no selection vector or undo record can
+        # refer to the slot positions compaction renumbers.
+        storage = db.database
+        for name in storage.table_names():
+            storage.table(name).compact()
         wal_lsn = self.wal.next_lsn - 1
         document = build_checkpoint_document(db, wal_lsn, self.last_txn)
         nbytes = write_checkpoint(

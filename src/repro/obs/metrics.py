@@ -39,6 +39,10 @@ class RuleMetrics:
         "incremental_refreshes",
         "incremental_fallbacks",
         "incremental_graph_skips",
+        "batches_scanned",
+        "batch_rows_scanned",
+        "batch_rows_selected",
+        "batch_fallback_rows",
         "peak_trans_info_size",
         "resets",
         "rollbacks",
@@ -67,6 +71,10 @@ class RuleMetrics:
         self.incremental_refreshes = 0
         self.incremental_fallbacks = 0
         self.incremental_graph_skips = 0
+        self.batches_scanned = 0
+        self.batch_rows_scanned = 0
+        self.batch_rows_selected = 0
+        self.batch_fallback_rows = 0
         self.peak_trans_info_size = 0
         self.resets = {}
         self.rollbacks = 0
@@ -95,6 +103,10 @@ class RuleMetrics:
             "incremental_refreshes": self.incremental_refreshes,
             "incremental_fallbacks": self.incremental_fallbacks,
             "incremental_graph_skips": self.incremental_graph_skips,
+            "batches_scanned": self.batches_scanned,
+            "batch_rows_scanned": self.batch_rows_scanned,
+            "batch_rows_selected": self.batch_rows_selected,
+            "batch_fallback_rows": self.batch_fallback_rows,
             "peak_trans_info_size": self.peak_trans_info_size,
             "resets": dict(self.resets),
             "rollbacks": self.rollbacks,
@@ -177,6 +189,7 @@ class MetricsCollector(EventSink):
             metrics.condition_unknown += 1
         self._fold_planner(metrics, data)
         self._fold_compiler(metrics, data)
+        self._fold_vectorized(metrics, data)
         self._fold_incremental(metrics, data)
         self._track_info_size(metrics, data)
 
@@ -192,6 +205,7 @@ class MetricsCollector(EventSink):
             metrics.rows_updated += len(effect.updated_handles)
         self._fold_planner(metrics, data)
         self._fold_compiler(metrics, data)
+        self._fold_vectorized(metrics, data)
         self._track_info_size(metrics, data)
 
     def _fold_planner(self, metrics, data):
@@ -222,6 +236,18 @@ class MetricsCollector(EventSink):
         metrics.compile_cache_hits += delta.get("cache_hits", 0)
         metrics.compile_cache_misses += delta.get("cache_misses", 0)
 
+    def _fold_vectorized(self, metrics, data):
+        """Accumulate the per-evaluation batch-kernel delta the engine
+        attaches to consideration/firing events (None when the database
+        has no vectorized layer)."""
+        delta = data.get("vectorized")
+        if not delta:
+            return
+        metrics.batches_scanned += delta.get("batches_scanned", 0)
+        metrics.batch_rows_scanned += delta.get("rows_scanned", 0)
+        metrics.batch_rows_selected += delta.get("rows_selected", 0)
+        metrics.batch_fallback_rows += delta.get("fallback_rows", 0)
+
     def _fold_incremental(self, metrics, data):
         """Count how this consideration's condition was answered by the
         incremental layer (None when the layer was inactive or the rule
@@ -249,7 +275,7 @@ class MetricsCollector(EventSink):
     # ------------------------------------------------------------------
 
     def snapshot(self, strategy=None, planner=None, compiler=None,
-                 durability=None, incremental=None):
+                 vectorized=None, durability=None, incremental=None):
         """The full stats dict (``RuleEngine.stats()``'s return value).
 
         ``planner`` is the database-wide
@@ -260,7 +286,11 @@ class MetricsCollector(EventSink):
         is the database-wide
         :meth:`~repro.relational.compiled.CompilerStats.snapshot` dict
         (expression compiles, compiled-cache hit rate, interpreter
-        fallbacks) with the same all-evaluation scope. ``durability``
+        fallbacks) with the same all-evaluation scope. ``vectorized``
+        is the database-wide
+        :meth:`~repro.relational.compiled.VectorizedStats.snapshot` dict
+        (batch-kernel scans, selection-vector hit ratio, per-row
+        fallbacks), again covering all query evaluation. ``durability``
         is the attached manager's
         :meth:`~repro.durability.manager.DurabilityManager.stats_snapshot`
         (WAL bytes/records/latency, checkpoints, recovery), present only
@@ -297,6 +327,8 @@ class MetricsCollector(EventSink):
             result["planner"] = planner
         if compiler is not None:
             result["compiler"] = compiler
+        if vectorized is not None:
+            result["vectorized"] = vectorized
         if durability is not None:
             result["durability"] = durability
         if incremental is not None:

@@ -1,0 +1,87 @@
+"""Column batches: the unit of vectorized execution.
+
+A :class:`Batch` is a selection over columnar storage — a tuple of
+slot-indexed column lists plus a *selection vector* (``sel``) of slot
+positions in scan order. Batch kernels (see
+:mod:`repro.relational.compiled`) evaluate expressions column-at-a-time
+over a selection vector instead of row-at-a-time over tuples; predicates
+narrow ``sel``, projections gather column slices, join keys gather key
+columns.
+
+Batches over base tables share the table's live column lists (zero
+copy); slot positions are only meaningful until the next mutation of
+the underlying table (a delete may trigger compaction, renumbering
+slots), so a selection vector must never be held across mutations —
+identification always completes before modification, matching the
+engine's identify-then-mutate discipline.
+
+Transient batches (transition-table pre-images, deleted rows) transpose
+a row list once via :meth:`Batch.from_rows`.
+"""
+
+from __future__ import annotations
+
+
+class Batch:
+    """A selection of rows over columnar storage.
+
+    Attributes:
+        cols: tuple of slot-indexed column sequences (one per schema
+            column). Shared with the owning table for base-table batches.
+        sel: list of slot positions, in scan (insertion) order.
+        handles: slot-indexed handle sequence, or ``None`` for transient
+            batches that have no tuple identity (transition pre-images).
+        tuples: slot-indexed row-tuple sequence when the owner maintains
+            a materialized row view (base tables do), else ``None``.
+        label: the base table's name (for touched-handle bookkeeping),
+            or ``None`` for transient batches.
+    """
+
+    __slots__ = ("cols", "sel", "handles", "tuples", "label")
+
+    def __init__(self, cols, sel, handles=None, tuples=None, label=None):
+        self.cols = cols
+        self.sel = sel
+        self.handles = handles
+        self.tuples = tuples
+        self.label = label
+
+    def __len__(self):
+        return len(self.sel)
+
+    @classmethod
+    def from_rows(cls, rows, arity, label=None):
+        """A transient batch transposing ``rows`` (a list of value
+        tuples); ``arity`` disambiguates the empty case."""
+        if rows:
+            cols = tuple(list(column) for column in zip(*rows))
+        else:
+            cols = tuple([] for _ in range(arity))
+        return cls(cols, list(range(len(rows))), tuples=list(rows),
+                   label=label)
+
+    def with_sel(self, sel):
+        """The same storage narrowed to a new selection vector."""
+        return Batch(self.cols, sel, self.handles, self.tuples, self.label)
+
+    def unlabeled(self):
+        """The same selection with touched-handle attribution stripped —
+        used for transition-table views over live base storage."""
+        return Batch(self.cols, self.sel, self.handles, self.tuples, None)
+
+    def row(self, slot):
+        """The value tuple at ``slot`` (materialized view when present)."""
+        if self.tuples is not None:
+            return self.tuples[slot]
+        return tuple(column[slot] for column in self.cols)
+
+    def rows(self):
+        """The selected rows as value tuples, in selection order."""
+        if self.tuples is not None:
+            tuples = self.tuples
+            return [tuples[slot] for slot in self.sel]
+        cols = self.cols
+        return [tuple(column[slot] for column in cols) for slot in self.sel]
+
+    def handle(self, slot):
+        return self.handles[slot]

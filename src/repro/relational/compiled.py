@@ -41,7 +41,9 @@ call site.
 
 from __future__ import annotations
 
-from ..errors import ExecutionError, TypeError_
+import operator
+
+from ..errors import ExecutionError, ReproError, TypeError_
 from ..sql import ast
 from .expressions import (
     AGGREGATE_NAMES,
@@ -159,18 +161,19 @@ class CompiledCache:
         return len(self._programs)
 
     def program_for(self, node, layout, database, predicate=False,
-                    stats=None):
+                    stats=None, batch=False):
         """The cached program for ``node`` against ``layout``, compiling
         on miss. ``layout`` is a hashable tuple of ``(binding_name,
         columns_tuple)`` pairs; ``predicate=True`` adds the interpreter's
-        predicate coercion at the root."""
+        predicate coercion at the root; ``batch=True`` compiles a
+        vectorized :class:`BatchProgram` instead of a row closure."""
         if self._schema_version != database.schema_version:
             if self._programs:
                 if stats is not None:
                     stats.invalidations += 1
                 self._programs.clear()
             self._schema_version = database.schema_version
-        key = (id(node), layout, predicate)
+        key = (id(node), layout, predicate, batch)
         entry = self._programs.get(key)
         if entry is not None:
             if stats is not None:
@@ -179,7 +182,12 @@ class CompiledCache:
         if stats is not None:
             stats.cache_misses += 1
             stats.compiles += 1
-        if predicate:
+        if batch:
+            if predicate:
+                program = compile_batch_predicate(node, layout)
+            else:
+                program = compile_batch_expression(node, layout)
+        elif predicate:
             program = compile_predicate(node, layout)
         else:
             program = compile_expression(node, layout)
@@ -200,6 +208,29 @@ def program_for(database, node, layout, predicate=False):
     """Convenience wrapper: the database's cached program for ``node``."""
     return database.compiled_cache.program_for(
         node, layout, database, predicate, database.compiler_stats
+    )
+
+
+def batch_program_for(database, node, layout, predicate=False):
+    """The database's cached *batch* program for ``node`` (vectorized
+    kernel tree; see :class:`BatchProgram`)."""
+    return database.compiled_cache.program_for(
+        node, layout, database, predicate, database.compiler_stats,
+        batch=True,
+    )
+
+
+def vectorized_enabled(database):
+    """Whether call sites should take the batch-kernel path.
+
+    Vectorized execution sits *on top of* the compiled layer (kernels
+    reuse the same helpers and cache), so disabling compiled evaluation
+    (``REPRO_COMPILED_EVAL=0``) also disables vectorization — the pure
+    interpreter remains the bottom-most oracle.
+    """
+    return bool(
+        getattr(database, "enable_vectorized_eval", False)
+        and getattr(database, "enable_compiled_eval", False)
     )
 
 
@@ -703,4 +734,904 @@ _HANDLERS = {
     ast.InList: _Compiler._compile_in_list,
     ast.FunctionCall: _Compiler._compile_function_call,
     ast.CaseExpression: _Compiler._compile_case,
+}
+
+
+# ---------------------------------------------------------------------------
+# vectorized (batch) kernels
+#
+# A batch kernel evaluates one expression over a whole selection vector:
+#
+#     fn(ctx, sel) -> (values, err)
+#
+# ``sel`` is a list of slot positions into ``ctx.cols`` (the single
+# binding's column lists); ``values`` aligns with a *prefix* of ``sel``.
+# The invariant that makes row-order error parity compositional:
+#
+#     err is None   =>  len(values) == len(sel)
+#     err not None  =>  len(values) <  len(sel), and ``err`` is exactly
+#                       the error row-at-a-time evaluation would raise
+#                       at row position len(values)
+#
+# Composite kernels restrict each child's domain to the prefix on which
+# all earlier siblings succeeded (and, for AND/OR/CASE/IN, to the rows
+# whose earlier values make the child reachable) — precisely the rows a
+# row evaluator would touch before reaching the earliest error. A later
+# child's error therefore always sits at a strictly earlier row than a
+# pending one and takes precedence. The result: a batch program returns
+# the same value prefix and raises the same first error as evaluating
+# the row program over ``sel`` in order.
+
+
+#: counters whose deltas the engine attaches to rule events (mirrors
+#: DELTA_FIELDS for the compiler and planner layers)
+VECTORIZED_DELTA_FIELDS = (
+    "batches_scanned",
+    "rows_scanned",
+    "rows_selected",
+    "fallback_rows",
+)
+
+
+class VectorizedStats:
+    """Monotone counters for the batch-kernel layer.
+
+    ``batches_scanned`` counts batch-kernel scans (one filter chain,
+    projection, key extraction, or count fold over one selection
+    vector); ``rows_scanned`` / ``rows_selected`` are the selection-
+    vector sizes entering and surviving filter-style scans (their ratio
+    is the selection-vector hit ratio); ``fallback_rows`` counts
+    per-row interpreter escapes inside kernels (subqueries, outer
+    references); ``row_fallbacks`` counts call sites that wanted a
+    batch but had to take the row path. Exposed as
+    ``stats()["vectorized"]``.
+    """
+
+    __slots__ = VECTORIZED_DELTA_FIELDS + ("row_fallbacks",)
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self):
+        self.batches_scanned = 0
+        self.rows_scanned = 0
+        self.rows_selected = 0
+        self.fallback_rows = 0
+        self.row_fallbacks = 0
+
+    def snapshot(self, enabled=None):
+        result = {
+            "batches_scanned": self.batches_scanned,
+            "rows_scanned": self.rows_scanned,
+            "rows_selected": self.rows_selected,
+            "selection_hit_rate": (
+                self.rows_selected / self.rows_scanned
+                if self.rows_scanned else 0.0
+            ),
+            "fallback_rows": self.fallback_rows,
+            "row_fallbacks": self.row_fallbacks,
+        }
+        if enabled is not None:
+            result["enabled"] = enabled
+        return result
+
+    def counters(self):
+        """The :data:`VECTORIZED_DELTA_FIELDS` values as a tuple."""
+        return tuple(
+            getattr(self, name) for name in VECTORIZED_DELTA_FIELDS
+        )
+
+    def delta_since(self, before):
+        """``{field: increment}`` relative to a :meth:`counters` tuple."""
+        return {
+            name: getattr(self, name) - then
+            for name, then in zip(VECTORIZED_DELTA_FIELDS, before)
+        }
+
+
+class BatchContext:
+    """Everything a kernel tree needs besides the selection vector.
+
+    ``cols`` are the single binding's slot-indexed column sequences;
+    ``scope_for`` lazily builds the interpreter Scope for one slot
+    (only called by fallback kernels — sites may pass ``None`` when the
+    program reports no :attr:`BatchProgram.needs_scope`); ``evaluator``
+    serves fallback subtrees; ``stats`` (a :class:`VectorizedStats` or
+    ``None``) receives fallback-row counts.
+    """
+
+    __slots__ = ("cols", "scope_for", "evaluator", "stats")
+
+    def __init__(self, cols, scope_for=None, evaluator=None, stats=None):
+        self.cols = cols
+        self.scope_for = scope_for
+        self.evaluator = evaluator
+        self.stats = stats
+
+
+class BatchProgram:
+    """One compiled batch program: a kernel tree plus its metadata."""
+
+    __slots__ = ("fn", "needs_scope", "nodes_compiled", "nodes_fallback")
+
+    def __init__(self, fn, needs_scope, nodes_compiled, nodes_fallback):
+        self.fn = fn
+        self.needs_scope = needs_scope
+        self.nodes_compiled = nodes_compiled
+        self.nodes_fallback = nodes_fallback
+
+
+def compile_batch_expression(expression, layout):
+    """Compile ``expression`` to a :class:`BatchProgram` producing one
+    value per selected row, with row-order error parity."""
+    compiler = _BatchCompiler(layout)
+    fn, needs_scope = compiler.compile(expression)
+    return BatchProgram(
+        fn, needs_scope, compiler.nodes_compiled, compiler.nodes_fallback
+    )
+
+
+def compile_batch_predicate(expression, layout):
+    """Compile ``expression`` as a batch predicate: values are coerced
+    to True/False/None with the interpreter's non-boolean error."""
+    compiler = _BatchCompiler(layout)
+    fn, needs_scope = compiler.compile_predicate(expression)
+    return BatchProgram(
+        fn, needs_scope, compiler.nodes_compiled, compiler.nodes_fallback
+    )
+
+
+def run_batch_programs(programs, ctx, sel):
+    """Run value kernels left-to-right with row-path error ordering.
+
+    Mirrors a row evaluator computing each program per row in order
+    (items then sort keys, join keys, ...): each kernel sees only the
+    prefix of ``sel`` on which every earlier kernel succeeded. Returns
+    ``(value_lists, err)`` — the caller raises ``err`` when set.
+    """
+    lists = []
+    err = None
+    domain = sel
+    for program in programs:
+        values, kernel_err = program.fn(ctx, domain)
+        if kernel_err is not None:
+            err = kernel_err
+            domain = domain[:len(values)]
+        lists.append(values)
+    n = len(domain)
+    return [values[:n] for values in lists], err
+
+
+def run_batch_filter(database, predicates, layout, ctx, sel):
+    """Narrow ``sel`` through a conjunct chain of batch predicates.
+
+    Each conjunct's kernel runs only over the survivors of the previous
+    one — the domain-restriction form of the row path's short-circuit —
+    so the first error in row order surfaces, exactly as iterating rows
+    through the predicate list would. Returns the surviving selection
+    vector; raises the pending error (if any) after the chain, since
+    every selected row would eventually have been visited.
+    """
+    stats = database.vectorized_stats
+    stats.batches_scanned += 1
+    stats.rows_scanned += len(sel)
+    err = None
+    for predicate in predicates:
+        program = batch_program_for(
+            database, predicate, layout, predicate=True
+        )
+        values, kernel_err = program.fn(ctx, sel)
+        sel = [sel[p] for p in range(len(values)) if values[p] is True]
+        if kernel_err is not None:
+            # strictly earlier in row order than any pending error: the
+            # kernel's domain was the previous error's success prefix
+            err = kernel_err
+    if err is not None:
+        raise err
+    stats.rows_selected += len(sel)
+    return sel
+
+
+class _BatchCompiler:
+    """One batch-compilation pass over a *single-binding* layout.
+
+    Multi-binding layouts (join products) stay on the row path — batch
+    kernels serve scans, filters over one table, DML targeting,
+    transition tables, and join sides before the product is formed.
+    """
+
+    def __init__(self, layout):
+        if len(layout) != 1:
+            raise ValueError(
+                "batch kernels compile single-binding layouts only"
+            )
+        self.nodes_compiled = 0
+        self.nodes_fallback = 0
+        (binding, columns), = layout
+        self._binding = binding
+        self._columns = {}
+        for j, column in enumerate(columns):
+            # first slot wins, as in the row compiler's layout maps
+            self._columns.setdefault(column, j)
+
+    # -- dispatch ---------------------------------------------------------
+
+    def compile(self, node):
+        """Lower ``node``; returns ``(kernel, needs_scope)``."""
+        handler = _BATCH_HANDLERS.get(type(node))
+        if handler is None:
+            return self._fallback(node)
+        return handler(self, node)
+
+    def compile_predicate(self, node):
+        """Lower ``node`` with predicate coercion at the root — the
+        batch mirror of ``Evaluator.evaluate_predicate``."""
+        if type(node) in _DYNAMIC_NODES:
+            self.nodes_fallback += 1
+
+            def fallback_predicate(ctx, sel):
+                return _fallback_loop(
+                    ctx, sel, node, predicate=True
+                )
+
+            return fallback_predicate, True
+        fn, needs_scope = self.compile(node)
+        if _always_boolean(node):
+            return fn, needs_scope
+
+        def predicate(ctx, sel):
+            values, err = fn(ctx, sel)
+            for p, value in enumerate(values):
+                if value is None or isinstance(value, bool):
+                    continue
+                return values[:p], ExecutionError(
+                    f"predicate evaluated to non-boolean value {value!r}"
+                )
+            return values, err
+
+        return predicate, needs_scope
+
+    def _fallback(self, node):
+        """Delegate ``node`` to the interpreter, one row at a time."""
+        self.nodes_fallback += 1
+
+        def fallback(ctx, sel):
+            return _fallback_loop(ctx, sel, node, predicate=False)
+
+        return fallback, True
+
+    # -- leaves -----------------------------------------------------------
+
+    def _compile_literal(self, node):
+        self.nodes_compiled += 1
+        value = node.value
+
+        def literal(ctx, sel):
+            return [value] * len(sel), None
+
+        return literal, False
+
+    def _error_kernel(self, make_error):
+        # raised only if a row is actually evaluated — at row 0
+        def error_kernel(ctx, sel):
+            if sel:
+                return [], make_error()
+            return [], None
+
+        return error_kernel, False
+
+    def _compile_column_ref(self, node):
+        column = node.column
+        qualifier = node.qualifier
+        if qualifier is not None and qualifier != self._binding:
+            return self._fallback(node)  # outer query's binding
+        j = self._columns.get(column)
+        if j is None:
+            if qualifier is not None:
+                # the binding owns this qualifier but lacks the column:
+                # error without looking outward, like the interpreter
+                self.nodes_compiled += 1
+                message = (
+                    f"table or alias {qualifier!r} has no column {column!r}"
+                )
+                return self._error_kernel(lambda: ExecutionError(message))
+            return self._fallback(node)  # outer scope (or unknown)
+        self.nodes_compiled += 1
+
+        def column_gather(ctx, sel):
+            col = ctx.cols[j]
+            return [col[slot] for slot in sel], None
+
+        return column_gather, False
+
+    def _compile_star(self, node):
+        self.nodes_compiled += 1
+        return self._error_kernel(
+            lambda: ExecutionError(
+                "'*' is only valid in select lists and count(*)"
+            )
+        )
+
+    # -- operators --------------------------------------------------------
+
+    def _compile_unary(self, node):
+        op = node.op
+        if op == "not":
+            operand, needs = self.compile_predicate(node.operand)
+            self.nodes_compiled += 1
+
+            def negation(ctx, sel):
+                values, err = operand(ctx, sel)
+                return [logic_not(value) for value in values], err
+
+            return negation, needs
+        operand, needs = self.compile(node.operand)
+        self.nodes_compiled += 1
+        negate = op == "-"
+
+        def unary(ctx, sel):
+            values, err = operand(ctx, sel)
+            out = []
+            try:
+                for value in values:
+                    if value is None:
+                        out.append(None)
+                        continue
+                    if isinstance(value, bool) or not isinstance(
+                        value, (int, float)
+                    ):
+                        raise TypeError_(
+                            f"unary {op} requires a number, got {value!r}"
+                        )
+                    out.append(-value if negate else value)
+            except ReproError as error:
+                return out, error
+            return out, err
+
+        return unary, needs
+
+    def _compile_binary(self, node):
+        op = node.op
+        if op == "and":
+            left, left_needs = self.compile_predicate(node.left)
+            right, right_needs = self.compile_predicate(node.right)
+            self.nodes_compiled += 1
+
+            def conjunction(ctx, sel):
+                left_values, left_err = left(ctx, sel)
+                n = len(left_values)
+                # short-circuit becomes domain restriction: the right
+                # kernel only sees rows the row path would evaluate it on
+                sub = [
+                    sel[p] for p in range(n)
+                    if left_values[p] is not False
+                ]
+                right_values, right_err = right(ctx, sub)
+                out = []
+                taken = 0
+                for p in range(n):
+                    value = left_values[p]
+                    if value is False:
+                        out.append(False)
+                        continue
+                    if taken == len(right_values):
+                        return out, right_err
+                    out.append(logic_and(value, right_values[taken]))
+                    taken += 1
+                return out, left_err
+
+            return conjunction, left_needs or right_needs
+        if op == "or":
+            left, left_needs = self.compile_predicate(node.left)
+            right, right_needs = self.compile_predicate(node.right)
+            self.nodes_compiled += 1
+
+            def disjunction(ctx, sel):
+                left_values, left_err = left(ctx, sel)
+                n = len(left_values)
+                sub = [
+                    sel[p] for p in range(n)
+                    if left_values[p] is not True
+                ]
+                right_values, right_err = right(ctx, sub)
+                out = []
+                taken = 0
+                for p in range(n):
+                    value = left_values[p]
+                    if value is True:
+                        out.append(True)
+                        continue
+                    if taken == len(right_values):
+                        return out, right_err
+                    out.append(logic_or(value, right_values[taken]))
+                    taken += 1
+                return out, left_err
+
+            return disjunction, left_needs or right_needs
+
+        left, left_needs = self.compile(node.left)
+        right, right_needs = self.compile(node.right)
+        needs = left_needs or right_needs
+        self.nodes_compiled += 1
+
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            py_op = _PY_COMPARISONS[op]
+
+            def comparison(ctx, sel):
+                left_values, right_values, err = _zip2(
+                    left, right, ctx, sel
+                )
+                out = []
+                append = out.append
+                try:
+                    for p in range(len(right_values)):
+                        left_value = left_values[p]
+                        right_value = right_values[p]
+                        # same-type fast path: int/float/str/bool pairs
+                        # order exactly as compare_values does; mixed
+                        # kinds (and NULLs) take the checked slow path
+                        if left_value is None or right_value is None:
+                            append(None)
+                        elif type(left_value) is type(right_value):
+                            append(py_op(left_value, right_value))
+                        else:
+                            append(compare(op, left_value, right_value))
+                except ReproError as error:
+                    return out, error
+                return out, err
+
+            return comparison, needs
+
+        if op == "||":
+
+            def concat(ctx, sel):
+                left_values, right_values, err = _zip2(
+                    left, right, ctx, sel
+                )
+                out = []
+                try:
+                    for p in range(len(right_values)):
+                        left_value = left_values[p]
+                        right_value = right_values[p]
+                        if left_value is None or right_value is None:
+                            out.append(None)
+                            continue
+                        if not isinstance(left_value, str) or not isinstance(
+                            right_value, str
+                        ):
+                            raise TypeError_(
+                                f"'||' requires strings, got {left_value!r} "
+                                f"and {right_value!r}"
+                            )
+                        out.append(left_value + right_value)
+                except ReproError as error:
+                    return out, error
+                return out, err
+
+            return concat, needs
+
+        if op in ("+", "-", "*", "%"):
+            py_op = _PY_ARITHMETIC[op]
+            modulo = op == "%"
+
+            def arithmetic(ctx, sel):
+                left_values, right_values, err = _zip2(
+                    left, right, ctx, sel
+                )
+                out = []
+                append = out.append
+                try:
+                    for p in range(len(right_values)):
+                        left_value = left_values[p]
+                        right_value = right_values[p]
+                        # numeric fast path (type(...) is int excludes
+                        # bool); NULLs, booleans, strings and modulo-by-
+                        # zero take the checked slow path
+                        left_type = type(left_value)
+                        right_type = type(right_value)
+                        if (
+                            (left_type is int or left_type is float)
+                            and (right_type is int or right_type is float)
+                            and not (modulo and right_value == 0)
+                        ):
+                            append(py_op(left_value, right_value))
+                        else:
+                            append(_arith(op, left_value, right_value))
+                except ReproError as error:
+                    return out, error
+                return out, err
+
+            return arithmetic, needs
+
+        if op == "/":
+
+            def division(ctx, sel):
+                left_values, right_values, err = _zip2(
+                    left, right, ctx, sel
+                )
+                out = []
+                try:
+                    for p in range(len(right_values)):
+                        out.append(
+                            _arith(op, left_values[p], right_values[p])
+                        )
+                except ReproError as error:
+                    return out, error
+                return out, err
+
+            return division, needs
+
+        message = f"unknown binary operator {op!r}"
+        return self._error_kernel(lambda: ExecutionError(message))
+
+    # -- predicates -------------------------------------------------------
+
+    def _compile_is_null(self, node):
+        operand, needs = self.compile(node.operand)
+        self.nodes_compiled += 1
+        negated = node.negated
+
+        def is_null(ctx, sel):
+            values, err = operand(ctx, sel)
+            if negated:
+                return [value is not None for value in values], err
+            return [value is None for value in values], err
+
+        return is_null, needs
+
+    def _compile_between(self, node):
+        operand, operand_needs = self.compile(node.operand)
+        low, low_needs = self.compile(node.low)
+        high, high_needs = self.compile(node.high)
+        self.nodes_compiled += 1
+        negated = node.negated
+
+        def between(ctx, sel):
+            values, err = operand(ctx, sel)
+            domain = sel if err is None else sel[:len(values)]
+            low_values, low_err = low(ctx, domain)
+            if low_err is not None:
+                err = low_err
+                domain = domain[:len(low_values)]
+            high_values, high_err = high(ctx, domain)
+            if high_err is not None:
+                err = high_err
+            out = []
+            try:
+                for p in range(len(high_values)):
+                    result = logic_and(
+                        compare("<=", low_values[p], values[p]),
+                        compare("<=", values[p], high_values[p]),
+                    )
+                    out.append(logic_not(result) if negated else result)
+            except ReproError as error:
+                return out, error
+            return out, err
+
+        return between, operand_needs or low_needs or high_needs
+
+    def _compile_like(self, node):
+        operand, operand_needs = self.compile(node.operand)
+        negated = node.negated
+        if isinstance(node.pattern, ast.Literal) and isinstance(
+            node.pattern.value, str
+        ):
+            self.nodes_compiled += 2  # the Like node and its pattern
+            regex = _like_to_regex(node.pattern.value)
+
+            def like_constant(ctx, sel):
+                values, err = operand(ctx, sel)
+                out = []
+                try:
+                    for value in values:
+                        if value is None:
+                            out.append(None)
+                            continue
+                        if not isinstance(value, str):
+                            raise TypeError_("LIKE requires string operands")
+                        result = bool(regex.match(value))
+                        out.append(not result if negated else result)
+                except ReproError as error:
+                    return out, error
+                return out, err
+
+            return like_constant, operand_needs
+        pattern, pattern_needs = self.compile(node.pattern)
+        self.nodes_compiled += 1
+
+        def like(ctx, sel):
+            values, pattern_values, err = _zip2(operand, pattern, ctx, sel)
+            out = []
+            try:
+                for p in range(len(pattern_values)):
+                    value = values[p]
+                    pattern_value = pattern_values[p]
+                    if value is None or pattern_value is None:
+                        out.append(None)
+                        continue
+                    if not isinstance(value, str) or not isinstance(
+                        pattern_value, str
+                    ):
+                        raise TypeError_("LIKE requires string operands")
+                    result = bool(_like_to_regex(pattern_value).match(value))
+                    out.append(not result if negated else result)
+            except ReproError as error:
+                return out, error
+            return out, err
+
+        return like, operand_needs or pattern_needs
+
+    def _compile_in_list(self, node):
+        operand, needs = self.compile(node.operand)
+        items = []
+        for item in node.items:
+            item_fn, item_needs = self.compile(item)
+            items.append(item_fn)
+            needs = needs or item_needs
+        self.nodes_compiled += 1
+        negated = node.negated
+
+        def in_list(ctx, sel):
+            # row path: items are evaluated lazily per row, stopping at
+            # the first match. Vectorized: each item kernel runs over
+            # the rows still undecided — exactly the rows whose item
+            # the row path would evaluate — tracking the earliest error.
+            values, err = operand(ctx, sel)
+            cut = len(values)
+            matched = [False] * cut
+            unknown = [False] * cut
+            pending = list(range(cut))
+            for item_fn in items:
+                if not pending:
+                    break
+                domain = [sel[p] for p in pending]
+                item_values, item_err = item_fn(ctx, domain)
+                still = []
+                k = 0
+                try:
+                    for k in range(len(item_values)):
+                        p = pending[k]
+                        result = compare("=", values[p], item_values[k])
+                        if result is True:
+                            matched[p] = True
+                        else:
+                            if result is None:
+                                unknown[p] = True
+                            still.append(p)
+                except ReproError as error:
+                    cut = pending[k]
+                    err = error
+                    pending = still
+                    continue
+                if item_err is not None:
+                    cut = pending[len(item_values)]
+                    err = item_err
+                pending = still
+            out = []
+            for p in range(cut):
+                if matched[p]:
+                    out.append(False if negated else True)
+                elif unknown[p]:
+                    out.append(None)
+                else:
+                    out.append(True if negated else False)
+            return out, err
+
+        return in_list, needs
+
+    # -- functions --------------------------------------------------------
+
+    def _compile_function_call(self, node):
+        if node.name in AGGREGATE_NAMES:
+            # aggregates need the GroupScope machinery
+            return self._fallback(node)
+        args = []
+        needs = False
+        for arg in node.args:
+            arg_fn, arg_needs = self.compile(arg)
+            args.append(arg_fn)
+            needs = needs or arg_needs
+        self.nodes_compiled += 1
+        name = node.name
+
+        def function_call(ctx, sel):
+            arg_lists = []
+            err = None
+            domain = sel
+            for arg_fn in args:
+                arg_values, arg_err = arg_fn(ctx, domain)
+                if arg_err is not None:
+                    err = arg_err
+                    domain = domain[:len(arg_values)]
+                arg_lists.append(arg_values)
+            out = []
+            try:
+                for p in range(len(domain)):
+                    out.append(
+                        _apply_scalar_function(
+                            name,
+                            [arg_values[p] for arg_values in arg_lists],
+                        )
+                    )
+            except ReproError as error:
+                return out, error
+            return out, err
+
+        return function_call, needs
+
+    def _compile_case(self, node):
+        branches = []
+        needs = False
+        for condition, value in node.branches:
+            condition_fn, condition_needs = self.compile_predicate(condition)
+            value_fn, value_needs = self.compile(value)
+            branches.append((condition_fn, value_fn))
+            needs = needs or condition_needs or value_needs
+        default = None
+        if node.default is not None:
+            default, default_needs = self.compile(node.default)
+            needs = needs or default_needs
+        self.nodes_compiled += 1
+
+        def case(ctx, sel):
+            # branch domains partition the batch: each condition kernel
+            # runs over rows no earlier branch matched, each value
+            # kernel over rows its condition matched — the rows the row
+            # path would evaluate them on. Errors keep the earliest row.
+            n = len(sel)
+            cut = n
+            err = None
+            out_values = [None] * n
+            pending = list(range(n))
+            for condition_fn, value_fn in branches:
+                if not pending:
+                    break
+                domain = [sel[p] for p in pending]
+                cond_values, cond_err = condition_fn(ctx, domain)
+                taken = []
+                rest = []
+                for k in range(len(cond_values)):
+                    p = pending[k]
+                    if cond_values[k] is True:
+                        taken.append(p)
+                    else:
+                        rest.append(p)
+                if cond_err is not None:
+                    at = pending[len(cond_values)]
+                    if at < cut:
+                        cut = at
+                        err = cond_err
+                taken = [p for p in taken if p < cut]
+                value_values, value_err = value_fn(
+                    ctx, [sel[p] for p in taken]
+                )
+                for k in range(len(value_values)):
+                    out_values[taken[k]] = value_values[k]
+                if value_err is not None:
+                    at = taken[len(value_values)]
+                    if at < cut:
+                        cut = at
+                        err = value_err
+                pending = [p for p in rest if p < cut]
+            if default is not None and pending:
+                default_values, default_err = default(
+                    ctx, [sel[p] for p in pending]
+                )
+                for k in range(len(default_values)):
+                    out_values[pending[k]] = default_values[k]
+                if default_err is not None:
+                    at = pending[len(default_values)]
+                    if at < cut:
+                        cut = at
+                        err = default_err
+            return out_values[:cut], err
+
+        return case, needs
+
+
+#: Python operators backing the same-type kernel fast paths; semantics
+#: match compare_values/_arith exactly on the types the fast path admits
+_PY_COMPARISONS = {
+    "=": operator.eq,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_PY_ARITHMETIC = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "%": operator.mod,
+}
+
+
+def _zip2(left, right, ctx, sel):
+    """Chain two value kernels: the right one runs over the prefix the
+    left one succeeded on; returns ``(left_values, right_values, err)``
+    with the right kernel's error (strictly earlier row) preferred."""
+    left_values, left_err = left(ctx, sel)
+    if len(left_values) != len(sel):
+        sel = sel[:len(left_values)]
+    right_values, right_err = right(ctx, sel)
+    return (
+        left_values,
+        right_values,
+        right_err if right_err is not None else left_err,
+    )
+
+
+def _arith(op, left_value, right_value):
+    """One arithmetic application with the row closure's exact type and
+    zero-division behaviour."""
+    if left_value is None or right_value is None:
+        return None
+    if isinstance(left_value, bool) or isinstance(right_value, bool):
+        raise TypeError_(
+            f"arithmetic on booleans: {left_value!r} {op} {right_value!r}"
+        )
+    if not isinstance(left_value, (int, float)) or not isinstance(
+        right_value, (int, float)
+    ):
+        raise TypeError_(
+            f"arithmetic requires numbers: {left_value!r} {op} "
+            f"{right_value!r}"
+        )
+    if op == "+":
+        return left_value + right_value
+    if op == "-":
+        return left_value - right_value
+    if op == "*":
+        return left_value * right_value
+    if op == "/":
+        if right_value == 0:
+            raise ExecutionError("division by zero")
+        result = left_value / right_value
+        if isinstance(left_value, int) and isinstance(right_value, int):
+            quotient = left_value // right_value
+            if quotient * right_value == left_value:
+                return quotient
+        return result
+    if right_value == 0:
+        raise ExecutionError("modulo by zero")
+    return left_value % right_value
+
+
+def _fallback_loop(ctx, sel, node, predicate):
+    """Per-row interpreter escape for subtrees the batch compiler cannot
+    lower (subqueries, aggregates, outer references)."""
+    stats = ctx.stats
+    if stats is not None:
+        stats.fallback_rows += len(sel)
+    evaluator = ctx.evaluator
+    scope_for = ctx.scope_for
+    out = []
+    try:
+        if predicate:
+            for slot in sel:
+                out.append(
+                    evaluator.evaluate_predicate(node, scope_for(slot))
+                )
+        else:
+            for slot in sel:
+                out.append(evaluator.evaluate(node, scope_for(slot)))
+    except ReproError as error:
+        return out, error
+    return out, None
+
+
+_BATCH_HANDLERS = {
+    ast.Literal: _BatchCompiler._compile_literal,
+    ast.ColumnRef: _BatchCompiler._compile_column_ref,
+    ast.Star: _BatchCompiler._compile_star,
+    ast.UnaryOp: _BatchCompiler._compile_unary,
+    ast.BinaryOp: _BatchCompiler._compile_binary,
+    ast.IsNull: _BatchCompiler._compile_is_null,
+    ast.Between: _BatchCompiler._compile_between,
+    ast.Like: _BatchCompiler._compile_like,
+    ast.InList: _BatchCompiler._compile_in_list,
+    ast.FunctionCall: _BatchCompiler._compile_function_call,
+    ast.CaseExpression: _BatchCompiler._compile_case,
 }

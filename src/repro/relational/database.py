@@ -67,6 +67,24 @@ class Database:
         #: compiler counters (compiles, cache hits, fallback nodes, ...)
         self.compiler_stats = CompilerStats()
 
+        from .compiled import VectorizedStats
+
+        #: evaluate scans, filters, projections, join keys, DML
+        #: targeting, and transition-table conditions through batch
+        #: kernels over columnar storage (see the vectorized section of
+        #: repro.relational.compiled); False keeps PR 4's row-at-a-time
+        #: compiled closures — same values and errors, different cost.
+        #: Vectorization layers on top of compiled evaluation, so
+        #: REPRO_COMPILED_EVAL=0 disables both and leaves the pure
+        #: interpreter oracle. REPRO_VECTORIZED_EVAL=0 forces just this
+        #: layer off (CI runs both ways).
+        self.enable_vectorized_eval = os.environ.get(
+            "REPRO_VECTORIZED_EVAL", "1"
+        ).lower() not in ("0", "off", "false")
+        #: batch-kernel counters (batches scanned, selection-vector
+        #: sizes, per-row fallbacks)
+        self.vectorized_stats = VectorizedStats()
+
         #: evaluate maintainable rule conditions from persisted support
         #: counters updated by each transition's net deltas (see
         #: repro.core.incremental); False re-runs every condition query

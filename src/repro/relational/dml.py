@@ -269,12 +269,44 @@ class DmlExecutor:
         if where is None:
             return table.items()
         candidates = index_candidates(where, table, {table_name})
+        columns = schema.column_names
+        from .compiled import vectorized_enabled
+
+        if vectorized_enabled(self.database):
+            from .compiled import BatchContext, run_batch_filter
+
+            if candidates is None:
+                batch = table.batch()
+            else:
+                batch = table.batch_for_handles(sorted(candidates))
+            row_of = batch.row
+
+            def scope_for(slot):
+                scope = Scope()
+                scope.bind(table_name, columns, row_of(slot))
+                return scope
+
+            ctx = BatchContext(
+                batch.cols,
+                scope_for,
+                self._evaluator,
+                getattr(self.database, "vectorized_stats", None),
+            )
+            sel = run_batch_filter(
+                self.database,
+                (where,),
+                ((table_name, columns),),
+                ctx,
+                batch.sel,
+            )
+            handles_col = batch.handles
+            tuples = batch.tuples
+            return [(handles_col[slot], tuples[slot]) for slot in sel]
         if candidates is None:
             pairs = table.items()
         else:
             pairs = [(handle, table.get(handle)) for handle in sorted(candidates)]
         matched = []
-        columns = schema.column_names
         if getattr(self.database, "enable_compiled_eval", False):
             from .compiled import program_for
 

@@ -22,7 +22,15 @@ from __future__ import annotations
 
 from ...errors import ExecutionError
 from ...sql import ast
-from ..compiled import layout_of, program_for
+from ..compiled import (
+    BatchContext,
+    batch_program_for,
+    layout_of,
+    program_for,
+    run_batch_filter,
+    run_batch_programs,
+    vectorized_enabled,
+)
 from ..expressions import Scope
 from ..types import compare_values
 from .nodes import Filter, HashJoin, IndexLookup, Plan, Product, Scan, SingleRow
@@ -39,10 +47,37 @@ def execute_source(plan, database, resolver, evaluator, outer,
     :class:`~repro.relational.plan.cache.PlannerStats`) receives the
     rows-scanned / rows-visited counters.
     """
+    bindings, scopes, batch = execute_source_batched(
+        plan, database, resolver, evaluator, outer,
+        collect_handles=collect_handles, stats=stats,
+    )
+    if batch is not None:
+        scopes = scopes_from_batch(bindings, batch, outer, collect_handles)
+    return bindings, scopes
+
+
+def execute_source_batched(plan, database, resolver, evaluator, outer,
+                           collect_handles=False, stats=None):
+    """Like :func:`execute_source`, but keeps the columnar form when it
+    can: returns ``(bindings, scopes, batch)``. ``batch`` is non-None —
+    and ``scopes`` is None — when the whole pipeline stayed a
+    single-binding batchable chain (Scan/IndexLookup/Filter) under
+    vectorized evaluation; the caller then projects straight off the
+    batch (or materializes scopes via :func:`scopes_from_batch`).
+    """
     source = plan.source if isinstance(plan, Plan) else plan
     runner = _SourceRunner(
         database, resolver, evaluator, outer, collect_handles, stats
     )
+    if runner.vectorized:
+        batched = runner.run_batch(source)
+        if batched is not None:
+            bindings, batch = batched
+            if stats is not None:
+                # single-table pipeline: the surviving selection *is*
+                # the visited row set (mirrors the combos accounting)
+                stats.rows_visited += len(batch.sel)
+            return bindings, None, batch
     bindings, combos = runner.run(source)
     if stats is not None and runner.visited is None:
         # single-table pipeline: the combinations *are* the scanned rows
@@ -61,7 +96,26 @@ def execute_source(plan, database, resolver, evaluator, outer,
             if touched:
                 scope.touched_pairs = touched
         scopes.append(scope)
-    return bindings, scopes
+    return bindings, scopes, None
+
+
+def scopes_from_batch(bindings, batch, outer, collect_handles=False):
+    """Materialize the executor's Scope contract from a surviving batch
+    (needed by group/aggregate evaluation and interpreter-only callers)."""
+    (name, columns), = bindings
+    handles = batch.handles
+    label = batch.label
+    collect = collect_handles and handles is not None and label is not None
+    scopes = []
+    for slot in batch.sel:
+        row = batch.row(slot)
+        scope = Scope(parent=outer)
+        scope.bind(name, columns, row)
+        scope.rows = (row,)
+        if collect:
+            scope.touched_pairs = [(label, handles[slot])]
+        scopes.append(scope)
+    return scopes
 
 
 class _SourceRunner:
@@ -76,6 +130,7 @@ class _SourceRunner:
         self.outer = outer
         self.collect_handles = collect_handles
         self.stats = stats
+        self.vectorized = vectorized_enabled(database)
         #: combinations materialized by join/product nodes (None until
         #: one runs — execute_source falls back to the pipeline output)
         self.visited = None
@@ -83,6 +138,11 @@ class _SourceRunner:
     def run(self, node):
         """Execute ``node``; returns ``(bindings, combos)`` where combos
         are ``(rows_tuple, pairs_tuple_or_None)`` aligned with bindings."""
+        if self.vectorized:
+            batched = self.run_batch(node)
+            if batched is not None:
+                bindings, batch = batched
+                return bindings, self._combos_from_batch(batch)
         if isinstance(node, SingleRow):
             return [], [((), None)]
         if isinstance(node, Scan):
@@ -99,6 +159,97 @@ class _SourceRunner:
             f"cannot execute plan node {type(node).__name__}"
         )
 
+    # -- vectorized pipeline ----------------------------------------------
+
+    def run_batch(self, node):
+        """The columnar pipeline for a batchable subtree: Scan /
+        IndexLookup / Filter chains over one binding. Returns
+        ``(bindings, batch)``, or None when the subtree needs the
+        row-at-a-time path (joins, products, unbatchable resolvers)."""
+        if isinstance(node, Scan):
+            return self._scan_batch(node)
+        if isinstance(node, IndexLookup):
+            return self._index_lookup_batch(node)
+        if isinstance(node, Filter):
+            child = self.run_batch(node.child)
+            if child is None:
+                return None
+            bindings, batch = child
+            sel = run_batch_filter(
+                self.database,
+                node.predicates,
+                layout_of(bindings),
+                self._batch_context(bindings, batch),
+                batch.sel,
+            )
+            return bindings, batch.with_sel(sel)
+        return None
+
+    def _scan_batch(self, node):
+        resolve_batch = getattr(self.resolver, "resolve_batch", None)
+        resolved = (
+            resolve_batch(node.table_ref)
+            if resolve_batch is not None
+            else None
+        )
+        if resolved is None:
+            vstats = getattr(self.database, "vectorized_stats", None)
+            if vstats is not None:
+                vstats.row_fallbacks += 1
+            return None
+        columns, batch = resolved
+        if self.stats is not None:
+            self.stats.rows_scanned += len(batch.sel)
+        return [(node.binding, columns)], batch
+
+    def _index_lookup_batch(self, node):
+        table = self.database.table(node.table_ref.table)
+        candidates = None
+        for _, column, value in node.keys:
+            index = table.index_on(column)
+            if index is None:
+                continue
+            found = index.lookup(value)
+            candidates = found if candidates is None else (candidates & found)
+        if candidates is None:
+            batch = table.batch()
+        else:
+            batch = table.batch_for_handles(sorted(candidates))
+        if self.stats is not None:
+            self.stats.rows_scanned += len(batch.sel)
+        return [(node.binding, table.schema.column_names)], batch
+
+    def _batch_context(self, bindings, batch):
+        """A kernel context whose fallback scopes mirror the row path's
+        per-combination scopes (same binding, same outer parent)."""
+        (name, columns), = bindings
+        outer = self.outer
+        row_of = batch.row
+
+        def scope_for(slot):
+            scope = Scope(parent=outer)
+            scope.bind(name, columns, row_of(slot))
+            return scope
+
+        return BatchContext(
+            batch.cols, scope_for, self.evaluator,
+            getattr(self.database, "vectorized_stats", None),
+        )
+
+    def _combos_from_batch(self, batch):
+        """Materialize the row-path combo contract from a batch (at the
+        boundary to a join/product or the scope materializer)."""
+        label = batch.label
+        row_of = batch.row
+        if self.collect_handles and batch.handles is not None \
+                and label is not None:
+            handles = batch.handles
+            return [
+                ((row_of(slot),), ((label, handles[slot]),))
+                for slot in batch.sel
+            ]
+        return [((row_of(slot),), None) for slot in batch.sel]
+
     # -- leaves -----------------------------------------------------------
 
     def _run_scan(self, node):
@@ -110,7 +261,8 @@ class _SourceRunner:
                                                ast.BaseTableRef):
             table = self.database.table(node.table_ref.table)
             pairs = [
-                (node.table_ref.table, handle) for handle in table.handles()
+                (node.table_ref.table, handle)
+                for handle in table.iter_handles()
             ]
         return (
             [(node.binding, columns)],
@@ -188,17 +340,30 @@ class _SourceRunner:
     # -- joins ------------------------------------------------------------
 
     def _run_hash_join(self, node):
-        left_bindings, left_combos = self.run(node.left)
-        right_bindings, right_combos = self.run(node.right)
-        right_key_values = self._key_values_fn(right_bindings, node.right_keys)
-        left_key_values = self._key_values_fn(left_bindings, node.left_keys)
+        left_bindings, left_combos, left_keys = self._join_side(
+            node.left, node.left_keys
+        )
+        right_bindings, right_combos, right_keys = self._join_side(
+            node.right, node.right_keys
+        )
+        if right_keys is None:
+            right_key_values = self._key_values_fn(
+                right_bindings, node.right_keys
+            )
+        if left_keys is None:
+            left_key_values = self._key_values_fn(
+                left_bindings, node.left_keys
+            )
 
         buckets = {}
         # per key position: kind tag -> witness value, for reproducing the
         # naive path's cross-kind comparison errors (see _check_kinds)
         witnesses = [{} for _ in node.right_keys]
-        for combo in right_combos:
-            values = right_key_values(combo[0])
+        for position_index, combo in enumerate(right_combos):
+            if right_keys is not None:
+                values = right_keys[position_index]
+            else:
+                values = right_key_values(combo[0])
             parts = []
             for position, value in enumerate(values):
                 if value is None:
@@ -211,8 +376,11 @@ class _SourceRunner:
             buckets.setdefault(tuple(parts), []).append(combo)
 
         joined = []
-        for left_rows, left_pairs in left_combos:
-            values = left_key_values(left_rows)
+        for position_index, (left_rows, left_pairs) in enumerate(left_combos):
+            if left_keys is not None:
+                values = left_keys[position_index]
+            else:
+                values = left_key_values(left_rows)
             parts = []
             for position, value in enumerate(values):
                 if value is None:
@@ -227,6 +395,45 @@ class _SourceRunner:
                 )
         self._count_visited(joined)
         return left_bindings + right_bindings, joined
+
+    def _join_side(self, child, key_exprs):
+        """One join input: ``(bindings, combos, keys_or_None)``.
+
+        When the child stayed batchable, the join keys are extracted as
+        key columns from the batch (one gather per key expression)
+        before combos are materialized; ``keys`` then aligns with
+        ``combos`` by position. Otherwise keys is None and the caller
+        computes them per combo through :meth:`_key_values_fn`.
+        """
+        if self.vectorized:
+            batched = self.run_batch(child)
+            if batched is not None:
+                bindings, batch = batched
+                keys = self._batch_keys(bindings, batch, key_exprs)
+                return bindings, self._combos_from_batch(batch), keys
+        bindings, combos = self.run(child)
+        return bindings, combos, None
+
+    def _batch_keys(self, bindings, batch, key_exprs):
+        """Key-column extraction: each key expression's kernel gathers
+        its values over the whole selection vector at once."""
+        layout = layout_of(bindings)
+        programs = [
+            batch_program_for(self.database, expr, layout)
+            for expr in key_exprs
+        ]
+        vstats = getattr(self.database, "vectorized_stats", None)
+        if vstats is not None:
+            vstats.batches_scanned += 1
+        value_lists, err = run_batch_programs(
+            programs, self._batch_context(bindings, batch), batch.sel
+        )
+        if err is not None:
+            raise err
+        return [
+            [values[p] for values in value_lists]
+            for p in range(len(batch.sel))
+        ]
 
     @staticmethod
     def _check_kinds(left_value, right_witnesses):

@@ -28,7 +28,13 @@ from typing import Optional
 
 from ..errors import ExecutionError
 from ..sql import ast
-from .compiled import layout_of, program_for
+from .compiled import (
+    BatchContext,
+    batch_program_for,
+    layout_of,
+    program_for,
+    run_batch_programs,
+)
 from .expressions import (
     EmptyGroupScope,
     Evaluator,
@@ -111,6 +117,15 @@ class BaseTableResolver:
             f"unsupported table reference {type(table_ref).__name__}"
         )
 
+    def resolve_batch(self, table_ref):
+        """``(columns, batch)`` for a base-table reference, sharing the
+        table's live column lists; None sends the caller to the
+        row-at-a-time :meth:`resolve` (whose errors then surface)."""
+        if isinstance(table_ref, ast.BaseTableRef):
+            table = self.database.table(table_ref.table)
+            return table.schema.column_names, table.batch()
+        return None
+
 
 def evaluate_select(database, select, resolver=None, outer=None,
                     collect_handles=False):
@@ -160,22 +175,48 @@ class _SelectExecutor:
 
     def _run_single(self, select, outer):
         stats = getattr(self.database, "planner_stats", None)
+        batch = None
         if getattr(self.database, "enable_planner", False):
-            bindings, scopes = self._planned_scopes(select, outer, stats)
+            bindings, scopes, batch = self._planned_scopes(
+                select, outer, stats
+            )
         else:
             bindings, scopes = self._naive_scopes(select, outer, stats)
 
         if self.collect_handles:
             seen = set(self.touched)
-            for scope in scopes:
-                for pair in getattr(scope, "touched_pairs", ()):
-                    if pair not in seen:
-                        seen.add(pair)
-                        self.touched.append(pair)
+            if batch is not None:
+                if batch.handles is not None and batch.label is not None:
+                    handles = batch.handles
+                    label = batch.label
+                    for slot in batch.sel:
+                        pair = (label, handles[slot])
+                        if pair not in seen:
+                            seen.add(pair)
+                            self.touched.append(pair)
+            else:
+                for scope in scopes:
+                    for pair in getattr(scope, "touched_pairs", ()):
+                        if pair not in seen:
+                            seen.add(pair)
+                            self.touched.append(pair)
 
         grouped = bool(select.group_by) or self._has_aggregates(select)
         if grouped:
-            columns, projected = self._project_grouped(select, scopes, bindings, outer)
+            if batch is not None:
+                # group/aggregate evaluation needs per-row scopes (the
+                # GroupScope machinery); the batch still serves the
+                # grouping keys below
+                from .plan.executor import scopes_from_batch
+
+                scopes = scopes_from_batch(bindings, batch, outer)
+            columns, projected = self._project_grouped(
+                select, scopes, bindings, outer, batch=batch
+            )
+        elif batch is not None:
+            columns, projected = self._project_plain_batch(
+                select, batch, bindings, outer
+            )
         else:
             columns, projected = self._project_plain(select, scopes, bindings)
 
@@ -202,11 +243,13 @@ class _SelectExecutor:
     def _planned_scopes(self, select, outer, stats):
         """Compile (or fetch) the arm's plan and run its source pipeline;
         the surviving scopes are exactly the naive path's post-WHERE
-        scopes (plan-invariance guarantee)."""
-        from .plan.executor import execute_source
+        scopes (plan-invariance guarantee). Under vectorized evaluation
+        a single-binding pipeline comes back as a still-columnar batch
+        (scopes None) for the projection paths to consume directly."""
+        from .plan.executor import execute_source_batched
 
         plan = self.database.plan_cache.plan_for(select, self.database, stats)
-        bindings, scopes = execute_source(
+        bindings, scopes, batch = execute_source_batched(
             plan,
             self.database,
             self.resolver,
@@ -215,7 +258,7 @@ class _SelectExecutor:
             collect_handles=self.collect_handles,
             stats=stats,
         )
-        return bindings, scopes
+        return bindings, scopes, batch
 
     # ------------------------------------------------------------------
     # FROM/WHERE handling — naive path
@@ -283,7 +326,7 @@ class _SelectExecutor:
                     table = self.database.table(table_ref.table)
                     pairs = [
                         (table_ref.table, handle)
-                        for handle in table.handles()
+                        for handle in table.iter_handles()
                     ]
             bindings.append((name, columns, rows, pairs))
         return bindings
@@ -423,14 +466,93 @@ class _SelectExecutor:
             projected.append((row, keys))
         return projected
 
-    def _project_grouped(self, select, scopes, bindings, outer):
+    def _batch_context(self, bindings, batch, outer):
+        """A kernel context for projection/grouping over a surviving
+        batch; fallback scopes mirror the row path's combination scopes."""
+        (name, columns), = bindings
+        row_of = batch.row
+
+        def scope_for(slot):
+            scope = Scope(parent=outer)
+            scope.bind(name, columns, row_of(slot))
+            return scope
+
+        return BatchContext(
+            batch.cols, scope_for, self.evaluator,
+            getattr(self.database, "vectorized_stats", None),
+        )
+
+    def _project_plain_batch(self, select, batch, bindings, outer):
+        """Projection as column slices: every select item and order key
+        compiles to one batch kernel gathering its output column over
+        the surviving selection vector."""
+        items = self._expand_items(select, bindings)
+        columns = [self._output_name(item, i) for i, item in enumerate(items)]
+        database = self.database
+        layout = layout_of(bindings)
+        programs = [
+            batch_program_for(database, item.expression, layout)
+            for item in items
+        ]
+        order_programs = [
+            batch_program_for(database, order.expression, layout)
+            for order in select.order_by
+        ]
+        descending = [order.descending for order in select.order_by]
+        vstats = database.vectorized_stats
+        vstats.batches_scanned += 1
+        value_lists, err = run_batch_programs(
+            programs + order_programs,
+            self._batch_context(bindings, batch, outer),
+            batch.sel,
+        )
+        if err is not None:
+            raise err
+        item_count = len(programs)
+        item_lists = value_lists[:item_count]
+        order_lists = value_lists[item_count:]
+        projected = []
+        for p in range(len(batch.sel)):
+            row = tuple(values[p] for values in item_lists)
+            if order_lists:
+                keys = []
+                for values, desc in zip(order_lists, descending):
+                    key = sort_key(values[p])
+                    keys.append(_Reversed(key) if desc else key)
+                keys = tuple(keys)
+            else:
+                keys = ()
+            projected.append((row, keys))
+        return columns, projected
+
+    def _project_grouped(self, select, scopes, bindings, outer, batch=None):
         items = self._expand_items(select, bindings)
         self._validate_grouped_items(select, items)
         columns = [self._output_name(item, i) for i, item in enumerate(items)]
 
         if select.group_by:
             groups = {}
-            if getattr(self.database, "enable_compiled_eval", False) and scopes:
+            if batch is not None:
+                # grouping keys gather as key columns off the batch; the
+                # aggregate items below stay interpreted over the
+                # materialized member scopes (they need the GroupScope)
+                layout = layout_of(bindings)
+                programs = [
+                    batch_program_for(self.database, expr, layout)
+                    for expr in select.group_by
+                ]
+                self.database.vectorized_stats.batches_scanned += 1
+                key_lists, err = run_batch_programs(
+                    programs,
+                    self._batch_context(bindings, batch, outer),
+                    batch.sel,
+                )
+                if err is not None:
+                    raise err
+                for p, scope in enumerate(scopes):
+                    key = tuple(values[p] for values in key_lists)
+                    groups.setdefault(key, []).append(scope)
+            elif getattr(self.database, "enable_compiled_eval", False) and scopes:
                 # grouping keys are per-input-row expressions, so they
                 # compile like filter predicates; the aggregate items
                 # below stay interpreted (they need the GroupScope)

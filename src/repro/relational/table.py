@@ -1,50 +1,93 @@
-"""Multiset tuple storage keyed by tuple handle.
+"""Multiset tuple storage over append-friendly column batches.
 
 "In a given state of the database, each table contains zero or more
-tuples ... Duplicate tuples may appear in a table" (Section 2). Storage
-is a dict from handle to an immutable value tuple; duplicates are fine
-because handles, not values, are the identity.
+tuples ... Duplicate tuples may appear in a table" (Section 2).
+Duplicates are fine because handles, not values, are the identity.
 
-Insertion order is preserved (Python dicts are ordered), which makes
+Storage layout — one append-only *slot* per inserted tuple:
+
+- ``_cols``: one Python list per schema column (the column batches that
+  vectorized kernels scan; see :mod:`repro.relational.batch`),
+- ``_handles``: the handle column, aligned by slot,
+- ``_tuples``: a materialized row view (the immutable value tuples the
+  effects/undo/WAL machinery traffics in), aligned by slot,
+- ``_valid``: the validity/tombstone vector — ``delete`` tombstones a
+  slot instead of shifting storage,
+- ``_live``: handle → slot, insertion-ordered; it defines scan order.
+
+Insertion order is preserved (``_live`` is an ordered dict), which makes
 unordered query results deterministic for tests without implying any
-semantic ordering.
+semantic ordering. Tombstoned slots are reclaimed by :meth:`compact` —
+triggered at checkpoint by the durability manager, and automatically
+when tombstones dominate the storage arrays. Compaction renumbers
+slots, so selection vectors are only valid until the next mutation;
+indexes are keyed by handle and are unaffected.
 """
 
 from __future__ import annotations
 
 from ..errors import ExecutionError
+from .batch import Batch
+
+#: auto-compaction: reclaim once at least this many tombstones exist
+#: *and* they make up at least half of the storage arrays
+_COMPACT_MIN_DEAD = 64
 
 
 class Table:
-    """One table's tuples: ``handle -> row`` where row is a value tuple.
+    """One table's tuples: columnar slots addressed by handle.
 
-    Hash indexes attached via :meth:`attach_index` are maintained by the
-    three mutators — including during transaction undo, which replays
-    through the same mutators.
+    The mutator API (:meth:`insert` / :meth:`delete` / :meth:`replace`)
+    is unchanged from the dict-backed storage it replaced; hash indexes
+    attached via :meth:`attach_index` are maintained by the three
+    mutators — including during transaction undo, which replays through
+    the same mutators.
     """
 
     def __init__(self, schema):
         self.schema = schema
-        self._rows = {}
+        self._cols = tuple([] for _ in range(schema.arity))
+        self._handles = []
+        self._tuples = []
+        self._valid = []
+        self._live = {}
+        self._dead = 0
         self.indexes = []
 
     def __len__(self):
-        return len(self._rows)
+        return len(self._live)
 
     def __contains__(self, handle):
-        return handle in self._rows
+        return handle in self._live
+
+    # -- scans -------------------------------------------------------------
 
     def handles(self):
-        """All live handles, in insertion order."""
-        return list(self._rows)
+        """All live handles, in insertion order (a fresh list)."""
+        return list(self._live)
+
+    def iter_handles(self):
+        """Iterator over live handles, in insertion order, without
+        materializing the key list. Only safe while the table is not
+        mutated; identification loops materialize before mutating."""
+        return iter(self._live)
 
     def rows(self):
         """All live rows (value tuples), in insertion order."""
-        return list(self._rows.values())
+        tuples = self._tuples
+        return [tuples[slot] for slot in self._live.values()]
 
     def items(self):
         """(handle, row) pairs, in insertion order."""
-        return list(self._rows.items())
+        tuples = self._tuples
+        return [(handle, tuples[slot]) for handle, slot in self._live.items()]
+
+    def iter_items(self):
+        """Iterator over (handle, row) pairs; same caveat as
+        :meth:`iter_handles`."""
+        tuples = self._tuples
+        for handle, slot in self._live.items():
+            yield handle, tuples[slot]
 
     def get(self, handle):
         """The row for a live handle.
@@ -52,12 +95,45 @@ class Table:
         Raises:
             ExecutionError: if the handle is not live in this table.
         """
-        try:
-            return self._rows[handle]
-        except KeyError:
+        slot = self._live.get(handle)
+        if slot is None:
             raise ExecutionError(
                 f"handle {handle} is not live in table {self.schema.name!r}"
+            )
+        return self._tuples[slot]
+
+    # -- batches -----------------------------------------------------------
+
+    def batch(self):
+        """A :class:`Batch` over every live row, in insertion order.
+
+        Shares the live column lists (zero copy); the selection vector
+        is invalidated by any subsequent mutation of this table.
+        """
+        return Batch(
+            self._cols,
+            list(self._live.values()),
+            self._handles,
+            self._tuples,
+            self.schema.name,
+        )
+
+    def batch_for_handles(self, handles):
+        """A :class:`Batch` selecting exactly ``handles`` (which must be
+        live), in the given order."""
+        live = self._live
+        try:
+            sel = [live[handle] for handle in handles]
+        except KeyError as error:
+            raise ExecutionError(
+                f"handle {error.args[0]} is not live in table "
+                f"{self.schema.name!r}"
             ) from None
+        return Batch(
+            self._cols, sel, self._handles, self._tuples, self.schema.name
+        )
+
+    # -- mutators ----------------------------------------------------------
 
     def insert(self, handle, row):
         """Store ``row`` under ``handle``.
@@ -65,47 +141,111 @@ class Table:
         ``row`` must already be schema-coerced; callers go through
         :meth:`repro.relational.database.Database` for validation.
         """
-        if handle in self._rows:
+        if handle in self._live:
             raise ExecutionError(
                 f"handle {handle} already live in table {self.schema.name!r}"
             )
-        self._rows[handle] = row
+        slot = len(self._handles)
+        self._handles.append(handle)
+        self._tuples.append(row)
+        self._valid.append(True)
+        for column, value in zip(self._cols, row):
+            column.append(value)
+        self._live[handle] = slot
         for index in self.indexes:
             index.on_insert(handle, row)
 
     def delete(self, handle):
-        """Remove and return the row stored under ``handle``."""
-        try:
-            row = self._rows.pop(handle)
-        except KeyError:
+        """Remove and return the row stored under ``handle``.
+
+        The slot is tombstoned, not shifted; storage is reclaimed by
+        :meth:`compact`.
+        """
+        slot = self._live.pop(handle, None)
+        if slot is None:
             raise ExecutionError(
                 f"cannot delete handle {handle}: not live in table "
                 f"{self.schema.name!r}"
-            ) from None
+            )
+        row = self._tuples[slot]
+        self._valid[slot] = False
+        self._dead += 1
         for index in self.indexes:
             index.on_delete(handle, row)
+        if (
+            self._dead >= _COMPACT_MIN_DEAD
+            and self._dead * 2 >= len(self._handles)
+        ):
+            self.compact()
         return row
 
     def replace(self, handle, row):
         """Overwrite the row under a live ``handle``; returns the old row."""
-        if handle not in self._rows:
+        slot = self._live.get(handle)
+        if slot is None:
             raise ExecutionError(
                 f"cannot update handle {handle}: not live in table "
                 f"{self.schema.name!r}"
             )
-        old = self._rows[handle]
-        self._rows[handle] = row
+        old = self._tuples[slot]
+        self._tuples[slot] = row
+        for column, value in zip(self._cols, row):
+            column[slot] = value
         for index in self.indexes:
             index.on_replace(handle, old, row)
         return old
 
+    # -- compaction --------------------------------------------------------
+
+    @property
+    def tombstones(self):
+        """Number of tombstoned (dead) slots awaiting compaction."""
+        return self._dead
+
+    def compact(self):
+        """Drop tombstoned slots, renumbering the survivors in scan
+        order; returns the number of slots reclaimed.
+
+        Handles are untouched (indexes and the WAL are keyed by handle),
+        but slot positions — and therefore any outstanding selection
+        vector — are invalidated.
+        """
+        if not self._dead:
+            return 0
+        old_cols = self._cols
+        old_tuples = self._tuples
+        old_handles_col = self._handles
+        cols = tuple([] for _ in old_cols)
+        handles_col = []
+        tuples = []
+        live = {}
+        for handle, slot in self._live.items():
+            live[handle] = len(handles_col)
+            handles_col.append(old_handles_col[slot])
+            tuples.append(old_tuples[slot])
+            for column, old_column in zip(cols, old_cols):
+                column.append(old_column[slot])
+        self._cols = cols
+        self._handles = handles_col
+        self._tuples = tuples
+        self._valid = [True] * len(handles_col)
+        self._live = live
+        reclaimed = self._dead
+        self._dead = 0
+        return reclaimed
+
+    # -- snapshots / indexes ----------------------------------------------
+
     def snapshot(self):
-        """A shallow copy of the handle→row mapping (rows are immutable)."""
-        return dict(self._rows)
+        """A handle→row mapping copy (rows are immutable tuples)."""
+        tuples = self._tuples
+        return {
+            handle: tuples[slot] for handle, slot in self._live.items()
+        }
 
     def attach_index(self, index):
         """Attach a hash index; builds it from the current contents."""
-        index.build(self._rows.items())
+        index.build(self.items())
         self.indexes.append(index)
 
     def detach_index(self, index):
