@@ -120,6 +120,10 @@ def build_predicate_heavy(rules, compiled):
     (repro.relational.compiled) targets."""
     db = ActiveDatabase(record_seen=False)
     db.database.enable_compiled_eval = compiled
+    # these conditions are counter-maintainable; pin the incremental
+    # layer off so the bench measures per-row expression evaluation
+    # rather than a maintained-view lookup
+    db.database.enable_incremental_eval = False
     db.execute("create table t (a integer, b integer, c float)")
     db.execute("create table trig (x integer)")
     rows = ", ".join(f"({i}, {i % 7}, {i * 1.5})" for i in range(DATA_ROWS))

@@ -21,8 +21,14 @@ Meta commands:
     \\help             this text
     \\quit             exit
 
-Run:  python examples/repl.py            (interactive)
+Run:  python examples/repl.py            (interactive, embedded database)
       python examples/repl.py --script   (runs the built-in demo script)
+      python examples/repl.py --connect host:port
+                                         (talk to a running
+                                         ``python -m repro.server``;
+                                         server commands \\begin,
+                                         \\commit, \\rollback, \\stats,
+                                         \\session, \\ping apply)
 """
 
 import sys
@@ -245,7 +251,67 @@ class Repl:
             )
 
 
+class RemoteRepl:
+    """A thin shell over one server connection.
+
+    Lines are sent verbatim (the server's protocol handles SQL and
+    ``\\``-commands); responses render as tables for selects and plain
+    text otherwise. Conflicts surface like any other error — re-run the
+    transaction to retry.
+    """
+
+    def __init__(self, host, port, out=sys.stdout):
+        from repro.server.client import connect
+
+        self.client = connect(host=host, port=port)
+        self.out = out
+
+    def println(self, text=""):
+        print(text, file=self.out)
+
+    def handle(self, line):
+        line = line.strip()
+        if not line:
+            return True
+        if line.lower() in ("\\quit", "\\q", "\\exit"):
+            self.client.close()
+            return False
+        try:
+            self._render(self.client.request(line))
+        except ReproError as error:
+            self.println(f"error: {error}")
+        return True
+
+    def _render(self, result):
+        if isinstance(result, dict) and "rows" in result and "columns" in result:
+            shaped = SelectResult(
+                columns=result["columns"],
+                rows=[tuple(row) for row in result["rows"]],
+            )
+            Repl._print_result(self, shaped)
+            return
+        if isinstance(result, dict):
+            for key in sorted(result):
+                self.println(f"{key}: {result[key]}")
+            return
+        self.println("ok" if result is None else str(result))
+
+
 def main():
+    if "--connect" in sys.argv:
+        target = sys.argv[sys.argv.index("--connect") + 1]
+        host, _, port = target.partition(":")
+        repl = RemoteRepl(host or "127.0.0.1", int(port or 7432))
+        print(f"repro — connected to {target} (\\q to quit)")
+        while True:
+            try:
+                line = input("repro> ")
+            except (EOFError, KeyboardInterrupt):
+                print()
+                break
+            if not repl.handle(line):
+                break
+        return
     repl = Repl()
     if "--script" in sys.argv:
         script = DEMO_STATEMENTS + [

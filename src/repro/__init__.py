@@ -39,6 +39,7 @@ from .core.trace import TransactionResult
 from .core.transition_log import TransInfo
 from .errors import (
     CatalogError,
+    ConflictError,
     ConstraintError,
     DuplicateRuleError,
     ExecutionError,
@@ -78,6 +79,7 @@ __version__ = "1.0.0"
 __all__ = [
     "ActiveDatabase",
     "CatalogError",
+    "ConflictError",
     "ConstraintError",
     "CreationOrder",
     "Database",

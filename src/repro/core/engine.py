@@ -27,9 +27,11 @@ through the manual transaction API: :meth:`begin` /
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass, field
 from time import perf_counter
 
 from ..errors import (
+    ConflictError,
     ExecutionError,
     RollbackRequested,
     RuleLoopError,
@@ -54,6 +56,24 @@ from .selection import default_strategy
 from .trace import TransactionResult
 from .transition_log import TransInfo
 from .transition_tables import TransitionTableResolver
+
+
+@dataclass
+class _SuspendedTransaction:
+    """Everything one open transaction owns inside the engine, bundled
+    for a context switch (see :meth:`RuleEngine.suspend_transaction`)."""
+
+    detached: object
+    info: dict
+    considered_at: dict
+    clock: int
+    transition_index: int
+    result: object
+    txn_effect: object
+    recorder: object
+    txn_id: int
+    incremental_active: bool
+    incremental_state: object = field(default=None)
 
 
 class RuleEngine:
@@ -106,6 +126,7 @@ class RuleEngine:
             self._bus.attach(sink)
         self._recorder = None      # per-transaction TraceRecorder
         self._txn_id = 0
+        self._txn_seq = 0          # allocation high-water mark (resume-safe)
 
         self._info = {}            # rule name -> TransInfo (during a txn)
         self._considered_at = {}   # rule name -> logical consideration time
@@ -119,6 +140,21 @@ class RuleEngine:
         #: began with database.enable_incremental_eval on is active
         self.incremental = IncrementalManager(self.database, self.catalog)
         self._incremental_active = False
+
+        #: concurrency-layer hooks (see repro.concurrency). pause_hook
+        #: (``callable(point)``) is invoked at the named interleaving
+        #: points — ``"rule_consideration"`` before each condition
+        #: evaluation and ``"wal_append"`` after quiescence, just before
+        #: the durable commit point; the tests/concurrency driver and
+        #: the coordinator's cooperative yield both hang off it.
+        #: pre_commit_hook runs right before the WAL append (the
+        #: serialization point) and may raise ConflictError — backward
+        #: validation happens there. concurrency, when set, is the
+        #: coordinator's stats object; its snapshot becomes
+        #: ``stats()["server"]``.
+        self.pause_hook = None
+        self.pre_commit_hook = None
+        self.concurrency = None
 
     # ------------------------------------------------------------------
     # observability
@@ -158,6 +194,11 @@ class RuleEngine:
                 else None
             ),
             incremental=self.incremental.stats_snapshot(),
+            server=(
+                self.concurrency.snapshot()
+                if self.concurrency is not None
+                else None
+            ),
         )
 
     def _emit_recovery(self, info):
@@ -305,7 +346,12 @@ class RuleEngine:
         self._transition_index = 0
         self._result = TransactionResult()
         self._txn_effect = TransitionEffect.empty()
-        self._txn_id += 1
+        # Allocation goes through a high-water mark: with suspended
+        # transactions, _txn_id tracks the *mounted* transaction (which
+        # may be older than the newest allocated id) and a plain
+        # increment could reuse an id.
+        self._txn_seq = max(self._txn_seq, self._txn_id) + 1
+        self._txn_id = self._txn_seq
         self._incremental_active = getattr(
             self.database, "enable_incremental_eval", False
         )
@@ -325,9 +371,26 @@ class RuleEngine:
             result.committed = False
             result.rolled_back_by = request.rule_name
             return result
+        except ConflictError:
+            # 2PL-mode lock contention inside rule processing: the whole
+            # statement + rule cascade aborts (and the caller retries it
+            # wholesale, per the docs/semantics.md §14 retry contract).
+            self._abort(reason="conflict")
+            raise
         except Exception:
             self._abort(reason="error")
             raise
+        if self.pause_hook is not None:
+            self.pause_hook("wal_append")
+        if self.pre_commit_hook is not None:
+            # Backward validation at the serialization point: quiescence
+            # is complete (the read/write sets cover every row fired
+            # rules touched) and nothing has reached the WAL yet.
+            try:
+                self.pre_commit_hook()
+            except ConflictError:
+                self._abort(reason="conflict")
+                raise
         if self.durability is not None:
             # The durable commit point: the transaction's composed net
             # effect reaches the fsync'd WAL after quiescence and before
@@ -386,6 +449,9 @@ class RuleEngine:
             self._abort(reason="rollback_by_rule", rule=request.rule_name)
             result.committed = False
             result.rolled_back_by = request.rule_name
+            raise
+        except ConflictError:
+            self._abort(reason="conflict")
             raise
         except Exception:
             self._abort(reason="error")
@@ -481,6 +547,100 @@ class RuleEngine:
         self._incremental_active = False
 
     # ------------------------------------------------------------------
+    # context switching (concurrency layer, PR 8)
+
+    def suspend_transaction(self):
+        """Detach the open transaction — its writes leave the physical
+        database, its engine state is bundled into the returned context
+        — so another session's transaction can mount. The coordinator
+        (:mod:`repro.concurrency`) owns the validate-then-resume
+        protocol; the engine only moves state.
+
+        The database version is bumped so every version-keyed cache
+        (uncorrelated-subquery results, maintained views) observes the
+        state change; the replay itself goes through table-level
+        mutators and bumps nothing else.
+        """
+        self._require_transaction()
+        detached = self.database.transactions.detach()
+        self.database.version += 1
+        if self._recorder is not None:
+            self._bus.detach(self._recorder)
+        context = _SuspendedTransaction(
+            detached=detached,
+            info=self._info,
+            considered_at=self._considered_at,
+            clock=self._clock,
+            transition_index=self._transition_index,
+            result=self._result,
+            txn_effect=self._txn_effect,
+            recorder=self._recorder,
+            txn_id=self._txn_id,
+            incremental_active=self._incremental_active,
+            incremental_state=(
+                self.incremental.suspend()
+                if self._incremental_active
+                else None
+            ),
+        )
+        self._recorder = None
+        self._info = {}
+        self._considered_at = {}
+        self._clock = 0
+        self._transition_index = 0
+        self._result = None
+        self._txn_effect = None
+        self._incremental_active = False
+        return context
+
+    def resume_transaction(self, context):
+        """Remount a suspended transaction. The caller must have
+        validated that no concurrent commit conflicts with it — a
+        passing backward validation guarantees the physical replay
+        cannot touch a dead handle."""
+        if self.in_transaction:
+            raise TransactionError(
+                "cannot resume: another transaction is mounted"
+            )
+        self.database.transactions.attach(context.detached)
+        self.database.version += 1
+        self._info = context.info
+        self._considered_at = context.considered_at
+        self._clock = context.clock
+        self._transition_index = context.transition_index
+        self._result = context.result
+        self._txn_effect = context.txn_effect
+        self._txn_id = context.txn_id
+        self._incremental_active = context.incremental_active
+        if context.incremental_active:
+            self.incremental.resume(context.incremental_state)
+        self._recorder = context.recorder
+        if self._recorder is not None:
+            self._bus.attach(self._recorder)
+
+    def discard_suspended(self, context, reason="conflict"):
+        """Abort a transaction while it is suspended: its writes are
+        already detached, so nothing physical needs undoing — drop the
+        logs, invalidate the views it touched, account the abort."""
+        if context.incremental_active:
+            self.incremental.discard_suspended(context.incremental_state)
+        if context.result is not None:
+            context.result.committed = False
+        self._bus.emit(
+            EventKind.TXN_ABORT, context.txn_id, {"reason": reason}
+        )
+
+    def abort_conflict(self):
+        """Abort the mounted transaction because of a serialization
+        conflict (coordinator entry point; mirrors :meth:`rollback` with
+        conflict attribution)."""
+        self._require_transaction()
+        result = self._result
+        self._abort(reason="conflict")
+        result.committed = False
+        return result
+
+    # ------------------------------------------------------------------
     # queries (read-only, outside rule processing)
 
     def query(self, select):
@@ -522,6 +682,8 @@ class RuleEngine:
             selection_time += perf_counter() - selection_start
             fired = None
             for rule in ordered:
+                if self.pause_hook is not None:
+                    self.pause_hook("rule_consideration")
                 self._clock += 1
                 self._considered_at[rule.name] = self._clock
                 planner = getattr(self.database, "planner_stats", None)

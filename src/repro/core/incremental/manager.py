@@ -127,6 +127,32 @@ class IncrementalManager:
                 self.stats.invalidations += 1
         self._touched = set()
 
+    def suspend(self):
+        """Bundle the per-transaction state for a context switch (the
+        concurrency coordinator multiplexes transactions over one
+        engine); the manager returns to its idle configuration."""
+        state = (self._provenance, self._touched, self._expected_version)
+        self._provenance = {}
+        self._touched = set()
+        self._expected_version = -1
+        return state
+
+    def resume(self, state):
+        """Restore state captured by :meth:`suspend`. The stale
+        ``_expected_version`` is deliberate: the database version moved
+        while we were suspended, so the next ``before_transition``
+        distrusts every view — they may hold another session's folds."""
+        self._provenance, self._touched, self._expected_version = state
+
+    def discard_suspended(self, state):
+        """Abort a suspended transaction: invalidate the views it
+        touched, exactly as :meth:`on_abort` would have."""
+        _, touched, _ = state
+        for view in touched:
+            if not view.stale:
+                view.stale = True
+                self.stats.invalidations += 1
+
     def before_transition(self):
         """Called before a block or rule action executes: if the
         database version moved since our last synchronization, some
@@ -172,7 +198,11 @@ class IncrementalManager:
                 self._touched.add(view)
             # Untouched-table views are unaffected by this transition;
             # either way the view now matches the post-transition state.
-            view.version = database.version
+            # mark_synced (not a bare version stamp) also records the
+            # table's mutation counter — the concurrent-writer tripwire:
+            # one session's fold can no longer certify a view against
+            # state another session is about to swap out from under it.
+            view.mark_synced(database)
         self._expected_version = database.version
 
     # ------------------------------------------------------------------
@@ -213,6 +243,10 @@ class IncrementalManager:
         fallback (the engine then runs the full path).
         """
         if self._graph_skip(rule):
+            # No read note: the skip proof depends only on this
+            # transaction's own deltas (the provider's transition), not
+            # on base-table state, so the answer is the same under any
+            # concurrent committer.
             self.stats.graph_skips += 1
             return "graph_skip", False
         plan = self._plan_for(rule)
@@ -222,8 +256,15 @@ class IncrementalManager:
         outcome = "hit"
         evaluator = None
         result = True
+        on_read = getattr(self.database, "on_table_read", None)
         for conjunct in plan.conjuncts:
             if isinstance(conjunct, CounterConjunct):
+                # A counter answer is semantically a read of the base
+                # table even when no scan happens — concurrency control
+                # must see it or a concurrent writer could slip past
+                # validation.
+                if on_read is not None:
+                    on_read(conjunct.table)
                 view, refreshed = self._live_view(conjunct)
                 if view is None:
                     self.stats.fallbacks += 1

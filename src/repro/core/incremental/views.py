@@ -123,6 +123,7 @@ class MaintainedView:
         "broken",
         "version",
         "schema_version",
+        "table_mutations",
     )
 
     def __init__(self, table, binding, where):
@@ -134,6 +135,7 @@ class MaintainedView:
         self.broken = False
         self.version = -1
         self.schema_version = -1
+        self.table_mutations = -1
 
     def in_sync(self, database):
         return (
@@ -141,7 +143,22 @@ class MaintainedView:
             and not self.broken
             and self.version == database.version
             and self.schema_version == database.schema_version
+            # Concurrent-writer tripwire (PR 8): the fold points stamp
+            # views with database.version, which a single writer always
+            # moves between folds — but context-switch replay and any
+            # other table-level mutation move only the table's own
+            # mutation counter. Requiring it to match what the last
+            # synchronization saw means no other session's writes can
+            # hide behind a matching version number.
+            and self.table_mutations == database.table(self.table).mutations
         )
+
+    def mark_synced(self, database):
+        """Stamp the view as matching the current physical state; called
+        after a refresh and from the fold points."""
+        self.version = database.version
+        self.schema_version = database.schema_version
+        self.table_mutations = database.table(self.table).mutations
 
     def refresh(self, database):
         """Recount from a full scan of the current table contents."""
@@ -160,8 +177,7 @@ class MaintainedView:
                     count += 1
         self.count = count
         self.stale = False
-        self.version = database.version
-        self.schema_version = database.schema_version
+        self.mark_synced(database)
 
     def apply_net(self, database, net):
         """Fold one transition's net effects into the count; returns the

@@ -68,6 +68,11 @@ class DurabilityManager:
         self.last_txn = 0
         #: recovery summary dict, set by recover() on resumed managers
         self.recovery = None
+        #: group commit: when True, :meth:`log_commit` defers the fsync
+        #: so one :meth:`flush` can cover a whole batch of commits. The
+        #: caller (the server's commit loop) owns the contract that no
+        #: commit is acknowledged before the covering flush returns.
+        self.group_commit = False
 
         self.commits_logged = 0
         self.ddl_logged = 0
@@ -110,7 +115,9 @@ class DurabilityManager:
         start = perf_counter()
         record = build_commit_record(txn_id, effect, database)
         bytes_before = self.wal.bytes_written
-        record = self.wal.append(record)
+        record = self.wal.append(
+            record, sync=None if not self.group_commit else False
+        )
         elapsed = perf_counter() - start
         self.commits_logged += 1
         self.commits_since_checkpoint += 1
@@ -133,6 +140,15 @@ class DurabilityManager:
         self.ddl_logged += 1
         self.append_time += elapsed
         return {"lsn": record["lsn"], "duration": elapsed}
+
+    def flush(self):
+        """fsync any group-commit batch deferred by :meth:`log_commit`;
+        returns True when an fsync was issued."""
+        start = perf_counter()
+        synced = self.wal.sync()
+        if synced:
+            self.append_time += perf_counter() - start
+        return synced
 
     def should_checkpoint(self):
         return (
@@ -186,6 +202,8 @@ class DurabilityManager:
             "fsync": self.fsync,
             "wal_records": self.wal.records_written,
             "wal_bytes": self.wal.bytes_written,
+            "wal_syncs": self.wal.syncs,
+            "group_commit": self.group_commit,
             "commits_logged": self.commits_logged,
             "ddl_logged": self.ddl_logged,
             "append_time": self.append_time,

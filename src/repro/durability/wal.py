@@ -135,18 +135,29 @@ class WalWriter:
         #: running counters for stats()["durability"]
         self.records_written = 0
         self.bytes_written = 0
+        self.syncs = 0
+        #: bytes flushed to the OS but not yet fsync'd (group commit)
+        self._pending_sync = False
 
     def _open(self):
         if self._file is None or self._file.closed:
             self._file = open(self.path, "ab")
         return self._file
 
-    def append(self, body):
+    def append(self, body, sync=None):
         """Assign the next LSN, append the record durably, return it.
 
         The record only counts as written once the bytes are flushed
         (and fsync'd when enabled) — a crash before that leaves the log
         exactly as it was, or with a detectable torn tail.
+
+        Args:
+            sync: override the per-append fsync. ``None`` follows the
+                writer's ``fsync`` setting; ``False`` flushes to the OS
+                but defers the fsync to a later :meth:`sync` — group
+                commit: the record is *not* durable (and the commit it
+                carries must not be acknowledged) until that sync
+                returns.
         """
         if self.injector is not None:
             self.injector.fire("pre_wal_append")
@@ -164,8 +175,13 @@ class WalWriter:
                 self.injector.torn_crash()
         handle.write(line)
         handle.flush()
-        if self.fsync:
+        do_sync = self.fsync if sync is None else (sync and self.fsync)
+        if do_sync:
             os.fsync(handle.fileno())
+            self.syncs += 1
+            self._pending_sync = False
+        else:
+            self._pending_sync = True
         self.next_lsn += 1
         self.records_written += 1
         self.bytes_written += len(line)
@@ -173,7 +189,23 @@ class WalWriter:
             self.injector.fire("post_wal_append")
         return body
 
+    def sync(self):
+        """fsync any appends deferred with ``append(..., sync=False)``.
+
+        One fsync covers every pending record (the group-commit batch);
+        returns True when an fsync was actually issued.
+        """
+        if not self._pending_sync:
+            return False
+        self._pending_sync = False
+        if self.fsync and self._file is not None and not self._file.closed:
+            os.fsync(self._file.fileno())
+            self.syncs += 1
+            return True
+        return False
+
     def close(self):
+        self.sync()  # a clean shutdown must not drop a pending batch
         if self._file is not None and not self._file.closed:
             self._file.close()
         self._file = None

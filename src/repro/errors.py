@@ -70,6 +70,20 @@ class TransactionError(ReproError):
     """Raised for misuse of the transaction API (e.g. commit with no txn)."""
 
 
+class ConflictError(TransactionError):
+    """Raised when concurrency control detects a serialization conflict.
+
+    The transaction has been (or must be) aborted; the caller may retry
+    the whole statement + rule cascade against fresh state. Auto-commit
+    statements are retried by the server; explicit transactions surface
+    the conflict to the client (docs/semantics.md §14).
+    """
+
+    def __init__(self, message, tables=()):
+        super().__init__(message)
+        self.tables = tuple(sorted(tables))
+
+
 class RollbackRequested(ReproError):
     """Internal signal: a rule with a ``rollback`` action fired.
 

@@ -31,6 +31,12 @@ record reached the write-ahead log; the durable commit point),
 ``checkpoint`` (a full snapshot was installed), and ``recovery``
 (a database was rebuilt from checkpoint + WAL after a crash).
 
+Four kinds belong to the concurrency layer (PR 8, see
+:mod:`repro.concurrency` and :mod:`repro.server`): ``session_open`` /
+``session_close`` bracket one client session at the coordinator, and
+``txn_conflict`` / ``txn_retry`` record backward-validation (or lock)
+conflicts and the resulting statement retries.
+
 ``lint_diagnostic`` carries one static-analysis finding (see
 :mod:`repro.analysis.lint`): rule-scoped passes run when a rule is
 defined, and each resulting :class:`~repro.analysis.lint.Diagnostic`
@@ -64,6 +70,10 @@ class EventKind:
     CHECKPOINT = "checkpoint"
     RECOVERY = "recovery"
     LINT_DIAGNOSTIC = "lint_diagnostic"
+    SESSION_OPEN = "session_open"
+    SESSION_CLOSE = "session_close"
+    TXN_CONFLICT = "txn_conflict"
+    TXN_RETRY = "txn_retry"
 
     ALL = (
         TXN_BEGIN,
@@ -80,6 +90,10 @@ class EventKind:
         CHECKPOINT,
         RECOVERY,
         LINT_DIAGNOSTIC,
+        SESSION_OPEN,
+        SESSION_CLOSE,
+        TXN_CONFLICT,
+        TXN_RETRY,
     )
 
 

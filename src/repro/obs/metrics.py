@@ -126,6 +126,10 @@ class MetricsCollector(EventSink):
         self.aborts = 0
         self.rollbacks_by_rule = 0
         self.loop_budget_trips = 0
+        self.conflicts = 0
+        self.retries = 0
+        self.sessions_opened = 0
+        self.sessions_closed = 0
         self.external_blocks = 0
         self.rule_transitions = 0
         self.considerations = 0
@@ -174,6 +178,14 @@ class MetricsCollector(EventSink):
             self.rule(data["rule"]).rollbacks += 1
         elif kind == EventKind.LOOP_BUDGET_TRIP:
             self.loop_budget_trips += 1
+        elif kind == EventKind.TXN_CONFLICT:
+            self.conflicts += 1
+        elif kind == EventKind.TXN_RETRY:
+            self.retries += 1
+        elif kind == EventKind.SESSION_OPEN:
+            self.sessions_opened += 1
+        elif kind == EventKind.SESSION_CLOSE:
+            self.sessions_closed += 1
 
     def _on_considered(self, data):
         self.considerations += 1
@@ -275,7 +287,8 @@ class MetricsCollector(EventSink):
     # ------------------------------------------------------------------
 
     def snapshot(self, strategy=None, planner=None, compiler=None,
-                 vectorized=None, durability=None, incremental=None):
+                 vectorized=None, durability=None, incremental=None,
+                 server=None):
         """The full stats dict (``RuleEngine.stats()``'s return value).
 
         ``planner`` is the database-wide
@@ -298,6 +311,12 @@ class MetricsCollector(EventSink):
         :meth:`~repro.core.incremental.IncrementalManager.stats_snapshot`
         (maintained views, delta applications, hit/refresh/fallback/
         graph-skip counts for the delta-driven condition layer).
+        ``server`` is the concurrency coordinator's
+        :meth:`~repro.concurrency.control.ConcurrencyStats.snapshot`
+        (sessions, statements, conflicts/retries/aborts, context
+        switches), present only when the engine runs behind the
+        coordinator; the bus-derived conflict/retry/session counters
+        appear inside the engine section regardless.
         """
         engine = {
             "transactions": self.transactions,
@@ -305,6 +324,10 @@ class MetricsCollector(EventSink):
             "aborts": self.aborts,
             "rollbacks_by_rule": self.rollbacks_by_rule,
             "loop_budget_trips": self.loop_budget_trips,
+            "conflicts": self.conflicts,
+            "retries": self.retries,
+            "sessions_opened": self.sessions_opened,
+            "sessions_closed": self.sessions_closed,
             "external_blocks": self.external_blocks,
             "rule_transitions": self.rule_transitions,
             "considerations": self.considerations,
@@ -333,4 +356,6 @@ class MetricsCollector(EventSink):
             result["durability"] = durability
         if incremental is not None:
             result["incremental"] = incremental
+        if server is not None:
+            result["server"] = server
         return result

@@ -96,6 +96,18 @@ class Database:
             "REPRO_INCREMENTAL_EVAL", "1"
         ).lower() not in ("0", "off", "false")
 
+        #: concurrency-control observers (see repro.concurrency). When
+        #: set, ``on_table_read(name)`` is called from every read funnel
+        #: (scan resolvers, DML identification, index lookups, the
+        #: incremental layer's semantic answers) and
+        #: ``on_table_write(name)`` from the three mutation primitives.
+        #: None (the default) costs a single attribute check per call
+        #: site. Transaction undo and context-switch replay bypass the
+        #: primitives on purpose — they restore state, they are not new
+        #: reads or writes of the running transaction.
+        self.on_table_read = None
+        self.on_table_write = None
+
     # ------------------------------------------------------------------
     # schema management
 
@@ -163,6 +175,8 @@ class Database:
 
     def insert_row(self, table_name, values):
         """Insert one coerced row; returns the new tuple handle."""
+        if self.on_table_write is not None:
+            self.on_table_write(table_name)
         table = self.table(table_name)
         row = table.schema.coerce_row(values)
         handle = self.handles.allocate(table_name)
@@ -173,6 +187,8 @@ class Database:
 
     def delete_row(self, table_name, handle):
         """Delete the tuple under ``handle``; returns its final row value."""
+        if self.on_table_write is not None:
+            self.on_table_write(table_name)
         table = self.table(table_name)
         row = table.delete(handle)
         self.transactions.log_delete(table_name, handle, row)
@@ -187,6 +203,8 @@ class Database:
         legitimate update — the paper's U component records the tuple and
         column "regardless of whether a value is actually changed".
         """
+        if self.on_table_write is not None:
+            self.on_table_write(table_name)
         table = self.table(table_name)
         schema = table.schema
         old_row = table.get(handle)
@@ -210,6 +228,8 @@ class Database:
         non-reusable values identifying tuples, so recovery must
         preserve them for transition effects to stay meaningful.
         """
+        if self.on_table_write is not None:
+            self.on_table_write(table_name)
         table = self.table(table_name)
         row = table.schema.coerce_row(values)
         self.handles.restore(handle, table_name)

@@ -264,6 +264,8 @@ class DmlExecutor:
         """
         from .planner import index_candidates
 
+        if self.database.on_table_read is not None:
+            self.database.on_table_read(table_name)
         table = self.database.table(table_name)
         schema = table.schema
         if where is None:

@@ -203,6 +203,8 @@ class _SourceRunner:
         return [(node.binding, columns)], batch
 
     def _index_lookup_batch(self, node):
+        if self.database.on_table_read is not None:
+            self.database.on_table_read(node.table_ref.table)
         table = self.database.table(node.table_ref.table)
         candidates = None
         for _, column, value in node.keys:
@@ -273,6 +275,8 @@ class _SourceRunner:
         )
 
     def _run_index_lookup(self, node):
+        if self.database.on_table_read is not None:
+            self.database.on_table_read(node.table_ref.table)
         table = self.database.table(node.table_ref.table)
         candidates = None
         for _, column, value in node.keys:

@@ -106,6 +106,8 @@ class BaseTableResolver:
 
     def resolve(self, table_ref):
         if isinstance(table_ref, ast.BaseTableRef):
+            if self.database.on_table_read is not None:
+                self.database.on_table_read(table_ref.table)
             table = self.database.table(table_ref.table)
             return table.schema.column_names, table.rows()
         if isinstance(table_ref, ast.TransitionTableRef):
@@ -122,6 +124,8 @@ class BaseTableResolver:
         table's live column lists; None sends the caller to the
         row-at-a-time :meth:`resolve` (whose errors then surface)."""
         if isinstance(table_ref, ast.BaseTableRef):
+            if self.database.on_table_read is not None:
+                self.database.on_table_read(table_ref.table)
             table = self.database.table(table_ref.table)
             return table.schema.column_names, table.batch()
         return None

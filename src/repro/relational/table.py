@@ -53,6 +53,13 @@ class Table:
         self._live = {}
         self._dead = 0
         self.indexes = []
+        #: monotone mutation counter, bumped by every insert/delete/
+        #: replace — including transaction undo and context-switch
+        #: replay, which go through the same mutators. MaintainedView
+        #: uses it as a concurrent-writer tripwire (PR 8): a fold by one
+        #: session cannot leave another session's counters silently
+        #: claiming to be in sync.
+        self.mutations = 0
 
     def __len__(self):
         return len(self._live)
@@ -145,6 +152,7 @@ class Table:
             raise ExecutionError(
                 f"handle {handle} already live in table {self.schema.name!r}"
             )
+        self.mutations += 1
         slot = len(self._handles)
         self._handles.append(handle)
         self._tuples.append(row)
@@ -167,6 +175,7 @@ class Table:
                 f"cannot delete handle {handle}: not live in table "
                 f"{self.schema.name!r}"
             )
+        self.mutations += 1
         row = self._tuples[slot]
         self._valid[slot] = False
         self._dead += 1
@@ -187,6 +196,7 @@ class Table:
                 f"cannot update handle {handle}: not live in table "
                 f"{self.schema.name!r}"
             )
+        self.mutations += 1
         old = self._tuples[slot]
         self._tuples[slot] = row
         for column, value in zip(self._cols, row):

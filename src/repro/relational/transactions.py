@@ -40,6 +40,15 @@ class _UndoUpdate:
     old_row: tuple
 
 
+@dataclass
+class _DetachedTransaction:
+    """A suspended transaction's undo log + the redo list that remounts
+    its writes (see :meth:`TransactionManager.detach`)."""
+
+    log: list
+    redo: list
+
+
 class TransactionManager:
     """Tracks one (non-nested) active transaction over a database.
 
@@ -104,6 +113,72 @@ class TransactionManager:
     def log_update(self, table, handle, old_row):
         if self._log is not None:
             self._log.append(_UndoUpdate(table, handle, old_row))
+
+    # ------------------------------------------------------------------
+    # context switching (concurrency layer, PR 8)
+    #
+    # The physical database always holds the committed state plus the
+    # writes of at most one *mounted* transaction. The coordinator
+    # multiplexes sessions by detaching the mounted transaction's
+    # writes (reverse undo replay, capturing a redo list) and
+    # re-attaching them later (forward redo replay). Replay goes
+    # through table-level mutators, NOT Database primitives — it must
+    # not re-log undo records, bump database.version per op, or fire
+    # read/write observers: switching restores state, it does not
+    # perform new work on behalf of the transaction.
+
+    def detach(self):
+        """Physically remove this transaction's writes, returning an
+        opaque state object for :meth:`attach`.
+
+        The undo log is kept intact (undo records carry their own
+        values, so later rollback/savepoint replay stays coherent after
+        any number of detach/attach cycles). Savepoints are log
+        positions and are preserved.
+        """
+        if self._log is None:
+            raise TransactionError("detach with no active transaction")
+        redo = []
+        for record in reversed(self._log):
+            table = self._database.table(record.table)
+            if isinstance(record, _UndoInsert):
+                row = table.delete(record.handle)
+                redo.append(("insert", record.table, record.handle, row))
+            elif isinstance(record, _UndoDelete):
+                table.insert(record.handle, record.row)
+                redo.append(("delete", record.table, record.handle, None))
+            else:
+                current = table.replace(record.handle, record.old_row)
+                redo.append(("replace", record.table, record.handle, current))
+        log = self._log
+        self._log = None
+        return _DetachedTransaction(log, redo)
+
+    def attach(self, detached):
+        """Re-apply a detached transaction's writes and resume it.
+
+        The caller (the concurrency coordinator) must have validated
+        that no concurrent committer invalidated the replay — with
+        backward validation, a passing check guarantees every handle
+        this replay touches is in the state the redo list expects.
+        """
+        if self._log is not None:
+            raise TransactionError("attach while a transaction is mounted")
+        for op, table_name, handle, row in reversed(detached.redo):
+            table = self._database.table(table_name)
+            if op == "insert":
+                table.insert(handle, row)
+            elif op == "delete":
+                table.delete(handle)
+            else:
+                table.replace(handle, row)
+        self._log = detached.log
+
+    def touched_tables(self):
+        """Names of tables this transaction has written so far."""
+        if self._log is None:
+            return set()
+        return {record.table for record in self._log}
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,113 @@
+"""A thin synchronous client for the repro server.
+
+Used by the REPL (``--connect``), the server benchmark and the server
+tests; it is deliberately dependency-free (plain sockets) so any Python
+process can talk to the server. Wire errors come back as the matching
+local exception — a ``conflict`` response raises
+:class:`~repro.errors.ConflictError`, so client code retries exactly
+like embedded code does.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from ..errors import (
+    ConflictError,
+    ExecutionError,
+    ParseError,
+    ReproError,
+    TransactionError,
+)
+from .protocol import decode_response
+
+
+class ServerError(ReproError):
+    """An error reported by the server with no more specific type."""
+
+
+_CODE_TO_ERROR = {
+    "conflict": ConflictError,
+    "parse": ParseError,
+    "transaction": TransactionError,
+    "execution": ExecutionError,
+    "internal": ServerError,
+}
+
+
+class ReproClient:
+    """One connection = one server session."""
+
+    def __init__(self, host="127.0.0.1", port=7432, timeout=None):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+
+    # -- plumbing ------------------------------------------------------
+
+    def request(self, line):
+        """Send one request line, return the decoded response dict.
+
+        Raises the exception matching the response's error code when
+        ``ok`` is false.
+        """
+        text = " ".join(str(line).split())  # fold newlines: one line out
+        self._sock.sendall(text.encode("utf-8") + b"\n")
+        reply = self._file.readline()
+        if not reply:
+            raise ServerError("server closed the connection")
+        response = decode_response(reply)
+        if response.get("ok"):
+            return response.get("result")
+        error = _CODE_TO_ERROR.get(response.get("code"), ServerError)
+        raise error(response.get("error", "unknown server error"))
+
+    # -- the surface ---------------------------------------------------
+
+    def execute(self, sql):
+        """Run one statement (DML blocks auto-commit + retry on
+        conflict server-side; conflicts in explicit transactions raise
+        :class:`~repro.errors.ConflictError` here)."""
+        return self.request(sql)
+
+    def query(self, sql):
+        """Evaluate a select; returns the rows as lists."""
+        result = self.request(sql)
+        return result["rows"]
+
+    def begin(self):
+        return self.request("\\begin")
+
+    def commit(self):
+        return self.request("\\commit")
+
+    def rollback(self):
+        return self.request("\\rollback")
+
+    def stats(self):
+        return self.request("\\stats")
+
+    def session_info(self):
+        return self.request("\\session")
+
+    def ping(self):
+        return self.request("\\ping")
+
+    def close(self):
+        try:
+            self._sock.sendall(b"\\quit\n")
+            self._file.readline()
+        except OSError:
+            pass
+        self._file.close()
+        self._sock.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+def connect(host="127.0.0.1", port=7432, timeout=None):
+    """Open a :class:`ReproClient` (context-manager friendly)."""
+    return ReproClient(host=host, port=port, timeout=timeout)

@@ -1,0 +1,190 @@
+"""A deterministic interleaving driver for concurrency tests.
+
+Each scripted client runs on its own worker thread, but only one worker
+ever moves at a time: the coordinator's ``pause_hook`` parks every
+worker at each named pause point — ``statement_boundary`` (start of
+every coordinator operation), ``rule_consideration`` (top of each rule
+consideration during quiescence) and ``wal_append`` (after quiescence,
+immediately before the serialization-point validation and the WAL
+append) — and the test advances exactly one worker at a time with
+:meth:`InterleaveDriver.advance`. The result is a fully scripted
+interleaving: the test chooses which transaction runs between any two
+points of another transaction's execution, including *inside* rule
+processing.
+
+A worker that hits a serialization conflict while parked mid-engine is
+aborted through the coordinator's SwitchAbort path; the scripted
+function sees an ordinary :class:`~repro.errors.ConflictError`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+WAIT = 30  # seconds; generous — everything is event-driven
+
+
+class _Worker:
+    __slots__ = ("name", "session", "thread", "state", "point", "go",
+                 "error", "result", "seq")
+
+    def __init__(self, name, session):
+        self.name = name
+        self.session = session
+        self.thread = None
+        self.state = "running"  # running | paused | done | failed
+        self.point = None
+        self.go = False
+        self.error = None
+        self.result = None
+        self.seq = 0  # bumped at every park (advance waits for a new one)
+
+
+class InterleaveDriver:
+    """Drive scripted sessions through chosen interleavings.
+
+    Usage::
+
+        driver = InterleaveDriver(coordinator)
+        driver.spawn("a", script_a)     # parks at its first pause point
+        driver.spawn("b", script_b)
+        driver.advance("a")             # one pause point forward
+        driver.step_statement("b")      # forward until next statement
+        driver.finish_all()             # run everyone to completion
+    """
+
+    def __init__(self, coordinator):
+        self.coordinator = coordinator
+        coordinator.pause_hook = self._pause
+        self._workers = {}
+        self._cv = threading.Condition()
+
+    # ------------------------------------------------------------------
+    # worker side
+
+    def _pause(self, point, session):
+        worker = self._by_session(session)
+        if worker is None:
+            return  # a session the driver doesn't manage
+        with self._cv:
+            worker.state = "paused"
+            worker.point = point
+            worker.seq += 1
+            self._cv.notify_all()
+            while not worker.go:
+                self._cv.wait(WAIT)
+            worker.go = False
+            worker.state = "running"
+            worker.point = None
+
+    def _by_session(self, session):
+        for worker in self._workers.values():
+            if worker.session is session:
+                return worker
+        return None
+
+    def _run(self, worker, fn):
+        try:
+            worker.result = fn(worker.session)
+        except BaseException as error:  # noqa: BLE001 - reported to the test
+            worker.error = error
+            with self._cv:
+                worker.state = "failed"
+                self._cv.notify_all()
+            return
+        with self._cv:
+            worker.state = "done"
+            self._cv.notify_all()
+
+    # ------------------------------------------------------------------
+    # controller side
+
+    def spawn(self, name, fn, session=None):
+        """Start ``fn(session)`` on a worker thread; returns once it is
+        parked at its first pause point (or already finished)."""
+        if session is None:
+            session = self.coordinator.open_session(name)
+        worker = _Worker(name, session)
+        self._workers[name] = worker
+        worker.thread = threading.Thread(
+            target=self._run, args=(worker, fn), daemon=True
+        )
+        worker.thread.start()
+        self._await_parked(worker)
+        return worker
+
+    def _await_parked(self, worker, after_seq=-1):
+        """Wait until the worker parks at a pause *newer* than
+        ``after_seq`` (or finishes). Guards the grant/park race: right
+        after a grant the worker is still flagged as paused at the old
+        point until it actually wakes."""
+        with self._cv:
+            while not (
+                worker.state in ("done", "failed")
+                or (worker.state == "paused" and worker.seq > after_seq)
+            ):
+                if not self._cv.wait(WAIT):
+                    raise TimeoutError(
+                        f"worker {worker.name!r} never parked"
+                    )
+
+    def advance(self, name, expect_point=None):
+        """Unblock ``name`` for one pause-to-pause step.
+
+        Returns the point it parked at next (None when the script
+        finished). ``expect_point`` asserts which point it was parked at
+        *before* the step.
+        """
+        worker = self._workers[name]
+        with self._cv:
+            if worker.state in ("done", "failed"):
+                raise AssertionError(
+                    f"worker {name!r} already {worker.state}"
+                )
+            if expect_point is not None and worker.point != expect_point:
+                raise AssertionError(
+                    f"worker {name!r} parked at {worker.point!r}, "
+                    f"expected {expect_point!r}"
+                )
+            granted_seq = worker.seq
+            worker.go = True
+            self._cv.notify_all()
+        self._await_parked(worker, after_seq=granted_seq)
+        if worker.state == "failed":
+            raise worker.error
+        return worker.point if worker.state == "paused" else None
+
+    def point_of(self, name):
+        """Where ``name`` is currently parked (None if finished)."""
+        return self._workers[name].point
+
+    def step_statement(self, name):
+        """Advance through mid-engine points until the worker parks at
+        its next ``statement_boundary`` (one whole statement ran), or
+        finishes. Returns the final point (None when done)."""
+        point = self.advance(name)
+        while point is not None and point != "statement_boundary":
+            point = self.advance(name)
+        return point
+
+    def finish(self, name):
+        """Run ``name`` to completion; returns the script's result."""
+        worker = self._workers[name]
+        while worker.state == "paused":
+            self.advance(name)
+        if worker.state == "failed":
+            raise worker.error
+        worker.thread.join(WAIT)
+        return worker.result
+
+    def finish_all(self):
+        for name in list(self._workers):
+            self.finish(name)
+
+    def close(self):
+        self.coordinator.pause_hook = None
+        for worker in self._workers.values():
+            with self._cv:
+                worker.go = True
+                self._cv.notify_all()
+            worker.thread.join(WAIT)

@@ -1,0 +1,172 @@
+"""The shell entry point (``python -m repro.server``) and the blocking
+``serve()`` convenience wrapper."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro import ActiveDatabase
+from repro.server import connect
+from repro.server.__main__ import _has_state, build_system, main
+from repro.server.server import serve
+
+
+class TestBuildSystem:
+    def test_in_memory_without_directory(self):
+        system = build_system(None)
+        assert system.durability is None
+
+    def test_fresh_directory_starts_empty(self, tmp_path):
+        directory = str(tmp_path / "data")
+        system = build_system(directory)
+        assert system.durability is not None
+        assert system.database.table_names() == ()
+        system.durability.close()
+
+    def test_existing_state_is_recovered(self, tmp_path):
+        directory = str(tmp_path / "data")
+        db = ActiveDatabase(durability=directory)
+        db.execute("create table t (v float)")
+        db.execute("insert into t values (1), (2)")
+        db.durability.close()
+        assert _has_state(directory)
+
+        recovered = build_system(directory)
+        assert recovered.database.row_count("t") == 2
+        recovered.durability.close()
+
+    def test_has_state_false_on_empty_directory(self, tmp_path):
+        directory = str(tmp_path / "data")
+        directory_path = tmp_path / "data"
+        directory_path.mkdir()
+        assert not _has_state(directory)
+
+    def test_checkpoint_alone_counts_as_state(self, tmp_path):
+        directory = str(tmp_path / "data")
+        db = ActiveDatabase(durability=directory)
+        db.execute("create table t (v float)")
+        db.checkpoint()
+        db.durability.close()
+        assert _has_state(directory)
+
+
+class TestMainEntry:
+    def test_main_parses_args_and_serves(self, monkeypatch, tmp_path):
+        captured = {}
+
+        def fake_serve(system, **kwargs):
+            captured["system"] = system
+            captured.update(kwargs)
+
+        monkeypatch.setattr("repro.server.__main__.serve", fake_serve)
+        main([
+            str(tmp_path / "data"), "--host", "0.0.0.0", "--port", "0",
+            "--mode", "2pl", "--max-retries", "9", "--no-group-commit",
+        ])
+        assert captured["host"] == "0.0.0.0"
+        assert captured["port"] == 0
+        assert captured["mode"] == "2pl"
+        assert captured["max_retries"] == 9
+        assert captured["group_commit"] is False
+        assert captured["system"].durability is not None
+        captured["system"].durability.close()
+
+    def test_main_defaults_to_in_memory_occ(self, monkeypatch):
+        captured = {}
+        monkeypatch.setattr(
+            "repro.server.__main__.serve",
+            lambda system, **kwargs: captured.update(kwargs, system=system),
+        )
+        main([])
+        assert captured["system"].durability is None
+        assert captured["mode"] == "occ"
+        assert captured["port"] == 7432
+        assert captured["group_commit"] is True
+
+
+class TestServeWrapper:
+    def test_serve_accepts_requests_until_cancelled(self, monkeypatch):
+        """Drive the blocking ``serve()`` loop on a private event loop:
+        let it start, talk to it from a worker thread, then cancel."""
+        import threading
+
+        import repro.server.server as server_module
+
+        system = ActiveDatabase()
+        system.execute("create table t (v float)")
+        servers = []
+        orig_server = server_module.RuleServer
+
+        class CapturingServer(orig_server):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                servers.append(self)
+
+        results = {}
+
+        def fake_run(coro):
+            loop = asyncio.new_event_loop()
+            task = loop.create_task(coro)
+
+            def probe():
+                def talk():
+                    port = servers[0].address[1]
+                    with connect(port=port) as client:
+                        results["ping"] = client.ping()
+                        client.execute("insert into t values (7)")
+                    loop.call_soon_threadsafe(task.cancel)
+
+                threading.Thread(target=talk, daemon=True).start()
+
+            loop.call_later(0.1, probe)
+            try:
+                loop.run_until_complete(task)
+            except asyncio.CancelledError:
+                pass
+            finally:
+                loop.close()
+
+        monkeypatch.setattr(server_module, "RuleServer", CapturingServer)
+        monkeypatch.setattr(server_module.asyncio, "run", fake_run)
+        serve(system, port=0)
+        assert results["ping"] == "pong"
+        assert system.database.row_count("t") == 1
+
+    def test_serve_swallows_keyboard_interrupt(self, monkeypatch):
+        import repro.server.server as server_module
+
+        def raise_interrupt(coro):
+            coro.close()
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(server_module.asyncio, "run", raise_interrupt)
+        serve(ActiveDatabase(), port=0)  # must not propagate
+
+
+class TestClientEdges:
+    def test_closed_server_raises_server_error(self):
+        from repro.server.client import ServerError
+
+        import socket
+        import threading
+
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        def accept_and_drop():
+            conn, _ = listener.accept()
+            conn.recv(64)
+            conn.close()
+
+        thread = threading.Thread(target=accept_and_drop, daemon=True)
+        thread.start()
+        client = connect(port=port)
+        with pytest.raises(ServerError):
+            client.request("\\ping")
+        client.close()  # close after the server vanished must not raise
+        thread.join(5)
+        listener.close()

@@ -1,0 +1,307 @@
+"""Socket-level tests: the asyncio server, wire protocol, and client."""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import ActiveDatabase
+from repro.errors import ConflictError, ParseError, TransactionError
+from repro.server import RuleServer, connect
+from repro.server.protocol import parse_request, render_result
+
+
+class ServerFixture:
+    """A live server on its own event-loop thread."""
+
+    def __init__(self, system=None, **kwargs):
+        self.system = system or ActiveDatabase()
+        self.server = RuleServer(self.system, port=0, **kwargs)
+        self.loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def run():
+            asyncio.set_event_loop(self.loop)
+            self.loop.run_until_complete(self.server.start())
+            started.set()
+            self.loop.run_forever()
+
+        self.thread = threading.Thread(target=run, daemon=True)
+        self.thread.start()
+        if not started.wait(10):
+            raise TimeoutError("server never started")
+        self.port = self.server.address[1]
+
+    def client(self):
+        return connect(port=self.port)
+
+    def stop(self):
+        asyncio.run_coroutine_threadsafe(
+            self.server.stop(), self.loop
+        ).result(10)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(10)
+
+
+@pytest.fixture
+def served():
+    fixture = ServerFixture()
+    yield fixture
+    fixture.stop()
+
+
+class TestProtocol:
+    def test_parse_request_classifies(self):
+        assert parse_request("\\ping") == ("command", "ping")
+        assert parse_request("  begin ; ") == ("command", "begin")
+        assert parse_request("select * from t") == (
+            "sql", "select * from t",
+        )
+        kind, message = parse_request("\\frobnicate")
+        assert kind is None and "frobnicate" in message
+        kind, message = parse_request("   ")
+        assert kind is None
+
+    def test_render_result_shapes(self):
+        assert render_result(None) is None
+        assert render_result(3) == 3
+        assert render_result("x") == "x"
+        assert render_result([1, "a"]) == [1, "a"]
+        assert render_result({"k": 1}) == {"k": 1}
+        assert render_result(object()).startswith("<object")
+
+    def test_render_transaction_result_includes_last_select(self, served):
+        """A rule action's §5.1 retrieval travels back over the wire in
+        the transaction result's ``select`` field."""
+        with served.client() as client:
+            client.execute("create table t (v float)")
+            client.execute(
+                "create rule deliver when inserted into t "
+                "then select v from inserted t"
+            )
+            result = client.execute("insert into t values (7)")
+        assert result["committed"] is True
+        assert result["rule_firings"] == 1
+        assert result["select"] == {"columns": ["v"], "rows": [[7.0]]}
+
+    def test_error_response_codes_cover_the_hierarchy(self):
+        from repro.errors import (
+            ConflictError,
+            ExecutionError,
+            LexError,
+            ReproError,
+            TransactionError,
+        )
+        from repro.server.protocol import (
+            decode_response,
+            encode_response,
+            error_response,
+        )
+
+        cases = [
+            (ConflictError("c"), "conflict"),
+            (LexError("l", 0, 1, 1), "parse"),
+            (TransactionError("t"), "transaction"),
+            (ExecutionError("e"), "execution"),
+            (ReproError("r"), "execution"),
+            (ValueError("v"), "internal"),
+        ]
+        for exc, code in cases:
+            response = error_response(exc)
+            assert response["code"] == code, exc
+            assert decode_response(encode_response(response)) == response
+        # decode also accepts str lines (not just bytes)
+        assert decode_response('{"ok":true}') == {"ok": True}
+
+
+class TestServerBasics:
+    def test_ddl_dml_query_round_trip(self, served):
+        with served.client() as client:
+            assert client.ping() == "pong"
+            client.execute("create table emp (name varchar, sal float)")
+            result = client.execute(
+                "insert into emp values ('jane', 50), ('bob', 40)"
+            )
+            assert result["committed"] is True
+            rows = client.query("select name from emp where sal > 45")
+            assert rows == [["jane"]]
+
+    def test_parse_and_execution_errors_map_to_exceptions(self, served):
+        with served.client() as client:
+            with pytest.raises(ParseError):
+                client.execute("insert !!! nonsense")
+            with pytest.raises(TransactionError):
+                client.commit()  # no transaction open
+
+    def test_sessions_are_per_connection(self, served):
+        with served.client() as c1, served.client() as c2:
+            assert c1.session_info()["name"] != c2.session_info()["name"]
+            c1.execute("create table t (v float)")
+            c1.begin()
+            c1.execute("insert into t values (1)")
+            # c2 must not see c1's uncommitted write
+            assert c2.query("select count(*) from t") == [[0]]
+            c1.commit()
+            assert c2.query("select count(*) from t") == [[1]]
+
+    def test_stats_exposes_server_section(self, served):
+        with served.client() as client:
+            client.execute("create table t (v float)")
+            client.execute("insert into t values (1)")
+            stats = client.stats()
+            assert stats["server"]["mode"] == "occ"
+            assert stats["server"]["commits"] >= 1
+            assert stats["server"]["sessions_open"] >= 1
+
+    def test_disconnect_aborts_open_transaction(self, served):
+        with served.client() as setup:
+            setup.execute("create table t (v float)")
+        client = served.client()
+        client.begin()
+        client.execute("insert into t values (1)")
+        client._sock.close()  # vanish without commit
+        deadline = time.time() + 10
+        with served.client() as other:
+            while time.time() < deadline:
+                if other.stats()["server"]["sessions_open"] == 1:
+                    break
+                time.sleep(0.05)
+            assert other.query("select count(*) from t") == [[0]]
+
+    def test_multiline_statements_fold_to_one_line(self, served):
+        with served.client() as client:
+            client.execute("create table t (v float)")
+            client.execute(
+                """
+                insert into t
+                values (1),
+                       (2)
+                """
+            )
+            assert client.query("select count(*) from t") == [[2]]
+
+
+class TestServerConflicts:
+    def test_wire_conflict_carries_the_code(self, served):
+        with served.client() as c1, served.client() as c2:
+            c1.execute("create table acct (name varchar, bal float)")
+            c1.execute("insert into acct values ('a', 100)")
+            c1.begin()
+            c1.execute("update acct set bal = bal + 10 where name = 'a'")
+            c2.begin()
+            c2.execute("update acct set bal = bal + 5 where name = 'a'")
+            c1.commit()
+            with pytest.raises(ConflictError):
+                c2.commit()
+            assert c1.query("select bal from acct") == [[110.0]]
+
+    def test_rule_cascade_writes_conflict_with_readers(self, served):
+        with served.client() as c1, served.client() as c2:
+            c1.execute("create table emp (name varchar)")
+            c1.execute("create table audit (name varchar)")
+            c1.execute("create table other (v float)")
+            c1.execute(
+                "create rule log when inserted into emp then "
+                "insert into audit (select name from inserted emp)"
+            )
+            c2.begin()
+            c2.query("select count(*) from audit")
+            c2.execute("insert into other values (1)")
+            c1.execute("insert into emp values ('jane')")  # rule -> audit
+            with pytest.raises(ConflictError):
+                c2.commit()
+            assert c1.query("select name from audit") == [["jane"]]
+            assert c1.query("select count(*) from other") == [[0]]
+
+    def test_autocommit_conflicts_retry_server_side(self, served):
+        """Concurrent blind inserts from many client threads: zero
+        conflicts by design (reads-only footprint), every insert lands
+        exactly once."""
+        with served.client() as setup:
+            setup.execute("create table t (v float)")
+
+        def hammer(base):
+            with served.client() as client:
+                for i in range(10):
+                    client.execute(f"insert into t values ({base + i})")
+
+        threads = [
+            threading.Thread(target=hammer, args=(base * 100,))
+            for base in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        with served.client() as client:
+            assert client.query("select count(*) from t") == [[40]]
+            assert client.stats()["server"]["conflicts"] == 0
+
+
+class TestDurableServer:
+    def test_group_commit_batches_fsyncs_and_survives_restart(self, tmp_path):
+        directory = tmp_path / "data"
+        system = ActiveDatabase(durability=str(directory))
+        fixture = ServerFixture(system=system, group_commit=True)
+        try:
+            with fixture.client() as client:
+                client.execute("create table t (v float)")
+                for i in range(5):
+                    client.execute(f"insert into t values ({i})")
+                stats = client.stats()
+                assert stats["durability"]["group_commit"] is True
+                assert stats["durability"]["wal_records"] >= 6
+        finally:
+            fixture.stop()
+        # everything acked must be durable: recover and check
+        from repro.durability import recover
+
+        recovered = recover(str(directory))
+        assert recovered.database.row_count("t") == 5
+
+    def test_concurrent_committers_share_a_flush(self, tmp_path):
+        system = ActiveDatabase(durability=str(tmp_path / "data"))
+        fixture = ServerFixture(system=system, group_commit=True)
+        try:
+            with fixture.client() as setup:
+                setup.execute("create table t (v float)")
+
+            def writer(base):
+                with fixture.client() as client:
+                    for i in range(5):
+                        client.execute(f"insert into t values ({base + i})")
+
+            threads = [
+                threading.Thread(target=writer, args=(base * 10,))
+                for base in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(30)
+            with fixture.client() as client:
+                stats = client.stats()["durability"]
+                assert client.query("select count(*) from t") == [[20]]
+                # the whole point of group commit: fewer fsyncs than
+                # WAL records (the DDL + 20 inserts)
+                assert stats["wal_syncs"] <= stats["wal_records"]
+        finally:
+            fixture.stop()
+
+
+class TestRawSocket:
+    def test_unknown_command_and_garbage_lines(self, served):
+        with socket.create_connection(("127.0.0.1", served.port)) as sock:
+            reader = sock.makefile("rb")
+            sock.sendall(b"\\nonsense\n")
+            assert b'"ok":false' in reader.readline()
+            sock.sendall(b"\xff\xfe garbage \xff\n")
+            assert b'"ok":false' in reader.readline()
+            sock.sendall(b"\\ping\n")
+            assert b"pong" in reader.readline()
+            sock.sendall(b"\\quit\n")
+            assert b"bye" in reader.readline()

@@ -1,0 +1,156 @@
+"""Crash consistency under concurrency (PR 8).
+
+The PR 3 harness proves: recovery yields exactly the committed prefix.
+This module re-proves it with *multiple sessions in flight*: the WAL
+append order is the commit order (the coordinator serializes ops, and
+validation makes commit order the serial order), so recovery must
+replay exactly the committed transactions — and nothing from the
+explicit transactions other sessions still had open (mounted or
+suspended) when the process died.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import ActiveDatabase, FaultInjector, SimulatedCrash, recover
+from repro.concurrency import TransactionCoordinator
+
+from .test_crash_consistency import full_state
+
+SETUP = [
+    "create table t0 (v float)",
+    "create table t1 (v float)",
+    "create table t2 (v float)",
+    "create table audit (v float)",
+    # every committed t2 insert cascades one audit row, so each WAL
+    # record carries a rule-generated write too
+    "create rule journal when inserted into t2 "
+    "then insert into audit (select v from inserted t2)",
+]
+
+AUTO_COMMITS = 10
+
+
+def drive(db, injector, seed):
+    """Two explicit transactions stay open while a third session
+    auto-commits a stream of statements; the injector crashes one of
+    those commits. Returns (snapshots, completed-auto-commits)."""
+    rng = random.Random(seed)
+    # committed state before any concurrent work (the recovery target
+    # when the very first workload append crashes)
+    snapshots = {db.durability.last_txn: full_state(db)}
+    coord = TransactionCoordinator(db)
+    s0 = coord.open_session("left-open-0")
+    s1 = coord.open_session("left-open-1")
+    s2 = coord.open_session("committer")
+
+    coord.begin(s0)
+    coord.execute(s0, "insert into t0 values (100)")
+    coord.begin(s1)
+    coord.execute(s1, "insert into t1 values (200)")
+
+    # arm only now: setup DDL already hit the WAL, uncounted
+    db.durability.injector = injector
+    db.durability.wal.injector = injector
+
+    completed = 0
+    crashed = False
+    for i in range(AUTO_COMMITS):
+        try:
+            coord.execute(s2, f"insert into t2 values ({i})")
+        except SimulatedCrash:
+            crashed = True
+            break
+        completed += 1
+        # physical state right now IS the committed state (nothing is
+        # mounted after an auto-commit) — snapshot it
+        snapshots[db.durability.last_txn] = full_state(db)
+        # keep the open transactions moving so their writes are
+        # repeatedly detached and re-attached around the commits
+        if i == 2:
+            coord.execute(s0, "insert into t0 values (101)")
+        if i == 4:
+            coord.execute(
+                s1, f"update t1 set v = v + {rng.randint(1, 9)}"
+            )
+        if i == 6:
+            assert coord.query(
+                s0, "select count(*) from t0"
+            ).scalar() == 2
+    return snapshots, completed, crashed
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize(
+    "point", ["pre_wal_append", "torn_wal_append", "post_wal_append"]
+)
+def test_crash_mid_concurrent_commit_replays_committed_prefix(
+    tmp_path, point, seed
+):
+    rng = random.Random(seed * 37 + len(point))
+    injector = FaultInjector(
+        point=point,
+        occurrence=rng.randint(1, 4),
+        torn_fraction=rng.uniform(0.05, 0.95),
+    )
+    directory = str(tmp_path / "d")
+    db = ActiveDatabase(durability=directory)
+    for statement in SETUP:
+        db.execute(statement)
+
+    snapshots, completed, crashed = drive(db, injector, seed)
+    assert crashed, "injector never fired"
+    # the process dies here with s0 and s1 still in flight
+
+    recovered = recover(directory)
+    info = recovered.durability.recovery
+    last_txn = info["last_txn"]
+
+    if point == "post_wal_append":
+        # the record was durable before the crash: the in-flight
+        # auto-commit (statement + rule cascade) IS committed
+        committed_inserts = completed + 1
+    else:
+        committed_inserts = completed
+        # recovery must land exactly on the last snapshotted commit
+        assert full_state(recovered) == snapshots[last_txn]
+
+    # exactly the committed auto-commits, value for value, cascade
+    # included — and NOTHING from the two open transactions
+    assert sorted(
+        v for (v,) in recovered.database.table("t2").rows()
+    ) == [float(i) for i in range(committed_inserts)]
+    assert sorted(
+        v for (v,) in recovered.database.table("audit").rows()
+    ) == [float(i) for i in range(committed_inserts)]
+    assert recovered.database.row_count("t0") == 0
+    assert recovered.database.row_count("t1") == 0
+
+    # clean lifecycle: the recovered engine is idle and usable
+    assert not recovered.engine.in_transaction
+    recovered.execute("insert into t2 values (999)")
+    assert recovered.database.row_count("t2") == committed_inserts + 1
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_torn_concurrent_tail_is_truncated(tmp_path, seed):
+    """A torn final record under concurrency behaves exactly like the
+    single-writer case: the tail is detected, truncated, and the
+    transaction never happened."""
+    injector = FaultInjector(
+        point="torn_wal_append",
+        occurrence=2,
+        torn_fraction=random.Random(seed).uniform(0.1, 0.9),
+    )
+    directory = str(tmp_path / "d")
+    db = ActiveDatabase(durability=directory)
+    for statement in SETUP:
+        db.execute(statement)
+    snapshots, completed, crashed = drive(db, injector, seed)
+    assert crashed
+    recovered = recover(directory)
+    assert recovered.durability.recovery["torn_bytes_truncated"] > 0
+    assert recovered.database.row_count("t2") == completed

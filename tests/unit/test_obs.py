@@ -67,6 +67,7 @@ class TestEvent:
             "rule_considered", "rule_fired", "trans_info_reset",
             "rollback_by_rule", "loop_budget_trip", "quiescent",
             "wal_append", "checkpoint", "recovery", "lint_diagnostic",
+            "session_open", "session_close", "txn_conflict", "txn_retry",
         }
 
 
