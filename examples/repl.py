@@ -9,7 +9,8 @@ exploring the paper's semantics by hand.
 Meta commands:
 
     \\rules            list defined rules (with their SQL)
-    \\explain <select> show the select's logical plan (also: explain <select>)
+    \\explain <select> show the select's logical plan with estimated vs.
+                      actual row counts per node (also: explain <select>)
     \\analyze          run static analysis (§6 loop/conflict warnings)
     \\lint             run the semantic analyzer (RPLnnn diagnostics)
     \\trace on|off     toggle printing of transition traces
@@ -230,6 +231,14 @@ class Repl:
             self.println("incremental:")
             for key in sorted(incremental):
                 value = incremental[key]
+                if isinstance(value, float):
+                    value = f"{value:.2f}"
+                self.println(f"  {key}: {value}")
+        optimizer = stats.get("optimizer")
+        if optimizer is not None:
+            self.println("optimizer:")
+            for key in sorted(optimizer):
+                value = optimizer[key]
                 if isinstance(value, float):
                     value = f"{value:.2f}"
                 self.println(f"  {key}: {value}")

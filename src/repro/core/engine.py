@@ -135,6 +135,12 @@ class RuleEngine:
         self._result = None        # TransactionResult of the open txn
         self._txn_effect = None    # composed net effect of the open txn
         self._base_resolver = BaseTableResolver(self.database)
+        #: rule name -> ((schema_version, stats_epoch, condition id),
+        #: cost-ordered condition AST). The ordered AST is a rebuilt
+        #: object, so caching keeps the compiled-program cache (keyed on
+        #: node identity) hitting across considerations; the key makes
+        #: the order follow statistics drift and DDL.
+        self._ordered_conditions = {}
         #: delta-driven condition evaluation (docs/semantics.md §12);
         #: always constructed, only consulted while a transaction that
         #: began with database.enable_incremental_eval on is active
@@ -177,6 +183,7 @@ class RuleEngine:
         planner = getattr(self.database, "planner_stats", None)
         compiler = getattr(self.database, "compiler_stats", None)
         vectorized = getattr(self.database, "vectorized_stats", None)
+        optimizer = getattr(self.database, "optimizer_stats", None)
         from ..relational.compiled import vectorized_enabled
 
         return self._metrics.snapshot(
@@ -186,6 +193,15 @@ class RuleEngine:
             vectorized=(
                 vectorized.snapshot(enabled=vectorized_enabled(self.database))
                 if vectorized is not None
+                else None
+            ),
+            optimizer=(
+                optimizer.snapshot(
+                    enabled=getattr(
+                        self.database, "enable_cost_planner", False
+                    )
+                )
+                if optimizer is not None
                 else None
             ),
             durability=(
@@ -218,6 +234,9 @@ class RuleEngine:
         vectorized = getattr(self.database, "vectorized_stats", None)
         if vectorized is not None:
             vectorized.reset()
+        optimizer = getattr(self.database, "optimizer_stats", None)
+        if optimizer is not None:
+            optimizer.reset()
         self.incremental.stats.reset()
 
     def _emit(self, kind, **data):
@@ -275,6 +294,7 @@ class RuleEngine:
         self.catalog.drop_rule(name)
         self._info.pop(name, None)
         self._considered_at.pop(name, None)
+        self._ordered_conditions.pop(name, None)
         self.incremental.on_rule_dropped(name)
 
     def add_priority(self, higher, lower):
@@ -292,7 +312,9 @@ class RuleEngine:
         ):
             from ..relational.compiled import program_for
 
-            program_for(self.database, rule.condition, (), predicate=True)
+            program_for(
+                self.database, self._condition_for(rule), (), predicate=True
+            )
         # A rule defined mid-transaction starts with an empty baseline: it
         # observes only transitions that occur after its definition.
         if self.in_transaction:
@@ -698,6 +720,10 @@ class RuleEngine:
                 vectorized_before = (
                     vectorized.counters() if vectorized is not None else None
                 )
+                optimizer = getattr(self.database, "optimizer_stats", None)
+                optimizer_before = (
+                    optimizer.counters() if optimizer is not None else None
+                )
                 condition_start = perf_counter()
                 condition_value, incremental_delta = (
                     self._evaluate_condition(rule)
@@ -727,6 +753,11 @@ class RuleEngine:
                     vectorized=(
                         vectorized.delta_since(vectorized_before)
                         if vectorized is not None
+                        else None
+                    ),
+                    optimizer=(
+                        optimizer.delta_since(optimizer_before)
+                        if optimizer is not None
                         else None
                     ),
                     incremental=incremental_delta,
@@ -781,6 +812,10 @@ class RuleEngine:
             vectorized_before = (
                 vectorized.counters() if vectorized is not None else None
             )
+            optimizer = getattr(self.database, "optimizer_stats", None)
+            optimizer_before = (
+                optimizer.counters() if optimizer is not None else None
+            )
             if self._incremental_active:
                 self.incremental.before_transition()
             action_start = perf_counter()
@@ -822,6 +857,11 @@ class RuleEngine:
                 vectorized=(
                     vectorized.delta_since(vectorized_before)
                     if vectorized is not None
+                    else None
+                ),
+                optimizer=(
+                    optimizer.delta_since(optimizer_before)
+                    if optimizer is not None
                     else None
                 ),
             )
@@ -940,6 +980,7 @@ class RuleEngine:
         """
         if rule.condition is None:
             return True
+        condition = self._condition_for(rule)
         resolver = TransitionTableResolver(
             self.database, self._info[rule.name]
         )
@@ -949,10 +990,40 @@ class RuleEngine:
             from ..relational.compiled import program_for
 
             program = program_for(
-                database, rule.condition, (), predicate=True
+                database, condition, (), predicate=True
             )
             return program.run((), Scope(), evaluator)
-        return evaluator.evaluate_predicate(rule.condition, Scope())
+        return evaluator.evaluate_predicate(condition, Scope())
+
+    def _condition_for(self, rule):
+        """The rule's condition with AND-conjuncts cost-ordered (see
+        :func:`repro.relational.plan.cost.order_condition`), cached per
+        rule until statistics or the schema move.
+
+        Reordering is gated on every conjunct being *total* — unable to
+        raise on any row — so short-circuit evaluation observes the same
+        errors in any order; ``order_condition`` returns the original
+        object when reordering is off, unsafe, or a no-op, which keeps
+        the compiled-program cache (keyed on AST identity) warm.
+        """
+        condition = rule.condition
+        if condition is None or not getattr(
+            self.database, "enable_cost_planner", False
+        ):
+            return condition
+        key = (
+            self.database.schema_version,
+            getattr(self.database, "stats_epoch", 0),
+            id(condition),
+        )
+        cached = self._ordered_conditions.get(rule.name)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        from ..relational.plan.cost import order_condition
+
+        ordered = order_condition(self.database, condition)
+        self._ordered_conditions[rule.name] = (key, ordered)
+        return ordered
 
     def _execute_rule_action(self, rule):
         """Execute the rule's action; returns the operation effects.

@@ -43,6 +43,9 @@ class RuleMetrics:
         "batch_rows_scanned",
         "batch_rows_selected",
         "batch_fallback_rows",
+        "zones_pruned",
+        "rows_zone_pruned",
+        "replans",
         "peak_trans_info_size",
         "resets",
         "rollbacks",
@@ -75,6 +78,9 @@ class RuleMetrics:
         self.batch_rows_scanned = 0
         self.batch_rows_selected = 0
         self.batch_fallback_rows = 0
+        self.zones_pruned = 0
+        self.rows_zone_pruned = 0
+        self.replans = 0
         self.peak_trans_info_size = 0
         self.resets = {}
         self.rollbacks = 0
@@ -107,6 +113,9 @@ class RuleMetrics:
             "batch_rows_scanned": self.batch_rows_scanned,
             "batch_rows_selected": self.batch_rows_selected,
             "batch_fallback_rows": self.batch_fallback_rows,
+            "zones_pruned": self.zones_pruned,
+            "rows_zone_pruned": self.rows_zone_pruned,
+            "replans": self.replans,
             "peak_trans_info_size": self.peak_trans_info_size,
             "resets": dict(self.resets),
             "rollbacks": self.rollbacks,
@@ -202,6 +211,7 @@ class MetricsCollector(EventSink):
         self._fold_planner(metrics, data)
         self._fold_compiler(metrics, data)
         self._fold_vectorized(metrics, data)
+        self._fold_optimizer(metrics, data)
         self._fold_incremental(metrics, data)
         self._track_info_size(metrics, data)
 
@@ -218,6 +228,7 @@ class MetricsCollector(EventSink):
         self._fold_planner(metrics, data)
         self._fold_compiler(metrics, data)
         self._fold_vectorized(metrics, data)
+        self._fold_optimizer(metrics, data)
         self._track_info_size(metrics, data)
 
     def _fold_planner(self, metrics, data):
@@ -260,6 +271,18 @@ class MetricsCollector(EventSink):
         metrics.batch_rows_selected += delta.get("rows_selected", 0)
         metrics.batch_fallback_rows += delta.get("fallback_rows", 0)
 
+    def _fold_optimizer(self, metrics, data):
+        """Accumulate the per-evaluation optimizer delta the engine
+        attaches to consideration/firing events (None when the database
+        has no cost layer): zone-map prunes and stats-epoch replans
+        charged to this rule's evaluations."""
+        delta = data.get("optimizer")
+        if not delta:
+            return
+        metrics.zones_pruned += delta.get("zones_pruned", 0)
+        metrics.rows_zone_pruned += delta.get("rows_zone_pruned", 0)
+        metrics.replans += delta.get("replans", 0)
+
     def _fold_incremental(self, metrics, data):
         """Count how this consideration's condition was answered by the
         incremental layer (None when the layer was inactive or the rule
@@ -287,8 +310,8 @@ class MetricsCollector(EventSink):
     # ------------------------------------------------------------------
 
     def snapshot(self, strategy=None, planner=None, compiler=None,
-                 vectorized=None, durability=None, incremental=None,
-                 server=None):
+                 vectorized=None, optimizer=None, durability=None,
+                 incremental=None, server=None):
         """The full stats dict (``RuleEngine.stats()``'s return value).
 
         ``planner`` is the database-wide
@@ -303,7 +326,12 @@ class MetricsCollector(EventSink):
         is the database-wide
         :meth:`~repro.relational.compiled.VectorizedStats.snapshot` dict
         (batch-kernel scans, selection-vector hit ratio, per-row
-        fallbacks), again covering all query evaluation. ``durability``
+        fallbacks), again covering all query evaluation. ``optimizer``
+        is the database-wide
+        :meth:`~repro.relational.stats.OptimizerStats.snapshot` dict
+        (cost-planned plans, join/conjunct/condition reorders, zone-map
+        prune counters, stats-epoch replans and rebuilds), covering all
+        query evaluation under the cost planner. ``durability``
         is the attached manager's
         :meth:`~repro.durability.manager.DurabilityManager.stats_snapshot`
         (WAL bytes/records/latency, checkpoints, recovery), present only
@@ -352,6 +380,8 @@ class MetricsCollector(EventSink):
             result["compiler"] = compiler
         if vectorized is not None:
             result["vectorized"] = vectorized
+        if optimizer is not None:
+            result["optimizer"] = optimizer
         if durability is not None:
             result["durability"] = durability
         if incremental is not None:

@@ -35,16 +35,29 @@ class Batch:
             a materialized row view (base tables do), else ``None``.
         label: the base table's name (for touched-handle bookkeeping),
             or ``None`` for transient batches.
+        zones: the owning table's per-column zone maps (see
+            :mod:`repro.relational.stats`), or ``None`` for transient
+            batches — zone-map pruning only applies to base-table
+            storage, whose zones are maintained by the same mutators
+            that invalidate selection vectors.
+        ordered: True when ``sel`` is ascending (scan order). Zone
+            pruning's contiguous fast path rebuilds the selection from
+            zone ranges, which is only order-preserving for ascending
+            selections — index lookups (handle order) must say False.
     """
 
-    __slots__ = ("cols", "sel", "handles", "tuples", "label")
+    __slots__ = ("cols", "sel", "handles", "tuples", "label", "zones",
+                 "ordered")
 
-    def __init__(self, cols, sel, handles=None, tuples=None, label=None):
+    def __init__(self, cols, sel, handles=None, tuples=None, label=None,
+                 zones=None, ordered=False):
         self.cols = cols
         self.sel = sel
         self.handles = handles
         self.tuples = tuples
         self.label = label
+        self.zones = zones
+        self.ordered = ordered
 
     def __len__(self):
         return len(self.sel)
@@ -58,16 +71,19 @@ class Batch:
         else:
             cols = tuple([] for _ in range(arity))
         return cls(cols, list(range(len(rows))), tuples=list(rows),
-                   label=label)
+                   label=label, ordered=True)
 
     def with_sel(self, sel):
-        """The same storage narrowed to a new selection vector."""
-        return Batch(self.cols, sel, self.handles, self.tuples, self.label)
+        """The same storage narrowed to a new selection vector (a
+        subsequence of the current one, so ascent is preserved)."""
+        return Batch(self.cols, sel, self.handles, self.tuples, self.label,
+                     self.zones, self.ordered)
 
     def unlabeled(self):
         """The same selection with touched-handle attribution stripped —
         used for transition-table views over live base storage."""
-        return Batch(self.cols, self.sel, self.handles, self.tuples, None)
+        return Batch(self.cols, self.sel, self.handles, self.tuples, None,
+                     self.zones, self.ordered)
 
     def row(self, slot):
         """The value tuple at ``slot`` (materialized view when present)."""

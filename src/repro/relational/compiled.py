@@ -54,6 +54,7 @@ from .expressions import (
     logic_not,
     logic_or,
 )
+from .stats import ZONE_SHIFT
 
 #: counters whose deltas the engine attaches to rule events (mirrors
 #: repro.relational.plan.cache.DELTA_FIELDS)
@@ -930,6 +931,94 @@ def run_batch_filter(database, predicates, layout, ctx, sel):
         raise err
     stats.rows_selected += len(sel)
     return sel
+
+
+def prune_selection(batch, specs, optimizer_stats):
+    """Zone-map pruning: drop selected slots whose whole storage zone
+    cannot satisfy one of the ``(column_position, op, literal)`` specs.
+
+    Zone bounds are widen-only (see :mod:`repro.relational.stats`), so
+    a zone's ``(min, max)`` always covers every live value in it — a
+    zone the verdict rejects provably contains no row satisfying the
+    conjunct, and the filter kernels never need to see it. A zone with
+    no non-NULL value for the spec's column is also pruned: NULL never
+    satisfies ``col op literal``. Specs only exist when the *whole*
+    filter chain is total (see ``repro.relational.plan.cost``), so
+    skipping rows cannot suppress an error.
+
+    Returns the surviving selection vector — the same list object when
+    nothing was pruned. Ascending contiguous selections (fresh full
+    scans) are rebuilt from the passing zone ranges in O(zones + kept);
+    anything else (index-lookup order, already-narrowed selections)
+    takes a per-slot walk with memoized zone verdicts.
+    """
+    sel = batch.sel
+    if not sel or not specs:
+        return sel
+    zones = batch.zones
+    verdicts = {}
+
+    def prunable(zone):
+        verdict = verdicts.get(zone)
+        if verdict is None:
+            verdict = False
+            for position, op, value in specs:
+                mins, maxs = zones[position]
+                if zone >= len(mins):
+                    continue  # untracked zone: keep it (conservative)
+                low = mins[zone]
+                if low is None:
+                    verdict = True  # all-NULL zone for this column
+                    break
+                high = maxs[zone]
+                if op == "=":
+                    if value < low or value > high:
+                        verdict = True
+                        break
+                elif op == "<":
+                    if not low < value:
+                        verdict = True
+                        break
+                elif op == "<=":
+                    if not low <= value:
+                        verdict = True
+                        break
+                elif op == ">":
+                    if not high > value:
+                        verdict = True
+                        break
+                elif op == ">=":
+                    if not high >= value:
+                        verdict = True
+                        break
+                elif low == value == high:  # op == "<>"
+                    verdict = True
+                    break
+            verdicts[zone] = verdict
+        return verdict
+
+    first, last = sel[0], sel[-1]
+    if batch.ordered and last - first == len(sel) - 1:
+        pruned_any = False
+        kept = []
+        for zone in range(first >> ZONE_SHIFT, (last >> ZONE_SHIFT) + 1):
+            if prunable(zone):
+                pruned_any = True
+            else:
+                kept.extend(range(
+                    max(first, zone << ZONE_SHIFT),
+                    min(last, ((zone + 1) << ZONE_SHIFT) - 1) + 1,
+                ))
+        result = kept if pruned_any else sel
+    else:
+        result = [slot for slot in sel if not prunable(slot >> ZONE_SHIFT)]
+        if len(result) == len(sel):
+            result = sel
+    if optimizer_stats is not None:
+        optimizer_stats.zones_considered += len(verdicts)
+        optimizer_stats.zones_pruned += sum(verdicts.values())
+        optimizer_stats.rows_zone_pruned += len(sel) - len(result)
+    return result
 
 
 class _BatchCompiler:

@@ -52,6 +52,27 @@ class Database:
         #: planner/evaluator counters (rows scanned, cache hits, ...)
         self.planner_stats = PlannerStats()
 
+        from .stats import OptimizerStats
+
+        #: cost plans with live table statistics (see
+        #: repro.relational.plan.cost): greedy join ordering, selectivity-
+        #: sorted conjuncts, selective index-key choice, zone-map batch
+        #: pruning, cost-ordered rule conditions. False keeps the PR 2
+        #: syntactic planner — same results, errors and fired-rule
+        #: sequences, different cost (the differential oracle).
+        #: REPRO_COST_PLANNER=0 forces the layer off (CI runs both ways).
+        self.enable_cost_planner = os.environ.get(
+            "REPRO_COST_PLANNER", "1"
+        ).lower() not in ("0", "off", "false")
+        #: statistics epoch: bumped whenever any table's statistics are
+        #: rebuilt (drift threshold, compaction, checkpoint) and by index
+        #: DDL — the plan cache keys on it alongside schema_version, so
+        #: cached plans re-cost when the estimates they priced with have
+        #: drifted. Monotone, like the schema version.
+        self.stats_epoch = 0
+        #: cost-layer counters (plans costed, reorders, zones pruned, ...)
+        self.optimizer_stats = OptimizerStats()
+
         from .compiled import CompiledCache, CompilerStats
 
         #: evaluate predicates/projections through compiled closures (see
@@ -124,10 +145,18 @@ class Database:
             resolved.append(Column(column_name, column_type))
         schema = TableSchema(name, resolved)
         self.catalog.create_table(schema)
-        self._tables[name] = Table(schema)
+        table = Table(schema)
+        table.on_stats_rebuild = self._on_stats_rebuild
+        self._tables[name] = table
         self.version += 1
         self.schema_version += 1
         return schema
+
+    def _on_stats_rebuild(self):
+        """A table rebuilt its statistics: advance the stats epoch so the
+        plan cache re-costs, and count the rebuild."""
+        self.stats_epoch += 1
+        self.optimizer_stats.stats_rebuilds += 1
 
     def drop_table(self, name):
         self.catalog.drop_table(name)
@@ -146,12 +175,16 @@ class Database:
         self.indexes.add(index)
         table.attach_index(index)
         self.schema_version += 1
+        # index DDL changes both plan *shape* candidates and the NDV
+        # source the cost model prefers (an index key count is exact)
+        self.stats_epoch += 1
         return index
 
     def drop_index(self, name):
         index = self.indexes.drop(name)
         self.table(index.table_name).detach_index(index)
         self.schema_version += 1
+        self.stats_epoch += 1
 
     def table(self, name):
         """The :class:`Table` storage for ``name``.

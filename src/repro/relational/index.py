@@ -62,6 +62,13 @@ class HashIndex:
             return set()
         return set(self._entries.get(value, ()))
 
+    def count(self, value):
+        """Exact bucket size for ``value`` without copying the bucket —
+        the cost model's cheapest cardinality probe."""
+        if value is None:
+            return 0
+        return len(self._entries.get(value, ()))
+
     def build(self, items):
         """(Re)build from an iterable of (handle, row) pairs."""
         self._entries = {}

@@ -9,19 +9,27 @@ the same result. This package supplies that freedom in layers:
   Limit, ...) and the ``explain()`` renderer;
 * :mod:`~repro.relational.plan.pushdown` — conjunct analysis: splitting
   a WHERE into per-table pushdown filters, hash-join keys and a residual;
-* :mod:`~repro.relational.plan.builder` — ``build_plan()``: AST → plan;
+* :mod:`~repro.relational.plan.cost` — statistics-driven estimation:
+  expression totality, cardinality/selectivity, conjunct ordering, index
+  key selection and zone-prune specs for the cost-based builder path;
+* :mod:`~repro.relational.plan.builder` — ``build_plan()``: AST → plan
+  (syntactic, or cost-ordered under ``database.enable_cost_planner``);
 * :mod:`~repro.relational.plan.executor` — runs a plan's source pipeline,
   producing the scopes the (shared) projection machinery consumes;
 * :mod:`~repro.relational.plan.cache` — the per-database plan cache
-  (keyed by the select AST, invalidated by schema/index DDL) and the
-  planner counters surfaced through the engine's observability bus.
+  (keyed by the select AST, invalidated by schema/index DDL and by
+  statistics-epoch moves) and the planner counters surfaced through the
+  engine's observability bus.
 
 **Plan-invariance guarantee:** plans never change §4 semantics, only
 cost. Every plan produces exactly the rows, columns and touched handles
 the naive iterate-and-filter evaluator in
 :mod:`repro.relational.select` produces (property-tested differentially
 in ``tests/property/test_planner_differential.py``); the naive path
-stays available behind ``database.enable_planner = False``.
+stays available behind ``database.enable_planner = False``. The
+cost-based path adds only a reordering layer on top — gated so result
+rows, errors and row order are all preserved (docs/semantics.md §15) —
+and can be disabled independently via ``enable_cost_planner``.
 """
 
 from .builder import build_plan
@@ -37,6 +45,7 @@ from .nodes import (
     Plan,
     Product,
     Project,
+    RestoreOrder,
     Scan,
     SingleRow,
     Sort,
@@ -74,6 +83,7 @@ __all__ = [
     "PlannerStats",
     "Product",
     "Project",
+    "RestoreOrder",
     "Scan",
     "SingleRow",
     "Sort",

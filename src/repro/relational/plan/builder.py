@@ -19,15 +19,35 @@ Planning decisions, in order:
    the result chain (Project/Aggregate, Distinct, Sort, Limit) mirroring
    the select's clauses.
 
-The builder reads only the catalog (schemas and indexes), never table
-contents, so a plan stays valid until schema or index DDL — which is
-exactly the plan cache's invalidation rule.
+That is the *syntactic* path, which reads only the catalog (schemas and
+indexes). With ``database.enable_cost_planner`` on (the default), the
+*cost* path layers statistics-driven decisions on top — see
+:mod:`~repro.relational.plan.cost`:
+
+* pushed conjuncts and the residual are sorted cheapest-and-most-
+  selective first (only when every moved conjunct is provably total);
+* index keys are chosen by estimated bucket size instead of "all of
+  them";
+* zone-map prune specs are attached to pushed filters over base tables;
+* leaves are joined greedily by estimated output size instead of FROM
+  order, with a :class:`~repro.relational.plan.nodes.RestoreOrder` node
+  restoring the FROM enumeration order whenever the order changed (so
+  results stay order-identical to the syntactic plan's);
+* every source node carries ``est_rows`` for EXPLAIN.
+
+All tie-breaking is strict-improvement-only over FROM-position
+iteration order, so on absent statistics (empty tables) the cost path
+builds the *identical* tree the syntactic path builds. Cost plans
+additionally depend on table statistics, which is why the plan cache
+keys on ``database.stats_epoch`` (see
+:mod:`~repro.relational.plan.cache`).
 """
 
 from __future__ import annotations
 
 from ...errors import ExecutionError
 from ...sql import ast
+from . import cost
 from .nodes import (
     Aggregate,
     Distinct,
@@ -38,6 +58,7 @@ from .nodes import (
     Plan,
     Product,
     Project,
+    RestoreOrder,
     Scan,
     SingleRow,
     Sort,
@@ -62,6 +83,24 @@ def build_plan(database, select):
 
     classified = classify_where(select.where, binding_columns)
 
+    if getattr(database, "enable_cost_planner", False):
+        source = _build_cost_source(
+            database, select, binding_columns, classified
+        )
+    else:
+        source = _build_syntactic_source(
+            database, select, binding_columns, classified
+        )
+
+    root = _build_result_chain(select, source)
+    return Plan(select, source, root, binding_columns)
+
+
+# ---------------------------------------------------------------------------
+# the syntactic path (PR 2) — also the cost path's differential oracle
+
+
+def _build_syntactic_source(database, select, binding_columns, classified):
     source = None if select.tables else SingleRow()
     used_joins = [False] * len(classified.joins)
     joined = set()
@@ -84,37 +123,19 @@ def build_plan(database, select):
                 source = Product(source, leaf)
         joined.add(binding)
 
-    # equi-join conjuncts that never connected (e.g. joining two tables
-    # both already in the tree) fall back to the residual
-    residual = list(classified.residual)
-    for used, join in zip(used_joins, classified.joins):
-        if not used:
-            left_expr, _, right_expr, _ = join
-            residual.append(ast.BinaryOp("=", left_expr, right_expr))
-
-    if residual:
-        source = Filter(source, tuple(residual), residual=True)
-
-    root = _build_result_chain(select, source)
-    return Plan(select, source, root, binding_columns)
+    return _with_residual(source, classified, used_joins)
 
 
 def _build_leaf(database, table_ref, binding, columns, pushed):
     pushed = tuple(pushed)
     leaf = None
     if isinstance(table_ref, ast.BaseTableRef):
-        table = database.table(table_ref.table)
-        keys = []
-        for conjunct in pushed:
-            pair = _indexable_pair(
-                conjunct, {binding, table_ref.table}, table.schema
+        keys = [
+            (index.name, column, value)
+            for index, column, value in _index_candidates(
+                database, table_ref, binding, pushed
             )
-            if pair is None:
-                continue
-            column, value = pair
-            index = table.index_on(column)
-            if index is not None:
-                keys.append((index.name, column, value))
+        ]
         if keys:
             leaf = IndexLookup(table_ref, binding, columns, tuple(keys))
     if leaf is None:
@@ -122,6 +143,24 @@ def _build_leaf(database, table_ref, binding, columns, pushed):
     if pushed:
         leaf = Filter(leaf, pushed)
     return leaf
+
+
+def _index_candidates(database, table_ref, binding, pushed):
+    """The ``(index, column, value)`` candidates a leaf's pushed
+    equality conjuncts could serve through existing hash indexes."""
+    table = database.table(table_ref.table)
+    candidates = []
+    for conjunct in pushed:
+        pair = _indexable_pair(
+            conjunct, {binding, table_ref.table}, table.schema
+        )
+        if pair is None:
+            continue
+        column, value = pair
+        index = table.index_on(column)
+        if index is not None:
+            candidates.append((index, column, value))
+    return candidates
 
 
 def _connecting_keys(joins, used_joins, joined, new_binding):
@@ -142,6 +181,247 @@ def _connecting_keys(joins, used_joins, joined, new_binding):
             continue
         used_joins[position] = True
     return left_keys, right_keys
+
+
+def _with_residual(source, classified, used_joins, ordered=None):
+    """Wrap the residual filter (plus never-connected equi-join
+    conjuncts demoted back to plain equalities) around ``source``."""
+    residual = list(classified.residual)
+    for used, join in zip(used_joins, classified.joins):
+        if not used:
+            left_expr, _, right_expr, _ = join
+            residual.append(ast.BinaryOp("=", left_expr, right_expr))
+    if not residual:
+        return source
+    if ordered is not None:
+        residual = ordered(residual)
+    return Filter(source, tuple(residual), residual=True)
+
+
+# ---------------------------------------------------------------------------
+# the cost path (PR 9)
+
+
+def _build_cost_source(database, select, binding_columns, classified):
+    optimizer = database.optimizer_stats
+    optimizer.plans_costed += 1
+    layers = cost.kind_layers(database, select.tables)
+
+    if not select.tables:
+        source = SingleRow()
+        used_joins = [False] * len(classified.joins)
+        return _with_residual(source, classified, used_joins)
+
+    leaves = []       # Filter-wrapped (or bare) leaf nodes, FROM order
+    leaf_ests = []    # estimated output rows per leaf
+    leaf_total = []   # are ALL of the leaf's pushed conjuncts total?
+    refs_by_binding = {}
+    for table_ref in select.tables:
+        binding = table_ref.binding_name
+        refs_by_binding[binding] = table_ref
+        pushed = tuple(classified.pushed.get(binding, ()))
+        leaf, est, total = _cost_leaf(
+            database, table_ref, binding, binding_columns[binding],
+            pushed, layers, optimizer,
+        )
+        leaves.append(leaf)
+        leaf_ests.append(est)
+        leaf_total.append(total)
+
+    order = list(range(len(leaves)))
+    if len(leaves) > 1 and _reorder_safe(
+        database, classified.joins, leaf_total, layers
+    ):
+        order = _greedy_join_order(
+            database, select, classified.joins, refs_by_binding,
+            binding_columns, leaf_ests,
+        )
+        if order != list(range(len(leaves))):
+            optimizer.joins_reordered += 1
+
+    used_joins = [False] * len(classified.joins)
+    joined = set()
+    source = None
+    current_est = 1.0
+    for position in order:
+        table_ref = select.tables[position]
+        binding = table_ref.binding_name
+        leaf = leaves[position]
+        if source is None:
+            source = leaf
+            current_est = leaf_ests[position]
+        else:
+            current_est = _join_estimate(
+                database, classified.joins, refs_by_binding,
+                binding_columns, joined, current_est, binding,
+                leaf_ests[position],
+            )[0]
+            left_keys, right_keys = _connecting_keys(
+                classified.joins, used_joins, joined, binding
+            )
+            if left_keys:
+                source = HashJoin(source, leaf, tuple(left_keys),
+                                  tuple(right_keys),
+                                  est_rows=current_est)
+            else:
+                source = Product(source, leaf, est_rows=current_est)
+        joined.add(binding)
+
+    if order != list(range(len(leaves))):
+        positions = tuple(order.index(k) for k in range(len(leaves)))
+        source = RestoreOrder(source, positions, est_rows=current_est)
+
+    def ordered_residual(residual):
+        ranked = cost.order_conjuncts(database, residual, layers, None)
+        if ranked is None or ranked == residual:
+            return residual
+        optimizer.conjuncts_reordered += 1
+        return ranked
+
+    return _with_residual(source, classified, used_joins, ordered_residual)
+
+
+def _cost_leaf(database, table_ref, binding, columns, pushed, layers,
+               optimizer):
+    """One FROM item's leaf under the cost model: selective index keys,
+    ordered pushed conjuncts, zone-map prune specs, and an estimate.
+    Returns ``(node, est_rows, all_pushed_total)``."""
+    pushed = tuple(pushed)
+    base_rows = cost.source_rows(database, table_ref)
+    scanned = base_rows
+    leaf = None
+    key_conjunct_ids = set()
+    if isinstance(table_ref, ast.BaseTableRef):
+        candidates = _index_candidates(database, table_ref, binding, pushed)
+        keys, scanned = cost.select_index_keys(candidates, base_rows)
+        if keys:
+            leaf = IndexLookup(table_ref, binding, columns, keys,
+                               est_rows=scanned)
+            kept = {(name, column) for name, column, _ in keys}
+            for conjunct in pushed:
+                pair = _indexable_pair(
+                    conjunct, {binding, table_ref.table},
+                    database.table(table_ref.table).schema,
+                )
+                if pair is not None and any(
+                    column == pair[0] for _, column in kept
+                ):
+                    key_conjunct_ids.add(id(conjunct))
+    if leaf is None:
+        leaf = Scan(table_ref, binding, columns, est_rows=base_rows)
+
+    total = all(
+        cost.expression_kind(conjunct, layers, database) in ("b", "?")
+        for conjunct in pushed
+    )
+    if pushed:
+        # the index bucket already accounts for its key conjuncts; only
+        # the remaining ones narrow the estimate further
+        est = scanned * cost.filter_selectivity(
+            database, table_ref,
+            [c for c in pushed if id(c) not in key_conjunct_ids],
+        )
+        ordered = cost.order_conjuncts(database, list(pushed), layers,
+                                       table_ref)
+        if ordered is not None and ordered != list(pushed):
+            optimizer.conjuncts_reordered += 1
+            pushed = tuple(ordered)
+        specs = cost.prune_specs(database, table_ref, binding, pushed,
+                                 layers)
+        leaf = Filter(leaf, pushed, prune_specs=specs, est_rows=est)
+    else:
+        est = scanned
+    return leaf, est, total
+
+
+def _reorder_safe(database, joins, leaf_total, layers):
+    """Joining leaves out of FROM order changes which leaf's pushed
+    filters evaluate first, and moves join conjuncts between hash keys
+    and the residual — safe only when none of them can raise."""
+    if not all(leaf_total):
+        return False
+    for left_expr, _, right_expr, _ in joins:
+        equality = ast.BinaryOp("=", left_expr, right_expr)
+        if cost.expression_kind(equality, layers, database) not in ("b", "?"):
+            return False
+    return True
+
+
+def _join_estimate(database, joins, refs_by_binding, binding_columns,
+                   joined, left_est, new_binding, right_est):
+    """Estimated output of joining the tree built so far (bindings
+    ``joined``, cardinality ``left_est``) with ``new_binding``. Returns
+    ``(rows, connected)``; without a connecting equi-conjunct the
+    estimate is the Cartesian product."""
+    est = left_est * right_est
+    connected = False
+    for left_expr, left_bindings, right_expr, right_bindings in joins:
+        if (left_bindings <= joined and right_bindings == {new_binding}) or (
+            right_bindings <= joined and left_bindings == {new_binding}
+        ):
+            ndv_left = cost.key_ndv(
+                database, left_expr, refs_by_binding, binding_columns
+            )
+            ndv_right = cost.key_ndv(
+                database, right_expr, refs_by_binding, binding_columns
+            )
+            est /= max(ndv_left, ndv_right, 1)
+            connected = True
+    return est, connected
+
+
+def _greedy_join_order(database, select, joins, refs_by_binding,
+                       binding_columns, leaf_ests):
+    """Greedy join ordering by estimated output size.
+
+    First the best ordered pair over all pairs, then repeatedly the
+    remaining leaf whose join to the tree-so-far is estimated smallest.
+    Candidates are iterated in FROM-position order and only a *strictly*
+    better estimate displaces the incumbent, so full ties (e.g. empty
+    tables, no statistics yet) reproduce the FROM order — and therefore
+    the syntactic plan, exactly.
+    """
+    n = len(leaf_ests)
+    bindings = [ref.binding_name for ref in select.tables]
+
+    best_pair = None
+    best_est = None
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            est, _ = _join_estimate(
+                database, joins, refs_by_binding, binding_columns,
+                {bindings[i]}, leaf_ests[i], bindings[j], leaf_ests[j],
+            )
+            if best_est is None or est < best_est:
+                best_est = est
+                best_pair = (i, j)
+    order = list(best_pair)
+    joined = {bindings[i] for i in order}
+    current_est = best_est
+
+    remaining = [k for k in range(n) if k not in order]
+    while remaining:
+        best_k = None
+        best_est = None
+        for k in remaining:
+            est, _ = _join_estimate(
+                database, joins, refs_by_binding, binding_columns,
+                joined, current_est, bindings[k], leaf_ests[k],
+            )
+            if best_est is None or est < best_est:
+                best_est = est
+                best_k = k
+        order.append(best_k)
+        joined.add(bindings[best_k])
+        current_est = best_est
+        remaining.remove(best_k)
+    return order
+
+
+# ---------------------------------------------------------------------------
+# the result chain (shared by both paths)
 
 
 def _build_result_chain(select, source):

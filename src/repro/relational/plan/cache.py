@@ -9,6 +9,12 @@ keyed by the select AST node itself (frozen dataclasses hash and compare
 structurally, so re-parsed ad-hoc text deduplicates too) and invalidated
 wholesale whenever ``database.schema_version`` moves — i.e. on any
 schema or index DDL.
+
+With the cost planner (PR 9) plans additionally depend on table
+*statistics*, so the cache also tracks ``database.stats_epoch``: when
+any table's stats are rebuilt past its drift threshold (or index DDL
+changes the NDV sources), cached plans are dropped and re-costed. Those
+invalidations are counted as ``optimizer.replans``.
 """
 
 from __future__ import annotations
@@ -96,6 +102,7 @@ class PlanCache:
         self.max_entries = max_entries
         self._plans = {}
         self._schema_version = None
+        self._stats_epoch = None
 
     def __len__(self):
         return len(self._plans)
@@ -110,6 +117,20 @@ class PlanCache:
                     stats.plan_cache_invalidations += 1
                 self._plans.clear()
             self._schema_version = database.schema_version
+            self._stats_epoch = getattr(database, "stats_epoch", None)
+        elif self._stats_epoch != getattr(database, "stats_epoch", None):
+            # statistics drifted past a table's rebuild threshold (or an
+            # index came/went): cached plans were costed against stale
+            # estimates — re-plan (a "replan", distinct from the schema
+            # invalidation above, which would re-plan regardless of cost)
+            if self._plans:
+                if stats is not None:
+                    stats.plan_cache_invalidations += 1
+                optimizer = getattr(database, "optimizer_stats", None)
+                if optimizer is not None:
+                    optimizer.replans += 1
+                self._plans.clear()
+            self._stats_epoch = getattr(database, "stats_epoch", None)
         plan = self._plans.get(select)
         if plan is not None:
             if stats is not None:

@@ -13,9 +13,18 @@ their scan order within each match group. That makes planned results
 *order*-identical to naive results, not merely set-identical, which is
 what the differential property test asserts.
 
-Intermediate combinations are ``(rows, pairs)`` tuples aligned with the
-node's binding list; Scopes are only materialized at the top (and
-transiently for key/filter evaluation).
+Intermediate combinations are ``(rows, pairs, ords)`` tuples aligned
+with the node's binding list; Scopes are only materialized at the top
+(and transiently for key/filter evaluation). ``ords`` — per-binding
+scan-position ordinals — are None unless the tree contains a
+:class:`~repro.relational.plan.nodes.RestoreOrder` node (cost-planner
+join reordering), which sorts on them to restore the FROM enumeration
+order and then drops them.
+
+The executor also writes each node's output size back onto the node
+(``actual_rows``) so EXPLAIN can report estimated vs. actual rows, and
+applies zone-map pruning (``Filter.prune_specs``) before running batch
+kernels.
 """
 
 from __future__ import annotations
@@ -27,13 +36,23 @@ from ..compiled import (
     batch_program_for,
     layout_of,
     program_for,
+    prune_selection,
     run_batch_filter,
     run_batch_programs,
     vectorized_enabled,
 )
 from ..expressions import Scope
 from ..types import compare_values
-from .nodes import Filter, HashJoin, IndexLookup, Plan, Product, Scan, SingleRow
+from .nodes import (
+    Filter,
+    HashJoin,
+    IndexLookup,
+    Plan,
+    Product,
+    RestoreOrder,
+    Scan,
+    SingleRow,
+)
 
 
 def execute_source(plan, database, resolver, evaluator, outer,
@@ -69,6 +88,7 @@ def execute_source_batched(plan, database, resolver, evaluator, outer,
     runner = _SourceRunner(
         database, resolver, evaluator, outer, collect_handles, stats
     )
+    runner.track_ordinals = _has_restore_order(source)
     if runner.vectorized:
         batched = runner.run_batch(source)
         if batched is not None:
@@ -83,7 +103,7 @@ def execute_source_batched(plan, database, resolver, evaluator, outer,
         # single-table pipeline: the combinations *are* the scanned rows
         stats.rows_visited += len(combos)
     scopes = []
-    for rows, pairs in combos:
+    for rows, pairs, _ords in combos:
         scope = Scope(parent=outer)
         for (name, columns), row in zip(bindings, rows):
             scope.bind(name, columns, row)
@@ -134,17 +154,21 @@ class _SourceRunner:
         #: combinations materialized by join/product nodes (None until
         #: one runs — execute_source falls back to the pipeline output)
         self.visited = None
+        #: attach per-leaf scan-position ordinals to combos — only set
+        #: (by execute_source_batched) when the tree has a RestoreOrder
+        self.track_ordinals = False
 
     def run(self, node):
         """Execute ``node``; returns ``(bindings, combos)`` where combos
-        are ``(rows_tuple, pairs_tuple_or_None)`` aligned with bindings."""
+        are ``(rows_tuple, pairs_tuple_or_None, ords_tuple_or_None)``
+        aligned with bindings."""
         if self.vectorized:
             batched = self.run_batch(node)
             if batched is not None:
                 bindings, batch = batched
                 return bindings, self._combos_from_batch(batch)
         if isinstance(node, SingleRow):
-            return [], [((), None)]
+            return [], [((), None, None)]
         if isinstance(node, Scan):
             return self._run_scan(node)
         if isinstance(node, IndexLookup):
@@ -155,6 +179,8 @@ class _SourceRunner:
             return self._run_hash_join(node)
         if isinstance(node, Product):
             return self._run_product(node)
+        if isinstance(node, RestoreOrder):
+            return self._run_restore_order(node)
         raise ExecutionError(
             f"cannot execute plan node {type(node).__name__}"
         )
@@ -175,6 +201,15 @@ class _SourceRunner:
             if child is None:
                 return None
             bindings, batch = child
+            if node.prune_specs and batch.zones is not None:
+                # zone maps: skip whole storage zones that cannot satisfy
+                # a total col-op-literal conjunct, before any kernel runs
+                sel = prune_selection(
+                    batch, node.prune_specs,
+                    getattr(self.database, "optimizer_stats", None),
+                )
+                if sel is not batch.sel:
+                    batch = batch.with_sel(sel)
             sel = run_batch_filter(
                 self.database,
                 node.predicates,
@@ -182,6 +217,7 @@ class _SourceRunner:
                 self._batch_context(bindings, batch),
                 batch.sel,
             )
+            node.actual_rows = len(sel)
             return bindings, batch.with_sel(sel)
         return None
 
@@ -200,6 +236,7 @@ class _SourceRunner:
         columns, batch = resolved
         if self.stats is not None:
             self.stats.rows_scanned += len(batch.sel)
+        node.actual_rows = len(batch.sel)
         return [(node.binding, columns)], batch
 
     def _index_lookup_batch(self, node):
@@ -219,6 +256,7 @@ class _SourceRunner:
             batch = table.batch_for_handles(sorted(candidates))
         if self.stats is not None:
             self.stats.rows_scanned += len(batch.sel)
+        node.actual_rows = len(batch.sel)
         return [(node.binding, table.schema.column_names)], batch
 
     def _batch_context(self, bindings, batch):
@@ -243,14 +281,19 @@ class _SourceRunner:
         boundary to a join/product or the scope materializer)."""
         label = batch.label
         row_of = batch.row
+        track = self.track_ordinals
         if self.collect_handles and batch.handles is not None \
                 and label is not None:
             handles = batch.handles
             return [
-                ((row_of(slot),), ((label, handles[slot]),))
-                for slot in batch.sel
+                ((row_of(slot),), ((label, handles[slot]),),
+                 (i,) if track else None)
+                for i, slot in enumerate(batch.sel)
             ]
-        return [((row_of(slot),), None) for slot in batch.sel]
+        return [
+            ((row_of(slot),), None, (i,) if track else None)
+            for i, slot in enumerate(batch.sel)
+        ]
 
     # -- leaves -----------------------------------------------------------
 
@@ -266,10 +309,13 @@ class _SourceRunner:
                 (node.table_ref.table, handle)
                 for handle in table.iter_handles()
             ]
+        track = self.track_ordinals
+        node.actual_rows = len(rows)
         return (
             [(node.binding, columns)],
             [
-                ((row,), ((pairs[i],) if pairs is not None else None))
+                ((row,), ((pairs[i],) if pairs is not None else None),
+                 (i,) if track else None)
                 for i, row in enumerate(rows)
             ],
         )
@@ -294,12 +340,16 @@ class _SourceRunner:
         if self.stats is not None:
             self.stats.rows_scanned += len(handles)
         columns = table.schema.column_names
+        track = self.track_ordinals
         combos = []
-        for handle in handles:
+        for i, handle in enumerate(handles):
             pair = None
             if self.collect_handles:
                 pair = ((node.table_ref.table, handle),)
-            combos.append(((table.get(handle),), pair))
+            combos.append(
+                ((table.get(handle),), pair, (i,) if track else None)
+            )
+        node.actual_rows = len(combos)
         return [(node.binding, columns)], combos
 
     # -- filters ----------------------------------------------------------
@@ -307,16 +357,19 @@ class _SourceRunner:
     def _run_filter(self, node):
         bindings, combos = self.run(node.child)
         if getattr(self.database, "enable_compiled_eval", False) and combos:
-            return bindings, self._filter_compiled(node, bindings, combos)
+            kept = self._filter_compiled(node, bindings, combos)
+            node.actual_rows = len(kept)
+            return bindings, kept
         evaluate = self.evaluator.evaluate_predicate
         kept = []
-        for rows, pairs in combos:
-            scope = self._scope_for(bindings, rows)
+        for combo in combos:
+            scope = self._scope_for(bindings, combo[0])
             if all(
                 evaluate(predicate, scope) is True
                 for predicate in node.predicates
             ):
-                kept.append((rows, pairs))
+                kept.append(combo)
+        node.actual_rows = len(kept)
         return bindings, kept
 
     def _filter_compiled(self, node, bindings, combos):
@@ -380,7 +433,8 @@ class _SourceRunner:
             buckets.setdefault(tuple(parts), []).append(combo)
 
         joined = []
-        for position_index, (left_rows, left_pairs) in enumerate(left_combos):
+        for position_index, left_combo in enumerate(left_combos):
+            left_rows = left_combo[0]
             if left_keys is not None:
                 values = left_keys[position_index]
             else:
@@ -393,11 +447,10 @@ class _SourceRunner:
                 parts.append((_KIND_TAGS.get(type(value), "?"), value))
             if len(parts) != len(values):
                 continue
-            for right_rows, right_pairs in buckets.get(tuple(parts), ()):
-                joined.append(
-                    _merge(left_rows, left_pairs, right_rows, right_pairs)
-                )
+            for right_combo in buckets.get(tuple(parts), ()):
+                joined.append(_merge(left_combo, right_combo))
         self._count_visited(joined)
+        node.actual_rows = len(joined)
         return left_bindings + right_bindings, joined
 
     def _join_side(self, child, key_exprs):
@@ -457,12 +510,32 @@ class _SourceRunner:
         left_bindings, left_combos = self.run(node.left)
         right_bindings, right_combos = self.run(node.right)
         joined = [
-            _merge(left_rows, left_pairs, right_rows, right_pairs)
-            for left_rows, left_pairs in left_combos
-            for right_rows, right_pairs in right_combos
+            _merge(left_combo, right_combo)
+            for left_combo in left_combos
+            for right_combo in right_combos
         ]
         self._count_visited(joined)
+        node.actual_rows = len(joined)
         return left_bindings + right_bindings, joined
+
+    def _run_restore_order(self, node):
+        """Sort a reordered join's output back into FROM enumeration
+        order and permute each combination's rows to FROM layout. Not a
+        visit — no new combinations are formed, so nothing is counted."""
+        bindings, combos = self.run(node.child)
+        positions = node.positions
+        combos.sort(key=lambda combo: tuple(combo[2][p] for p in positions))
+        restored = []
+        for rows, pairs, _ords in combos:
+            restored.append((
+                tuple(rows[p] for p in positions),
+                None if pairs is None else tuple(
+                    pairs[p] for p in positions
+                ),
+                None,  # ordinals are spent; nothing above re-sorts
+            ))
+        node.actual_rows = len(restored)
+        return [bindings[p] for p in positions], restored
 
     def _count_visited(self, combos):
         if self.visited is None:
@@ -521,11 +594,34 @@ class _SourceRunner:
 _KIND_TAGS = {bool: "b", int: "n", float: "n", str: "s"}
 
 
-def _merge(left_rows, left_pairs, right_rows, right_pairs):
+def _merge(left, right):
+    left_rows, left_pairs, left_ords = left
+    right_rows, right_pairs, right_ords = right
     rows = left_rows + right_rows
     if left_pairs is None and right_pairs is None:
-        return rows, None
-    pairs = (left_pairs or (None,) * len(left_rows)) + (
-        right_pairs or (None,) * len(right_rows)
-    )
-    return rows, pairs
+        pairs = None
+    else:
+        pairs = (left_pairs or (None,) * len(left_rows)) + (
+            right_pairs or (None,) * len(right_rows)
+        )
+    if left_ords is None or right_ords is None:
+        ords = None
+    else:
+        ords = left_ords + right_ords
+    return rows, pairs, ords
+
+
+def _has_restore_order(node):
+    """Does the source tree contain a RestoreOrder node? Decides whether
+    leaves must attach scan-position ordinals to their combos."""
+    while True:
+        if isinstance(node, RestoreOrder):
+            return True
+        if isinstance(node, Filter):
+            node = node.child
+            continue
+        if isinstance(node, (HashJoin, Product)):
+            return _has_restore_order(node.left) or _has_restore_order(
+                node.right
+            )
+        return False

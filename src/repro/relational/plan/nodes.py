@@ -39,11 +39,20 @@ class SingleRow:
 
 @dataclass
 class Scan:
-    """Full scan of one FROM item (base *or* transition table)."""
+    """Full scan of one FROM item (base *or* transition table).
+
+    ``est_rows`` (here and on every source node) is the cost model's
+    plan-time cardinality estimate — None on syntactic plans;
+    ``actual_rows`` is the node's output size from its most recent
+    execution, written by the executor so EXPLAIN can show estimated
+    vs. actual rows per node.
+    """
 
     table_ref: object          # ast.BaseTableRef | ast.TransitionTableRef
     binding: str               # the name the table is bound as
     columns: tuple             # column names (from the schema at plan time)
+    est_rows: Optional[float] = None
+    actual_rows: Optional[int] = None
 
     @property
     def bindings(self):
@@ -65,6 +74,8 @@ class IndexLookup:
     binding: str
     columns: tuple
     keys: tuple                # of (index_name, column, value)
+    est_rows: Optional[float] = None
+    actual_rows: Optional[int] = None
 
     @property
     def bindings(self):
@@ -83,6 +94,13 @@ class Filter:
     child: object
     predicates: tuple          # of Expression (implicitly AND-ed)
     residual: bool = False     # True for the top-level residual filter
+    #: zone-map prune specs ``(column_position, op, literal)`` from the
+    #: cost model (see repro.relational.plan.cost.prune_specs); the
+    #: vectorized executor skips whole storage zones that cannot satisfy
+    #: them before running any kernel
+    prune_specs: tuple = ()
+    est_rows: Optional[float] = None
+    actual_rows: Optional[int] = None
 
     @property
     def bindings(self):
@@ -105,6 +123,8 @@ class HashJoin:
     right: object
     left_keys: tuple           # of Expression, evaluated against left
     right_keys: tuple          # of Expression, evaluated against right
+    est_rows: Optional[float] = None
+    actual_rows: Optional[int] = None
 
     @property
     def bindings(self):
@@ -117,10 +137,40 @@ class Product:
 
     left: object
     right: object
+    est_rows: Optional[float] = None
+    actual_rows: Optional[int] = None
 
     @property
     def bindings(self):
         return self.left.bindings + self.right.bindings
+
+
+@dataclass
+class RestoreOrder:
+    """Re-sort a reordered join's output into FROM enumeration order.
+
+    The cost planner may join leaves in a cheaper order than the FROM
+    clause's; this node restores the naive nested-loop enumeration
+    order so results stay *order*-identical to the syntactic plan's.
+    Each leaf attaches its rows' scan positions as ordinals; this node
+    sorts the combined ordinal tuples by FROM position and permutes
+    each combination's rows back into FROM order.
+
+    ``positions[k]`` is the index, in the child's binding order, of the
+    FROM clause's k-th binding. It sits *below* the residual filter, so
+    residual conjuncts (the ones totality could not clear) evaluate in
+    exactly the naive combination order — same first error.
+    """
+
+    child: object
+    positions: tuple           # FROM position -> child binding position
+    est_rows: Optional[float] = None
+    actual_rows: Optional[int] = None
+
+    @property
+    def bindings(self):
+        child_bindings = self.child.bindings
+        return tuple(child_bindings[p] for p in self.positions)
 
 
 # ---------------------------------------------------------------------------
@@ -218,6 +268,8 @@ def _describe(node):
         return f"HashJoin ({keys})"
     if isinstance(node, Product):
         return "Product"
+    if isinstance(node, RestoreOrder):
+        return "RestoreOrder [" + ", ".join(node.bindings) + "]"
     if isinstance(node, SingleRow):
         return "SingleRow"
     if isinstance(node, Project):
@@ -244,10 +296,25 @@ def _describe(node):
     return type(node).__name__
 
 
+def _annotation(node):
+    """The ``  (est=..., act=...)`` suffix for nodes carrying cost-model
+    estimates and/or executor actuals; empty for syntactic plans (whose
+    explain output is unchanged from PR 2)."""
+    est = getattr(node, "est_rows", None)
+    if est is None:
+        # only the cost planner sets estimates; the executor tracks
+        # actuals on every plan, but showing them alone would change
+        # the syntactic renderer's pinned output
+        return ""
+    act = getattr(node, "actual_rows", None)
+    act_text = "?" if act is None else str(act)
+    return f"  (est={int(round(est))}, act={act_text})"
+
+
 def _children(node):
     if isinstance(node, (HashJoin, Product)):
         return (node.left, node.right)
-    if isinstance(node, Filter):
+    if isinstance(node, (Filter, RestoreOrder)):
         return (node.child,)
     if isinstance(node, (Distinct, Sort, Limit)):
         return (node.child,)
@@ -262,7 +329,9 @@ def explain(plan, indent=0):
     lines = []
 
     def walk(current, depth):
-        lines.append("  " * depth + _describe(current))
+        lines.append(
+            "  " * depth + _describe(current) + _annotation(current)
+        )
         for child in _children(current):
             walk(child, depth + 1)
 

@@ -39,23 +39,56 @@ def conjuncts(expression):
         yield expression
 
 
-def _indexable_pair(conjunct, binding_names, schema):
-    """If ``conjunct`` is ``col = literal`` on this table, return
-    ``(column, value)``; otherwise None."""
-    if not isinstance(conjunct, ast.BinaryOp) or conjunct.op != "=":
+#: comparison ops usable for index lookups / zone pruning, mapped to
+#: their mirror when the literal sits on the left (``5 < col`` ≡
+#: ``col > 5``)
+_FLIPPED_OPS = {
+    "=": "=",
+    "<>": "<>",
+    "<": ">",
+    "<=": ">=",
+    ">": "<",
+    ">=": "<=",
+}
+
+
+def _prunable_triple(conjunct, binding_names, schema):
+    """If ``conjunct`` is ``col op literal`` (either side) on this
+    table with a non-NULL literal, return ``(column, op, value)`` with
+    the op normalized to the column-on-the-left form; otherwise None.
+
+    Shared by the indexable-equality computation, the cost model's
+    selectivity estimator, and zone-map prune-spec extraction.
+    """
+    if not isinstance(conjunct, ast.BinaryOp):
+        return None
+    op = _FLIPPED_OPS.get(conjunct.op)
+    if op is None:
         return None
     left, right = conjunct.left, conjunct.right
     if isinstance(right, ast.ColumnRef) and isinstance(left, ast.Literal):
         left, right = right, left
+    else:
+        op = conjunct.op
     if not isinstance(left, ast.ColumnRef) or not isinstance(right, ast.Literal):
         return None
     if right.value is None:
-        return None  # col = NULL never matches; let 3VL handle it
+        return None  # col op NULL is never True; let 3VL handle it
     if left.qualifier is not None and left.qualifier not in binding_names:
         return None
     if not schema.has_column(left.column):
         return None
-    return left.column, right.value
+    return left.column, op, right.value
+
+
+def _indexable_pair(conjunct, binding_names, schema):
+    """If ``conjunct`` is ``col = literal`` on this table, return
+    ``(column, value)``; otherwise None."""
+    triple = _prunable_triple(conjunct, binding_names, schema)
+    if triple is None or triple[1] != "=":
+        return None
+    column, _, value = triple
+    return column, value
 
 
 def index_candidates(where, table, binding_names):

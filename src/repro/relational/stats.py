@@ -1,0 +1,305 @@
+"""Live table statistics and zone maps for the cost-based optimizer.
+
+Every table carries a :class:`TableStats` maintained *inline* by the
+three storage mutators (``insert``/``delete``/``replace`` in
+:mod:`repro.relational.table`). Folding at the mutator level — rather
+than from the engine's ``[I, D, U]`` net-effect points — means the
+statistics stay exact across transaction undo and context-switch
+replay, which restore state through the very same mutators, and across
+direct DML that never reaches the rule engine.
+
+What is maintained, and how exact it is between rebuilds:
+
+* ``row_count`` and per-column ``nulls`` — **exact** always (inserts and
+  deletes see the full row, so both fold reversibly);
+* per-column ``minimum``/``maximum`` — **widen-only** bounds: inserts
+  and replacements widen them, deletions cannot shrink them, so they
+  always *bracket* the true extrema (exactly the conservative direction
+  selectivity interpolation and zone pruning need);
+* per-column NDV — a bounded distinct-value set (exact until it
+  saturates at :data:`DISTINCT_CAP` values, then a lower bound).
+
+Deletes and replacements therefore accumulate *drift*; once drift
+exceeds the table's size the stats are rebuilt from storage (an
+amortized O(columns) cost per mutation) and the database's
+``stats_epoch`` is bumped so the plan cache re-plans. Checkpoint
+compaction triggers the same rebuild (see ``Table.compact``).
+
+**Zone maps** live here too: per column, per zone of
+:data:`ZONE_SIZE` consecutive storage slots, the (min, max) of the
+zone's non-NULL values. They obey the same widen-only discipline
+(replacements widen, deletions are ignored, compaction rebuilds), so a
+zone's range always covers every live value in it — a batch filter may
+skip a whole zone whenever a total ``column op literal`` conjunct
+cannot hold anywhere in the zone's range (see
+:func:`repro.relational.compiled.prune_selection`).
+"""
+
+from __future__ import annotations
+
+#: distinct-set size bound per column; beyond it NDV becomes a lower
+#: bound (the estimator then assumes a near-unique column, which errs
+#: toward "an equality predicate is very selective")
+DISTINCT_CAP = 1024
+
+#: zone size in storage slots (a power of two; zone = slot >> ZONE_SHIFT)
+ZONE_SHIFT = 8
+ZONE_SIZE = 1 << ZONE_SHIFT
+
+#: rebuild once drift (deletes + replacements since the last rebuild)
+#: exceeds max(this floor, the row count at the last rebuild)
+REBUILD_MIN_DRIFT = 64
+
+
+class ColumnStats:
+    """Widen-only summary of one column's live values."""
+
+    __slots__ = ("minimum", "maximum", "nulls", "distinct", "saturated")
+
+    def __init__(self):
+        self.minimum = None
+        self.maximum = None
+        self.nulls = 0
+        self.distinct = set()
+        self.saturated = False
+
+    def observe(self, value):
+        if value is None:
+            self.nulls += 1
+            return
+        if self.minimum is None:
+            self.minimum = value
+            self.maximum = value
+        else:
+            if value < self.minimum:
+                self.minimum = value
+            elif value > self.maximum:
+                self.maximum = value
+        if not self.saturated:
+            self.distinct.add(value)
+            if len(self.distinct) >= DISTINCT_CAP:
+                self.saturated = True
+
+    def forget(self, value):
+        """A deletion: only the exact counters can shrink."""
+        if value is None:
+            self.nulls -= 1
+
+    def ndv(self, non_null_rows):
+        """Estimated number of distinct non-NULL values.
+
+        Exact while the distinct set has not saturated; afterwards the
+        column is assumed near-unique (``max(cap, live non-null rows)``),
+        which deliberately *overestimates* NDV — an equality predicate is
+        then costed as highly selective, the safe direction for access-
+        path choices backed by an exact index ``key_count`` when one
+        exists.
+        """
+        if not self.saturated:
+            return len(self.distinct)
+        return max(DISTINCT_CAP, non_null_rows)
+
+    def snapshot(self, non_null_rows):
+        return {
+            "min": self.minimum,
+            "max": self.maximum,
+            "nulls": self.nulls,
+            "ndv": self.ndv(non_null_rows),
+            "exact_ndv": not self.saturated,
+        }
+
+
+class TableStats:
+    """Per-table statistics plus the per-column zone maps.
+
+    ``zones`` is one ``(mins, maxs)`` pair of parallel lists per column,
+    indexed by zone number; a ``None`` min marks a zone with no non-NULL
+    value observed for that column.
+    """
+
+    __slots__ = ("row_count", "columns", "zones", "drift", "rows_at_rebuild")
+
+    def __init__(self, arity):
+        self.row_count = 0
+        self.columns = tuple(ColumnStats() for _ in range(arity))
+        self.zones = tuple(([], []) for _ in range(arity))
+        self.drift = 0
+        self.rows_at_rebuild = 0
+
+    # -- incremental folding (called by the Table mutators) ---------------
+
+    def on_insert(self, slot, row):
+        self.row_count += 1
+        zone = slot >> ZONE_SHIFT
+        for stats, (mins, maxs), value in zip(self.columns, self.zones, row):
+            if zone >= len(mins):
+                # pad: rebuilds truncate to the last *live* zone, but new
+                # slots append past any trailing tombstoned region
+                pad = zone + 1 - len(mins)
+                mins.extend([None] * pad)
+                maxs.extend([None] * pad)
+            if value is not None:
+                low = mins[zone]
+                if low is None or value < low:
+                    mins[zone] = value
+                if low is None or value > maxs[zone]:
+                    maxs[zone] = value
+            stats.observe(value)
+
+    def on_delete(self, row):
+        self.row_count -= 1
+        self.drift += 1
+        for stats, value in zip(self.columns, row):
+            stats.forget(value)
+
+    def on_replace(self, slot, old_row, new_row):
+        self.drift += 1
+        zone = slot >> ZONE_SHIFT
+        for stats, (mins, maxs), old, new in zip(
+            self.columns, self.zones, old_row, new_row
+        ):
+            stats.forget(old)
+            if new is not None:
+                if zone >= len(mins):
+                    pad = zone + 1 - len(mins)
+                    mins.extend([None] * pad)
+                    maxs.extend([None] * pad)
+                low = mins[zone]
+                if low is None or new < low:
+                    mins[zone] = new
+                if low is None or new > maxs[zone]:
+                    maxs[zone] = new
+            stats.observe(new)
+
+    def should_rebuild(self):
+        return self.drift >= max(REBUILD_MIN_DRIFT, self.rows_at_rebuild)
+
+    # -- rebuild (compaction / checkpoint / drift threshold) ---------------
+
+    def rebuild(self, cols, live_slots):
+        """Recompute everything exactly from columnar storage.
+
+        ``cols`` are the table's slot-indexed column lists and
+        ``live_slots`` the live slots in scan order (dead slots must be
+        excluded — after compaction that is simply every slot).
+        """
+        self.row_count = len(live_slots)
+        self.columns = tuple(ColumnStats() for _ in cols)
+        self.zones = tuple(([], []) for _ in cols)
+        n_zones = (
+            ((max(live_slots) >> ZONE_SHIFT) + 1) if live_slots else 0
+        )
+        for stats, (mins, maxs), column in zip(
+            self.columns, self.zones, cols
+        ):
+            mins.extend([None] * n_zones)
+            maxs.extend([None] * n_zones)
+            for slot in live_slots:
+                value = column[slot]
+                stats.observe(value)
+                if value is None:
+                    continue
+                zone = slot >> ZONE_SHIFT
+                low = mins[zone]
+                if low is None or value < low:
+                    mins[zone] = value
+                if low is None or value > maxs[zone]:
+                    maxs[zone] = value
+        self.drift = 0
+        self.rows_at_rebuild = self.row_count
+
+    # -- estimator accessors ----------------------------------------------
+
+    def column(self, position):
+        return self.columns[position]
+
+    def ndv(self, position):
+        stats = self.columns[position]
+        return stats.ndv(self.row_count - stats.nulls)
+
+    def snapshot(self):
+        return {
+            "row_count": self.row_count,
+            "drift": self.drift,
+            "columns": [
+                stats.snapshot(self.row_count - stats.nulls)
+                for stats in self.columns
+            ],
+        }
+
+
+#: optimizer counters whose deltas the engine attaches to rule events
+OPTIMIZER_DELTA_FIELDS = ("zones_pruned", "rows_zone_pruned", "replans")
+
+
+class OptimizerStats:
+    """Monotone counters for the cost-based optimization layer.
+
+    ``plans_costed`` counts plans built through the cost model;
+    ``joins_reordered``/``conjuncts_reordered``/``conditions_reordered``
+    count the decisions where statistics actually changed an order;
+    ``zones_considered``/``zones_pruned``/``rows_zone_pruned`` come from
+    zone-map pruning in the vectorized filter path; ``replans`` counts
+    plan-cache invalidations caused by a stats-epoch move; and
+    ``stats_rebuilds`` counts full statistics rebuilds (drift threshold,
+    compaction, checkpoint).
+    """
+
+    __slots__ = (
+        "plans_costed",
+        "joins_reordered",
+        "conjuncts_reordered",
+        "conditions_reordered",
+        "zones_considered",
+        "zones_pruned",
+        "rows_zone_pruned",
+        "replans",
+        "stats_rebuilds",
+    )
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self):
+        self.plans_costed = 0
+        self.joins_reordered = 0
+        self.conjuncts_reordered = 0
+        self.conditions_reordered = 0
+        self.zones_considered = 0
+        self.zones_pruned = 0
+        self.rows_zone_pruned = 0
+        self.replans = 0
+        self.stats_rebuilds = 0
+
+    def snapshot(self, enabled=None):
+        considered = self.zones_considered
+        result = {
+            "plans_costed": self.plans_costed,
+            "joins_reordered": self.joins_reordered,
+            "conjuncts_reordered": self.conjuncts_reordered,
+            "conditions_reordered": self.conditions_reordered,
+            "zones_considered": considered,
+            "zones_pruned": self.zones_pruned,
+            "zone_prune_rate": (
+                self.zones_pruned / considered if considered else 0.0
+            ),
+            "rows_zone_pruned": self.rows_zone_pruned,
+            "replans": self.replans,
+            "stats_rebuilds": self.stats_rebuilds,
+        }
+        if enabled is not None:
+            result["enabled"] = enabled
+        return result
+
+    def counters(self):
+        """The :data:`OPTIMIZER_DELTA_FIELDS` values as a tuple."""
+        return tuple(
+            getattr(self, name) for name in OPTIMIZER_DELTA_FIELDS
+        )
+
+    def delta_since(self, before):
+        """``{field: increment}`` relative to a :meth:`counters` tuple."""
+        return {
+            name: getattr(self, name) - then
+            for name, then in zip(OPTIMIZER_DELTA_FIELDS, before)
+        }

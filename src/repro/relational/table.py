@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from ..errors import ExecutionError
 from .batch import Batch
+from .stats import TableStats
 
 #: auto-compaction: reclaim once at least this many tombstones exist
 #: *and* they make up at least half of the storage arrays
@@ -60,6 +61,15 @@ class Table:
         #: session cannot leave another session's counters silently
         #: claiming to be in sync.
         self.mutations = 0
+        #: live statistics + zone maps (see repro.relational.stats),
+        #: folded by the three mutators — exactly like the indexes, so
+        #: undo and replay keep them consistent. Widen-only fields are
+        #: recomputed by :meth:`rebuild_stats` at compaction or once
+        #: delete/replace drift passes the table's size.
+        self.stats = TableStats(schema.arity)
+        #: called after every stats rebuild; the owning Database points
+        #: this at its stats-epoch bump so cached plans re-cost
+        self.on_stats_rebuild = None
 
     def __len__(self):
         return len(self._live)
@@ -123,6 +133,10 @@ class Table:
             self._handles,
             self._tuples,
             self.schema.name,
+            zones=self.stats.zones,
+            # slots are allocated in insertion order and _live preserves
+            # it, so a full-scan selection is always ascending
+            ordered=True,
         )
 
     def batch_for_handles(self, handles):
@@ -137,7 +151,8 @@ class Table:
                 f"{self.schema.name!r}"
             ) from None
         return Batch(
-            self._cols, sel, self._handles, self._tuples, self.schema.name
+            self._cols, sel, self._handles, self._tuples, self.schema.name,
+            zones=self.stats.zones,
         )
 
     # -- mutators ----------------------------------------------------------
@@ -160,6 +175,7 @@ class Table:
         for column, value in zip(self._cols, row):
             column.append(value)
         self._live[handle] = slot
+        self.stats.on_insert(slot, row)
         for index in self.indexes:
             index.on_insert(handle, row)
 
@@ -179,6 +195,7 @@ class Table:
         row = self._tuples[slot]
         self._valid[slot] = False
         self._dead += 1
+        self.stats.on_delete(row)
         for index in self.indexes:
             index.on_delete(handle, row)
         if (
@@ -186,6 +203,8 @@ class Table:
             and self._dead * 2 >= len(self._handles)
         ):
             self.compact()
+        elif self.stats.should_rebuild():
+            self.rebuild_stats()
         return row
 
     def replace(self, handle, row):
@@ -201,8 +220,11 @@ class Table:
         self._tuples[slot] = row
         for column, value in zip(self._cols, row):
             column[slot] = value
+        self.stats.on_replace(slot, old, row)
         for index in self.indexes:
             index.on_replace(handle, old, row)
+        if self.stats.should_rebuild():
+            self.rebuild_stats()
         return old
 
     # -- compaction --------------------------------------------------------
@@ -242,7 +264,17 @@ class Table:
         self._live = live
         reclaimed = self._dead
         self._dead = 0
+        # slots were renumbered: the zone maps (slot-aligned) and the
+        # widen-only column stats are both rebuilt exactly
+        self.rebuild_stats()
         return reclaimed
+
+    def rebuild_stats(self):
+        """Recompute statistics and zone maps exactly from storage and
+        notify the owning database (which bumps its stats epoch)."""
+        self.stats.rebuild(self._cols, list(self._live.values()))
+        if self.on_stats_rebuild is not None:
+            self.on_stats_rebuild()
 
     # -- snapshots / indexes ----------------------------------------------
 

@@ -94,13 +94,29 @@ def test_durable_and_in_memory_runs_are_identical(tmp_path, seed):
     durable_stats = durable.stats()
 
     # the engine counters agree except the raw event count (wal/checkpoint
-    # events are legitimately extra), wall-clock timings, and the stats
-    # sections durability adds
+    # events are legitimately extra), wall-clock timings, the
+    # layout-sensitive cost counters (checkpoint compaction rebuilds
+    # table statistics: the stats epoch bumps and re-plans cached
+    # selects, and the exact rebuilt zone maps may prune batch rows the
+    # in-memory run's widen-only zones cannot — cost-only differences;
+    # results, state and the event trace are asserted identical above),
+    # and the stats sections durability adds
+    CACHE_SENSITIVE = {
+        "plan_cache_hits",
+        "plan_cache_misses",
+        "replans",
+        "zones_pruned",
+        "rows_zone_pruned",
+        "batch_rows_scanned",
+    }
+
     def counters(section):
         return {
             key: value
             for key, value in section.items()
-            if key != "events" and not key.endswith("_time")
+            if key != "events"
+            and key not in CACHE_SENSITIVE
+            and not key.endswith("_time")
         }
 
     assert counters(durable_stats["engine"]) == counters(plain_stats["engine"])

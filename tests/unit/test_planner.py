@@ -236,6 +236,42 @@ class TestPlanCache:
         assert stats.plan_cache_invalidations == 1
         assert isinstance(after.source.child, IndexLookup)
 
+    def test_index_ddl_invalidates_via_stats_epoch(self, database):
+        """Regression: CREATE/DROP INDEX must invalidate cached plans
+        through the stats-epoch cache key, re-planning access paths and
+        counting an optimizer replan."""
+        database.enable_cost_planner = True
+        stats = database.planner_stats
+        select = parse_select("select name from emp where dept_no = 1")
+        before = database.plan_cache.plan_for(select, database, stats)
+        epoch = database.stats_epoch
+        invalidations = stats.plan_cache_invalidations
+        database.create_index("emp_dept", "emp", "dept_no")
+        assert database.stats_epoch == epoch + 1
+        created = database.plan_cache.plan_for(select, database, stats)
+        assert created is not before
+        assert isinstance(created.source.child, IndexLookup)
+        assert stats.plan_cache_invalidations == invalidations + 1
+        database.drop_index("emp_dept")
+        dropped = database.plan_cache.plan_for(select, database, stats)
+        assert dropped is not created
+        assert isinstance(dropped.source.child, Scan)
+        assert stats.plan_cache_invalidations == invalidations + 2
+
+    def test_stats_rebuild_invalidates_cached_plan(self, database):
+        """A statistics rebuild (drift threshold / compaction) moves the
+        stats epoch without touching the schema version, so the next
+        lookup re-costs the plan and counts an optimizer replan."""
+        database.enable_cost_planner = True
+        stats = database.planner_stats
+        select = parse_select("select name from emp")
+        before = database.plan_cache.plan_for(select, database, stats)
+        replans = database.optimizer_stats.replans
+        database.table("emp").rebuild_stats()
+        after = database.plan_cache.plan_for(select, database, stats)
+        assert after is not before
+        assert database.optimizer_stats.replans == replans + 1
+
     def test_overflow_clears_wholesale(self, database):
         database.schema_version = 0
         cache = PlanCache(max_entries=2)
