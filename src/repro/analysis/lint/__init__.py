@@ -32,6 +32,8 @@ from . import schema as _schema_pass            # noqa: F401
 from . import transition as _transition_pass    # noqa: F401
 from . import triggering as _triggering_pass    # noqa: F401
 from . import hygiene as _hygiene_pass          # noqa: F401
+from ..types import infer as _types_pass        # noqa: F401
+from ..effects import conflicts as _effects_pass  # noqa: F401
 
 __all__ = [
     "CODES",

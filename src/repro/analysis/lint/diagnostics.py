@@ -11,7 +11,14 @@ fix hint. Codes are grouped by hundreds:
 * ``RPL2xx`` — triggering-graph findings (paper §6: loops, ordering
   conflicts) on the condition-refined graph;
 * ``RPL3xx`` — program hygiene (dead rules, shadowing, rollback cycles,
-  dead condition reads).
+  dead condition reads);
+* ``RPL4xx`` — static type inference (operator/operand mismatches,
+  incoherent CASE branches, subquery shape and type errors, lossy
+  coercions) — the ``types`` pass, which also attaches
+  :class:`~repro.analysis.types.witness.TypeWitness` annotations;
+* ``RPL5xx`` — column-granular effect conflicts across the cascade
+  (write/write and write-after-read among unordered siblings) — the
+  ``effects`` pass.
 """
 
 from __future__ import annotations
@@ -67,6 +74,19 @@ CODES: dict[str, tuple[Severity, str]] = {
     "RPL303": (Severity.WARNING, "triggering cycle can reach a rollback"),
     "RPL304": (Severity.WARNING,
                "condition reads a column nothing ever writes"),
+    "RPL401": (Severity.ERROR,
+               "operator applied to an operand of the wrong type"),
+    "RPL402": (Severity.WARNING, "CASE branches yield incoherent types"),
+    "RPL403": (Severity.ERROR,
+               "subquery column type incomparable with operand"),
+    "RPL404": (Severity.ERROR,
+               "subquery produces the wrong number of columns"),
+    "RPL405": (Severity.WARNING,
+               "lossy implicit coercion (float into integer column)"),
+    "RPL501": (Severity.WARNING,
+               "unordered cascade siblings with overlapping write sets"),
+    "RPL502": (Severity.WARNING,
+               "write-after-read hazard across the cascade"),
 }
 
 

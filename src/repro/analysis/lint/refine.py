@@ -19,7 +19,17 @@ Baralis & Widom's condition-based triggering analysis:
   condition to FALSE;
 * **constant inserts** — R1 inserts literal rows and every inserted row
   refutes R2's condition over ``inserted t`` (unlisted columns insert
-  NULL, exactly as the evaluator does).
+  NULL, exactly as the evaluator does);
+* **unpopulatable transition views** (effect-based, PR 10) — R2's
+  condition requires, as a top-level conjunct, a non-negated
+  ``exists (select ... from <one transition table>)`` whose transition
+  view *no write effect of R1's action can populate* (e.g. the conjunct
+  selects from ``deleted u`` but R1 only inserts; or from
+  ``new updated t.c`` but R1's updates never assign ``c`` — the
+  engine's ``updated t.c`` views contain only handles whose column
+  ``c`` was assigned). When R1's firing alone produced the transition,
+  that view is empty, the exists is false, and the conjunction cannot
+  hold — independent of any predicate folding.
 
 Soundness: an edge is removed only when **every** operation of R1 that
 could match R2's predicates provably yields an unsatisfiable condition.
@@ -35,6 +45,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
 
 from ...sql import ast
+from ..effects.sets import rule_effects, writes_can_populate
 from ..graph import may_trigger
 from .context import LintRule
 
@@ -379,6 +390,41 @@ def _predicate_discharged(provider: LintRule, consumer: LintRule,
     return True
 
 
+def _describe_transition_ref(table_ref: ast.TransitionTableRef) -> str:
+    kind = table_ref.kind.value if hasattr(table_ref.kind, "value") \
+        else str(table_ref.kind)
+    text = f"{kind} {table_ref.table}"
+    if table_ref.column is not None:
+        text += f".{table_ref.column}"
+    return text
+
+
+def _effects_discharged(provider: LintRule, consumer: LintRule,
+                        schema_lookup) -> Optional[str]:
+    """Effect-based discharge: a required exists-conjunct of the
+    consumer selects from a transition view the provider's write set
+    provably cannot populate (see module docstring). Returns the proof
+    text, or None when no conjunct discharges."""
+    condition = consumer.condition
+    if condition is None:
+        return None
+    effects = rule_effects(provider, schema_lookup)
+    if effects.writes is None:
+        return None  # opaque action: assume anything
+    for conjunct in conjuncts(condition):
+        target = _transition_conjunct_target(conjunct)
+        if target is None:
+            continue
+        _, table_ref = target
+        if not writes_can_populate(effects.writes, table_ref):
+            return (
+                f"action of {provider.name!r} cannot populate the "
+                f"'{_describe_transition_ref(table_ref)}' view required "
+                f"by the condition of {consumer.name!r}"
+            )
+    return None
+
+
 def edge_realizable(provider: LintRule, consumer: LintRule,
                     schema_lookup=lambda table: None,
                     ) -> tuple[bool, Optional[str]]:
@@ -395,6 +441,10 @@ def edge_realizable(provider: LintRule, consumer: LintRule,
         return False, (
             f"condition of {consumer.name!r} is constant-false"
         )
+
+    effect_proof = _effects_discharged(provider, consumer, schema_lookup)
+    if effect_proof is not None:
+        return False, effect_proof
 
     matching = [
         predicate for predicate in consumer.predicates

@@ -1,0 +1,18 @@
+"""Static type inference over rule programs.
+
+:mod:`repro.analysis.types.witness` defines the out-of-band
+:class:`TypeWitness` annotation; :mod:`repro.analysis.types.infer` is
+the ``types`` lint pass that computes and attaches witnesses while
+emitting the RPL4xx diagnostic family. The compiled-kernel layer
+(:mod:`repro.relational.compiled`) consumes stable witnesses to emit
+monomorphic batch kernels.
+"""
+
+from .witness import TypeWitness, clear_witness, set_witness, witness_of
+
+__all__ = [
+    "TypeWitness",
+    "clear_witness",
+    "set_witness",
+    "witness_of",
+]

@@ -1,0 +1,580 @@
+"""Typed expression inference: the ``types`` lint pass.
+
+A bottom-up, three-valued-logic-aware inference over every expression,
+select, and DML operation of a rule program. Column references resolve
+to catalog :class:`~repro.relational.types.SqlType`\\ s through the same
+scope rules the evaluator applies (innermost FROM first, correlated
+references outward); every expression node receives a
+:class:`~repro.analysis.types.witness.TypeWitness` attached out-of-band
+(:mod:`repro.sql.spans` pattern — structural equality untouched).
+
+The pass deepens the schema pass's typing (RPL004/RPL006 stay where
+they are) with the RPL4xx family for defects only full inference sees:
+
+* **RPL401** — arithmetic or string concatenation over an operand whose
+  static type can never be numeric/string (raises on every row);
+* **RPL402** — CASE branches whose result types are incoherent (the
+  evaluator will happily produce values no single comparison or
+  assignment downstream can consume);
+* **RPL403** — ``IN (select ...)`` / quantified comparison whose operand
+  type is incomparable with the subquery's output column;
+* **RPL404** — subquery arity mismatch: a scalar subquery or
+  ``IN``/quantified subquery whose select statically produces more than
+  one output column;
+* **RPL405** — lossy implicit coercion: a float-typed value stored into
+  an INTEGER column (``coerce_value`` raises unless the value happens
+  to be integral — silent today, a run-time landmine).
+
+Totality (the witness ``total`` flag) is not re-derived here: it is
+*defined* as :func:`repro.relational.plan.cost.expression_kind`'s
+verdict, so the witness layer and the PR 9 cost model can never
+disagree about what may raise.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ...relational.plan.cost import KIND_OF_TYPE, expression_kind
+from ...relational.types import SqlType
+from ...sql import ast
+from ...sql.spans import span_of
+from ..lint.base import register_pass
+from ..lint.context import LintContext
+from ..lint.diagnostics import Diagnostic, make
+from .witness import TypeWitness, set_witness, witness_of
+
+_PASS = "types"
+
+_NUMERIC = frozenset({SqlType.INTEGER, SqlType.FLOAT})
+
+_COMPARISON_OPS = frozenset({"=", "<>", "<", "<=", ">", ">="})
+
+_ARITHMETIC_OPS = frozenset({"+", "-", "*", "/", "%"})
+
+
+def _group(sql_type: SqlType) -> str:
+    if sql_type in _NUMERIC:
+        return "numeric"
+    if sql_type is SqlType.VARCHAR:
+        return "text"
+    return "boolean"
+
+
+def _literal_type(value: object) -> Optional[SqlType]:
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return SqlType.BOOLEAN
+    if isinstance(value, int):
+        return SqlType.INTEGER
+    if isinstance(value, float):
+        return SqlType.FLOAT
+    if isinstance(value, str):
+        return SqlType.VARCHAR
+    return None
+
+
+class _TypeScope:
+    """One FROM-clause scope level: binding → schema (None = unknown
+    table, which silences everything resolved through it)."""
+
+    def __init__(self) -> None:
+        self.bindings: dict[str, object] = {}
+        self.has_unknown = False
+
+    def bind(self, name: str, schema: object) -> None:
+        self.bindings[name] = schema
+        if schema is None:
+            self.has_unknown = True
+
+
+@register_pass(_PASS, scope="rule",
+               description="typed expression inference with witnesses")
+def run(context: LintContext) -> Iterable[Diagnostic]:
+    out: list[Diagnostic] = []
+    for rule in context.scoped_rules():
+        inference = TypeInference(context, rule.name, out)
+        if rule.condition is not None:
+            inference.infer(rule.condition, [])
+        if isinstance(rule.action, ast.OperationBlock):
+            for operation in rule.action.operations:
+                inference.infer_operation(operation)
+    if context.only_rule is None:
+        for statement, _span in context.statements:
+            if isinstance(statement, ast.OperationBlock):
+                inference = TypeInference(context, None, out)
+                for operation in statement.operations:
+                    inference.infer_operation(operation)
+    return out
+
+
+class TypeInference:
+    """One inference walk over a rule (or workload statement).
+
+    ``infer`` returns the expression's static :class:`SqlType` (None =
+    unknown or provably NULL) and, as a side effect, attaches a
+    :class:`TypeWitness` to every expression node it visits.
+    """
+
+    def __init__(self, context: LintContext, rule: Optional[str],
+                 out: list[Diagnostic]) -> None:
+        self.context = context
+        self.rule = rule
+        self.out = out
+        self.database = context.database
+        self._version = getattr(context.database, "schema_version", None)
+
+    # ------------------------------------------------------------------
+    # diagnostics / witnesses
+
+    def emit(self, code: str, message: str, node: object = None,
+             hint: Optional[str] = None) -> None:
+        self.out.append(make(
+            code, message, span=span_of(node) if node is not None else None,
+            rule=self.rule, hint=hint, pass_name=_PASS,
+        ))
+
+    def _cost_layers(self, scopes: list[_TypeScope]) -> Optional[tuple]:
+        """The scope stack as a cost-model kind environment, or None
+        when any level holds an unknown table (nothing is provable)."""
+        layers = []
+        for scope in scopes:
+            if scope.has_unknown:
+                return None
+            layers.append({
+                name: {
+                    column.name: KIND_OF_TYPE[column.sql_type]
+                    for column in schema.columns
+                }
+                for name, schema in scope.bindings.items()
+            })
+        return tuple(layers)
+
+    def _witness(self, node: object, scopes: list[_TypeScope],
+                 sql_type: Optional[SqlType],
+                 nullable: bool = True) -> Optional[SqlType]:
+        """Attach the node's witness; the ``total`` flag delegates to
+        the PR 9 totality analysis so the two can never disagree."""
+        kind = expression_kind(node, self._cost_layers(scopes), self.database)
+        set_witness(node, TypeWitness(
+            sql_type=sql_type,
+            kind=kind,
+            total=kind is not None,
+            nullable=nullable,
+            schema_version=self._version,
+        ))
+        return sql_type
+
+    # ------------------------------------------------------------------
+    # scopes
+
+    def _open_scope(self, select: ast.Select) -> _TypeScope:
+        scope = _TypeScope()
+        for table_ref in select.tables:
+            scope.bind(
+                table_ref.binding_name, self.context.schema(table_ref.table)
+            )
+        return scope
+
+    def _resolve_column(self, ref: ast.ColumnRef,
+                        scopes: list[_TypeScope]) -> Optional[SqlType]:
+        """Silent resolution (the schema pass owns RPL001/002/003)."""
+        if ref.qualifier is not None:
+            for scope in scopes:
+                if ref.qualifier in scope.bindings:
+                    schema = scope.bindings[ref.qualifier]
+                    if schema is None or not schema.has_column(ref.column):
+                        return None
+                    return schema.column(ref.column).sql_type
+            return None
+        for scope in scopes:
+            matches = [
+                schema for schema in scope.bindings.values()
+                if schema is not None and schema.has_column(ref.column)
+            ]
+            if len(matches) == 1:
+                return matches[0].column(ref.column).sql_type
+            if len(matches) > 1 or scope.has_unknown:
+                return None
+        return None
+
+    # ------------------------------------------------------------------
+    # expressions
+
+    def infer(self, expr: object,
+              scopes: list[_TypeScope]) -> Optional[SqlType]:
+        """Infer and witness one expression; returns its static type."""
+        if expr is None or isinstance(expr, ast.Star):
+            return None
+        if isinstance(expr, ast.Literal):
+            return self._witness(
+                expr, scopes, _literal_type(expr.value),
+                nullable=expr.value is None,
+            )
+        if isinstance(expr, ast.ColumnRef):
+            return self._witness(
+                expr, scopes, self._resolve_column(expr, scopes)
+            )
+        if isinstance(expr, ast.UnaryOp):
+            return self._infer_unary(expr, scopes)
+        if isinstance(expr, ast.BinaryOp):
+            return self._infer_binary(expr, scopes)
+        if isinstance(expr, ast.IsNull):
+            self.infer(expr.operand, scopes)
+            return self._witness(expr, scopes, SqlType.BOOLEAN,
+                                 nullable=False)
+        if isinstance(expr, ast.Between):
+            for part in (expr.operand, expr.low, expr.high):
+                self.infer(part, scopes)
+            return self._witness(expr, scopes, SqlType.BOOLEAN)
+        if isinstance(expr, ast.Like):
+            self.infer(expr.operand, scopes)
+            self.infer(expr.pattern, scopes)
+            return self._witness(expr, scopes, SqlType.BOOLEAN)
+        if isinstance(expr, ast.InList):
+            self._infer_in_list(expr, scopes)
+            return self._witness(expr, scopes, SqlType.BOOLEAN)
+        if isinstance(expr, ast.InSelect):
+            operand = self.infer(expr.operand, scopes)
+            item_type = self._infer_select(expr.select, scopes)
+            self._check_subquery_shape(expr.select, "IN (select ...)")
+            self._check_subquery_operand(expr, operand, item_type, "IN")
+            return self._witness(expr, scopes, SqlType.BOOLEAN)
+        if isinstance(expr, ast.Exists):
+            self._infer_select(expr.select, scopes)
+            return self._witness(expr, scopes, SqlType.BOOLEAN,
+                                 nullable=False)
+        if isinstance(expr, ast.QuantifiedComparison):
+            operand = self.infer(expr.operand, scopes)
+            item_type = self._infer_select(expr.select, scopes)
+            self._check_subquery_shape(
+                expr.select, f"{expr.op} {expr.quantifier} (select ...)"
+            )
+            self._check_subquery_operand(
+                expr, operand, item_type, f"{expr.op} {expr.quantifier}"
+            )
+            return self._witness(expr, scopes, SqlType.BOOLEAN)
+        if isinstance(expr, ast.ScalarSelect):
+            item_type = self._infer_select(expr.select, scopes)
+            self._check_subquery_shape(expr.select, "scalar subquery")
+            return self._witness(expr, scopes, item_type)
+        if isinstance(expr, ast.FunctionCall):
+            arg_types = [self.infer(arg, scopes) for arg in expr.args]
+            return self._witness(
+                expr, scopes, self._function_type(expr.name, arg_types)
+            )
+        if isinstance(expr, ast.CaseExpression):
+            return self._infer_case(expr, scopes)
+        return None
+
+    def _infer_unary(self, expr: ast.UnaryOp,
+                     scopes: list[_TypeScope]) -> Optional[SqlType]:
+        operand = self.infer(expr.operand, scopes)
+        if expr.op == "not":
+            return self._witness(expr, scopes, SqlType.BOOLEAN)
+        if operand is not None and operand not in _NUMERIC:
+            self.emit(
+                "RPL401",
+                f"unary {expr.op!r} requires a numeric operand, got "
+                f"{operand.value}",
+                expr,
+                hint="negate a numeric expression, or drop the operator",
+            )
+            return self._witness(expr, scopes, None)
+        return self._witness(expr, scopes, operand)
+
+    def _infer_binary(self, expr: ast.BinaryOp,
+                      scopes: list[_TypeScope]) -> Optional[SqlType]:
+        left = self.infer(expr.left, scopes)
+        right = self.infer(expr.right, scopes)
+        op = expr.op
+        if op in _COMPARISON_OPS or op in ("and", "or"):
+            # comparison typing is the schema pass's turf (RPL004)
+            return self._witness(expr, scopes, SqlType.BOOLEAN)
+        if op == "||":
+            for side, side_type in (("left", left), ("right", right)):
+                if side_type is not None and side_type is not SqlType.VARCHAR:
+                    self.emit(
+                        "RPL401",
+                        f"'||' requires varchar operands, {side} side is "
+                        f"{side_type.value}",
+                        expr,
+                        hint="concatenate strings only; cast or reformat "
+                             "the value first",
+                    )
+            return self._witness(expr, scopes, SqlType.VARCHAR)
+        if op in _ARITHMETIC_OPS:
+            for side, side_type in (("left", left), ("right", right)):
+                if side_type is not None and side_type not in _NUMERIC:
+                    self.emit(
+                        "RPL401",
+                        f"operator {op!r} requires numeric operands, "
+                        f"{side} side is {side_type.value}",
+                        expr,
+                        hint="arithmetic raises at run time on "
+                             "non-numeric values",
+                    )
+            if left is SqlType.INTEGER and right is SqlType.INTEGER \
+                    and op != "/":
+                return self._witness(expr, scopes, SqlType.INTEGER)
+            if left in _NUMERIC and right in _NUMERIC:
+                return self._witness(expr, scopes, SqlType.FLOAT)
+            return self._witness(expr, scopes, None)
+        return self._witness(expr, scopes, None)
+
+    def _infer_in_list(self, expr: ast.InList,
+                       scopes: list[_TypeScope]) -> None:
+        # item-vs-operand comparability is the schema pass's RPL004;
+        # inference only types the parts (and witnesses them)
+        self.infer(expr.operand, scopes)
+        for item in expr.items:
+            self.infer(item, scopes)
+
+    def _infer_case(self, expr: ast.CaseExpression,
+                    scopes: list[_TypeScope]) -> Optional[SqlType]:
+        result: Optional[SqlType] = None
+        coherent = True
+        known = True
+        for condition, value in expr.branches:
+            self.infer(condition, scopes)
+            value_type = self.infer(value, scopes)
+            known = known and self._branch_known(value, value_type)
+            result, coherent = self._merge_branch(
+                expr, result, value_type, coherent, "branch"
+            )
+        if expr.default is not None:
+            default_type = self.infer(expr.default, scopes)
+            known = known and self._branch_known(expr.default, default_type)
+            result, coherent = self._merge_branch(
+                expr, result, default_type, coherent, "ELSE branch"
+            )
+        return self._witness(
+            expr, scopes, result if coherent and known else None
+        )
+
+    @staticmethod
+    def _branch_known(value: object,
+                      value_type: Optional[SqlType]) -> bool:
+        """An untyped CASE branch poisons the whole CASE's type —
+        unless it is provably NULL (kind ``"?"``), which fits any
+        result type. Without this, an unknown-typed branch (e.g. an
+        inner incoherent CASE) would be skipped by ``_merge_branch``
+        and the CASE could witness a type another branch violates at
+        run time."""
+        if value_type is not None:
+            return True
+        witness = witness_of(value)
+        return witness is not None and witness.kind == "?"
+
+    def _merge_branch(self, expr: ast.CaseExpression,
+                      result: Optional[SqlType],
+                      value_type: Optional[SqlType], coherent: bool,
+                      label: str) -> tuple[Optional[SqlType], bool]:
+        if value_type is None:
+            return result, coherent
+        if result is None:
+            return value_type, coherent
+        if _group(result) != _group(value_type):
+            if coherent:  # one finding per CASE
+                self.emit(
+                    "RPL402",
+                    f"CASE {label} yields {value_type.value} but an "
+                    f"earlier branch yields {result.value}",
+                    expr,
+                    hint="make every branch (and ELSE) yield one "
+                         "comparable type",
+                )
+            return result, False
+        if result is SqlType.INTEGER and value_type is SqlType.FLOAT:
+            return SqlType.FLOAT, coherent
+        return result, coherent
+
+    def _check_subquery_shape(self, select: ast.Select,
+                              construct: str) -> None:
+        """RPL404: the subquery must produce exactly one output column.
+
+        Statically countable only without ``*`` items (a Star's arity
+        depends on source schemas the select may not even resolve)."""
+        if any(isinstance(item, ast.Star) for item in select.items):
+            return
+        produced = len(select.items)
+        if produced != 1:
+            self.emit(
+                "RPL404",
+                f"{construct} requires exactly one output column, the "
+                f"subquery produces {produced}",
+                select,
+                hint="select a single expression in the subquery",
+            )
+
+    def _check_subquery_operand(self, expr: object,
+                                operand: Optional[SqlType],
+                                item_type: Optional[SqlType],
+                                construct: str) -> None:
+        """RPL403: operand vs. subquery output column comparability."""
+        if operand is None or item_type is None:
+            return
+        if _group(operand) != _group(item_type):
+            self.emit(
+                "RPL403",
+                f"cannot compare {operand.value} with the subquery's "
+                f"{item_type.value} column ({construct})",
+                expr,
+                hint="align the operand's type with the subquery's "
+                     "output column",
+            )
+
+    # ------------------------------------------------------------------
+    # selects
+
+    def _infer_select(self, select: ast.Select,
+                      outer: list[_TypeScope]) -> Optional[SqlType]:
+        """Infer a select; returns its single output column's type when
+        there is exactly one (scalar-subquery / IN-subquery typing)."""
+        scope = self._open_scope(select)
+        scopes = [scope] + outer
+        item_type: Optional[SqlType] = None
+        for item in select.items:
+            if isinstance(item, ast.SelectItem):
+                item_type = self.infer(item.expression, scopes)
+        self.infer(select.where, scopes)
+        for expr in select.group_by:
+            self.infer(expr, scopes)
+        self.infer(select.having, scopes)
+        for order in select.order_by:
+            self.infer(order.expression, scopes)
+        if select.union is not None:
+            self._infer_select(select.union, outer)
+        if len(select.items) == 1 and isinstance(
+            select.items[0], ast.SelectItem
+        ):
+            return item_type
+        return None
+
+    # ------------------------------------------------------------------
+    # operations
+
+    def infer_operation(self, operation: object) -> None:
+        if isinstance(operation, ast.InsertValues):
+            self._infer_insert_values(operation)
+        elif isinstance(operation, ast.InsertSelect):
+            self._infer_insert_select(operation)
+        elif isinstance(operation, ast.Delete):
+            self._infer_delete(operation)
+        elif isinstance(operation, ast.Update):
+            self._infer_update(operation)
+        elif isinstance(operation, ast.SelectOperation):
+            self._infer_select(operation.select, [])
+
+    def _lossy(self, target: SqlType, value_type: Optional[SqlType],
+               value: object, where: str) -> None:
+        """RPL405: a float-typed value into an INTEGER column raises at
+        run time unless the value happens to be integral."""
+        if value_type is SqlType.FLOAT and target is SqlType.INTEGER:
+            self.emit(
+                "RPL405",
+                f"float value stored into integer column {where} may "
+                "fail at run time (only integral floats coerce)",
+                value,
+                hint="round() the value, or widen the column to float",
+            )
+
+    def _infer_insert_values(self, operation: ast.InsertValues) -> None:
+        schema = self.context.schema(operation.table)
+        if schema is None:
+            for row in operation.rows:
+                for value in row:
+                    self.infer(value, [])
+            return
+        if operation.columns:
+            target_types = [
+                schema.column(name).sql_type
+                for name in operation.columns
+                if schema.has_column(name)
+            ]
+            if len(target_types) != len(operation.columns):
+                target_types = []  # unknown column: schema pass reports
+        else:
+            target_types = [column.sql_type for column in schema.columns]
+        for row in operation.rows:
+            value_types = [self.infer(value, []) for value in row]
+            if len(row) != len(target_types):
+                continue  # arity mismatch: schema pass's RPL005
+            for target, value_type, value in zip(
+                target_types, value_types, row
+            ):
+                self._lossy(
+                    target, value_type, value,
+                    f"of {operation.table!r}",
+                )
+
+    def _infer_insert_select(self, operation: ast.InsertSelect) -> None:
+        schema = self.context.schema(operation.table)
+        item_types: list[Optional[SqlType]] = []
+        scope = self._open_scope(operation.select)
+        scopes = [scope]
+        items = list(operation.select.items)
+        for item in items:
+            if isinstance(item, ast.SelectItem):
+                item_types.append(self.infer(item.expression, scopes))
+            else:
+                item_types.append(None)
+        self.infer(operation.select.where, scopes)
+        if schema is None or any(isinstance(i, ast.Star) for i in items):
+            return
+        if operation.columns:
+            target_types = [
+                schema.column(name).sql_type
+                for name in operation.columns
+                if schema.has_column(name)
+            ]
+        else:
+            target_types = [column.sql_type for column in schema.columns]
+        if len(item_types) != len(target_types):
+            return  # arity mismatch: schema pass's RPL005
+        for target, value_type, item in zip(target_types, item_types, items):
+            self._lossy(
+                target, value_type,
+                item.expression if isinstance(item, ast.SelectItem) else item,
+                f"of {operation.table!r}",
+            )
+
+    def _infer_delete(self, operation: ast.Delete) -> None:
+        scope = _TypeScope()
+        scope.bind(operation.table, self.context.schema(operation.table))
+        self.infer(operation.where, [scope])
+
+    def _infer_update(self, operation: ast.Update) -> None:
+        schema = self.context.schema(operation.table)
+        scope = _TypeScope()
+        scope.bind(operation.table, schema)
+        for assignment in operation.assignments:
+            value_type = self.infer(assignment.expression, [scope])
+            if schema is None or not schema.has_column(assignment.column):
+                continue
+            target = schema.column(assignment.column).sql_type
+            self._lossy(
+                target, value_type, assignment.expression,
+                f"{operation.table}.{assignment.column}",
+            )
+        self.infer(operation.where, [scope])
+
+    # ------------------------------------------------------------------
+    # typing helpers
+
+    @staticmethod
+    def _function_type(name: str,
+                       arg_types: list[Optional[SqlType]],
+                       ) -> Optional[SqlType]:
+        if name in ("count", "length"):
+            return SqlType.INTEGER
+        if name in ("sum", "avg", "round"):
+            return SqlType.FLOAT
+        if name in ("upper", "lower", "substr", "trim", "replace"):
+            return SqlType.VARCHAR
+        if name in ("min", "max", "abs", "coalesce", "nullif"):
+            return arg_types[0] if arg_types else None
+        if name == "mod":
+            return SqlType.INTEGER
+        return None

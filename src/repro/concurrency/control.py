@@ -94,6 +94,8 @@ class ConcurrencyStats:
         "aborts",
         "switches",
         "validations",
+        "conflicts_predicted",
+        "conflicts_unpredicted",
     )
 
     def __init__(self, mode):
@@ -107,6 +109,10 @@ class ConcurrencyStats:
         self.aborts = 0
         self.switches = 0
         self.validations = 0
+        #: observed conflicts whose tables the static effect analysis
+        #: forecast as contended vs. not (see RuleEngine.conflict_advisory)
+        self.conflicts_predicted = 0
+        self.conflicts_unpredicted = 0
 
     def snapshot(self):
         return {
@@ -120,6 +126,8 @@ class ConcurrencyStats:
             "aborts": self.aborts,
             "switches": self.switches,
             "validations": self.validations,
+            "conflicts_predicted": self.conflicts_predicted,
+            "conflicts_unpredicted": self.conflicts_unpredicted,
         }
 
 
@@ -532,10 +540,31 @@ class TransactionCoordinator:
             session.context = None
         if session.in_txn:
             self.stats.aborts += 1
+        footprint = session.reads | session.write_tables
         self._end_session_txn(session)
         session.conflicts += 1
         self.stats.conflicts += 1
+        self._classify_conflict(footprint)
         self._emit(EventKind.TXN_CONFLICT, session=session.name)
+
+    def _classify_conflict(self, footprint):
+        """Score one observed conflict against the static effect
+        analysis: *predicted* when any of the transaction's tables was
+        in the forecast contended set, *unpredicted* otherwise. A high
+        unpredicted share means the advisory misses workload structure
+        (conflicts between external statements, not rules); a high
+        predicted share confirms the RPL5xx warnings point at real
+        contention."""
+        advisory = None
+        try:
+            advisory = self.engine.conflict_advisory()
+        except Exception:
+            pass
+        contended = set(advisory["contended_tables"]) if advisory else set()
+        if footprint & contended:
+            self.stats.conflicts_predicted += 1
+        else:
+            self.stats.conflicts_unpredicted += 1
 
     def _abort_session_txn(self, session, reason):
         """Abort on session close, wherever the transaction lives."""

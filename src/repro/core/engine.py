@@ -215,6 +215,33 @@ class RuleEngine:
                 if self.concurrency is not None
                 else None
             ),
+            analysis=self.conflict_advisory(),
+        )
+
+    def conflict_advisory(self):
+        """The static effect-analysis conflict forecast for the current
+        catalog (``stats()["analysis"]``): per-rule read/write sets are
+        intersected pairwise into a contended-table set; the OCC
+        coordinator classifies each observed ``txn_conflict`` by whether
+        its tables were forecast here (see
+        :mod:`repro.analysis.effects.conflicts`). Returns None for an
+        empty catalog.
+        """
+        rules = list(self.catalog)
+        if not rules:
+            return None
+        from ..analysis.effects import conflict_advisory
+        from ..analysis.lint.context import LintRule
+
+        def schema_lookup(table):
+            try:
+                return self.database.schema(table)
+            except Exception:
+                return None
+
+        return conflict_advisory(
+            [LintRule.from_catalog_rule(rule) for rule in rules],
+            schema_lookup,
         )
 
     def _emit_recovery(self, info):

@@ -62,7 +62,9 @@ def _batch_counter(database, table, binding, where):
             return scope
 
         ctx = BatchContext(batch.cols, scope_for, evaluator, stats)
-        sel = run_batch_filter(database, (where,), layout, ctx, batch.sel)
+        sel = run_batch_filter(
+            database, (where,), layout, ctx, batch.sel, table=table
+        )
         return len(sel)
 
     return count

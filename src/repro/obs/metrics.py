@@ -311,7 +311,7 @@ class MetricsCollector(EventSink):
 
     def snapshot(self, strategy=None, planner=None, compiler=None,
                  vectorized=None, optimizer=None, durability=None,
-                 incremental=None, server=None):
+                 incremental=None, server=None, analysis=None):
         """The full stats dict (``RuleEngine.stats()``'s return value).
 
         ``planner`` is the database-wide
@@ -344,7 +344,11 @@ class MetricsCollector(EventSink):
         (sessions, statements, conflicts/retries/aborts, context
         switches), present only when the engine runs behind the
         coordinator; the bus-derived conflict/retry/session counters
-        appear inside the engine section regardless.
+        appear inside the engine section regardless. ``analysis`` is the
+        static effect-analysis conflict advisory
+        (:func:`~repro.analysis.effects.conflicts.conflict_advisory`):
+        rule counts, colliding pairs, and the forecast contended-table
+        set the OCC coordinator validates against observed conflicts.
         """
         engine = {
             "transactions": self.transactions,
@@ -388,4 +392,6 @@ class MetricsCollector(EventSink):
             result["incremental"] = incremental
         if server is not None:
             result["server"] = server
+        if analysis is not None:
+            result["analysis"] = analysis
         return result

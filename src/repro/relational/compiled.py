@@ -162,19 +162,27 @@ class CompiledCache:
         return len(self._programs)
 
     def program_for(self, node, layout, database, predicate=False,
-                    stats=None, batch=False):
+                    stats=None, batch=False, table=None):
         """The cached program for ``node`` against ``layout``, compiling
         on miss. ``layout`` is a hashable tuple of ``(binding_name,
         columns_tuple)`` pairs; ``predicate=True`` adds the interpreter's
         predicate coercion at the root; ``batch=True`` compiles a
-        vectorized :class:`BatchProgram` instead of a row closure."""
+        vectorized :class:`BatchProgram` instead of a row closure;
+        ``table`` (batch only) names the base table the layout's columns
+        come from, enabling catalog-kind specialization — the typed and
+        generic variants cache under distinct keys, so toggling
+        ``enable_typed_kernels`` never serves a stale specialization."""
         if self._schema_version != database.schema_version:
             if self._programs:
                 if stats is not None:
                     stats.invalidations += 1
                 self._programs.clear()
             self._schema_version = database.schema_version
-        key = (id(node), layout, predicate, batch)
+        spec = None
+        if batch:
+            typed = typed_kernels_enabled(database)
+            spec = (typed, table if typed else None)
+        key = (id(node), layout, predicate, batch, spec)
         entry = self._programs.get(key)
         if entry is not None:
             if stats is not None:
@@ -184,10 +192,24 @@ class CompiledCache:
             stats.cache_misses += 1
             stats.compiles += 1
         if batch:
+            kinds = None
+            typed_database = None
+            if spec is not None and spec[0]:
+                typed_database = database
+                if table is not None:
+                    kinds = _table_kinds(database, table)
             if predicate:
-                program = compile_batch_predicate(node, layout)
+                program = compile_batch_predicate(
+                    node, layout, kinds, typed_database
+                )
             else:
-                program = compile_batch_expression(node, layout)
+                program = compile_batch_expression(
+                    node, layout, kinds, typed_database
+                )
+            vstats = getattr(database, "vectorized_stats", None)
+            if vstats is not None:
+                vstats.typed_kernels += program.kernels_typed
+                vstats.generic_kernels += program.kernels_generic
         elif predicate:
             program = compile_predicate(node, layout)
         else:
@@ -212,13 +234,58 @@ def program_for(database, node, layout, predicate=False):
     )
 
 
-def batch_program_for(database, node, layout, predicate=False):
+def batch_program_for(database, node, layout, predicate=False, table=None):
     """The database's cached *batch* program for ``node`` (vectorized
-    kernel tree; see :class:`BatchProgram`)."""
+    kernel tree; see :class:`BatchProgram`). ``table`` optionally names
+    the base table backing the layout's columns, enabling typed-kernel
+    specialization from catalog column types."""
     return database.compiled_cache.program_for(
         node, layout, database, predicate, database.compiler_stats,
-        batch=True,
+        batch=True, table=table,
     )
+
+
+def typed_kernels_enabled(database):
+    """Whether batch compilation may specialize kernels on static types.
+
+    Typed kernels sit on top of the vectorized layer: they need batch
+    kernels to exist at all, and ``REPRO_TYPED_KERNELS=0``
+    (``database.enable_typed_kernels``) turns only the specialization
+    off, leaving generic kernels as the differential baseline.
+    """
+    return bool(
+        getattr(database, "enable_typed_kernels", False)
+        and vectorized_enabled(database)
+    )
+
+
+_TYPED_DEPS = None
+
+
+def _typed_deps():
+    """Lazy imports for the typed-kernel layer (function-level to keep
+    ``repro.analysis`` / ``repro.relational.plan`` out of this module's
+    import graph — both reach back into the engine at import time)."""
+    global _TYPED_DEPS
+    if _TYPED_DEPS is None:
+        from ..analysis.types.witness import witness_of
+        from .plan.cost import KIND_OF_TYPE, expression_kind
+        _TYPED_DEPS = (witness_of, expression_kind, KIND_OF_TYPE)
+    return _TYPED_DEPS
+
+
+def _table_kinds(database, table):
+    """Column → totality kind for one catalog table, or None when the
+    table is unknown (transient layouts, dropped tables)."""
+    try:
+        schema = database.schema(table)
+    except Exception:
+        return None
+    kind_of_type = _typed_deps()[2]
+    return {
+        column.name: kind_of_type[column.sql_type]
+        for column in schema.columns
+    }
 
 
 def vectorized_enabled(database):
@@ -784,11 +851,16 @@ class VectorizedStats:
     is the selection-vector hit ratio); ``fallback_rows`` counts
     per-row interpreter escapes inside kernels (subqueries, outer
     references); ``row_fallbacks`` counts call sites that wanted a
-    batch but had to take the row path. Exposed as
+    batch but had to take the row path; ``typed_kernels`` /
+    ``generic_kernels`` partition compiled binary-operator kernels into
+    type-specialized (monomorphic, witness- or catalog-proven operand
+    kinds) and generic (per-value dispatch) forms. Exposed as
     ``stats()["vectorized"]``.
     """
 
-    __slots__ = VECTORIZED_DELTA_FIELDS + ("row_fallbacks",)
+    __slots__ = VECTORIZED_DELTA_FIELDS + (
+        "row_fallbacks", "typed_kernels", "generic_kernels",
+    )
 
     def __init__(self):
         self.reset()
@@ -799,6 +871,8 @@ class VectorizedStats:
         self.rows_selected = 0
         self.fallback_rows = 0
         self.row_fallbacks = 0
+        self.typed_kernels = 0
+        self.generic_kernels = 0
 
     def snapshot(self, enabled=None):
         result = {
@@ -811,6 +885,8 @@ class VectorizedStats:
             ),
             "fallback_rows": self.fallback_rows,
             "row_fallbacks": self.row_fallbacks,
+            "typed_kernels": self.typed_kernels,
+            "generic_kernels": self.generic_kernels,
         }
         if enabled is not None:
             result["enabled"] = enabled
@@ -851,34 +927,47 @@ class BatchContext:
 
 
 class BatchProgram:
-    """One compiled batch program: a kernel tree plus its metadata."""
+    """One compiled batch program: a kernel tree plus its metadata.
 
-    __slots__ = ("fn", "needs_scope", "nodes_compiled", "nodes_fallback")
+    ``kernels_typed`` / ``kernels_generic`` count the binary-operator
+    kernels of the tree that compiled to type-specialized vs. generic
+    (per-value dispatch) forms."""
 
-    def __init__(self, fn, needs_scope, nodes_compiled, nodes_fallback):
+    __slots__ = ("fn", "needs_scope", "nodes_compiled", "nodes_fallback",
+                 "kernels_typed", "kernels_generic")
+
+    def __init__(self, fn, needs_scope, nodes_compiled, nodes_fallback,
+                 kernels_typed=0, kernels_generic=0):
         self.fn = fn
         self.needs_scope = needs_scope
         self.nodes_compiled = nodes_compiled
         self.nodes_fallback = nodes_fallback
+        self.kernels_typed = kernels_typed
+        self.kernels_generic = kernels_generic
 
 
-def compile_batch_expression(expression, layout):
+def compile_batch_expression(expression, layout, kinds=None, database=None):
     """Compile ``expression`` to a :class:`BatchProgram` producing one
-    value per selected row, with row-order error parity."""
-    compiler = _BatchCompiler(layout)
+    value per selected row, with row-order error parity. ``kinds``
+    (column → totality kind for the layout's single binding) and
+    ``database`` enable type-specialized kernels; see
+    :class:`_BatchCompiler`."""
+    compiler = _BatchCompiler(layout, kinds=kinds, database=database)
     fn, needs_scope = compiler.compile(expression)
     return BatchProgram(
-        fn, needs_scope, compiler.nodes_compiled, compiler.nodes_fallback
+        fn, needs_scope, compiler.nodes_compiled, compiler.nodes_fallback,
+        compiler.kernels_typed, compiler.kernels_generic,
     )
 
 
-def compile_batch_predicate(expression, layout):
+def compile_batch_predicate(expression, layout, kinds=None, database=None):
     """Compile ``expression`` as a batch predicate: values are coerced
     to True/False/None with the interpreter's non-boolean error."""
-    compiler = _BatchCompiler(layout)
+    compiler = _BatchCompiler(layout, kinds=kinds, database=database)
     fn, needs_scope = compiler.compile_predicate(expression)
     return BatchProgram(
-        fn, needs_scope, compiler.nodes_compiled, compiler.nodes_fallback
+        fn, needs_scope, compiler.nodes_compiled, compiler.nodes_fallback,
+        compiler.kernels_typed, compiler.kernels_generic,
     )
 
 
@@ -903,7 +992,7 @@ def run_batch_programs(programs, ctx, sel):
     return [values[:n] for values in lists], err
 
 
-def run_batch_filter(database, predicates, layout, ctx, sel):
+def run_batch_filter(database, predicates, layout, ctx, sel, table=None):
     """Narrow ``sel`` through a conjunct chain of batch predicates.
 
     Each conjunct's kernel runs only over the survivors of the previous
@@ -911,7 +1000,8 @@ def run_batch_filter(database, predicates, layout, ctx, sel):
     so the first error in row order surfaces, exactly as iterating rows
     through the predicate list would. Returns the surviving selection
     vector; raises the pending error (if any) after the chain, since
-    every selected row would eventually have been visited.
+    every selected row would eventually have been visited. ``table``
+    optionally names the base table behind the layout (typed kernels).
     """
     stats = database.vectorized_stats
     stats.batches_scanned += 1
@@ -919,7 +1009,7 @@ def run_batch_filter(database, predicates, layout, ctx, sel):
     err = None
     for predicate in predicates:
         program = batch_program_for(
-            database, predicate, layout, predicate=True
+            database, predicate, layout, predicate=True, table=table
         )
         values, kernel_err = program.fn(ctx, sel)
         sel = [sel[p] for p in range(len(values)) if values[p] is True]
@@ -1027,21 +1117,222 @@ class _BatchCompiler:
     Multi-binding layouts (join products) stay on the row path — batch
     kernels serve scans, filters over one table, DML targeting,
     transition tables, and join sides before the product is formed.
+
+    When ``kinds`` (column → totality kind from the catalog) and/or
+    ``database`` are supplied, binary operators whose operand kinds are
+    statically proven — via a valid :class:`~repro.analysis.types
+    .witness.TypeWitness` on the node (stamped by the ``types`` lint
+    pass against the same ``schema_version``) or via the PR 9 totality
+    analysis over ``kinds`` — compile to *monomorphic* kernels with no
+    per-value type dispatch and no try/except (a total subtree cannot
+    raise, so error parity is trivially preserved). Everything else
+    keeps the generic kernels, and the row-compiled closures remain the
+    differential oracle for both.
     """
 
-    def __init__(self, layout):
+    def __init__(self, layout, kinds=None, database=None):
         if len(layout) != 1:
             raise ValueError(
                 "batch kernels compile single-binding layouts only"
             )
         self.nodes_compiled = 0
         self.nodes_fallback = 0
+        self.kernels_typed = 0
+        self.kernels_generic = 0
         (binding, columns), = layout
         self._binding = binding
         self._columns = {}
         for j, column in enumerate(columns):
             # first slot wins, as in the row compiler's layout maps
             self._columns.setdefault(column, j)
+        self._database = database
+        self._layers = None
+        if kinds is not None:
+            # cost-model kind environment for the single binding; the
+            # layout's column names are the schema's, so unqualified and
+            # binding-qualified refs resolve exactly as the evaluator's
+            self._layers = ({binding: dict(kinds)},)
+
+    # -- static typing ----------------------------------------------------
+
+    def _witness_kind(self, node):
+        """The node's witness kind, when one is attached, stable, and
+        stamped against the database's current schema version."""
+        if self._database is None:
+            return None
+        witness = _typed_deps()[0](node)
+        if witness is None or not witness.stable:
+            return None
+        if witness.schema_version != self._database.schema_version:
+            return None
+        return witness.kind
+
+    def _total_kind(self, node):
+        """The node's value kind when evaluation is provably total,
+        else None. Witnesses first (they cover rule-condition fragments
+        inferred at definition time), then the PR 9 totality analysis
+        over the catalog kinds, then a local extension the cost model
+        deliberately excludes: ``%`` and ``/`` with a nonzero numeric
+        literal divisor cannot raise either."""
+        kind = self._witness_kind(node)
+        if kind is not None:
+            return kind
+        if self._database is not None and self._layers is not None:
+            kind = _typed_deps()[1](node, self._layers, self._database)
+            if kind is not None:
+                return kind
+        if isinstance(node, ast.BinaryOp):
+            op = node.op
+            if op in ("+", "-", "*"):
+                if self._total_kind(node.left) in ("n", "?") \
+                        and self._total_kind(node.right) in ("n", "?"):
+                    return "n"
+            elif op in ("%", "/"):
+                right = node.right
+                if (
+                    isinstance(right, ast.Literal)
+                    and type(right.value) in (int, float)
+                    and right.value != 0
+                    and self._total_kind(node.left) in ("n", "?")
+                ):
+                    return "n"
+        return None
+
+    def _typed_slot(self, node):
+        """The layout slot of a column ref the binding owns, or None."""
+        if not isinstance(node, ast.ColumnRef):
+            return None
+        if node.qualifier is not None and node.qualifier != self._binding:
+            return None
+        return self._columns.get(node.column)
+
+    def _try_typed_binary(self, node):
+        """A monomorphic kernel for ``node`` when both operand kinds are
+        statically proven, else None (the caller keeps the generic
+        dispatching kernels). Kind ``"?"`` marks a provably-NULL operand,
+        which the NULL check absorbs before the specialized operator
+        ever runs."""
+        op = node.op
+        left_kind = self._total_kind(node.left)
+        if left_kind is None:
+            return None
+        if op in _PY_COMPARISONS:
+            right_kind = self._total_kind(node.right)
+            if right_kind is None or not (
+                left_kind == right_kind or "?" in (left_kind, right_kind)
+            ):
+                return None
+            # same-kind operands order under the Python operator exactly
+            # as compare() does (including int/float mixes within "n")
+            return self._typed_zip(node, _PY_COMPARISONS[op])
+        if op == "||":
+            if left_kind not in ("s", "?") \
+                    or self._total_kind(node.right) not in ("s", "?"):
+                return None
+            return self._typed_zip(node, operator.add)
+        if op in ("+", "-", "*"):
+            if left_kind not in ("n", "?") \
+                    or self._total_kind(node.right) not in ("n", "?"):
+                return None
+            return self._typed_zip(node, _PY_ARITHMETIC[op])
+        if op in ("%", "/"):
+            # only a literal nonzero numeric divisor is provably safe —
+            # the cost model deliberately refuses these operators, so
+            # the divisor constraint is discharged locally here
+            right = node.right
+            if (
+                left_kind not in ("n", "?")
+                or not isinstance(right, ast.Literal)
+                or type(right.value) not in (int, float)
+                or right.value == 0
+            ):
+                return None
+            divisor = right.value
+            if op == "%":
+                return self._typed_map(node, lambda value: value % divisor)
+            if type(divisor) is int:
+
+                def divide(value):
+                    # the interpreter's exact-integer-division rule
+                    if type(value) is int:
+                        quotient = value // divisor
+                        if quotient * divisor == value:
+                            return quotient
+                    return value / divisor
+
+            else:
+
+                def divide(value):
+                    return value / divisor
+
+            return self._typed_map(node, divide)
+        return None
+
+    def _typed_zip(self, node, py_op):
+        """Typed binary kernel: ``py_op`` straight over both operand
+        streams. Totality of both subtrees makes the per-value dispatch
+        and the try/except unnecessary; NULLs are the only remaining
+        runtime case. A column-vs-literal shape fuses the gather into
+        one pass."""
+        right = node.right
+        slot = self._typed_slot(node.left)
+        if slot is not None and isinstance(right, ast.Literal) \
+                and right.value is not None:
+            value = right.value
+            self.kernels_typed += 1
+            self.nodes_compiled += 3  # column, literal, operator
+
+            def fused(ctx, sel):
+                col = ctx.cols[slot]
+                return [
+                    None if (item := col[s]) is None else py_op(item, value)
+                    for s in sel
+                ], None
+
+            return fused, False
+        left, left_needs = self.compile(node.left)
+        right_fn, right_needs = self.compile(node.right)
+        self.kernels_typed += 1
+        self.nodes_compiled += 1
+
+        def typed(ctx, sel):
+            left_values, right_values, err = _zip2(
+                left, right_fn, ctx, sel
+            )
+            # zip stops at right_values (the shorter, on error prefixes)
+            return [
+                None if l is None or r is None else py_op(l, r)
+                for l, r in zip(left_values, right_values)
+            ], err
+
+        return typed, left_needs or right_needs
+
+    def _typed_map(self, node, fn):
+        """Typed division/modulo kernel: the literal divisor is folded
+        into ``fn``, leaving a NULL check as the only per-value branch."""
+        slot = self._typed_slot(node.left)
+        self.kernels_typed += 1
+        if slot is not None:
+            self.nodes_compiled += 3  # column, literal, operator
+
+            def fused(ctx, sel):
+                col = ctx.cols[slot]
+                return [
+                    None if (item := col[s]) is None else fn(item)
+                    for s in sel
+                ], None
+
+            return fused, False
+        left, needs = self.compile(node.left)
+        self.nodes_compiled += 2  # the operator and the folded literal
+
+        def mapped(ctx, sel):
+            values, err = left(ctx, sel)
+            return [
+                None if value is None else fn(value) for value in values
+            ], err
+
+        return mapped, needs
 
     # -- dispatch ---------------------------------------------------------
 
@@ -1238,6 +1529,10 @@ class _BatchCompiler:
 
             return disjunction, left_needs or right_needs
 
+        typed = self._try_typed_binary(node)
+        if typed is not None:
+            return typed
+
         left, left_needs = self.compile(node.left)
         right, right_needs = self.compile(node.right)
         needs = left_needs or right_needs
@@ -1245,6 +1540,7 @@ class _BatchCompiler:
 
         if op in ("=", "<>", "<", "<=", ">", ">="):
             py_op = _PY_COMPARISONS[op]
+            self.kernels_generic += 1
 
             def comparison(ctx, sel):
                 left_values, right_values, err = _zip2(
@@ -1272,6 +1568,7 @@ class _BatchCompiler:
             return comparison, needs
 
         if op == "||":
+            self.kernels_generic += 1
 
             def concat(ctx, sel):
                 left_values, right_values, err = _zip2(
@@ -1302,6 +1599,7 @@ class _BatchCompiler:
         if op in ("+", "-", "*", "%"):
             py_op = _PY_ARITHMETIC[op]
             modulo = op == "%"
+            self.kernels_generic += 1
 
             def arithmetic(ctx, sel):
                 left_values, right_values, err = _zip2(
@@ -1333,6 +1631,7 @@ class _BatchCompiler:
             return arithmetic, needs
 
         if op == "/":
+            self.kernels_generic += 1
 
             def division(ctx, sel):
                 left_values, right_values, err = _zip2(

@@ -106,6 +106,19 @@ class Database:
         #: sizes, per-row fallbacks)
         self.vectorized_stats = VectorizedStats()
 
+        #: specialize batch kernels on statically-proven operand types
+        #: (catalog column kinds + definition-time type witnesses; see
+        #: the typed-kernel section of repro.relational.compiled) —
+        #: monomorphic comparison/arithmetic kernels with no per-value
+        #: dispatch. Layers on top of vectorized evaluation, so turning
+        #: that off disables this too; False keeps the generic
+        #: dispatching kernels — same values, errors and fired-rule
+        #: sequences, different cost. REPRO_TYPED_KERNELS=0 forces the
+        #: layer off (CI runs both ways).
+        self.enable_typed_kernels = os.environ.get(
+            "REPRO_TYPED_KERNELS", "1"
+        ).lower() not in ("0", "off", "false")
+
         #: evaluate maintainable rule conditions from persisted support
         #: counters updated by each transition's net deltas (see
         #: repro.core.incremental); False re-runs every condition query

@@ -300,6 +300,7 @@ class DmlExecutor:
                 ((table_name, columns),),
                 ctx,
                 batch.sel,
+                table=table_name,
             )
             handles_col = batch.handles
             tuples = batch.tuples

@@ -32,6 +32,8 @@ rows, errors and row order are all preserved (docs/semantics.md §15) —
 and can be disabled independently via ``enable_cost_planner``.
 """
 
+from typing import Any
+
 from .builder import build_plan
 from .cache import PlanCache, PlannerStats
 from .executor import execute_source
@@ -54,7 +56,7 @@ from .nodes import (
 from .pushdown import conjuncts, index_candidates
 
 
-def explain_select(database, select):
+def explain_select(database: Any, select: Any) -> str:
     """Render the plan for a (possibly UNION-chained) select as text.
 
     Plans come from the database's plan cache, so EXPLAIN shows exactly

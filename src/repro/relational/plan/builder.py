@@ -45,6 +45,8 @@ keys on ``database.stats_epoch`` (see
 
 from __future__ import annotations
 
+from typing import Any, Callable, Optional
+
 from ...errors import ExecutionError
 from ...sql import ast
 from . import cost
@@ -66,10 +68,10 @@ from .nodes import (
 from .pushdown import _indexable_pair, classify_where
 
 
-def build_plan(database, select):
+def build_plan(database: Any, select: ast.Select) -> Plan:
     """Build a :class:`Plan` for one select arm (``select.union`` is the
     caller's concern — each arm is planned and cached separately)."""
-    binding_columns = {}
+    binding_columns: dict[str, tuple[str, ...]] = {}
     for table_ref in select.tables:
         name = table_ref.binding_name
         if name in binding_columns:
@@ -100,10 +102,11 @@ def build_plan(database, select):
 # the syntactic path (PR 2) — also the cost path's differential oracle
 
 
-def _build_syntactic_source(database, select, binding_columns, classified):
+def _build_syntactic_source(database: Any, select: Any,
+                            binding_columns: Any, classified: Any) -> Any:
     source = None if select.tables else SingleRow()
     used_joins = [False] * len(classified.joins)
-    joined = set()
+    joined: set[str] = set()
     for table_ref in select.tables:
         binding = table_ref.binding_name
         leaf = _build_leaf(
@@ -126,9 +129,10 @@ def _build_syntactic_source(database, select, binding_columns, classified):
     return _with_residual(source, classified, used_joins)
 
 
-def _build_leaf(database, table_ref, binding, columns, pushed):
+def _build_leaf(database: Any, table_ref: Any, binding: str,
+                columns: tuple[str, ...], pushed: Any) -> Any:
     pushed = tuple(pushed)
-    leaf = None
+    leaf: Any = None
     if isinstance(table_ref, ast.BaseTableRef):
         keys = [
             (index.name, column, value)
@@ -145,11 +149,12 @@ def _build_leaf(database, table_ref, binding, columns, pushed):
     return leaf
 
 
-def _index_candidates(database, table_ref, binding, pushed):
+def _index_candidates(database: Any, table_ref: Any, binding: str,
+                      pushed: Any) -> list[tuple[Any, str, Any]]:
     """The ``(index, column, value)`` candidates a leaf's pushed
     equality conjuncts could serve through existing hash indexes."""
     table = database.table(table_ref.table)
-    candidates = []
+    candidates: list[tuple[Any, str, Any]] = []
     for conjunct in pushed:
         pair = _indexable_pair(
             conjunct, {binding, table_ref.table}, table.schema
@@ -163,10 +168,12 @@ def _index_candidates(database, table_ref, binding, pushed):
     return candidates
 
 
-def _connecting_keys(joins, used_joins, joined, new_binding):
+def _connecting_keys(joins: Any, used_joins: list[bool], joined: set[str],
+                     new_binding: str) -> tuple[list[Any], list[Any]]:
     """Equi-join keys connecting the already-joined bindings to
     ``new_binding``; marks the conjuncts it consumes as used."""
-    left_keys, right_keys = [], []
+    left_keys: list[Any] = []
+    right_keys: list[Any] = []
     for position, (left_expr, left_bindings, right_expr,
                    right_bindings) in enumerate(joins):
         if used_joins[position]:
@@ -183,7 +190,8 @@ def _connecting_keys(joins, used_joins, joined, new_binding):
     return left_keys, right_keys
 
 
-def _with_residual(source, classified, used_joins, ordered=None):
+def _with_residual(source: Any, classified: Any, used_joins: Any,
+                   ordered: Optional[Callable[[list[Any]], Any]] = None) -> Any:
     """Wrap the residual filter (plus never-connected equi-join
     conjuncts demoted back to plain equalities) around ``source``."""
     residual = list(classified.residual)
@@ -202,7 +210,8 @@ def _with_residual(source, classified, used_joins, ordered=None):
 # the cost path (PR 9)
 
 
-def _build_cost_source(database, select, binding_columns, classified):
+def _build_cost_source(database: Any, select: Any,
+                       binding_columns: Any, classified: Any) -> Any:
     optimizer = database.optimizer_stats
     optimizer.plans_costed += 1
     layers = cost.kind_layers(database, select.tables)
@@ -212,10 +221,10 @@ def _build_cost_source(database, select, binding_columns, classified):
         used_joins = [False] * len(classified.joins)
         return _with_residual(source, classified, used_joins)
 
-    leaves = []       # Filter-wrapped (or bare) leaf nodes, FROM order
-    leaf_ests = []    # estimated output rows per leaf
-    leaf_total = []   # are ALL of the leaf's pushed conjuncts total?
-    refs_by_binding = {}
+    leaves: list[Any] = []       # Filter-wrapped (or bare) leaves, FROM order
+    leaf_ests: list[Any] = []    # estimated output rows per leaf
+    leaf_total: list[bool] = []  # are ALL of the leaf's pushed conjuncts total?
+    refs_by_binding: dict[str, Any] = {}
     for table_ref in select.tables:
         binding = table_ref.binding_name
         refs_by_binding[binding] = table_ref
@@ -240,9 +249,9 @@ def _build_cost_source(database, select, binding_columns, classified):
             optimizer.joins_reordered += 1
 
     used_joins = [False] * len(classified.joins)
-    joined = set()
-    source = None
-    current_est = 1.0
+    joined: set[str] = set()
+    source: Any = None
+    current_est: Any = 1.0
     for position in order:
         table_ref = select.tables[position]
         binding = table_ref.binding_name
@@ -271,7 +280,7 @@ def _build_cost_source(database, select, binding_columns, classified):
         positions = tuple(order.index(k) for k in range(len(leaves)))
         source = RestoreOrder(source, positions, est_rows=current_est)
 
-    def ordered_residual(residual):
+    def ordered_residual(residual: list[Any]) -> Any:
         ranked = cost.order_conjuncts(database, residual, layers, None)
         if ranked is None or ranked == residual:
             return residual
@@ -281,16 +290,17 @@ def _build_cost_source(database, select, binding_columns, classified):
     return _with_residual(source, classified, used_joins, ordered_residual)
 
 
-def _cost_leaf(database, table_ref, binding, columns, pushed, layers,
-               optimizer):
+def _cost_leaf(database: Any, table_ref: Any, binding: str,
+               columns: tuple[str, ...], pushed: Any, layers: Any,
+               optimizer: Any) -> tuple[Any, Any, bool]:
     """One FROM item's leaf under the cost model: selective index keys,
     ordered pushed conjuncts, zone-map prune specs, and an estimate.
     Returns ``(node, est_rows, all_pushed_total)``."""
     pushed = tuple(pushed)
     base_rows = cost.source_rows(database, table_ref)
     scanned = base_rows
-    leaf = None
-    key_conjunct_ids = set()
+    leaf: Any = None
+    key_conjunct_ids: set[int] = set()
     if isinstance(table_ref, ast.BaseTableRef):
         candidates = _index_candidates(database, table_ref, binding, pushed)
         keys, scanned = cost.select_index_keys(candidates, base_rows)
@@ -334,7 +344,8 @@ def _cost_leaf(database, table_ref, binding, columns, pushed, layers,
     return leaf, est, total
 
 
-def _reorder_safe(database, joins, leaf_total, layers):
+def _reorder_safe(database: Any, joins: Any, leaf_total: list[bool],
+                  layers: Any) -> bool:
     """Joining leaves out of FROM order changes which leaf's pushed
     filters evaluate first, and moves join conjuncts between hash keys
     and the residual — safe only when none of them can raise."""
@@ -347,8 +358,9 @@ def _reorder_safe(database, joins, leaf_total, layers):
     return True
 
 
-def _join_estimate(database, joins, refs_by_binding, binding_columns,
-                   joined, left_est, new_binding, right_est):
+def _join_estimate(database: Any, joins: Any, refs_by_binding: Any,
+                   binding_columns: Any, joined: Any, left_est: Any,
+                   new_binding: str, right_est: Any) -> tuple[Any, bool]:
     """Estimated output of joining the tree built so far (bindings
     ``joined``, cardinality ``left_est``) with ``new_binding``. Returns
     ``(rows, connected)``; without a connecting equi-conjunct the
@@ -370,8 +382,9 @@ def _join_estimate(database, joins, refs_by_binding, binding_columns,
     return est, connected
 
 
-def _greedy_join_order(database, select, joins, refs_by_binding,
-                       binding_columns, leaf_ests):
+def _greedy_join_order(database: Any, select: Any, joins: Any,
+                       refs_by_binding: Any, binding_columns: Any,
+                       leaf_ests: list[Any]) -> list[Any]:
     """Greedy join ordering by estimated output size.
 
     First the best ordered pair over all pairs, then repeatedly the
@@ -384,8 +397,8 @@ def _greedy_join_order(database, select, joins, refs_by_binding,
     n = len(leaf_ests)
     bindings = [ref.binding_name for ref in select.tables]
 
-    best_pair = None
-    best_est = None
+    best_pair: Any = None
+    best_est: Any = None
     for i in range(n):
         for j in range(n):
             if i == j:
@@ -403,7 +416,7 @@ def _greedy_join_order(database, select, joins, refs_by_binding,
 
     remaining = [k for k in range(n) if k not in order]
     while remaining:
-        best_k = None
+        best_k: Any = None
         best_est = None
         for k in remaining:
             est, _ = _join_estimate(
@@ -424,7 +437,7 @@ def _greedy_join_order(database, select, joins, refs_by_binding,
 # the result chain (shared by both paths)
 
 
-def _build_result_chain(select, source):
+def _build_result_chain(select: Any, source: Any) -> Any:
     from ..expressions import contains_aggregate
 
     items = _output_names(select)
@@ -432,6 +445,7 @@ def _build_result_chain(select, source):
         isinstance(item, ast.SelectItem) and contains_aggregate(item.expression)
         for item in select.items
     ) or (select.having is not None and contains_aggregate(select.having))
+    root: Any
     if grouped:
         root = Aggregate(source, items, select.group_by, select.having)
     else:
@@ -445,9 +459,9 @@ def _build_result_chain(select, source):
     return root
 
 
-def _output_names(select):
+def _output_names(select: Any) -> tuple[str, ...]:
     """Output column labels for explain (``*`` kept symbolic)."""
-    names = []
+    names: list[str] = []
     for position, item in enumerate(select.items):
         if isinstance(item, ast.Star):
             names.append(f"{item.qualifier}.*" if item.qualifier else "*")

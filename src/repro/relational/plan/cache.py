@@ -19,6 +19,8 @@ invalidations are counted as ``optimizer.replans``.
 
 from __future__ import annotations
 
+from typing import Any, Optional
+
 #: counters whose deltas the engine attaches to rule events
 DELTA_FIELDS = (
     "plan_cache_hits",
@@ -49,10 +51,10 @@ class PlannerStats:
         "rows_returned",
     )
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.reset()
 
-    def reset(self):
+    def reset(self) -> None:
         self.plans_built = 0
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
@@ -61,7 +63,7 @@ class PlannerStats:
         self.rows_visited = 0
         self.rows_returned = 0
 
-    def snapshot(self):
+    def snapshot(self) -> dict[str, Any]:
         lookups = self.plan_cache_hits + self.plan_cache_misses
         return {
             "plans_built": self.plans_built,
@@ -76,12 +78,12 @@ class PlannerStats:
             "rows_returned": self.rows_returned,
         }
 
-    def counters(self):
+    def counters(self) -> tuple[int, ...]:
         """The :data:`DELTA_FIELDS` values as a tuple (cheap to snapshot
         around a single condition/action evaluation)."""
         return tuple(getattr(self, name) for name in DELTA_FIELDS)
 
-    def delta_since(self, before):
+    def delta_since(self, before: tuple[int, ...]) -> dict[str, int]:
         """``{field: increment}`` relative to a :meth:`counters` tuple."""
         return {
             name: getattr(self, name) - then
@@ -98,16 +100,16 @@ class PlanCache:
     always fits).
     """
 
-    def __init__(self, max_entries=512):
+    def __init__(self, max_entries: int = 512) -> None:
         self.max_entries = max_entries
-        self._plans = {}
-        self._schema_version = None
-        self._stats_epoch = None
+        self._plans: dict[Any, Any] = {}
+        self._schema_version: Optional[int] = None
+        self._stats_epoch: Optional[int] = None
 
-    def __len__(self):
+    def __len__(self) -> int:
         return len(self._plans)
 
-    def plan_for(self, select, database, stats=None):
+    def plan_for(self, select: Any, database: Any, stats: Any = None) -> Any:
         """The cached plan for ``select``, building (and caching) on miss."""
         from .builder import build_plan
 
@@ -145,5 +147,5 @@ class PlanCache:
         self._plans[select] = plan
         return plan
 
-    def clear(self):
+    def clear(self) -> None:
         self._plans.clear()

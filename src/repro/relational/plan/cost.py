@@ -53,6 +53,7 @@ identical order, whatever the statistics said.
 from __future__ import annotations
 
 from functools import reduce
+from typing import Any, Optional
 
 from ...errors import CatalogError
 from ...sql import ast
@@ -92,7 +93,7 @@ KIND_OF_TYPE = {
 _COMPARISONS = ("=", "<>", "<", "<=", ">", ">=")
 
 
-def _kind_of_value(value):
+def _kind_of_value(value: Any) -> Optional[str]:
     if value is None:
         return "?"
     if isinstance(value, bool):
@@ -104,12 +105,12 @@ def _kind_of_value(value):
     return None
 
 
-def _compatible(a, b):
+def _compatible(a: Any, b: Any) -> bool:
     """Two kinds that can meet in a comparison without a type error."""
     return a == b or a == "?" or b == "?"
 
 
-def _combine(a, b):
+def _combine(a: str, b: str) -> str:
     return a if a != "?" else b
 
 
@@ -117,7 +118,7 @@ def _combine(a, b):
 # kind environments
 
 
-def kind_layers(database, table_refs):
+def kind_layers(database: Any, table_refs: Any) -> Any:
     """The (single-layer) kind environment of a FROM clause:
     ``({binding: {column: kind}},)``. Returns None when a referenced
     table is unknown (the plan will raise at resolution; nothing is
@@ -128,8 +129,9 @@ def kind_layers(database, table_refs):
     return (layer,)
 
 
-def _scope_layer(database, table_refs):
-    layer = {}
+def _scope_layer(database: Any,
+                 table_refs: Any) -> Optional[dict[str, dict[str, str]]]:
+    layer: dict[str, dict[str, str]] = {}
     for ref in table_refs:
         try:
             schema = database.schema(ref.table)
@@ -145,7 +147,7 @@ def _scope_layer(database, table_refs):
     return layer
 
 
-def _column_kind(node, layers):
+def _column_kind(node: Any, layers: Any) -> Optional[str]:
     """Resolve a ColumnRef's kind through the layered scopes, innermost
     first — mirroring the evaluator's scope rules. None when the
     reference is unknown, outer-scope-ambiguous, or multiply owned
@@ -173,7 +175,8 @@ def _column_kind(node, layers):
 # totality analysis
 
 
-def expression_kind(node, layers, database):
+def expression_kind(node: Any, layers: Any,
+                    database: Any) -> Optional[str]:
     """The expression's value kind if it is provably *total* (cannot
     raise on any row), else None.
 
@@ -243,7 +246,7 @@ def expression_kind(node, layers, database):
     return None  # FunctionCall (scalar or stray aggregate), Star, unknown
 
 
-def _binary_kind(node, layers, database):
+def _binary_kind(node: Any, layers: Any, database: Any) -> Optional[str]:
     left = expression_kind(node.left, layers, database)
     if left is None:
         return None
@@ -270,7 +273,7 @@ def _binary_kind(node, layers, database):
     return None
 
 
-def _case_kind(node, layers, database):
+def _case_kind(node: Any, layers: Any, database: Any) -> Optional[str]:
     result = "?"
     for condition, value in node.branches:
         if expression_kind(condition, layers, database) not in ("b", "?"):
@@ -287,7 +290,7 @@ def _case_kind(node, layers, database):
     return result
 
 
-def _subquery_layers(select, layers, database):
+def _subquery_layers(select: Any, layers: Any, database: Any) -> Any:
     """The kind environment inside a subquery: its own FROM bindings
     shadow the outer layers."""
     layer = _scope_layer(database, select.tables)
@@ -296,7 +299,7 @@ def _subquery_layers(select, layers, database):
     return (layer,) + tuple(layers)
 
 
-def _plain_select_shape(select):
+def _plain_select_shape(select: Any) -> bool:
     """True for the only subquery shape the analysis covers: a single
     arm with no grouping, ordering, or dedup (each of those adds
     evaluation machinery — comparisons, single-row checks — with its
@@ -310,7 +313,7 @@ def _plain_select_shape(select):
     )
 
 
-def _select_total(select, layers, database):
+def _select_total(select: Any, layers: Any, database: Any) -> bool:
     """Totality of a subquery evaluated for EXISTS (row production only)."""
     from ..expressions import contains_aggregate
 
@@ -333,7 +336,8 @@ def _select_total(select, layers, database):
     return True
 
 
-def _single_item_kind(select, layers, database):
+def _single_item_kind(select: Any, layers: Any,
+                      database: Any) -> Optional[str]:
     """Kind of the single output column of an IN/quantified subquery,
     when the subquery is total; else None."""
     if len(select.items) != 1 or isinstance(select.items[0], ast.Star):
@@ -347,7 +351,8 @@ def _single_item_kind(select, layers, database):
 _AGGREGATES = ("count", "sum", "avg", "min", "max")
 
 
-def _scalar_select_kind(select, layers, database):
+def _scalar_select_kind(select: Any, layers: Any,
+                        database: Any) -> Optional[str]:
     """A scalar select is total only in its always-one-row form: a
     single ungrouped aggregate item (``(select count(*) from t ...)``).
     The plain single-column form raises on multi-row results, which no
@@ -388,14 +393,14 @@ def _scalar_select_kind(select, layers, database):
 # cardinality and selectivity
 
 
-def source_rows(database, table_ref):
+def source_rows(database: Any, table_ref: Any) -> float:
     """Estimated rows of one FROM leaf before filtering."""
     if isinstance(table_ref, ast.BaseTableRef):
         return float(database.table(table_ref.table).stats.row_count)
     return TRANSITION_ROW_GUESS
 
 
-def column_ndv(database, table_ref, column):
+def column_ndv(database: Any, table_ref: Any, column: str) -> int:
     """Estimated NDV of one leaf column: an index's exact ``key_count``
     when one covers the column, the live statistics otherwise."""
     if not isinstance(table_ref, ast.BaseTableRef):
@@ -409,7 +414,8 @@ def column_ndv(database, table_ref, column):
     return max(table.stats.ndv(table.schema.column_position(column)), 1)
 
 
-def key_ndv(database, expr, refs_by_binding, binding_columns):
+def key_ndv(database: Any, expr: Any, refs_by_binding: Any,
+            binding_columns: Any) -> int:
     """NDV of one join-key expression (column refs only; computed keys
     fall back to :data:`DEFAULT_NDV`)."""
     if not isinstance(expr, ast.ColumnRef):
@@ -430,11 +436,12 @@ def key_ndv(database, expr, refs_by_binding, binding_columns):
     return column_ndv(database, ref, expr.column)
 
 
-def _clamp(selectivity):
+def _clamp(selectivity: float) -> float:
     return min(1.0, max(MIN_SELECTIVITY, selectivity))
 
 
-def conjunct_selectivity(database, table_ref, conjunct):
+def conjunct_selectivity(database: Any, table_ref: Any,
+                         conjunct: Any) -> float:
     """Estimated fraction of one leaf's rows satisfying ``conjunct``."""
     if table_ref is None or not isinstance(table_ref, ast.BaseTableRef):
         return DEFAULT_SELECTIVITY
@@ -483,7 +490,8 @@ def conjunct_selectivity(database, table_ref, conjunct):
     return DEFAULT_SELECTIVITY
 
 
-def filter_selectivity(database, table_ref, conjunct_list):
+def filter_selectivity(database: Any, table_ref: Any,
+                       conjunct_list: Any) -> float:
     """Combined selectivity under the independence assumption."""
     result = 1.0
     for conjunct in conjunct_list:
@@ -495,7 +503,7 @@ def filter_selectivity(database, table_ref, conjunct_list):
 # conjunct ordering
 
 
-def conjunct_cost(conjunct):
+def conjunct_cost(conjunct: Any) -> int:
     """Relative evaluation cost: node count, with a steep surcharge per
     subquery (each is a nested scan)."""
     total = 0
@@ -506,7 +514,8 @@ def conjunct_cost(conjunct):
     return total
 
 
-def order_conjuncts(database, conjunct_list, layers, table_ref=None):
+def order_conjuncts(database: Any, conjunct_list: Any, layers: Any,
+                    table_ref: Any = None) -> Optional[list[Any]]:
     """Cheapest-and-most-selective-first ordering of AND-ed conjuncts.
 
     Classic rank ``cost / (1 - selectivity)``: a cheap conjunct that
@@ -522,14 +531,14 @@ def order_conjuncts(database, conjunct_list, layers, table_ref=None):
         if expression_kind(conjunct, layers, database) not in ("b", "?"):
             return None
 
-    def rank(conjunct):
+    def rank(conjunct: Any) -> float:
         selectivity = conjunct_selectivity(database, table_ref, conjunct)
         return conjunct_cost(conjunct) / max(1.0 - selectivity, 1e-3)
 
     return sorted(conjunct_list, key=rank)
 
 
-def order_condition(database, condition):
+def order_condition(database: Any, condition: Any) -> Any:
     """A rule condition with its top-level conjuncts cost-ordered.
 
     Returns ``condition`` itself (same object — compiled-program caches
@@ -555,7 +564,7 @@ def order_condition(database, condition):
 # index-key choice and zone-map prune specs
 
 
-def select_index_keys(candidates, rows):
+def select_index_keys(candidates: Any, rows: Any) -> tuple[Any, float]:
     """Choose which indexable equality keys are worth intersecting.
 
     ``candidates`` is a list of ``(index, column, value)``; ``rows`` the
@@ -580,7 +589,8 @@ def select_index_keys(candidates, rows):
     return keys, float(best)
 
 
-def prune_specs(database, table_ref, binding, pushed, layers):
+def prune_specs(database: Any, table_ref: Any, binding: str,
+                pushed: Any, layers: Any) -> tuple[Any, ...]:
     """Zone-map prune specs for one leaf's pushed filter.
 
     Each spec is ``(column_position, op, literal)`` for a total
@@ -599,7 +609,7 @@ def prune_specs(database, table_ref, binding, pushed, layers):
             return ()
     schema = database.schema(table_ref.table)
     names = {binding, table_ref.table}
-    specs = []
+    specs: list[tuple[int, str, Any]] = []
     for conjunct in pushed:
         triple = _prunable_triple(conjunct, names, schema)
         if triple is None:

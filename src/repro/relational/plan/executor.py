@@ -29,6 +29,8 @@ kernels.
 
 from __future__ import annotations
 
+from typing import Any
+
 from ...errors import ExecutionError
 from ...sql import ast
 from ..compiled import (
@@ -55,8 +57,10 @@ from .nodes import (
 )
 
 
-def execute_source(plan, database, resolver, evaluator, outer,
-                   collect_handles=False, stats=None):
+def execute_source(plan: Any, database: Any, resolver: Any,
+                   evaluator: Any, outer: Any,
+                   collect_handles: bool = False,
+                   stats: Any = None) -> tuple[Any, Any]:
     """Run ``plan``'s source tree; returns ``(bindings, scopes)``.
 
     ``bindings`` is a list of ``(name, columns)`` pairs in FROM order
@@ -75,8 +79,10 @@ def execute_source(plan, database, resolver, evaluator, outer,
     return bindings, scopes
 
 
-def execute_source_batched(plan, database, resolver, evaluator, outer,
-                           collect_handles=False, stats=None):
+def execute_source_batched(plan: Any, database: Any, resolver: Any,
+                           evaluator: Any, outer: Any,
+                           collect_handles: bool = False,
+                           stats: Any = None) -> tuple[Any, Any, Any]:
     """Like :func:`execute_source`, but keeps the columnar form when it
     can: returns ``(bindings, scopes, batch)``. ``batch`` is non-None —
     and ``scopes`` is None — when the whole pipeline stayed a
@@ -102,9 +108,10 @@ def execute_source_batched(plan, database, resolver, evaluator, outer,
     if stats is not None and runner.visited is None:
         # single-table pipeline: the combinations *are* the scanned rows
         stats.rows_visited += len(combos)
-    scopes = []
+    scopes: list[Any] = []
     for rows, pairs, _ords in combos:
-        scope = Scope(parent=outer)
+        # typed Any: ``rows``/``touched_pairs`` ride on the scope object
+        scope: Any = Scope(parent=outer)
         for (name, columns), row in zip(bindings, rows):
             scope.bind(name, columns, row)
         # the combination's row tuples, aligned with ``bindings`` — the
@@ -119,17 +126,18 @@ def execute_source_batched(plan, database, resolver, evaluator, outer,
     return bindings, scopes, None
 
 
-def scopes_from_batch(bindings, batch, outer, collect_handles=False):
+def scopes_from_batch(bindings: Any, batch: Any, outer: Any,
+                      collect_handles: bool = False) -> list[Any]:
     """Materialize the executor's Scope contract from a surviving batch
     (needed by group/aggregate evaluation and interpreter-only callers)."""
     (name, columns), = bindings
     handles = batch.handles
     label = batch.label
     collect = collect_handles and handles is not None and label is not None
-    scopes = []
+    scopes: list[Any] = []
     for slot in batch.sel:
         row = batch.row(slot)
-        scope = Scope(parent=outer)
+        scope: Any = Scope(parent=outer)
         scope.bind(name, columns, row)
         scope.rows = (row,)
         if collect:
@@ -142,8 +150,8 @@ class _SourceRunner:
     """One execution of a source tree (leaf resolution is per-run: the
     same cached plan serves many database states and resolvers)."""
 
-    def __init__(self, database, resolver, evaluator, outer,
-                 collect_handles, stats):
+    def __init__(self, database: Any, resolver: Any, evaluator: Any,
+                 outer: Any, collect_handles: bool, stats: Any) -> None:
         self.database = database
         self.resolver = resolver
         self.evaluator = evaluator
@@ -153,12 +161,12 @@ class _SourceRunner:
         self.vectorized = vectorized_enabled(database)
         #: combinations materialized by join/product nodes (None until
         #: one runs — execute_source falls back to the pipeline output)
-        self.visited = None
+        self.visited: Any = None
         #: attach per-leaf scan-position ordinals to combos — only set
         #: (by execute_source_batched) when the tree has a RestoreOrder
         self.track_ordinals = False
 
-    def run(self, node):
+    def run(self, node: Any) -> Any:
         """Execute ``node``; returns ``(bindings, combos)`` where combos
         are ``(rows_tuple, pairs_tuple_or_None, ords_tuple_or_None)``
         aligned with bindings."""
@@ -187,7 +195,7 @@ class _SourceRunner:
 
     # -- vectorized pipeline ----------------------------------------------
 
-    def run_batch(self, node):
+    def run_batch(self, node: Any) -> Any:
         """The columnar pipeline for a batchable subtree: Scan /
         IndexLookup / Filter chains over one binding. Returns
         ``(bindings, batch)``, or None when the subtree needs the
@@ -210,18 +218,27 @@ class _SourceRunner:
                 )
                 if sel is not batch.sel:
                     batch = batch.with_sel(sel)
+            # the leaf scan names the base table behind the layout —
+            # catalog column kinds then drive typed-kernel selection
+            leaf = node.child
+            while isinstance(leaf, Filter):
+                leaf = leaf.child
+            table = getattr(
+                getattr(leaf, "table_ref", None), "table", None
+            )
             sel = run_batch_filter(
                 self.database,
                 node.predicates,
                 layout_of(bindings),
                 self._batch_context(bindings, batch),
                 batch.sel,
+                table=table,
             )
             node.actual_rows = len(sel)
             return bindings, batch.with_sel(sel)
         return None
 
-    def _scan_batch(self, node):
+    def _scan_batch(self, node: Any) -> Any:
         resolve_batch = getattr(self.resolver, "resolve_batch", None)
         resolved = (
             resolve_batch(node.table_ref)
@@ -239,11 +256,11 @@ class _SourceRunner:
         node.actual_rows = len(batch.sel)
         return [(node.binding, columns)], batch
 
-    def _index_lookup_batch(self, node):
+    def _index_lookup_batch(self, node: Any) -> Any:
         if self.database.on_table_read is not None:
             self.database.on_table_read(node.table_ref.table)
         table = self.database.table(node.table_ref.table)
-        candidates = None
+        candidates: Any = None
         for _, column, value in node.keys:
             index = table.index_on(column)
             if index is None:
@@ -259,14 +276,14 @@ class _SourceRunner:
         node.actual_rows = len(batch.sel)
         return [(node.binding, table.schema.column_names)], batch
 
-    def _batch_context(self, bindings, batch):
+    def _batch_context(self, bindings: Any, batch: Any) -> BatchContext:
         """A kernel context whose fallback scopes mirror the row path's
         per-combination scopes (same binding, same outer parent)."""
         (name, columns), = bindings
         outer = self.outer
         row_of = batch.row
 
-        def scope_for(slot):
+        def scope_for(slot: int) -> Scope:
             scope = Scope(parent=outer)
             scope.bind(name, columns, row_of(slot))
             return scope
@@ -276,7 +293,7 @@ class _SourceRunner:
             getattr(self.database, "vectorized_stats", None),
         )
 
-    def _combos_from_batch(self, batch):
+    def _combos_from_batch(self, batch: Any) -> list[Any]:
         """Materialize the row-path combo contract from a batch (at the
         boundary to a join/product or the scope materializer)."""
         label = batch.label
@@ -297,11 +314,11 @@ class _SourceRunner:
 
     # -- leaves -----------------------------------------------------------
 
-    def _run_scan(self, node):
+    def _run_scan(self, node: Any) -> Any:
         columns, rows = self.resolver.resolve(node.table_ref)
         if self.stats is not None:
             self.stats.rows_scanned += len(rows)
-        pairs = None
+        pairs: Any = None
         if self.collect_handles and isinstance(node.table_ref,
                                                ast.BaseTableRef):
             table = self.database.table(node.table_ref.table)
@@ -320,11 +337,11 @@ class _SourceRunner:
             ],
         )
 
-    def _run_index_lookup(self, node):
+    def _run_index_lookup(self, node: Any) -> Any:
         if self.database.on_table_read is not None:
             self.database.on_table_read(node.table_ref.table)
         table = self.database.table(node.table_ref.table)
-        candidates = None
+        candidates: Any = None
         for _, column, value in node.keys:
             index = table.index_on(column)
             if index is None:
@@ -341,9 +358,9 @@ class _SourceRunner:
             self.stats.rows_scanned += len(handles)
         columns = table.schema.column_names
         track = self.track_ordinals
-        combos = []
+        combos: list[Any] = []
         for i, handle in enumerate(handles):
-            pair = None
+            pair: Any = None
             if self.collect_handles:
                 pair = ((node.table_ref.table, handle),)
             combos.append(
@@ -354,14 +371,14 @@ class _SourceRunner:
 
     # -- filters ----------------------------------------------------------
 
-    def _run_filter(self, node):
+    def _run_filter(self, node: Any) -> Any:
         bindings, combos = self.run(node.child)
         if getattr(self.database, "enable_compiled_eval", False) and combos:
             kept = self._filter_compiled(node, bindings, combos)
             node.actual_rows = len(kept)
             return bindings, kept
         evaluate = self.evaluator.evaluate_predicate
-        kept = []
+        kept: list[Any] = []
         for combo in combos:
             scope = self._scope_for(bindings, combo[0])
             if all(
@@ -372,7 +389,8 @@ class _SourceRunner:
         node.actual_rows = len(kept)
         return bindings, kept
 
-    def _filter_compiled(self, node, bindings, combos):
+    def _filter_compiled(self, node: Any, bindings: Any,
+                         combos: Any) -> list[Any]:
         """The filter loop over compiled predicate programs: column slots
         resolve at compile time, and the per-row Scope is only built when
         some predicate contains an interpreter-fallback subtree."""
@@ -383,7 +401,7 @@ class _SourceRunner:
         ]
         needs_scope = any(program.needs_scope for program in programs)
         evaluator = self.evaluator
-        kept = []
+        kept: list[Any] = []
         for combo in combos:
             rows = combo[0]
             scope = self._scope_for(bindings, rows) if needs_scope else None
@@ -396,7 +414,7 @@ class _SourceRunner:
 
     # -- joins ------------------------------------------------------------
 
-    def _run_hash_join(self, node):
+    def _run_hash_join(self, node: Any) -> Any:
         left_bindings, left_combos, left_keys = self._join_side(
             node.left, node.left_keys
         )
@@ -412,16 +430,16 @@ class _SourceRunner:
                 left_bindings, node.left_keys
             )
 
-        buckets = {}
+        buckets: dict[Any, list[Any]] = {}
         # per key position: kind tag -> witness value, for reproducing the
         # naive path's cross-kind comparison errors (see _check_kinds)
-        witnesses = [{} for _ in node.right_keys]
+        witnesses: list[dict[str, Any]] = [{} for _ in node.right_keys]
         for position_index, combo in enumerate(right_combos):
             if right_keys is not None:
                 values = right_keys[position_index]
             else:
                 values = right_key_values(combo[0])
-            parts = []
+            parts: list[tuple[str, Any]] = []
             for position, value in enumerate(values):
                 if value is None:
                     continue
@@ -432,14 +450,14 @@ class _SourceRunner:
                 continue  # a NULL key component never joins
             buckets.setdefault(tuple(parts), []).append(combo)
 
-        joined = []
+        joined: list[Any] = []
         for position_index, left_combo in enumerate(left_combos):
             left_rows = left_combo[0]
             if left_keys is not None:
                 values = left_keys[position_index]
             else:
                 values = left_key_values(left_rows)
-            parts = []
+            parts = []  # rebound per combo; same element type as above
             for position, value in enumerate(values):
                 if value is None:
                     continue
@@ -453,7 +471,7 @@ class _SourceRunner:
         node.actual_rows = len(joined)
         return left_bindings + right_bindings, joined
 
-    def _join_side(self, child, key_exprs):
+    def _join_side(self, child: Any, key_exprs: Any) -> tuple[Any, Any, Any]:
         """One join input: ``(bindings, combos, keys_or_None)``.
 
         When the child stayed batchable, the join keys are extracted as
@@ -471,7 +489,8 @@ class _SourceRunner:
         bindings, combos = self.run(child)
         return bindings, combos, None
 
-    def _batch_keys(self, bindings, batch, key_exprs):
+    def _batch_keys(self, bindings: Any, batch: Any,
+                    key_exprs: Any) -> list[list[Any]]:
         """Key-column extraction: each key expression's kernel gathers
         its values over the whole selection vector at once."""
         layout = layout_of(bindings)
@@ -493,7 +512,7 @@ class _SourceRunner:
         ]
 
     @staticmethod
-    def _check_kinds(left_value, right_witnesses):
+    def _check_kinds(left_value: Any, right_witnesses: Any) -> None:
         """Raise the comparison error the naive product would.
 
         The naive evaluator compares every left key against every right
@@ -506,7 +525,7 @@ class _SourceRunner:
             if tag != left_tag:
                 compare_values(left_value, witness)
 
-    def _run_product(self, node):
+    def _run_product(self, node: Any) -> Any:
         left_bindings, left_combos = self.run(node.left)
         right_bindings, right_combos = self.run(node.right)
         joined = [
@@ -518,14 +537,14 @@ class _SourceRunner:
         node.actual_rows = len(joined)
         return left_bindings + right_bindings, joined
 
-    def _run_restore_order(self, node):
+    def _run_restore_order(self, node: Any) -> Any:
         """Sort a reordered join's output back into FROM enumeration
         order and permute each combination's rows to FROM layout. Not a
         visit — no new combinations are formed, so nothing is counted."""
         bindings, combos = self.run(node.child)
         positions = node.positions
         combos.sort(key=lambda combo: tuple(combo[2][p] for p in positions))
-        restored = []
+        restored: list[Any] = []
         for rows, pairs, _ords in combos:
             restored.append((
                 tuple(rows[p] for p in positions),
@@ -537,7 +556,7 @@ class _SourceRunner:
         node.actual_rows = len(restored)
         return [bindings[p] for p in positions], restored
 
-    def _count_visited(self, combos):
+    def _count_visited(self, combos: Any) -> None:
         if self.visited is None:
             self.visited = 0
         self.visited += len(combos)
@@ -546,13 +565,13 @@ class _SourceRunner:
 
     # -- helpers ----------------------------------------------------------
 
-    def _scope_for(self, bindings, rows):
+    def _scope_for(self, bindings: Any, rows: Any) -> Scope:
         scope = Scope(parent=self.outer)
         for (name, columns), row in zip(bindings, rows):
             scope.bind(name, columns, row)
         return scope
 
-    def _key_values_fn(self, bindings, key_exprs):
+    def _key_values_fn(self, bindings: Any, key_exprs: Any) -> Any:
         """A ``rows -> [key values]`` callable for one join side (NULLs
         included; hash parts are tagged by kind at the call site, so
         Python's cross-kind equalities like ``True == 1`` cannot produce
@@ -567,7 +586,7 @@ class _SourceRunner:
                 for expr in key_exprs
             ]
             if not any(program.needs_scope for program in programs):
-                def compiled_values(rows):
+                def compiled_values(rows: Any) -> list[Any]:
                     return [
                         program.fn(rows, None, evaluator)
                         for program in programs
@@ -575,7 +594,7 @@ class _SourceRunner:
 
                 return compiled_values
 
-            def compiled_values_with_scope(rows):
+            def compiled_values_with_scope(rows: Any) -> list[Any]:
                 scope = self._scope_for(bindings, rows)
                 return [
                     program.fn(rows, scope, evaluator)
@@ -584,7 +603,7 @@ class _SourceRunner:
 
             return compiled_values_with_scope
 
-        def interpreted_values(rows):
+        def interpreted_values(rows: Any) -> list[Any]:
             scope = self._scope_for(bindings, rows)
             return [evaluator.evaluate(expr, scope) for expr in key_exprs]
 
@@ -594,7 +613,7 @@ class _SourceRunner:
 _KIND_TAGS = {bool: "b", int: "n", float: "n", str: "s"}
 
 
-def _merge(left, right):
+def _merge(left: Any, right: Any) -> tuple[Any, Any, Any]:
     left_rows, left_pairs, left_ords = left
     right_rows, right_pairs, right_ords = right
     rows = left_rows + right_rows
@@ -611,7 +630,7 @@ def _merge(left, right):
     return rows, pairs, ords
 
 
-def _has_restore_order(node):
+def _has_restore_order(node: Any) -> bool:
     """Does the source tree contain a RestoreOrder node? Decides whether
     leaves must attach scan-position ordinals to their combos."""
     while True:

@@ -18,7 +18,7 @@ build time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 from ...sql import ast
 from ...sql.formatter import format_node
@@ -33,7 +33,7 @@ class SingleRow:
     """The FROM-less source: exactly one empty combination (``select 1``)."""
 
     @property
-    def bindings(self):
+    def bindings(self) -> tuple[str, ...]:
         return ()
 
 
@@ -48,14 +48,14 @@ class Scan:
     vs. actual rows per node.
     """
 
-    table_ref: object          # ast.BaseTableRef | ast.TransitionTableRef
+    table_ref: Any             # ast.BaseTableRef | ast.TransitionTableRef
     binding: str               # the name the table is bound as
     columns: tuple             # column names (from the schema at plan time)
     est_rows: Optional[float] = None
     actual_rows: Optional[int] = None
 
     @property
-    def bindings(self):
+    def bindings(self) -> tuple[str, ...]:
         return (self.binding,)
 
 
@@ -70,7 +70,7 @@ class IndexLookup:
     depend on index contents.
     """
 
-    table_ref: object          # ast.BaseTableRef
+    table_ref: Any             # ast.BaseTableRef
     binding: str
     columns: tuple
     keys: tuple                # of (index_name, column, value)
@@ -78,7 +78,7 @@ class IndexLookup:
     actual_rows: Optional[int] = None
 
     @property
-    def bindings(self):
+    def bindings(self) -> tuple[str, ...]:
         return (self.binding,)
 
 
@@ -91,7 +91,7 @@ class Filter:
     the full combined scope).
     """
 
-    child: object
+    child: Any
     predicates: tuple          # of Expression (implicitly AND-ed)
     residual: bool = False     # True for the top-level residual filter
     #: zone-map prune specs ``(column_position, op, literal)`` from the
@@ -103,7 +103,7 @@ class Filter:
     actual_rows: Optional[int] = None
 
     @property
-    def bindings(self):
+    def bindings(self) -> tuple[str, ...]:
         return self.child.bindings
 
 
@@ -119,15 +119,15 @@ class HashJoin:
     naive evaluator's.
     """
 
-    left: object
-    right: object
+    left: Any
+    right: Any
     left_keys: tuple           # of Expression, evaluated against left
     right_keys: tuple          # of Expression, evaluated against right
     est_rows: Optional[float] = None
     actual_rows: Optional[int] = None
 
     @property
-    def bindings(self):
+    def bindings(self) -> tuple[str, ...]:
         return self.left.bindings + self.right.bindings
 
 
@@ -135,13 +135,13 @@ class HashJoin:
 class Product:
     """Cartesian product (no usable equi-join conjunct)."""
 
-    left: object
-    right: object
+    left: Any
+    right: Any
     est_rows: Optional[float] = None
     actual_rows: Optional[int] = None
 
     @property
-    def bindings(self):
+    def bindings(self) -> tuple[str, ...]:
         return self.left.bindings + self.right.bindings
 
 
@@ -162,13 +162,13 @@ class RestoreOrder:
     exactly the naive combination order — same first error.
     """
 
-    child: object
+    child: Any
     positions: tuple           # FROM position -> child binding position
     est_rows: Optional[float] = None
     actual_rows: Optional[int] = None
 
     @property
-    def bindings(self):
+    def bindings(self) -> tuple[str, ...]:
         child_bindings = self.child.bindings
         return tuple(child_bindings[p] for p in self.positions)
 
@@ -181,7 +181,7 @@ class RestoreOrder:
 class Project:
     """Plain (non-aggregate) projection of the select items."""
 
-    source: object
+    source: Any
     items: tuple               # of output column names
 
 
@@ -189,26 +189,26 @@ class Project:
 class Aggregate:
     """Grouped projection (GROUP BY and/or aggregate select items)."""
 
-    source: object
+    source: Any
     items: tuple               # of output column names
     group_by: tuple = ()       # of Expression
-    having: Optional[object] = None
+    having: Optional[Any] = None
 
 
 @dataclass
 class Distinct:
-    child: object
+    child: Any
 
 
 @dataclass
 class Sort:
-    child: object
+    child: Any
     order_by: tuple            # of ast.OrderItem
 
 
 @dataclass
 class Limit:
-    child: object
+    child: Any
     count: int
 
 
@@ -222,9 +222,9 @@ class Plan:
     references it) and is what the shared projection machinery reads.
     """
 
-    select: object             # ast.Select (one arm; union handled above)
-    source: object             # source-node tree
-    root: object               # result-node chain ending at Project/Aggregate
+    select: Any                # ast.Select (one arm; union handled above)
+    source: Any                # source-node tree
+    root: Any                  # result-node chain ending at Project/Aggregate
     binding_columns: dict = field(default_factory=dict)
 
 
@@ -232,7 +232,7 @@ class Plan:
 # explain rendering
 
 
-def _describe(node):
+def _describe(node: Any) -> str:
     if isinstance(node, Scan):
         ref = node.table_ref
         if isinstance(ref, ast.TransitionTableRef):
@@ -296,7 +296,7 @@ def _describe(node):
     return type(node).__name__
 
 
-def _annotation(node):
+def _annotation(node: Any) -> str:
     """The ``  (est=..., act=...)`` suffix for nodes carrying cost-model
     estimates and/or executor actuals; empty for syntactic plans (whose
     explain output is unchanged from PR 2)."""
@@ -311,7 +311,7 @@ def _annotation(node):
     return f"  (est={int(round(est))}, act={act_text})"
 
 
-def _children(node):
+def _children(node: Any) -> tuple[Any, ...]:
     if isinstance(node, (HashJoin, Product)):
         return (node.left, node.right)
     if isinstance(node, (Filter, RestoreOrder)):
@@ -323,12 +323,12 @@ def _children(node):
     return ()
 
 
-def explain(plan, indent=0):
+def explain(plan: Any, indent: int = 0) -> str:
     """Render a :class:`Plan` (or any node subtree) as an indented tree."""
     node = plan.root if isinstance(plan, Plan) else plan
-    lines = []
+    lines: list[str] = []
 
-    def walk(current, depth):
+    def walk(current: Any, depth: int) -> None:
         lines.append(
             "  " * depth + _describe(current) + _annotation(current)
         )

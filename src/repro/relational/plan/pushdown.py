@@ -27,10 +27,12 @@ single-table fast path and the DML executor share (formerly
 
 from __future__ import annotations
 
+from typing import Any, Iterator, Optional
+
 from ...sql import ast
 
 
-def conjuncts(expression):
+def conjuncts(expression: ast.Expression) -> Iterator[ast.Expression]:
     """Split a predicate into its top-level AND-conjuncts."""
     if isinstance(expression, ast.BinaryOp) and expression.op == "and":
         yield from conjuncts(expression.left)
@@ -52,7 +54,8 @@ _FLIPPED_OPS = {
 }
 
 
-def _prunable_triple(conjunct, binding_names, schema):
+def _prunable_triple(conjunct: ast.Expression, binding_names: Any,
+                     schema: Any) -> Optional[tuple[str, str, Any]]:
     """If ``conjunct`` is ``col op literal`` (either side) on this
     table with a non-NULL literal, return ``(column, op, value)`` with
     the op normalized to the column-on-the-left form; otherwise None.
@@ -81,7 +84,8 @@ def _prunable_triple(conjunct, binding_names, schema):
     return left.column, op, right.value
 
 
-def _indexable_pair(conjunct, binding_names, schema):
+def _indexable_pair(conjunct: ast.Expression, binding_names: Any,
+                    schema: Any) -> Optional[tuple[str, Any]]:
     """If ``conjunct`` is ``col = literal`` on this table, return
     ``(column, value)``; otherwise None."""
     triple = _prunable_triple(conjunct, binding_names, schema)
@@ -91,7 +95,8 @@ def _indexable_pair(conjunct, binding_names, schema):
     return column, value
 
 
-def index_candidates(where, table, binding_names):
+def index_candidates(where: Optional[ast.Expression], table: Any,
+                     binding_names: Any) -> Optional[set[Any]]:
     """Handles possibly matching ``where`` via index lookups, or None.
 
     ``table`` is the :class:`~repro.relational.table.Table` being
@@ -132,7 +137,10 @@ _SUBQUERY_NODES = (
 )
 
 
-def referenced_bindings(expression, binding_columns):
+def referenced_bindings(
+    expression: ast.Expression,
+    binding_columns: dict[str, tuple[str, ...]],
+) -> Optional[set[str]]:
     """The set of binding names a conjunct's column references resolve to.
 
     ``binding_columns`` maps each FROM binding name to its column-name
@@ -141,7 +149,7 @@ def referenced_bindings(expression, binding_columns):
     unqualified column matching several bindings (which the naive
     evaluator reports as ambiguous — the residual must reproduce that).
     """
-    names = set()
+    names: set[str] = set()
     for node in ast.iter_expressions(expression):
         if isinstance(node, _SUBQUERY_NODES):
             return None
@@ -173,13 +181,17 @@ class ClassifiedWhere:
         residual: conjuncts that must see the full combined scope.
     """
 
-    def __init__(self):
-        self.pushed = {}
-        self.joins = []
-        self.residual = []
+    def __init__(self) -> None:
+        self.pushed: dict[str, list[ast.Expression]] = {}
+        self.joins: list[tuple[ast.Expression, frozenset[str],
+                               ast.Expression, frozenset[str]]] = []
+        self.residual: list[ast.Expression] = []
 
 
-def classify_where(where, binding_columns):
+def classify_where(
+    where: Optional[ast.Expression],
+    binding_columns: dict[str, tuple[str, ...]],
+) -> ClassifiedWhere:
     """Classify every top-level conjunct of ``where``.
 
     ``binding_columns`` maps binding name -> column-name tuple for the
@@ -206,7 +218,11 @@ def classify_where(where, binding_columns):
     return classified
 
 
-def _equi_join_sides(conjunct, binding_columns):
+def _equi_join_sides(
+    conjunct: ast.Expression,
+    binding_columns: dict[str, tuple[str, ...]],
+) -> Optional[tuple[ast.Expression, frozenset[str],
+                    ast.Expression, frozenset[str]]]:
     """If ``conjunct`` is ``left = right`` with each side attributed to a
     disjoint non-empty binding set, return the 4-tuple
     ``(left_expr, left_bindings, right_expr, right_bindings)``."""

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Optional
+from typing import Iterator, Optional
 
 
 # ---------------------------------------------------------------------------
@@ -193,7 +193,7 @@ class BaseTableRef(TableReference):
     alias: Optional[str] = None
 
     @property
-    def binding_name(self):
+    def binding_name(self) -> str:
         """The name this reference is known by inside the query scope."""
         return self.alias or self.table
 
@@ -223,7 +223,7 @@ class TransitionTableRef(TableReference):
     alias: Optional[str] = None
 
     @property
-    def binding_name(self):
+    def binding_name(self) -> str:
         if self.alias:
             return self.alias
         return self.table
@@ -343,7 +343,7 @@ class OperationBlock:
 
     operations: tuple
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.operations:
             raise ValueError("operation block must contain at least one operation")
 
@@ -477,14 +477,14 @@ class Explain:
 # Walking utilities
 
 
-def iter_expressions(node):
+def iter_expressions(node: object) -> Iterator[Expression]:
     """Yield ``node`` and all expression nodes nested inside it.
 
     Descends into subqueries (their WHERE/HAVING/items) so callers can find
     every :class:`TransitionTableRef` or :class:`ColumnRef` reachable from
     an expression. Used by rule validation and static analysis.
     """
-    stack = [node]
+    stack: list[object] = [node]
     while stack:
         current = stack.pop()
         if current is None:
@@ -536,7 +536,7 @@ def iter_expressions(node):
                 stack.append(current.union)
 
 
-def iter_selects(node):
+def iter_selects(node: object) -> Iterator[Select]:
     """Yield every :class:`Select` nested under an expression/operation."""
     if isinstance(node, Select):
         yield node
@@ -577,11 +577,11 @@ def iter_selects(node):
             yield from iter_selects(operation)
 
 
-def _direct_subqueries(expression):
+def _direct_subqueries(expression: object) -> Iterator[Select]:
     """Yield the selects *directly* embedded in an expression, without
     descending into them (their own nesting is handled by the caller's
     recursion — this avoids double-visiting deep subqueries)."""
-    stack = [expression]
+    stack: list[object] = [expression]
     while stack:
         current = stack.pop()
         if current is None:
@@ -616,7 +616,7 @@ def _direct_subqueries(expression):
                 stack.append(current.default)
 
 
-def transition_table_refs(node):
+def transition_table_refs(node: object) -> Iterator[TransitionTableRef]:
     """Yield every :class:`TransitionTableRef` reachable from ``node``.
 
     Covers FROM clauses of all nested selects. Used to validate that a

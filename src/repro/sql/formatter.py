@@ -7,10 +7,12 @@ generated-rule inspection, and parser round-trip tests (``parse(format(x))
 
 from __future__ import annotations
 
+from typing import Any, Callable
+
 from . import ast
 
 
-def format_node(node):
+def format_node(node: object) -> str:
     """Render any statement, operation, table reference or expression."""
     formatter = _FORMATTERS.get(type(node))
     if formatter is None:
@@ -41,7 +43,7 @@ _UNARY_LEVEL = 7
 _PRIMARY_LEVEL = 9
 
 
-def _precedence(node):
+def _precedence(node: object) -> int:
     """The precedence level at which ``node``'s rendering binds."""
     if isinstance(node, ast.BinaryOp):
         return _OP_PRECEDENCE[node.op]
@@ -58,7 +60,7 @@ def _precedence(node):
     return _PRIMARY_LEVEL
 
 
-def _child(node, minimum):
+def _child(node: object, minimum: int) -> str:
     """Render ``node``, parenthesized if it binds looser than ``minimum``."""
     text = format_node(node)
     if _precedence(node) < minimum:
@@ -66,7 +68,7 @@ def _child(node, minimum):
     return text
 
 
-def _format_literal(node):
+def _format_literal(node: ast.Literal) -> str:
     value = node.value
     if value is None:
         return "null"
@@ -80,19 +82,19 @@ def _format_literal(node):
     return repr(value)
 
 
-def _format_column_ref(node):
+def _format_column_ref(node: ast.ColumnRef) -> str:
     if node.qualifier:
         return f"{node.qualifier}.{node.column}"
     return node.column
 
 
-def _format_star(node):
+def _format_star(node: ast.Star) -> str:
     if node.qualifier:
         return f"{node.qualifier}.*"
     return "*"
 
 
-def _format_binary(node):
+def _format_binary(node: ast.BinaryOp) -> str:
     level = _OP_PRECEDENCE[node.op]
     if node.op in ("and", "or"):
         # left-associative chains re-parse identically at equal level
@@ -109,18 +111,18 @@ def _format_binary(node):
     return f"{left} {node.op} {right}"
 
 
-def _format_unary(node):
+def _format_unary(node: ast.UnaryOp) -> str:
     if node.op == "not":
         return f"not {_child(node.operand, _COMPARISON_LEVEL)}"
     return f"{node.op}{_child(node.operand, _PRIMARY_LEVEL)}"
 
 
-def _format_is_null(node):
+def _format_is_null(node: ast.IsNull) -> str:
     keyword = "is not null" if node.negated else "is null"
     return f"{_child(node.operand, _COMPARISON_LEVEL)} {keyword}"
 
 
-def _format_between(node):
+def _format_between(node: ast.Between) -> str:
     keyword = "not between" if node.negated else "between"
     return (
         f"{_child(node.operand, _COMPARISON_LEVEL)} {keyword} "
@@ -129,7 +131,7 @@ def _format_between(node):
     )
 
 
-def _format_like(node):
+def _format_like(node: ast.Like) -> str:
     keyword = "not like" if node.negated else "like"
     return (
         f"{_child(node.operand, _COMPARISON_LEVEL)} {keyword} "
@@ -137,13 +139,13 @@ def _format_like(node):
     )
 
 
-def _format_in_list(node):
+def _format_in_list(node: ast.InList) -> str:
     keyword = "not in" if node.negated else "in"
     items = ", ".join(format_node(item) for item in node.items)
     return f"{_child(node.operand, _COMPARISON_LEVEL)} {keyword} ({items})"
 
 
-def _format_in_select(node):
+def _format_in_select(node: ast.InSelect) -> str:
     keyword = "not in" if node.negated else "in"
     return (
         f"{_child(node.operand, _COMPARISON_LEVEL)} {keyword} "
@@ -151,30 +153,30 @@ def _format_in_select(node):
     )
 
 
-def _format_exists(node):
+def _format_exists(node: ast.Exists) -> str:
     keyword = "not exists" if node.negated else "exists"
     return f"{keyword} ({format_node(node.select)})"
 
 
-def _format_quantified(node):
+def _format_quantified(node: ast.QuantifiedComparison) -> str:
     return (
         f"{_child(node.operand, _COMPARISON_LEVEL)} {node.op} "
         f"{node.quantifier} ({format_node(node.select)})"
     )
 
 
-def _format_scalar_select(node):
+def _format_scalar_select(node: ast.ScalarSelect) -> str:
     return f"({format_node(node.select)})"
 
 
-def _format_function_call(node):
+def _format_function_call(node: ast.FunctionCall) -> str:
     args = ", ".join(format_node(arg) for arg in node.args)
     if node.distinct:
         args = f"distinct {args}"
     return f"{node.name}({args})"
 
 
-def _format_case(node):
+def _format_case(node: ast.CaseExpression) -> str:
     parts = ["case"]
     for condition, value in node.branches:
         parts.append(f"when {format_node(condition)} then {format_node(value)}")
@@ -188,13 +190,13 @@ def _format_case(node):
 # table references
 
 
-def _format_base_table_ref(node):
+def _format_base_table_ref(node: ast.BaseTableRef) -> str:
     if node.alias:
         return f"{node.table} {node.alias}"
     return node.table
 
 
-def _format_transition_table_ref(node):
+def _format_transition_table_ref(node: ast.TransitionTableRef) -> str:
     text = f"{node.kind.value} {node.table}"
     if node.column:
         text += f".{node.column}"
@@ -207,14 +209,14 @@ def _format_transition_table_ref(node):
 # select
 
 
-def _format_select_item(node):
+def _format_select_item(node: ast.SelectItem) -> str:
     text = format_node(node.expression)
     if node.alias:
         text += f" as {node.alias}"
     return text
 
 
-def _format_select(node):
+def _format_select(node: ast.Select) -> str:
     parts = ["select"]
     if node.distinct:
         parts.append("distinct")
@@ -231,7 +233,7 @@ def _format_select(node):
     if node.having is not None:
         parts.append(f"having {format_node(node.having)}")
     if node.order_by:
-        orders = []
+        orders: list[str] = []
         for order in node.order_by:
             text = format_node(order.expression)
             if order.descending:
@@ -251,7 +253,7 @@ def _format_select(node):
 # operations
 
 
-def _format_insert_values(node):
+def _format_insert_values(node: ast.InsertValues) -> str:
     rows = ", ".join(
         "(" + ", ".join(format_node(value) for value in row) + ")"
         for row in node.rows
@@ -262,21 +264,21 @@ def _format_insert_values(node):
     return f"insert into {node.table}{columns} values {rows}"
 
 
-def _format_insert_select(node):
+def _format_insert_select(node: ast.InsertSelect) -> str:
     columns = ""
     if node.columns:
         columns = " (" + ", ".join(node.columns) + ")"
     return f"insert into {node.table}{columns} ({format_node(node.select)})"
 
 
-def _format_delete(node):
+def _format_delete(node: ast.Delete) -> str:
     text = f"delete from {node.table}"
     if node.where is not None:
         text += f" where {format_node(node.where)}"
     return text
 
 
-def _format_update(node):
+def _format_update(node: ast.Update) -> str:
     assignments = ", ".join(
         f"{assignment.column} = {format_node(assignment.expression)}"
         for assignment in node.assignments
@@ -287,11 +289,11 @@ def _format_update(node):
     return text
 
 
-def _format_select_operation(node):
+def _format_select_operation(node: ast.SelectOperation) -> str:
     return format_node(node.select)
 
 
-def _format_operation_block(node):
+def _format_operation_block(node: ast.OperationBlock) -> str:
     return ";\n".join(format_node(operation) for operation in node.operations)
 
 
@@ -299,28 +301,28 @@ def _format_operation_block(node):
 # DDL and rules
 
 
-def _format_column_def(node):
+def _format_column_def(node: ast.ColumnDef) -> str:
     return f"{node.name} {node.type_name}"
 
 
-def _format_create_table(node):
+def _format_create_table(node: ast.CreateTable) -> str:
     columns = ", ".join(_format_column_def(column) for column in node.columns)
     return f"create table {node.name} ({columns})"
 
 
-def _format_drop_table(node):
+def _format_drop_table(node: ast.DropTable) -> str:
     return f"drop table {node.name}"
 
 
-def _format_create_index(node):
+def _format_create_index(node: ast.CreateIndex) -> str:
     return f"create index {node.name} on {node.table} ({node.column})"
 
 
-def _format_drop_index(node):
+def _format_drop_index(node: ast.DropIndex) -> str:
     return f"drop index {node.name}"
 
 
-def _format_basic_transition_predicate(node):
+def _format_basic_transition_predicate(node: ast.BasicTransitionPredicate) -> str:
     kind = node.kind
     if kind is ast.TransitionPredicateKind.INSERTED:
         return f"inserted into {node.table}"
@@ -332,7 +334,7 @@ def _format_basic_transition_predicate(node):
     return text
 
 
-def _format_create_rule(node):
+def _format_create_rule(node: ast.CreateRule) -> str:
     parts = [f"create rule {node.name}"]
     predicates = "\n   or ".join(
         _format_basic_transition_predicate(predicate)
@@ -348,27 +350,27 @@ def _format_create_rule(node):
     return "\n".join(parts)
 
 
-def _format_drop_rule(node):
+def _format_drop_rule(node: ast.DropRule) -> str:
     return f"drop rule {node.name}"
 
 
-def _format_create_rule_priority(node):
+def _format_create_rule_priority(node: ast.CreateRulePriority) -> str:
     return f"create rule priority {node.higher} before {node.lower}"
 
 
-def _format_assert_rules(node):
+def _format_assert_rules(node: ast.AssertRules) -> str:
     return "assert rules"
 
 
-def _format_explain(node):
+def _format_explain(node: ast.Explain) -> str:
     return f"explain {_format_select(node.select)}"
 
 
-def _format_rollback_action(node):
+def _format_rollback_action(node: ast.RollbackAction) -> str:
     return "rollback"
 
 
-_FORMATTERS = {
+_FORMATTERS: dict[type, Callable[[Any], str]] = {
     ast.Literal: _format_literal,
     ast.ColumnRef: _format_column_ref,
     ast.Star: _format_star,

@@ -40,15 +40,15 @@ class Lexer:
         tokens = Lexer("select * from emp").tokenize()
     """
 
-    def __init__(self, source):
+    def __init__(self, source: str) -> None:
         self._source = source
         self._pos = 0
         self._line = 1
         self._column = 1
 
-    def tokenize(self):
+    def tokenize(self) -> list[Token]:
         """Return the full token list, ending with an EOF token."""
-        tokens = []
+        tokens: list[Token] = []
         while True:
             token = self._next_token()
             tokens.append(token)
@@ -58,13 +58,13 @@ class Lexer:
     # ------------------------------------------------------------------
     # scanning machinery
 
-    def _peek(self, offset=0):
+    def _peek(self, offset: int = 0) -> str:
         index = self._pos + offset
         if index < len(self._source):
             return self._source[index]
         return ""
 
-    def _advance(self, count=1):
+    def _advance(self, count: int = 1) -> None:
         for _ in range(count):
             if self._pos < len(self._source):
                 if self._source[self._pos] == "\n":
@@ -74,7 +74,7 @@ class Lexer:
                     self._column += 1
                 self._pos += 1
 
-    def _skip_whitespace_and_comments(self):
+    def _skip_whitespace_and_comments(self) -> None:
         while self._pos < len(self._source):
             char = self._peek()
             if char in " \t\r\n":
@@ -97,10 +97,11 @@ class Lexer:
             else:
                 return
 
-    def _make(self, kind, value, text, position, line, column):
+    def _make(self, kind: TokenKind, value: object, text: str,
+              position: int, line: int, column: int) -> Token:
         return Token(kind, value, text, position, line, column)
 
-    def _next_token(self):
+    def _next_token(self) -> Token:
         self._skip_whitespace_and_comments()
         position, line, column = self._pos, self._line, self._column
         if self._pos >= len(self._source):
@@ -143,7 +144,7 @@ class Lexer:
 
         raise LexError(f"unexpected character {char!r}", position, line, column)
 
-    def _lex_word(self, position, line, column):
+    def _lex_word(self, position: int, line: int, column: int) -> Token:
         start = self._pos
         while self._peek().isalnum() or self._peek() == "_":
             self._advance()
@@ -155,7 +156,7 @@ class Lexer:
             TokenKind.IDENTIFIER, text.lower(), text, position, line, column
         )
 
-    def _lex_number(self, position, line, column):
+    def _lex_number(self, position: int, line: int, column: int) -> Token:
         start = self._pos
         is_float = False
         while self._peek().isdigit():
@@ -182,9 +183,9 @@ class Lexer:
             )
         return self._make(TokenKind.INTEGER, int(text), text, position, line, column)
 
-    def _lex_string(self, position, line, column):
+    def _lex_string(self, position: int, line: int, column: int) -> Token:
         self._advance()  # opening quote
-        pieces = []
+        pieces: list[str] = []
         while True:
             if self._pos >= len(self._source):
                 raise LexError("unterminated string literal", position, line, column)
@@ -204,6 +205,6 @@ class Lexer:
         return self._make(TokenKind.STRING, value, text, position, line, column)
 
 
-def tokenize(source):
+def tokenize(source: str) -> list[Token]:
     """Convenience wrapper: tokenize ``source`` and return the token list."""
     return Lexer(source).tokenize()

@@ -20,11 +20,15 @@ Entry points:
 
 from __future__ import annotations
 
+from typing import Any, Optional, TypeVar
+
 from ..errors import ParseError
 from . import ast
 from .lexer import tokenize
 from .spans import set_span, span_between
-from .tokens import TokenKind
+from .tokens import Token, TokenKind
+
+_N = TypeVar("_N")
 
 _TYPE_KEYWORDS = {"INTEGER", "INT", "FLOAT", "REAL", "VARCHAR", "CHAR", "BOOLEAN"}
 
@@ -48,7 +52,7 @@ _SCALAR_FUNCTIONS = frozenset({
 class Parser:
     """Token-stream parser. One instance parses one source string."""
 
-    def __init__(self, source):
+    def __init__(self, source: str) -> None:
         self._source = source
         self._tokens = tokenize(source)
         self._index = 0
@@ -56,40 +60,40 @@ class Parser:
     # ------------------------------------------------------------------
     # token helpers
 
-    def _peek(self, offset=0):
+    def _peek(self, offset: int = 0) -> Token:
         index = min(self._index + offset, len(self._tokens) - 1)
         return self._tokens[index]
 
-    def _advance(self):
+    def _advance(self) -> Token:
         token = self._tokens[self._index]
         if token.kind is not TokenKind.EOF:
             self._index += 1
         return token
 
-    def _check(self, kind):
+    def _check(self, kind: TokenKind) -> bool:
         return self._peek().kind is kind
 
-    def _check_keyword(self, *names):
+    def _check_keyword(self, *names: str) -> bool:
         return self._peek().is_keyword(*names)
 
-    def _match(self, kind):
+    def _match(self, kind: TokenKind) -> Optional[Token]:
         if self._check(kind):
             return self._advance()
         return None
 
-    def _match_keyword(self, *names):
+    def _match_keyword(self, *names: str) -> Optional[Token]:
         if self._check_keyword(*names):
             return self._advance()
         return None
 
-    def _expect(self, kind, what):
+    def _expect(self, kind: TokenKind, what: str) -> Token:
         token = self._peek()
         if token.kind is not kind:
             raise ParseError(f"expected {what}, found {token.text or 'end of input'}",
                              token)
         return self._advance()
 
-    def _expect_keyword(self, name):
+    def _expect_keyword(self, name: str) -> Token:
         token = self._peek()
         if not token.is_keyword(name):
             raise ParseError(
@@ -97,7 +101,7 @@ class Parser:
             )
         return self._advance()
 
-    def _expect_identifier(self, what="identifier"):
+    def _expect_identifier(self, what: str = "identifier") -> str:
         token = self._peek()
         if token.kind is TokenKind.IDENTIFIER:
             return self._advance().value
@@ -106,17 +110,17 @@ class Parser:
         raise ParseError(f"expected {what}, found {token.text or 'end of input'}",
                          token)
 
-    def _at_end(self):
+    def _at_end(self) -> bool:
         return self._peek().kind is TokenKind.EOF
 
     # ------------------------------------------------------------------
     # source spans
 
-    def _prev(self):
+    def _prev(self) -> Token:
         """The most recently consumed token (or the first, before any)."""
         return self._tokens[max(self._index - 1, 0)]
 
-    def _spanned(self, node, start_token):
+    def _spanned(self, node: _N, start_token: Token) -> _N:
         """Attach the span from ``start_token`` to the last consumed
         token onto ``node``; returns the node."""
         return set_span(node, span_between(start_token, self._prev()))
@@ -124,7 +128,7 @@ class Parser:
     # ------------------------------------------------------------------
     # statements
 
-    def parse_statement(self):
+    def parse_statement(self) -> Any:
         """Parse a single statement and require end of input after it."""
         statement = self._parse_statement_inner()
         if not self._at_end():
@@ -134,16 +138,16 @@ class Parser:
             )
         return statement
 
-    def parse_script(self):
+    def parse_script(self) -> list[Any]:
         """Parse a ``;``-separated statement sequence until end of input."""
-        statements = []
+        statements: list[Any] = []
         while not self._at_end():
             statements.append(self._parse_statement_inner())
             while self._match(TokenKind.SEMICOLON):
                 pass
         return statements
 
-    def _parse_statement_inner(self):
+    def _parse_statement_inner(self) -> Any:
         start = self._peek()
         if self._check_keyword("CREATE"):
             return self._spanned(self._parse_create(), start)
@@ -158,7 +162,7 @@ class Parser:
             return self._spanned(ast.Explain(self._parse_select()), start)
         return self._parse_operation_block()
 
-    def _parse_create(self):
+    def _parse_create(self) -> Any:
         self._expect_keyword("CREATE")
         if self._match_keyword("TABLE"):
             return self._parse_create_table()
@@ -174,7 +178,7 @@ class Parser:
             "expected TABLE, INDEX or RULE after CREATE", self._peek()
         )
 
-    def _parse_drop(self):
+    def _parse_drop(self) -> Any:
         self._expect_keyword("DROP")
         if self._match_keyword("TABLE"):
             return ast.DropTable(self._expect_identifier("table name"))
@@ -189,7 +193,7 @@ class Parser:
     # ------------------------------------------------------------------
     # schema DDL
 
-    def _parse_create_index(self):
+    def _parse_create_index(self) -> ast.CreateIndex:
         name = self._expect_identifier("index name")
         self._expect_keyword("ON")
         table = self._expect_identifier("table name")
@@ -198,10 +202,10 @@ class Parser:
         self._expect(TokenKind.RPAREN, "')'")
         return ast.CreateIndex(name, table, column)
 
-    def _parse_create_table(self):
+    def _parse_create_table(self) -> ast.CreateTable:
         name = self._expect_identifier("table name")
         self._expect(TokenKind.LPAREN, "'('")
-        columns = []
+        columns: list[ast.ColumnDef] = []
         while True:
             column_start = self._peek()
             column_name = self._expect_identifier("column name")
@@ -228,13 +232,13 @@ class Parser:
     # ------------------------------------------------------------------
     # rule DDL (paper §3, §4.4)
 
-    def _parse_rule_priority(self):
+    def _parse_rule_priority(self) -> ast.CreateRulePriority:
         higher = self._expect_identifier("rule name")
         self._expect_keyword("BEFORE")
         lower = self._expect_identifier("rule name")
         return ast.CreateRulePriority(higher, lower)
 
-    def _parse_create_rule(self):
+    def _parse_create_rule(self) -> ast.CreateRule:
         name = self._expect_identifier("rule name")
         self._expect_keyword("WHEN")
         predicates = [self._parse_basic_transition_predicate()]
@@ -250,7 +254,7 @@ class Parser:
             action = self._parse_operation_block()
         return ast.CreateRule(name, tuple(predicates), condition, action)
 
-    def _parse_basic_transition_predicate(self):
+    def _parse_basic_transition_predicate(self) -> ast.BasicTransitionPredicate:
         token = self._peek()
         if self._match_keyword("INSERTED"):
             self._expect_keyword("INTO")
@@ -301,7 +305,7 @@ class Parser:
     # ------------------------------------------------------------------
     # operation blocks (paper §2.1)
 
-    def _parse_operation_block(self):
+    def _parse_operation_block(self) -> ast.OperationBlock:
         start = self._peek()
         operations = [self._parse_operation()]
         while self._check(TokenKind.SEMICOLON):
@@ -314,7 +318,7 @@ class Parser:
                 break
         return self._spanned(ast.OperationBlock(tuple(operations)), start)
 
-    def _parse_operation(self):
+    def _parse_operation(self) -> ast.Operation:
         token = self._peek()
         if self._check_keyword("INSERT"):
             return self._spanned(self._parse_insert(), token)
@@ -331,11 +335,11 @@ class Parser:
             token,
         )
 
-    def _parse_insert(self):
+    def _parse_insert(self) -> ast.Operation:
         self._expect_keyword("INSERT")
         self._expect_keyword("INTO")
         table = self._expect_identifier("table name")
-        columns = ()
+        columns: tuple[str, ...] = ()
         if self._check(TokenKind.LPAREN) and not self._lparen_starts_select():
             # optional column list: insert into t (c1, c2) ...
             self._advance()
@@ -359,10 +363,10 @@ class Parser:
             return ast.InsertSelect(table, self._parse_select(), columns)
         raise ParseError("expected VALUES or (select ...) in insert", self._peek())
 
-    def _lparen_starts_select(self):
+    def _lparen_starts_select(self) -> bool:
         return self._check(TokenKind.LPAREN) and self._peek(1).is_keyword("SELECT")
 
-    def _parse_value_row(self):
+    def _parse_value_row(self) -> tuple[ast.Expression, ...]:
         self._expect(TokenKind.LPAREN, "'('")
         values = [self.parse_expression_inner()]
         while self._match(TokenKind.COMMA):
@@ -370,7 +374,7 @@ class Parser:
         self._expect(TokenKind.RPAREN, "')'")
         return tuple(values)
 
-    def _parse_delete(self):
+    def _parse_delete(self) -> ast.Delete:
         self._expect_keyword("DELETE")
         self._expect_keyword("FROM")
         table = self._expect_identifier("table name")
@@ -379,7 +383,7 @@ class Parser:
             where = self.parse_expression_inner()
         return ast.Delete(table, where)
 
-    def _parse_update(self):
+    def _parse_update(self) -> ast.Update:
         self._expect_keyword("UPDATE")
         table = self._expect_identifier("table name")
         self._expect_keyword("SET")
@@ -391,7 +395,7 @@ class Parser:
             where = self.parse_expression_inner()
         return ast.Update(table, tuple(assignments), where)
 
-    def _parse_assignment(self):
+    def _parse_assignment(self) -> ast.Assignment:
         start = self._peek()
         column = self._expect_identifier("column name")
         self._expect(TokenKind.EQ, "'='")
@@ -401,7 +405,7 @@ class Parser:
     # ------------------------------------------------------------------
     # select
 
-    def _parse_select(self):
+    def _parse_select(self) -> ast.Select:
         start = self._peek()
         self._expect_keyword("SELECT")
         distinct = False
@@ -412,7 +416,7 @@ class Parser:
         items = [self._parse_select_item()]
         while self._match(TokenKind.COMMA):
             items.append(self._parse_select_item())
-        tables = ()
+        tables: tuple[ast.TableReference, ...] = ()
         if self._match_keyword("FROM"):
             refs = [self._parse_table_reference()]
             while self._match(TokenKind.COMMA):
@@ -421,7 +425,7 @@ class Parser:
         where = None
         if self._match_keyword("WHERE"):
             where = self.parse_expression_inner()
-        group_by = ()
+        group_by: tuple[ast.Expression, ...] = ()
         having = None
         if self._check_keyword("GROUP"):
             self._advance()
@@ -433,7 +437,7 @@ class Parser:
         if self._match_keyword("HAVING"):
             # HAVING without GROUP BY treats the whole input as one group
             having = self.parse_expression_inner()
-        order_by = ()
+        order_by: tuple[ast.OrderItem, ...] = ()
         if self._check_keyword("ORDER"):
             self._advance()
             self._expect_keyword("BY")
@@ -466,7 +470,7 @@ class Parser:
             start,
         )
 
-    def _parse_select_item(self):
+    def _parse_select_item(self) -> Any:
         start = self._peek()
         if self._check(TokenKind.STAR):
             self._advance()
@@ -489,7 +493,7 @@ class Parser:
             alias = self._advance().value
         return self._spanned(ast.SelectItem(expression, alias), start)
 
-    def _parse_order_item(self):
+    def _parse_order_item(self) -> ast.OrderItem:
         start = self._peek()
         expression = self.parse_expression_inner()
         descending = False
@@ -499,7 +503,7 @@ class Parser:
             pass
         return self._spanned(ast.OrderItem(expression, descending), start)
 
-    def _parse_table_reference(self):
+    def _parse_table_reference(self) -> ast.TableReference:
         # Transition tables (paper §3): inserted t, deleted t,
         # old updated t[.c], new updated t[.c]; §5.1: selected t[.c]
         start = self._peek()
@@ -533,7 +537,8 @@ class Parser:
             alias = self._advance().value
         return self._spanned(ast.BaseTableRef(table, alias), start)
 
-    def _finish_transition_ref(self, kind, allow_column):
+    def _finish_transition_ref(self, kind: ast.TransitionKind,
+                               allow_column: bool) -> ast.TransitionTableRef:
         table = self._expect_identifier("table name")
         column = None
         if allow_column and self._match(TokenKind.DOT):
@@ -548,10 +553,10 @@ class Parser:
     # ------------------------------------------------------------------
     # expressions (precedence climbing)
 
-    def parse_expression_inner(self):
+    def parse_expression_inner(self) -> ast.Expression:
         return self._parse_or()
 
-    def _parse_or(self):
+    def _parse_or(self) -> ast.Expression:
         start = self._peek()
         left = self._parse_and()
         while self._match_keyword("OR"):
@@ -559,7 +564,7 @@ class Parser:
             left = self._spanned(ast.BinaryOp("or", left, right), start)
         return left
 
-    def _parse_and(self):
+    def _parse_and(self) -> ast.Expression:
         start = self._peek()
         left = self._parse_not()
         while self._match_keyword("AND"):
@@ -567,7 +572,7 @@ class Parser:
             left = self._spanned(ast.BinaryOp("and", left, right), start)
         return left
 
-    def _parse_not(self):
+    def _parse_not(self) -> ast.Expression:
         start = self._peek()
         if self._match_keyword("NOT"):
             return self._spanned(
@@ -575,7 +580,7 @@ class Parser:
             )
         return self._parse_comparison()
 
-    def _parse_comparison(self):
+    def _parse_comparison(self) -> ast.Expression:
         start = self._peek()
         left = self._parse_additive()
         while True:
@@ -634,7 +639,8 @@ class Parser:
                 continue
             return left
 
-    def _parse_in_rhs(self, operand, negated):
+    def _parse_in_rhs(self, operand: ast.Expression,
+                      negated: bool) -> ast.Expression:
         self._expect(TokenKind.LPAREN, "'('")
         if self._check_keyword("SELECT"):
             select = self._parse_select()
@@ -646,7 +652,7 @@ class Parser:
         self._expect(TokenKind.RPAREN, "')'")
         return ast.InList(operand, tuple(items), negated)
 
-    def _parse_additive(self):
+    def _parse_additive(self) -> ast.Expression:
         start = self._peek()
         left = self._parse_multiplicative()
         while True:
@@ -660,7 +666,7 @@ class Parser:
                 return left
             self._spanned(left, start)
 
-    def _parse_multiplicative(self):
+    def _parse_multiplicative(self) -> ast.Expression:
         start = self._peek()
         left = self._parse_unary()
         while True:
@@ -674,7 +680,7 @@ class Parser:
                 return left
             self._spanned(left, start)
 
-    def _parse_unary(self):
+    def _parse_unary(self) -> ast.Expression:
         start = self._peek()
         if self._match(TokenKind.MINUS):
             return self._spanned(ast.UnaryOp("-", self._parse_unary()), start)
@@ -682,7 +688,7 @@ class Parser:
             return self._spanned(ast.UnaryOp("+", self._parse_unary()), start)
         return self._parse_primary()
 
-    def _parse_primary(self):
+    def _parse_primary(self) -> ast.Expression:
         token = self._peek()
 
         if token.kind is TokenKind.INTEGER or token.kind is TokenKind.FLOAT:
@@ -729,10 +735,10 @@ class Parser:
             f"expected expression, found {token.text or 'end of input'}", token
         )
 
-    def _parse_case(self):
+    def _parse_case(self) -> ast.Expression:
         start = self._peek()
         self._expect_keyword("CASE")
-        branches = []
+        branches: list[tuple[ast.Expression, ast.Expression]] = []
         while self._match_keyword("WHEN"):
             condition = self.parse_expression_inner()
             self._expect_keyword("THEN")
@@ -746,7 +752,7 @@ class Parser:
         self._expect_keyword("END")
         return self._spanned(ast.CaseExpression(tuple(branches), default), start)
 
-    def _parse_identifier_expression(self):
+    def _parse_identifier_expression(self) -> ast.Expression:
         start = self._peek()
         name = self._advance().value
 
@@ -761,10 +767,10 @@ class Parser:
 
         return self._spanned(ast.ColumnRef(name), start)
 
-    def _parse_function_call(self, name):
+    def _parse_function_call(self, name: str) -> ast.FunctionCall:
         self._expect(TokenKind.LPAREN, "'('")
         distinct = False
-        args = []
+        args: list[ast.Expression] = []
         if self._check(TokenKind.STAR):
             star = self._peek()
             self._advance()
@@ -788,17 +794,17 @@ class Parser:
 # module-level entry points
 
 
-def parse_statement(source):
+def parse_statement(source: str) -> Any:
     """Parse exactly one statement (DDL, rule DDL, or an operation block)."""
     return Parser(source).parse_statement()
 
 
-def parse_script(source):
+def parse_script(source: str) -> list[Any]:
     """Parse a ``;``-separated script into a statement list."""
     return Parser(source).parse_script()
 
 
-def parse_block(source):
+def parse_block(source: str) -> ast.OperationBlock:
     """Parse an operation block; raise if the source is any other statement."""
     statement = parse_statement(source)
     if not isinstance(statement, ast.OperationBlock):
@@ -806,7 +812,7 @@ def parse_block(source):
     return statement
 
 
-def parse_expression(source):
+def parse_expression(source: str) -> ast.Expression:
     """Parse a standalone expression (used by constraints and tests)."""
     parser = Parser(source)
     expression = parser.parse_expression_inner()
@@ -818,7 +824,7 @@ def parse_expression(source):
     return expression
 
 
-def parse_select(source):
+def parse_select(source: str) -> ast.Select:
     """Parse a standalone select statement."""
     parser = Parser(source)
     select = parser._parse_select()
@@ -830,7 +836,7 @@ def parse_select(source):
     return select
 
 
-def parse_transition_predicates(source):
+def parse_transition_predicates(source: str) -> tuple[ast.BasicTransitionPredicate, ...]:
     """Parse a bare transition-predicate list, e.g.
     ``"inserted into emp or updated emp.salary"``.
 

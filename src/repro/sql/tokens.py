@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum, auto
+from typing import Any
 
 
 class TokenKind(Enum):
@@ -87,15 +88,15 @@ class Token:
     """
 
     kind: TokenKind
-    value: object
+    value: Any
     text: str
     position: int = 0
     line: int = 1
     column: int = 1
 
-    def is_keyword(self, *names):
+    def is_keyword(self, *names: str) -> bool:
         """Return True if this token is one of the given keywords."""
         return self.kind is TokenKind.KEYWORD and self.value in names
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"Token({self.kind.name}, {self.value!r})"

@@ -1,0 +1,8 @@
+-- Seeded defect: arithmetic on a varchar column.
+create table emp (name varchar, salary integer);
+
+create rule raise
+when inserted into emp
+if exists (select * from inserted emp where salary > 0)
+then update emp set salary = name + 1 where salary > 0;
+-- expect: RPL401 @ 7:30

@@ -1,0 +1,9 @@
+-- Seeded defect: CASE branches yield a number or a string.
+create table emp (name varchar, salary integer, grade varchar);
+
+create rule grade
+when updated emp.salary
+if exists (select * from new updated emp.salary where salary > 0)
+then update emp set grade = case when salary > 50 then 'high' else 0 end
+     where salary > 0;
+-- expect: RPL402 @ 7:29

@@ -1,0 +1,8 @@
+-- Clean counterpart of rpl402: both CASE branches are strings.
+create table emp (name varchar, salary integer, grade varchar);
+
+create rule grade
+when updated emp.salary
+if exists (select * from new updated emp.salary where salary > 0)
+then update emp set grade = case when salary > 50 then 'high' else 'low' end
+     where salary > 0;

@@ -1,0 +1,12 @@
+-- Seeded defect: IN-subquery yields names, the operand is a salary.
+create table emp (name varchar, salary integer);
+create table vip (name varchar, floor integer);
+
+insert into vip values ('lee', 3);
+
+create rule flag
+when inserted into emp
+if exists (select * from inserted emp
+           where salary in (select name from vip))
+then delete from emp where salary < 0;
+-- expect: RPL403 @ 10:18

@@ -1,0 +1,11 @@
+-- Clean counterpart of rpl403: the subquery column matches the operand.
+create table emp (name varchar, salary integer);
+create table vip (name varchar, floor integer);
+
+insert into vip values ('lee', 3);
+
+create rule flag
+when inserted into emp
+if exists (select * from inserted emp
+           where name in (select name from vip))
+then delete from emp where salary < 0;

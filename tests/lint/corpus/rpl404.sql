@@ -1,0 +1,12 @@
+-- Seeded defect: the IN-subquery produces two columns, not one.
+create table emp (name varchar, salary integer);
+create table vip (name varchar, floor integer);
+
+insert into vip values ('lee', 3);
+
+create rule flag
+when inserted into emp
+if exists (select * from inserted emp
+           where name in (select name, floor from vip))
+then delete from emp where salary < 0;
+-- expect: RPL404 @ 10:27

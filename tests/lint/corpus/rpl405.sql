@@ -1,0 +1,8 @@
+-- Seeded defect: a float lands in an integer column.
+create table emp (name varchar, salary integer);
+
+create rule raise
+when inserted into emp
+if exists (select * from inserted emp where salary > 0)
+then update emp set salary = salary * 1.1 where salary > 0;
+-- expect: RPL405 @ 7:30

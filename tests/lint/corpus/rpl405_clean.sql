@@ -1,0 +1,7 @@
+-- Clean counterpart of rpl405: the raise stays integral.
+create table emp (name varchar, salary integer);
+
+create rule raise
+when inserted into emp
+if exists (select * from inserted emp where salary > 0)
+then update emp set salary = salary + 100 where salary > 0;

@@ -1,0 +1,26 @@
+-- Seeded defect: 'audit_raise' and 'log_raise' are both triggered by
+-- one firing of 'propagate' (through different tables), are unordered,
+-- and both write summary.total — the last writer wins.
+create table emp (name varchar, salary integer);
+create table raises (name varchar);
+create table audits (name varchar);
+create table summary (total integer);
+
+insert into emp values ('lee', 10);
+
+create rule propagate
+when inserted into emp
+if exists (select * from inserted emp where salary > 0)
+then insert into raises (select name from inserted emp);
+     insert into audits (select name from inserted emp);
+
+create rule audit_raise
+when inserted into audits
+if exists (select * from inserted audits)
+then update summary set total = 1;
+
+create rule log_raise
+when inserted into raises
+if exists (select * from inserted raises)
+then update summary set total = 2;
+-- expect: RPL501 @ 17:1

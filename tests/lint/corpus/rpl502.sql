@@ -1,0 +1,26 @@
+-- Seeded defect: unordered cascade siblings where 'reward' writes the
+-- emp.salary column that 'snapshot' reads — the snapshot sees either
+-- the old or the new salary depending on firing order.
+create table emp (name varchar, salary integer);
+create table raises (name varchar);
+create table audits (name varchar);
+create table history (name varchar, salary integer);
+
+insert into emp values ('lee', 10);
+
+create rule propagate
+when inserted into emp
+if exists (select * from inserted emp where salary > 0)
+then insert into raises (select name from inserted emp);
+     insert into audits (select name from inserted emp);
+
+create rule reward
+when inserted into raises
+if exists (select * from inserted raises)
+then update emp set salary = 100;
+
+create rule snapshot
+when inserted into audits
+if exists (select * from inserted audits)
+then insert into history (select name, salary from emp);
+-- expect: RPL502 @ 17:1

@@ -81,4 +81,4 @@ class TestCoverage:
         assert cleaned == set(CODES)
 
     def test_pairs_line_up(self):
-        assert len(POSITIVE) == len(CLEAN) == len(CODES) == 17
+        assert len(POSITIVE) == len(CLEAN) == len(CODES) == 24

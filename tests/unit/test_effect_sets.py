@@ -1,0 +1,236 @@
+"""Unit tests for the static type-and-effect analyzer (docs §16):
+per-rule effect sets, the effect-based triggering-graph discharge, the
+conflict advisory, and type witnesses on catalog rules."""
+
+import pytest
+
+from repro.analysis.effects import (
+    ANY_COLUMN,
+    conflict_advisory,
+    rule_effects,
+    writes_can_populate,
+)
+from repro.analysis.lint import lint_catalog, lint_script
+from repro.analysis.lint.context import LintRule
+from repro.analysis.types.witness import (
+    TypeWitness,
+    clear_witness,
+    set_witness,
+    witness_of,
+)
+from repro.core.rules import RuleCatalog
+from repro.relational.database import Database
+from repro.relational.types import SqlType
+from repro.sql import ast
+from repro.sql.parser import parse_statement
+
+
+@pytest.fixture
+def database():
+    db = Database()
+    db.create_table("emp", [("name", "varchar"), ("salary", "integer")])
+    db.create_table("log", [("name", "varchar"), ("salary", "integer")])
+    return db
+
+
+def lookup_for(database):
+    def schema_lookup(table):
+        try:
+            return database.schema(table)
+        except Exception:
+            return None
+
+    return schema_lookup
+
+
+def lint_rule_of(sql):
+    return LintRule.from_statement(parse_statement(sql), sequence=0)
+
+
+class TestRuleEffects:
+    def test_update_writes_exactly_the_assigned_columns(self, database):
+        rule = lint_rule_of(
+            "create rule r when inserted into emp "
+            "if exists (select * from inserted emp where salary > 0) "
+            "then update emp set salary = 0 where salary < 0"
+        )
+        effects = rule_effects(rule, lookup_for(database))
+        assert ("updated", "emp", "salary") in effects.writes
+        assert ("updated", "emp", "name") not in effects.writes
+
+    def test_insert_writes_every_schema_column(self, database):
+        rule = lint_rule_of(
+            "create rule r when inserted into emp "
+            "then insert into log (select name, salary from inserted emp)"
+        )
+        effects = rule_effects(rule, lookup_for(database))
+        assert {("inserted", "log", "name"),
+                ("inserted", "log", "salary")} <= effects.writes
+
+    def test_unknown_table_write_is_wildcarded(self, database):
+        rule = lint_rule_of(
+            "create rule r when inserted into emp "
+            "then insert into mystery values (1)"
+        )
+        effects = rule_effects(rule, lookup_for(database))
+        assert ("inserted", "mystery", ANY_COLUMN) in effects.writes
+
+    def test_condition_and_where_columns_are_read(self, database):
+        rule = lint_rule_of(
+            "create rule r when inserted into emp "
+            "if exists (select * from inserted emp where salary > 10) "
+            "then delete from log where name = 'x'"
+        )
+        effects = rule_effects(rule, lookup_for(database))
+        assert ("emp", "salary") in effects.reads
+        assert ("log", "name") in effects.reads
+
+    def test_rollback_action_writes_nothing(self, database):
+        rule = lint_rule_of(
+            "create rule r when inserted into emp then rollback"
+        )
+        effects = rule_effects(rule, lookup_for(database))
+        assert effects.writes == frozenset()
+        assert not effects.opaque
+
+    def test_opaque_action_has_none_writes(self, database):
+        rule = lint_rule_of(
+            "create rule r when inserted into emp then rollback"
+        )
+        object.__setattr__(rule, "action", None)
+        effects = rule_effects(rule, lookup_for(database))
+        assert effects.opaque
+
+
+class TestWritesCanPopulate:
+    def sql(self, text):
+        return parse_statement(text)
+
+    def ref(self, sql):
+        statement = self.sql(
+            f"create rule probe when inserted into emp "
+            f"if exists (select * from {sql}) then rollback"
+        )
+        (select,) = list(ast.iter_selects(statement.condition))
+        return select.tables[0]
+
+    def test_update_populates_only_assigned_columns(self):
+        writes = frozenset({("updated", "emp", "salary")})
+        assert writes_can_populate(writes, self.ref("new updated emp.salary"))
+        assert not writes_can_populate(
+            writes, self.ref("new updated emp.name")
+        )
+
+    def test_insert_does_not_populate_updated_views(self):
+        writes = frozenset({("inserted", "emp", "salary")})
+        assert writes_can_populate(writes, self.ref("inserted emp"))
+        assert not writes_can_populate(writes, self.ref("deleted emp"))
+        assert not writes_can_populate(
+            writes, self.ref("new updated emp.salary")
+        )
+
+    def test_opaque_writes_can_populate_anything(self):
+        assert writes_can_populate(None, self.ref("deleted emp"))
+
+
+class TestEffectDischarge:
+    """A provider that provably cannot fill the consumer's transition
+    view must not create a triggering edge (RPL201 stays silent)."""
+
+    SCRIPT = """
+create table emp (name varchar, salary integer, bonus integer);
+insert into emp values ('lee', 1, 0);
+
+create rule cycle_a
+when updated emp
+if exists (select * from new updated emp.salary where salary > 0)
+then update emp set bonus = 1 where salary > 0;
+
+create rule cycle_b
+when updated emp
+if exists (select * from new updated emp.bonus where bonus > 0)
+then update emp set {assignment} where bonus > 0;
+"""
+
+    def codes(self, assignment):
+        report = lint_script(self.SCRIPT.format(assignment=assignment))
+        return {d.code for d in report}
+
+    def test_column_disjoint_cycle_is_discharged(self):
+        # Both predicates match any emp update, so every syntactic edge
+        # exists — but cycle_b assigns only name, which can never fill
+        # cycle_a's "new updated emp.salary" view (nor its own bonus
+        # view), so the effect discharge leaves no loop.
+        codes = self.codes("name = 'kept'")
+        assert "RPL201" not in codes
+
+    def test_column_overlap_keeps_the_loop(self):
+        assert "RPL201" in self.codes("salary = 2")
+
+
+class TestConflictAdvisory:
+    def test_colliding_rules_forecast_contention(self, database):
+        rules = [
+            lint_rule_of(
+                "create rule a when inserted into emp "
+                "then update emp set salary = 1"
+            ),
+            lint_rule_of(
+                "create rule b when inserted into log "
+                "then update emp set salary = 2"
+            ),
+        ]
+        advisory = conflict_advisory(rules, lookup_for(database))
+        assert advisory["rules_analyzed"] == 2
+        assert advisory["conflict_pairs"] == 1
+        assert advisory["contended_tables"] == ["emp"]
+
+    def test_disjoint_rules_forecast_nothing(self, database):
+        rules = [
+            lint_rule_of(
+                "create rule a when inserted into emp "
+                "then update emp set salary = 1"
+            ),
+            lint_rule_of(
+                "create rule b when inserted into log "
+                "then delete from log where salary < 0"
+            ),
+        ]
+        advisory = conflict_advisory(rules, lookup_for(database))
+        assert advisory["conflict_pairs"] == 0
+        assert advisory["contended_tables"] == []
+
+
+class TestTypeWitnesses:
+    def test_witness_round_trip_preserves_equality(self):
+        node = ast.Literal(1)
+        twin = ast.Literal(1)
+        witness = TypeWitness(
+            sql_type=SqlType.INTEGER, kind="n", total=True,
+            nullable=False, schema_version=0,
+        )
+        set_witness(node, witness)
+        assert witness_of(node) is witness
+        assert node == twin  # out-of-band: structural equality untouched
+        clear_witness(node)
+        assert witness_of(node) is None
+
+    def test_stability_requires_total_and_kind(self):
+        stable = TypeWitness(SqlType.INTEGER, "n", True, True, 0)
+        assert stable.stable
+        assert not TypeWitness(SqlType.INTEGER, "n", False, True, 0).stable
+        assert not TypeWitness(None, None, True, True, 0).stable
+
+    def test_definition_time_lint_attaches_witnesses(self, database):
+        catalog = RuleCatalog()
+        rule = catalog.create_rule_from_ast(parse_statement(
+            "create rule r when inserted into emp "
+            "if exists (select * from inserted emp where salary > 10) "
+            "then delete from emp where salary < 0"
+        ))
+        lint_catalog(catalog, database)
+        (select,) = list(ast.iter_selects(rule.condition))
+        witness = witness_of(select.where)
+        assert witness is not None
+        assert witness.sql_type is SqlType.BOOLEAN
+        assert witness.schema_version == database.schema_version
